@@ -1,0 +1,222 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+use std::fmt;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+alps — user-level proportional-share CPU scheduler (ALPS, HPDC 2006)
+
+USAGE:
+    alps run    [OPTIONS] SHARE:COMMAND...   spawn commands under control
+    alps attach [OPTIONS] SHARE:PID...       control existing processes
+    alps user   [OPTIONS] SHARE:UID...       control users (principals)
+    alps probe                               measure Table-1 costs here
+
+OPTIONS:
+    -q, --quantum <ms>     ALPS quantum in milliseconds [default: 20]
+    -d, --duration <s>     stop after this many seconds [default: forever]
+    -r, --refresh <s>      membership refresh period for `user` [default: 1]
+    -v, --verbose          print a status line at each completed cycle
+    -h, --help             show this help
+
+EXAMPLES:
+    alps run 1:'while :; do :; done' 3:'while :; do :; done'
+    alps attach -q 10 -d 30 1:4711 4:4712
+    alps user 1:1001 2:1002 3:1003";
+
+/// A `share:target` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareSpec {
+    /// The share weight.
+    pub share: u64,
+    /// Command string, pid, or uid, depending on mode.
+    pub target: String,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// Spawn and supervise commands.
+    Run(Opts),
+    /// Supervise existing pids.
+    Attach(Opts),
+    /// Supervise users as principals.
+    User(Opts),
+    /// Live Table-1 probe.
+    Probe,
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by the supervising modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Opts {
+    /// Quantum in milliseconds.
+    pub quantum_ms: u64,
+    /// Run duration in seconds; `None` = until interrupted.
+    pub duration_s: Option<u64>,
+    /// Membership refresh period (user mode).
+    pub refresh_s: u64,
+    /// Per-cycle status output.
+    pub verbose: bool,
+    /// The share specs.
+    pub specs: Vec<ShareSpec>,
+}
+
+/// Parse error.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+fn parse_spec(s: &str) -> Result<ShareSpec, ParseError> {
+    let Some((share, target)) = s.split_once(':') else {
+        return err(format!("expected SHARE:TARGET, got {s:?}"));
+    };
+    let share: u64 = share
+        .parse()
+        .map_err(|_| ParseError(format!("bad share in {s:?}")))?;
+    if share == 0 {
+        return err(format!("share must be positive in {s:?}"));
+    }
+    if target.is_empty() {
+        return err(format!("empty target in {s:?}"));
+    }
+    Ok(ShareSpec {
+        share,
+        target: target.to_string(),
+    })
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
+    let mut it = argv.iter().peekable();
+    let Some(mode) = it.next() else {
+        return err("missing subcommand");
+    };
+    match mode.as_str() {
+        "-h" | "--help" | "help" => return Ok(Cmd::Help),
+        "probe" => return Ok(Cmd::Probe),
+        "run" | "attach" | "user" => {}
+        other => return err(format!("unknown subcommand {other:?}")),
+    }
+    let mut opts = Opts {
+        quantum_ms: 20,
+        duration_s: None,
+        refresh_s: 1,
+        verbose: false,
+        specs: Vec::new(),
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-q" | "--quantum" => {
+                let v = it
+                    .next()
+                    .ok_or(ParseError("--quantum needs a value".into()))?;
+                opts.quantum_ms = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad quantum {v:?}")))?;
+                if opts.quantum_ms == 0 {
+                    return err("quantum must be positive");
+                }
+            }
+            "-d" | "--duration" => {
+                let v = it
+                    .next()
+                    .ok_or(ParseError("--duration needs a value".into()))?;
+                opts.duration_s = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad duration {v:?}")))?,
+                );
+            }
+            "-r" | "--refresh" => {
+                let v = it
+                    .next()
+                    .ok_or(ParseError("--refresh needs a value".into()))?;
+                opts.refresh_s = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad refresh {v:?}")))?;
+                if opts.refresh_s == 0 {
+                    return err("refresh must be positive");
+                }
+            }
+            "-v" | "--verbose" => opts.verbose = true,
+            "-h" | "--help" => return Ok(Cmd::Help),
+            spec => opts.specs.push(parse_spec(spec)?),
+        }
+    }
+    if opts.specs.len() < 2 {
+        return err("need at least two SHARE:TARGET pairs (one has nothing to share against)");
+    }
+    Ok(match mode.as_str() {
+        "run" => Cmd::Run(opts),
+        "attach" => Cmd::Attach(opts),
+        _ => Cmd::User(opts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse(&v(&["run", "-q", "10", "-d", "30", "1:sleep 5", "3:yes"])).unwrap();
+        let Cmd::Run(o) = cmd else { panic!("not run") };
+        assert_eq!(o.quantum_ms, 10);
+        assert_eq!(o.duration_s, Some(30));
+        assert_eq!(o.specs.len(), 2);
+        assert_eq!(o.specs[0].share, 1);
+        assert_eq!(o.specs[0].target, "sleep 5");
+        assert_eq!(o.specs[1].share, 3);
+    }
+
+    #[test]
+    fn parses_attach_and_user() {
+        assert!(matches!(
+            parse(&v(&["attach", "1:100", "2:200"])).unwrap(),
+            Cmd::Attach(_)
+        ));
+        let Cmd::User(o) = parse(&v(&["user", "-r", "2", "1:1001", "2:1002"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.refresh_s, 2);
+    }
+
+    #[test]
+    fn target_may_contain_colons() {
+        let Cmd::Run(o) = parse(&v(&["run", "1:echo a:b", "1:true"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.specs[0].target, "echo a:b");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "1:x"])).is_err(), "one spec is pointless");
+        assert!(parse(&v(&["run", "0:x", "1:y"])).is_err(), "zero share");
+        assert!(parse(&v(&["run", "x:y", "1:z"])).is_err(), "bad share");
+        assert!(parse(&v(&["run", "1:", "1:z"])).is_err(), "empty target");
+        assert!(parse(&v(&["run", "-q", "0", "1:a", "1:b"])).is_err());
+    }
+
+    #[test]
+    fn help_and_probe() {
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Cmd::Help);
+        assert_eq!(parse(&v(&["probe"])).unwrap(), Cmd::Probe);
+    }
+}

@@ -1,0 +1,36 @@
+//! `alps` — a command-line user-level proportional-share CPU scheduler.
+//!
+//! The paper's ALPS process as a tool: give commands, pids, or whole users
+//! CPU shares, with no privileges and no kernel configuration.
+//!
+//! ```console
+//! $ alps run 1:'ffmpeg -i in.mp4 out.webm' 3:'make -j'
+//! $ alps attach --quantum 20 1:4711 2:4712 4:4713   # share:pid
+//! $ alps user --quantum 100 1:1001 2:1002 3:1003
+//! $ alps probe
+//! ```
+
+mod args;
+mod run;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run::execute(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

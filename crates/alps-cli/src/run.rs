@@ -1,0 +1,186 @@
+//! Command execution: wire the parsed CLI onto the `alps-os` supervisors.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use alps_core::{AlpsConfig, Nanos};
+use alps_os::{Membership, PrincipalSupervisor, Supervisor};
+
+use crate::args::{Cmd, Opts, ShareSpec, USAGE};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: libc::c_int) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers so a Ctrl-C unwinds through the
+/// supervisors' `Drop` (which SIGCONTs every controlled process) instead
+/// of leaving children frozen.
+fn install_signal_handlers() {
+    // SAFETY: on_signal only touches an atomic; signal(2) with a valid
+    // handler pointer has no other preconditions.
+    let handler = on_signal as extern "C" fn(libc::c_int) as usize as libc::sighandler_t;
+    unsafe {
+        libc::signal(libc::SIGINT, handler);
+        libc::signal(libc::SIGTERM, handler);
+    }
+}
+
+fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Run a parsed command.
+pub fn execute(cmd: Cmd) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Cmd::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Cmd::Probe => probe(),
+        Cmd::Run(opts) => run_commands(opts),
+        Cmd::Attach(opts) => attach_pids(opts),
+        Cmd::User(opts) => supervise_users(opts),
+    }
+}
+
+fn probe() -> Result<(), Box<dyn std::error::Error>> {
+    let p = alps_os::probe_table1(500)?;
+    println!("ALPS primary operation costs on this machine (paper values in parens):");
+    println!(
+        "  receive a timer event : {:8.2} us   (9.02)",
+        p.timer_event_us
+    );
+    println!(
+        "  measure CPU of n procs: {:8.2} + {:.2}*n us   (1.1 + 17.4*n)",
+        p.measure_base_us, p.measure_per_proc_us
+    );
+    println!("  signal a process      : {:8.2} us   (0.97)", p.signal_us);
+    Ok(())
+}
+
+fn config(opts: &Opts) -> AlpsConfig {
+    AlpsConfig::new(Nanos::from_millis(opts.quantum_ms)).with_cycle_log(opts.verbose)
+}
+
+fn deadline(opts: &Opts) -> Option<std::time::Instant> {
+    opts.duration_s
+        .map(|s| std::time::Instant::now() + Duration::from_secs(s))
+}
+
+fn should_stop(deadline: Option<std::time::Instant>) -> bool {
+    interrupted() || deadline.is_some_and(|d| std::time::Instant::now() >= d)
+}
+
+fn run_commands(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
+    install_signal_handlers();
+    let mut children: Vec<Child> = Vec::new();
+    for ShareSpec { target, .. } in &opts.specs {
+        let child = Command::new("/bin/sh")
+            .arg("-c")
+            .arg(target)
+            .stdin(Stdio::null())
+            .spawn()?;
+        children.push(child);
+    }
+    let mut sup = Supervisor::new(config(&opts));
+    for (child, spec) in children.iter().zip(&opts.specs) {
+        let pid = child.id() as i32;
+        sup.add_process(pid, spec.share)?;
+        eprintln!(
+            "alps: pid {pid} <- {} share(s): {}",
+            spec.share, spec.target
+        );
+    }
+    let result = drive(&mut sup, &opts);
+    sup.release_all();
+    drop(sup);
+    // Children are the user's commands: leave them running on exit unless
+    // we spawned them for a bounded run.
+    if opts.duration_s.is_some() || interrupted() {
+        for child in &mut children {
+            let _ = alps_os::signal::sigcont(child.id() as i32);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    result
+}
+
+fn attach_pids(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
+    install_signal_handlers();
+    let mut sup = Supervisor::new(config(&opts));
+    for spec in &opts.specs {
+        let pid: i32 = spec
+            .target
+            .parse()
+            .map_err(|_| format!("bad pid {:?}", spec.target))?;
+        sup.add_process(pid, spec.share)?;
+        eprintln!("alps: attached pid {pid} with {} share(s)", spec.share);
+    }
+    let result = drive(&mut sup, &opts);
+    sup.release_all();
+    result
+}
+
+fn drive(sup: &mut Supervisor, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let end = deadline(opts);
+    let mut last_cycles = 0;
+    while !should_stop(end) {
+        sup.run_quantum()?;
+        if opts.verbose {
+            let cycles = sup.cycles_completed();
+            if cycles > last_cycles {
+                last_cycles = cycles;
+                if let Some(rec) = sup.cycles().last() {
+                    let parts: Vec<String> = rec
+                        .entries
+                        .iter()
+                        .map(|e| format!("{}:{:.0}ms", e.share, e.consumed.as_millis_f64()))
+                        .collect();
+                    eprintln!(
+                        "alps: cycle {:>5}  {:>8.1}ms cpu  [{}]",
+                        rec.index,
+                        rec.total_consumed.as_millis_f64(),
+                        parts.join(" ")
+                    );
+                }
+            }
+        }
+    }
+    let s = sup.stats();
+    eprintln!(
+        "alps: done — {} quanta, {} measurements, {} signals, {} cycles",
+        s.quanta,
+        s.measurements,
+        s.signals,
+        sup.cycles_completed()
+    );
+    Ok(())
+}
+
+fn supervise_users(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
+    install_signal_handlers();
+    let mut sup = PrincipalSupervisor::new(config(&opts), Duration::from_secs(opts.refresh_s));
+    for spec in &opts.specs {
+        let uid: u32 = spec
+            .target
+            .parse()
+            .map_err(|_| format!("bad uid {:?}", spec.target))?;
+        sup.add_principal(spec.share, Membership::Uid(uid));
+        eprintln!("alps: uid {uid} <- {} share(s)", spec.share);
+    }
+    let end = deadline(&opts);
+    while !should_stop(end) {
+        sup.run_quantum()?;
+    }
+    sup.release_all();
+    eprintln!(
+        "alps: done — {} quanta, {} membership refreshes",
+        sup.quanta(),
+        sup.refreshes()
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `alps` binary: real child processes, real
+//! signals, real /proc sampling.
+
+use std::process::Command;
+
+fn alps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alps"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = alps().arg("--help").output().expect("run alps");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("alps run"), "{text}");
+    assert!(text.contains("--quantum"), "{text}");
+}
+
+#[test]
+fn bad_arguments_exit_2_with_usage() {
+    let out = alps().arg("frobnicate").output().expect("run alps");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn probe_reports_microsecond_costs() {
+    let out = alps().arg("probe").output().expect("run alps");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("timer event"), "{text}");
+    assert!(text.contains("signal a process"), "{text}");
+}
+
+#[test]
+fn run_mode_enforces_shares_end_to_end() {
+    // Two spinners, 1:3, for three seconds of real time.
+    let out = alps()
+        .args([
+            "run",
+            "-q",
+            "20",
+            "-d",
+            "3",
+            "-v",
+            "1:while :; do :; done",
+            "3:while :; do :; done",
+        ])
+        .output()
+        .expect("run alps");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The verbose cycle log shows per-cycle consumption "1:..ms 3:..ms".
+    assert!(err.contains("alps: done"), "{err}");
+    assert!(err.contains("cycle"), "{err}");
+    // Parse the last cycle line and check the ratio loosely.
+    let last = err
+        .lines()
+        .rfind(|l| l.contains("ms cpu  ["))
+        .expect("at least one cycle line");
+    let bracket = &last[last.find('[').unwrap() + 1..last.rfind(']').unwrap()];
+    let mut parts = bracket.split_whitespace();
+    let one: f64 = parts
+        .next()
+        .unwrap()
+        .trim_start_matches("1:")
+        .trim_end_matches("ms")
+        .parse()
+        .unwrap();
+    let three: f64 = parts
+        .next()
+        .unwrap()
+        .trim_start_matches("3:")
+        .trim_end_matches("ms")
+        .parse()
+        .unwrap();
+    assert!(one > 0.0 && three > 0.0, "{last}");
+    let ratio = three / one;
+    assert!((1.5..=6.0).contains(&ratio), "ratio {ratio} from {last:?}");
+}
+
+#[test]
+fn attach_mode_rejects_missing_pid() {
+    let out = alps()
+        .args(["attach", "-d", "1", "1:999999999", "1:999999998"])
+        .output()
+        .expect("run alps");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+}

@@ -1,0 +1,312 @@
+//! Hierarchical share trees (the §6 related-work direction).
+//!
+//! The paper's related work cites hierarchical CPU schedulers (Goyal et
+//! al.) and composable scheduler frameworks (HLS). ALPS itself schedules a
+//! flat set of shares — but a *static* hierarchy ("users get equal shares;
+//! within a user, apps get weighted shares; within an app, processes…")
+//! flattens exactly: each leaf's entitlement is the product of its
+//! ancestors' share fractions. [`ShareTree`] performs that flattening into
+//! the integer shares an [`AlpsScheduler`](crate::AlpsScheduler) consumes,
+//! rescaling to keep the numbers small.
+//!
+//! What flattening does *not* capture is hierarchical redistribution: when
+//! a leaf blocks, a true hierarchical scheduler gives its time to siblings
+//! *within the subtree* first, while flat ALPS redistributes across the
+//! whole tree (§2.4). Re-flattening after membership changes (see
+//! [`ShareTree::flatten`]'s docs) recovers the static part of that
+//! behavior; the in-cycle part is approximated. This is a documented
+//! extension, not part of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier within a [`ShareTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+/// Greatest common divisor.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    parent: Option<NodeId>,
+    share: u64,
+    children: Vec<NodeId>,
+    /// Leaf payload: an opaque tag the caller maps to a pid or principal.
+    leaf_tag: Option<u64>,
+}
+
+/// A tree of weighted groups with tagged leaves.
+///
+/// ```
+/// use alps_core::ShareTree;
+///
+/// // Departments 2:1; engineering has two equal users, research one.
+/// let mut tree = ShareTree::new();
+/// let eng = tree.add_group(None, 2);
+/// let res = tree.add_group(None, 1);
+/// tree.add_leaf(Some(eng), 1, 10);
+/// tree.add_leaf(Some(eng), 1, 11);
+/// tree.add_leaf(Some(res), 1, 20);
+/// // Fractions 1/3, 1/3, 1/3 — flattened to equal integer shares.
+/// let mut flat = tree.flatten();
+/// flat.sort();
+/// assert_eq!(flat, vec![(10, 1), (11, 1), (20, 1)]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShareTree {
+    nodes: Vec<Node>,
+}
+
+impl ShareTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        ShareTree::default()
+    }
+
+    /// Add a group (interior node). `parent = None` creates a root-level
+    /// group; several roots are allowed (they share like siblings).
+    pub fn add_group(&mut self, parent: Option<NodeId>, share: u64) -> NodeId {
+        self.add_node(parent, share, None)
+    }
+
+    /// Add a leaf (a schedulable entity tagged with caller data, e.g. a
+    /// pid).
+    pub fn add_leaf(&mut self, parent: Option<NodeId>, share: u64, tag: u64) -> NodeId {
+        self.add_node(parent, share, Some(tag))
+    }
+
+    fn add_node(&mut self, parent: Option<NodeId>, share: u64, leaf_tag: Option<u64>) -> NodeId {
+        assert!(share > 0, "share must be positive");
+        if let Some(p) = parent {
+            assert!(
+                self.nodes[p.0 as usize].leaf_tag.is_none(),
+                "cannot attach children to a leaf"
+            );
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent,
+            share,
+            children: Vec::new(),
+            leaf_tag,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        id
+    }
+
+    /// Change a node's share.
+    pub fn set_share(&mut self, id: NodeId, share: u64) {
+        assert!(share > 0, "share must be positive");
+        self.nodes[id.0 as usize].share = share;
+    }
+
+    /// Remove a leaf (e.g. its process exited). Its share stops counting
+    /// against its siblings at the next flatten.
+    pub fn remove_leaf(&mut self, id: NodeId) {
+        assert!(
+            self.nodes[id.0 as usize].leaf_tag.is_some(),
+            "remove_leaf on a group"
+        );
+        let parent = self.nodes[id.0 as usize].parent;
+        if let Some(p) = parent {
+            self.nodes[p.0 as usize].children.retain(|&c| c != id);
+        }
+        self.nodes[id.0 as usize].leaf_tag = None; // tombstone
+    }
+
+    /// Number of live leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.leaf_tag.is_some()).count()
+    }
+
+    /// Flatten the hierarchy into integer per-leaf shares whose ratios
+    /// equal the product of share fractions along each leaf's path.
+    ///
+    /// Empty groups (no live leaves beneath) are excluded before fractions
+    /// are computed, so their weight redistributes among their siblings —
+    /// re-flatten whenever membership changes to keep this current.
+    ///
+    /// Returns `(tag, share)` pairs; shares are scaled to the smallest
+    /// integers preserving the exact ratios.
+    pub fn flatten(&self) -> Vec<(u64, u64)> {
+        // Compute, per leaf, the rational weight num/den as u128 to avoid
+        // overflow, then bring to a common denominator and reduce.
+        let mut weights: Vec<(u64, u128, u128)> = Vec::new(); // (tag, num, den)
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Some(tag) = node.leaf_tag else { continue };
+            let mut num: u128 = 1;
+            let mut den: u128 = 1;
+            let mut cur = NodeId(i as u32);
+            loop {
+                let n = &self.nodes[cur.0 as usize];
+                let sibling_total: u64 = match n.parent {
+                    Some(p) => self.nodes[p.0 as usize]
+                        .children
+                        .iter()
+                        .filter(|&&c| self.subtree_has_leaves(c))
+                        .map(|&c| self.nodes[c.0 as usize].share)
+                        .sum(),
+                    None => self
+                        .roots()
+                        .filter(|&r| self.subtree_has_leaves(r))
+                        .map(|r| self.nodes[r.0 as usize].share)
+                        .sum(),
+                };
+                num *= n.share as u128;
+                den *= sibling_total.max(1) as u128;
+                match n.parent {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            weights.push((tag, num, den));
+        }
+        if weights.is_empty() {
+            return Vec::new();
+        }
+        // Common denominator via product-free approach: share_i ∝ num_i *
+        // (lcm / den_i). Compute lcm of denominators.
+        let lcm = weights.iter().fold(1u128, |acc, &(_, _, d)| {
+            acc / gcd(acc as u64, d as u64) as u128 * d
+        });
+        let mut shares: Vec<(u64, u64)> = weights
+            .iter()
+            .map(|&(tag, n, d)| (tag, (n * (lcm / d)) as u64))
+            .collect();
+        let g = shares.iter().fold(0u64, |acc, &(_, s)| gcd(acc, s));
+        if g > 1 {
+            for (_, s) in shares.iter_mut() {
+                *s /= g;
+            }
+        }
+        shares
+    }
+
+    fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    fn subtree_has_leaves(&self, id: NodeId) -> bool {
+        let n = &self.nodes[id.0 as usize];
+        if n.leaf_tag.is_some() {
+            return true;
+        }
+        n.children.iter().any(|&c| self.subtree_has_leaves(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn as_map(v: Vec<(u64, u64)>) -> BTreeMap<u64, u64> {
+        v.into_iter().collect()
+    }
+
+    #[test]
+    fn flat_tree_passes_shares_through() {
+        let mut t = ShareTree::new();
+        t.add_leaf(None, 1, 10);
+        t.add_leaf(None, 2, 20);
+        t.add_leaf(None, 3, 30);
+        let m = as_map(t.flatten());
+        assert_eq!(m[&10], 1);
+        assert_eq!(m[&20], 2);
+        assert_eq!(m[&30], 3);
+    }
+
+    #[test]
+    fn two_departments_with_unequal_users() {
+        // Departments split 1:1; A has 2 equal users, B has 4.
+        // Each A-user gets 1/4 of the machine, each B-user 1/8.
+        let mut t = ShareTree::new();
+        let a = t.add_group(None, 1);
+        let b = t.add_group(None, 1);
+        for u in 0..2 {
+            t.add_leaf(Some(a), 1, u);
+        }
+        for u in 0..4 {
+            t.add_leaf(Some(b), 1, 10 + u);
+        }
+        let m = as_map(t.flatten());
+        assert_eq!(m[&0], 2, "{m:?}");
+        assert_eq!(m[&1], 2);
+        for u in 10..14 {
+            assert_eq!(m[&u], 1);
+        }
+    }
+
+    #[test]
+    fn weighted_three_level_tree() {
+        // root groups 2:1; inside the 2-group, leaves 3:1; inside the
+        // 1-group, a single leaf.
+        // Fractions: 2/3*3/4 = 1/2; 2/3*1/4 = 1/6; 1/3 = 2/6.
+        let mut t = ShareTree::new();
+        let g = t.add_group(None, 2);
+        let h = t.add_group(None, 1);
+        t.add_leaf(Some(g), 3, 1);
+        t.add_leaf(Some(g), 1, 2);
+        t.add_leaf(Some(h), 5, 3); // share value inside a singleton group is moot
+        let m = as_map(t.flatten());
+        // Ratios 1/2 : 1/6 : 1/3 = 3 : 1 : 2.
+        assert_eq!(m[&1], 3, "{m:?}");
+        assert_eq!(m[&2], 1);
+        assert_eq!(m[&3], 2);
+    }
+
+    #[test]
+    fn empty_group_weight_redistributes() {
+        let mut t = ShareTree::new();
+        let a = t.add_group(None, 1);
+        let b = t.add_group(None, 1);
+        let leaf_a = t.add_leaf(Some(a), 1, 1);
+        t.add_leaf(Some(b), 1, 2);
+        t.add_leaf(Some(b), 1, 3);
+        // Both groups populated: A-leaf gets 1/2; B leaves 1/4 each.
+        let m = as_map(t.flatten());
+        assert_eq!((m[&1], m[&2], m[&3]), (2, 1, 1));
+        // A's only leaf leaves: B's subtree now owns everything.
+        t.remove_leaf(leaf_a);
+        let m = as_map(t.flatten());
+        assert_eq!(m.len(), 2);
+        assert_eq!((m[&2], m[&3]), (1, 1));
+    }
+
+    #[test]
+    fn empty_tree_flattens_to_nothing() {
+        let t = ShareTree::new();
+        assert!(t.flatten().is_empty());
+        assert_eq!(t.leaf_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot attach children to a leaf")]
+    fn leaves_cannot_have_children() {
+        let mut t = ShareTree::new();
+        let l = t.add_leaf(None, 1, 1);
+        t.add_group(Some(l), 1);
+    }
+
+    #[test]
+    fn set_share_changes_ratios() {
+        let mut t = ShareTree::new();
+        let a = t.add_leaf(None, 1, 1);
+        t.add_leaf(None, 1, 2);
+        t.set_share(a, 9);
+        let m = as_map(t.flatten());
+        assert_eq!((m[&1], m[&2]), (9, 1));
+    }
+}

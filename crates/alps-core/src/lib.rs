@@ -1,0 +1,76 @@
+//! # alps-core — the ALPS proportional-share scheduling algorithm
+//!
+//! A faithful implementation of the scheduling algorithm from *“ALPS: An
+//! Application-Level Proportional-Share Scheduler”* (Newhouse & Pasquale,
+//! HPDC 2006). ALPS lets an ordinary, unprivileged process apportion CPU
+//! time among a group of processes in proportion to per-process *shares*,
+//! without kernel modifications: it samples each process's cumulative CPU
+//! time at a coarse quantum, tracks a per-process *allowance* over a
+//! *cycle* of `S · Q` CPU time (where `S` is the total shares and `Q` the
+//! quantum), and suspends processes that have exhausted their allowance
+//! until the cycle completes.
+//!
+//! This crate is the pure algorithm — no syscalls, no clocks. Two backends
+//! drive it:
+//!
+//! * [`kernsim`](https://docs.rs/kernsim) + `alps-sim` — a discrete-event
+//!   simulation of a 4.4BSD-style kernel scheduler, used to reproduce the
+//!   paper's evaluation deterministically;
+//! * `alps-os` — a real Linux backend using `/proc` sampling and
+//!   `SIGSTOP`/`SIGCONT`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use alps_core::{AlpsConfig, AlpsScheduler, Nanos, Observation, Transition};
+//!
+//! // Two processes with a 1:3 share split, 10 ms quantum.
+//! let mut alps = AlpsScheduler::new(AlpsConfig::new(Nanos::from_millis(10)));
+//! let a = alps.add_process(1, Nanos::ZERO);
+//! let b = alps.add_process(3, Nanos::ZERO);
+//!
+//! // First invocation: nothing to measure yet; both become eligible.
+//! assert!(alps.begin_quantum().is_empty());
+//! let out = alps.complete_quantum(&[], Nanos::ZERO);
+//! assert_eq!(out.transitions, vec![Transition::Resume(a), Transition::Resume(b)]);
+//!
+//! // Next invocation where `a` is due: report its cumulative CPU time.
+//! let due = alps.begin_quantum();
+//! let obs: Vec<_> = due
+//!     .into_iter()
+//!     .map(|id| (id, Observation { total_cpu: Nanos::from_millis(10), blocked: false }))
+//!     .collect();
+//! let out = alps.complete_quantum(&obs, Nanos::from_millis(10));
+//! // `a` consumed its whole 1-share allowance and is suspended.
+//! assert_eq!(out.transitions, vec![Transition::Suspend(a)]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`sched`] — the Figure-3 algorithm ([`AlpsScheduler`]).
+//! * [`principal`] — §5's resource principals: schedule groups of processes
+//!   (e.g. all processes of one user) as single entities.
+//! * [`hierarchy`] — share *trees* (users → apps → processes), flattened
+//!   into the per-process shares ALPS consumes (a §6 related-work
+//!   extension).
+//! * [`cycle`] — per-cycle consumption records for accuracy analysis.
+//! * [`config`] — quantum length, the §2.3 lazy-measurement switch, and
+//!   §2.4 I/O policies.
+//! * [`time`] — the [`Nanos`] time type shared across the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cycle;
+pub mod hierarchy;
+pub mod principal;
+pub mod sched;
+pub mod time;
+
+pub use config::{AlpsConfig, IoPolicy};
+pub use cycle::{CycleEntry, CycleRecord};
+pub use hierarchy::{NodeId, ShareTree};
+pub use principal::{MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler};
+pub use sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, StaleId, Transition};
+pub use time::Nanos;

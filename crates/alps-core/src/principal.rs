@@ -1,0 +1,445 @@
+//! Resource principals: scheduling *groups* of processes as one entity (§5).
+//!
+//! The paper's shared-web-server experiment decouples the resource principal
+//! from the process abstraction: the scheduled entity is a *user*, and CPU
+//! consumption by any of that user's processes counts against the user's
+//! allocation. [`PrincipalScheduler`] implements that layer on top of
+//! [`AlpsScheduler`]: each principal is one logical
+//! process in the inner scheduler, its consumption is the sum of its
+//! members' consumption, and eligibility transitions fan out to signals for
+//! every member.
+//!
+//! Membership is refreshed by the backend (the paper re-scanned the process
+//! table once per second with `kvm_getprocs`); see
+//! [`PrincipalScheduler::set_membership`].
+
+use std::collections::BTreeMap;
+
+use crate::config::AlpsConfig;
+use crate::cycle::CycleRecord;
+use crate::sched::{AlpsScheduler, Observation, ProcId, Transition};
+use crate::time::Nanos;
+
+/// A signal the backend must deliver to one member process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberTransition<M> {
+    /// Make the member runnable (`SIGCONT`).
+    Resume(M),
+    /// Suspend the member (`SIGSTOP`).
+    Suspend(M),
+}
+
+impl<M: Copy> MemberTransition<M> {
+    /// The member this signal addresses.
+    pub fn member(self) -> M {
+        match self {
+            MemberTransition::Resume(m) | MemberTransition::Suspend(m) => m,
+        }
+    }
+}
+
+/// Result of a membership refresh: what the backend must do to reconcile
+/// the new member set with the principal's current eligibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipChange<M> {
+    /// Members that joined. If the principal is currently ineligible they
+    /// must be suspended immediately (`signals` already reflects this).
+    pub added: Vec<M>,
+    /// Members that left (exited or changed owner). Backends typically need
+    /// no action — but if the principal was ineligible, a departing process
+    /// that still exists should be resumed so it is not left frozen.
+    pub removed: Vec<M>,
+    /// Signals to enact to make member states match principal eligibility.
+    pub signals: Vec<MemberTransition<M>>,
+}
+
+/// Outcome of one principal-scheduler invocation.
+#[derive(Debug, Clone, Default)]
+pub struct PrincipalOutcome<M> {
+    /// Signals to enact, covering every member of every principal whose
+    /// eligibility flipped.
+    pub signals: Vec<MemberTransition<M>>,
+    /// Whether a cycle boundary was crossed.
+    pub cycle_completed: bool,
+    /// Per-cycle record (principal-granularity), if logging is enabled.
+    pub cycle_record: Option<CycleRecord>,
+}
+
+#[derive(Debug, Clone)]
+struct Principal<M> {
+    /// Aggregate cumulative CPU across current and past members. Member
+    /// churn does not disturb this: each member's consumption is folded in
+    /// as deltas from its own last reading.
+    cumulative: Nanos,
+    /// Member → cumulative CPU at that member's last reading.
+    members: BTreeMap<M, Nanos>,
+}
+
+/// Proportional-share scheduling over groups of processes.
+///
+/// Type parameter `M` is the backend's member identifier (a `pid_t` on
+/// Linux, a simulator pid in `kernsim`).
+///
+/// ```
+/// use alps_core::{AlpsConfig, Nanos, PrincipalScheduler};
+///
+/// // Two users with a 1:2 share split; the first owns pids 100 and 101.
+/// let mut sched: PrincipalScheduler<i32> =
+///     PrincipalScheduler::new(AlpsConfig::new(Nanos::from_millis(100)));
+/// let alice = sched.add_principal(1);
+/// let bob = sched.add_principal(2);
+/// sched.set_membership(alice, &[(100, Nanos::ZERO), (101, Nanos::ZERO)]);
+/// sched.set_membership(bob, &[(200, Nanos::ZERO)]);
+/// // First quantum: both principals become eligible; every member of
+/// // each flipped principal gets a signal.
+/// sched.begin_quantum();
+/// let out = sched.complete_quantum(&[], Nanos::ZERO);
+/// assert_eq!(out.signals.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrincipalScheduler<M: Ord + Copy> {
+    inner: AlpsScheduler,
+    principals: BTreeMap<ProcId, Principal<M>>,
+}
+
+impl<M: Ord + Copy> PrincipalScheduler<M> {
+    /// Create an empty principal scheduler.
+    pub fn new(cfg: AlpsConfig) -> Self {
+        PrincipalScheduler {
+            inner: AlpsScheduler::new(cfg),
+            principals: BTreeMap::new(),
+        }
+    }
+
+    /// Access the inner per-principal ALPS scheduler (read-only).
+    pub fn inner(&self) -> &AlpsScheduler {
+        &self.inner
+    }
+
+    /// Register a principal with the given share and no members.
+    /// Per §2.2 it starts ineligible and becomes eligible next quantum.
+    pub fn add_principal(&mut self, share: u64) -> ProcId {
+        let id = self.inner.add_process(share, Nanos::ZERO);
+        self.principals.insert(
+            id,
+            Principal {
+                cumulative: Nanos::ZERO,
+                members: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Deregister a principal, returning its members (which the backend
+    /// should resume if the principal was ineligible).
+    pub fn remove_principal(&mut self, id: ProcId) -> Option<Vec<M>> {
+        let p = self.principals.remove(&id)?;
+        self.inner.remove_process(id);
+        Some(p.members.into_keys().collect())
+    }
+
+    /// Number of principals.
+    pub fn len(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// True if there are no principals.
+    pub fn is_empty(&self) -> bool {
+        self.principals.is_empty()
+    }
+
+    /// Total members across all principals.
+    pub fn member_count(&self) -> usize {
+        self.principals.values().map(|p| p.members.len()).sum()
+    }
+
+    /// Whether a principal is currently eligible.
+    pub fn is_eligible(&self, id: ProcId) -> Option<bool> {
+        self.inner.is_eligible(id)
+    }
+
+    /// Members of a principal, in key order.
+    pub fn members(&self, id: ProcId) -> Option<Vec<M>> {
+        self.principals
+            .get(&id)
+            .map(|p| p.members.keys().copied().collect())
+    }
+
+    /// Replace a principal's member set (the once-per-second refresh of §5).
+    ///
+    /// `current` carries, for each member, its *current* cumulative CPU
+    /// reading: a newly joined member is charged only for consumption from
+    /// this point on. The returned [`MembershipChange`] lists joiners and
+    /// leavers and the signals needed to reconcile member run states with
+    /// the principal's eligibility (new members of a suspended principal
+    /// must be stopped; members leaving a suspended principal should be
+    /// resumed so they are not orphaned in the stopped state).
+    pub fn set_membership(
+        &mut self,
+        id: ProcId,
+        current: &[(M, Nanos)],
+    ) -> Option<MembershipChange<M>> {
+        let eligible = self.inner.is_eligible(id)?;
+        let p = self.principals.get_mut(&id)?;
+        let mut new_members = BTreeMap::new();
+        let mut added = Vec::new();
+        for &(m, cpu) in current {
+            match p.members.remove(&m) {
+                Some(last) => {
+                    new_members.insert(m, last);
+                }
+                None => {
+                    added.push(m);
+                    new_members.insert(m, cpu);
+                }
+            }
+        }
+        let removed: Vec<M> = p.members.keys().copied().collect();
+        p.members = new_members;
+        let mut signals = Vec::new();
+        if !eligible {
+            signals.extend(added.iter().map(|&m| MemberTransition::Suspend(m)));
+            signals.extend(removed.iter().map(|&m| MemberTransition::Resume(m)));
+        }
+        Some(MembershipChange {
+            added,
+            removed,
+            signals,
+        })
+    }
+
+    /// Begin an invocation: returns, for each principal due for measurement,
+    /// the member processes whose CPU time and blocked state must be read.
+    pub fn begin_quantum(&mut self) -> Vec<(ProcId, Vec<M>)> {
+        let due = self.inner.begin_quantum();
+        due.into_iter()
+            .map(|id| {
+                let members = self
+                    .principals
+                    .get(&id)
+                    .map(|p| p.members.keys().copied().collect())
+                    .unwrap_or_default();
+                (id, members)
+            })
+            .collect()
+    }
+
+    /// Complete the invocation with per-member readings for each due
+    /// principal.
+    ///
+    /// A principal is considered *blocked* (§2.4) when every member that was
+    /// read reports blocked — if any member is runnable, the principal can
+    /// make progress. Members missing from the readings (e.g. they exited
+    /// between `begin` and `complete`) are skipped without charge.
+    pub fn complete_quantum(
+        &mut self,
+        readings: &[(ProcId, Vec<(M, Observation)>)],
+        now: Nanos,
+    ) -> PrincipalOutcome<M> {
+        let mut observations = Vec::with_capacity(readings.len());
+        for (id, members) in readings {
+            let Some(p) = self.principals.get_mut(id) else {
+                continue;
+            };
+            let mut all_blocked = !members.is_empty();
+            for &(m, obs) in members {
+                if let Some(last) = p.members.get_mut(&m) {
+                    let delta = obs.total_cpu.saturating_sub(*last);
+                    *last = obs.total_cpu;
+                    p.cumulative += delta;
+                }
+                if !obs.blocked {
+                    all_blocked = false;
+                }
+            }
+            observations.push((
+                *id,
+                Observation {
+                    total_cpu: p.cumulative,
+                    blocked: all_blocked,
+                },
+            ));
+        }
+        let out = self.inner.complete_quantum(&observations, now);
+        let mut signals = Vec::new();
+        for t in &out.transitions {
+            let id = t.proc_id();
+            if let Some(p) = self.principals.get(&id) {
+                for &m in p.members.keys() {
+                    signals.push(match t {
+                        Transition::Resume(_) => MemberTransition::Resume(m),
+                        Transition::Suspend(_) => MemberTransition::Suspend(m),
+                    });
+                }
+            }
+        }
+        PrincipalOutcome {
+            signals,
+            cycle_completed: out.cycle_completed,
+            cycle_record: out.cycle_record,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Pid = u64;
+
+    fn obs(ms: u64, blocked: bool) -> Observation {
+        Observation {
+            total_cpu: Nanos::from_millis(ms),
+            blocked,
+        }
+    }
+
+    fn sched() -> PrincipalScheduler<Pid> {
+        PrincipalScheduler::new(AlpsConfig::new(Nanos::from_millis(10)))
+    }
+
+    #[test]
+    fn principal_becomes_eligible_resuming_all_members() {
+        let mut s = sched();
+        let u = s.add_principal(1);
+        s.set_membership(u, &[(100, Nanos::ZERO), (101, Nanos::ZERO)]);
+        let due = s.begin_quantum();
+        assert!(due.is_empty());
+        let out = s.complete_quantum(&[], Nanos::ZERO);
+        let mut resumed: Vec<Pid> = out
+            .signals
+            .iter()
+            .map(|t| {
+                assert!(matches!(t, MemberTransition::Resume(_)));
+                t.member()
+            })
+            .collect();
+        resumed.sort_unstable();
+        assert_eq!(resumed, vec![100, 101]);
+    }
+
+    #[test]
+    fn member_consumption_aggregates() {
+        let mut s = sched();
+        let u = s.add_principal(2);
+        let v = s.add_principal(2);
+        s.set_membership(u, &[(1, Nanos::ZERO), (2, Nanos::ZERO)]);
+        s.set_membership(v, &[(3, Nanos::ZERO)]);
+        s.complete_quantum(&[], Nanos::ZERO); // both eligible (count=1)
+        s.begin_quantum(); // count=2, none due (ceil(2)=2 → due at 3)
+        s.complete_quantum(&[], Nanos::ZERO);
+        let due = s.begin_quantum(); // count=3: both due
+        assert_eq!(due.len(), 2);
+        // u's two members consumed 8 and 7 ms; v's one member 5 ms.
+        let readings = vec![
+            (u, vec![(1, obs(8, false)), (2, obs(7, false))]),
+            (v, vec![(3, obs(5, false))]),
+        ];
+        s.complete_quantum(&readings, Nanos::from_millis(30));
+        // u: 15ms = 1.5 quanta consumed of allowance 2 → 0.5 left.
+        assert!((s.inner().allowance(u).unwrap() - 0.5).abs() < 1e-9);
+        assert!((s.inner().allowance(v).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn membership_churn_does_not_lose_or_invent_cpu() {
+        let mut s = sched();
+        let u = s.add_principal(4);
+        s.set_membership(u, &[(1, Nanos::ZERO)]);
+        s.complete_quantum(&[], Nanos::ZERO); // eligible
+                                              // Member 1 exits after consuming 10ms; member 2 joins having already
+                                              // consumed 500ms under some other ownership.
+        for _ in 0..3 {
+            s.begin_quantum();
+            s.complete_quantum(&[], Nanos::ZERO);
+        }
+        let due = s.begin_quantum(); // count=5: due (ceil(4)=4 after count=1)
+        assert_eq!(due.len(), 1);
+        s.complete_quantum(&[(u, vec![(1, obs(10, false))])], Nanos::ZERO);
+        let change = s
+            .set_membership(u, &[(2, Nanos::from_millis(500))])
+            .unwrap();
+        assert_eq!(change.added, vec![2]);
+        assert_eq!(change.removed, vec![1]);
+        assert!(change.signals.is_empty(), "principal is eligible");
+        // Member 2 consumes 5ms more (cumulative 505).
+        for _ in 0..2 {
+            s.begin_quantum();
+            s.complete_quantum(&[], Nanos::ZERO);
+        }
+        let due = s.begin_quantum();
+        assert_eq!(due.len(), 1, "due again after ceil(3)=3 quanta");
+        s.complete_quantum(&[(u, vec![(2, obs(505, false))])], Nanos::ZERO);
+        // Total charged: 10ms + 5ms = 1.5 quanta; allowance 4 - 1.5 = 2.5.
+        assert!((s.inner().allowance(u).unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joining_a_suspended_principal_means_suspension() {
+        let mut s = sched();
+        let u = s.add_principal(1);
+        let _v = s.add_principal(9);
+        s.set_membership(u, &[(1, Nanos::ZERO)]);
+        s.complete_quantum(&[], Nanos::ZERO); // eligible, count=1, due at 2
+        let due = s.begin_quantum();
+        assert_eq!(due.len(), 1, "only u due (v due at ceil(9)+1)");
+        // u overconsumes: suspended.
+        let out = s.complete_quantum(&[(u, vec![(1, obs(10, false))])], Nanos::ZERO);
+        assert_eq!(out.signals, vec![MemberTransition::Suspend(1)]);
+        // A new worker is forked into the suspended principal.
+        let change = s
+            .set_membership(u, &[(1, Nanos::from_millis(10)), (7, Nanos::ZERO)])
+            .unwrap();
+        assert_eq!(change.signals, vec![MemberTransition::Suspend(7)]);
+        // And one leaves while suspended: it must be resumed.
+        let change = s.set_membership(u, &[(7, Nanos::ZERO)]).unwrap();
+        assert_eq!(change.signals, vec![MemberTransition::Resume(1)]);
+    }
+
+    #[test]
+    fn principal_blocked_only_when_all_members_blocked() {
+        let mut s = sched();
+        let u = s.add_principal(2);
+        s.set_membership(u, &[(1, Nanos::ZERO), (2, Nanos::ZERO)]);
+        s.complete_quantum(&[], Nanos::ZERO);
+        s.begin_quantum();
+        s.complete_quantum(&[], Nanos::ZERO);
+        s.begin_quantum(); // due
+                           // One member runnable → principal not blocked → no penalty.
+        s.complete_quantum(
+            &[(u, vec![(1, obs(0, true)), (2, obs(0, false))])],
+            Nanos::ZERO,
+        );
+        assert!((s.inner().allowance(u).unwrap() - 2.0).abs() < 1e-9);
+        // Both blocked → one-quantum penalty.
+        s.begin_quantum();
+        s.complete_quantum(
+            &[(u, vec![(1, obs(0, true)), (2, obs(0, true))])],
+            Nanos::ZERO,
+        );
+        assert!((s.inner().allowance(u).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_principal_returns_members() {
+        let mut s = sched();
+        let u = s.add_principal(1);
+        s.set_membership(u, &[(5, Nanos::ZERO), (6, Nanos::ZERO)]);
+        let members = s.remove_principal(u).unwrap();
+        assert_eq!(members, vec![5, 6]);
+        assert!(s.is_empty());
+        assert!(s.remove_principal(u).is_none());
+    }
+
+    #[test]
+    fn empty_principal_is_never_blocked() {
+        // A principal with no members reports an empty reading; it must not
+        // receive the blocked penalty.
+        let mut s = sched();
+        let u = s.add_principal(1);
+        s.complete_quantum(&[], Nanos::ZERO); // eligible
+        s.begin_quantum();
+        s.complete_quantum(&[(u, vec![])], Nanos::ZERO);
+        assert!((s.inner().allowance(u).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of hierarchy flattening: integer shares must preserve
+//! the exact product-of-fractions ratios for arbitrary trees.
+
+use alps_core::{NodeId, ShareTree};
+use proptest::prelude::*;
+
+/// Build a random two-level tree: `groups` root groups with the given
+/// shares, each holding the listed leaf shares.
+fn build(groups: &[(u64, Vec<u64>)]) -> (ShareTree, Vec<(u64, f64)>) {
+    let mut t = ShareTree::new();
+    let mut expected = Vec::new();
+    let group_total: u64 = groups
+        .iter()
+        .filter(|(_, leaves)| !leaves.is_empty())
+        .map(|&(s, _)| s)
+        .sum();
+    let mut tag = 0u64;
+    for (gshare, leaves) in groups {
+        let g = t.add_group(None, *gshare);
+        let leaf_total: u64 = leaves.iter().sum();
+        for &ls in leaves {
+            t.add_leaf(Some(g), ls, tag);
+            if group_total > 0 && leaf_total > 0 {
+                expected.push((
+                    tag,
+                    *gshare as f64 / group_total as f64 * ls as f64 / leaf_total as f64,
+                ));
+            }
+            tag += 1;
+        }
+    }
+    (t, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flatten_preserves_fraction_ratios(
+        groups in proptest::collection::vec(
+            (1u64..20, proptest::collection::vec(1u64..20, 0..5)),
+            1..5,
+        ),
+    ) {
+        let (t, expected) = build(&groups);
+        let flat = t.flatten();
+        prop_assert_eq!(flat.len(), expected.len());
+        let share_total: u64 = flat.iter().map(|&(_, s)| s).sum();
+        for (tag, frac) in expected {
+            let (_, s) = flat.iter().find(|&&(tg, _)| tg == tag).expect("leaf present");
+            let got = *s as f64 / share_total as f64;
+            prop_assert!(
+                (got - frac).abs() < 1e-9,
+                "tag {}: flattened {:.6} vs expected {:.6}",
+                tag, got, frac
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_is_reduced(
+        groups in proptest::collection::vec(
+            (1u64..10, proptest::collection::vec(1u64..10, 1..4)),
+            1..4,
+        ),
+    ) {
+        let (t, _) = build(&groups);
+        let flat = t.flatten();
+        let g = flat.iter().fold(0u64, |acc, &(_, s)| {
+            fn gcd(a: u64, b: u64) -> u64 { if b == 0 { a } else { gcd(b, a % b) } }
+            gcd(acc, s)
+        });
+        prop_assert!(g <= 1 || flat.len() == 1 || g == flat[0].1 && flat.len() == 1 || g == 1,
+            "shares not reduced: gcd {} over {:?}", g, flat);
+    }
+
+    #[test]
+    fn leaf_removal_never_panics_and_redistributes(
+        groups in proptest::collection::vec(
+            (1u64..10, proptest::collection::vec(1u64..10, 1..4)),
+            2..4,
+        ),
+        removals in proptest::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let (mut t, _) = build(&groups);
+        // Collect leaf node ids by rebuilding: leaves were added in order.
+        let mut leaf_ids: Vec<NodeId> = Vec::new();
+        {
+            // Rebuild an identical tree to learn ids (ShareTree has no
+            // public iteration; ids are allocation-ordered).
+            let mut t2 = ShareTree::new();
+            for (gshare, leaves) in &groups {
+                let g = t2.add_group(None, *gshare);
+                for &ls in leaves {
+                    leaf_ids.push(t2.add_leaf(Some(g), ls, 0));
+                }
+            }
+        }
+        let mut live = leaf_ids.clone();
+        for r in removals {
+            if live.len() <= 1 {
+                break;
+            }
+            let idx = (r as usize) % live.len();
+            let id = live.remove(idx);
+            t.remove_leaf(id);
+            let flat = t.flatten();
+            prop_assert_eq!(flat.len(), live.len());
+            if !flat.is_empty() {
+                let total: u64 = flat.iter().map(|&(_, s)| s).sum();
+                prop_assert!(total > 0);
+            }
+        }
+    }
+}

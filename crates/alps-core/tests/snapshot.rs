@@ -1,0 +1,66 @@
+//! Checkpoint/restore: a serialized scheduler must behave identically to
+//! the original after restore, mid-cycle state included.
+
+use alps_core::{AlpsConfig, AlpsScheduler, Nanos, Observation, ProcId};
+
+fn obs(id: ProcId, ms: u64) -> (ProcId, Observation) {
+    (
+        id,
+        Observation {
+            total_cpu: Nanos::from_millis(ms),
+            blocked: false,
+        },
+    )
+}
+
+#[test]
+fn snapshot_round_trips_mid_cycle() {
+    let cfg = AlpsConfig::new(Nanos::from_millis(10));
+    let mut sched = AlpsScheduler::new(cfg);
+    let a = sched.add_process(2, Nanos::ZERO);
+    let b = sched.add_process(3, Nanos::ZERO);
+    // Advance into the middle of a cycle.
+    sched.begin_quantum();
+    sched.complete_quantum(&[], Nanos::ZERO);
+    sched.begin_quantum();
+    sched.complete_quantum(&[obs(a, 7)], Nanos::from_millis(10));
+
+    let json = serde_json::to_string(&sched).expect("serialize");
+    let mut restored: AlpsScheduler = serde_json::from_str(&json).expect("deserialize");
+
+    // Identical externally visible state.
+    assert_eq!(restored.total_shares(), sched.total_shares());
+    assert_eq!(restored.invocations(), sched.invocations());
+    assert_eq!(restored.cycles_completed(), sched.cycles_completed());
+    assert_eq!(restored.allowance(a), sched.allowance(a));
+    assert_eq!(restored.allowance(b), sched.allowance(b));
+    assert_eq!(restored.is_eligible(a), sched.is_eligible(a));
+    assert!((restored.cycle_time_remaining() - sched.cycle_time_remaining()).abs() < 1e-9);
+
+    // And identical behavior going forward: run both through the same
+    // quanta and compare everything.
+    let mut original = sched;
+    for k in 0..200u64 {
+        let due_o = original.begin_quantum();
+        let due_r = restored.begin_quantum();
+        assert_eq!(due_o, due_r, "due lists diverged at quantum {k}");
+        let total = 7 + (k + 1) * 4;
+        let readings_o: Vec<_> = due_o.iter().map(|&id| obs(id, total)).collect();
+        let readings_r: Vec<_> = due_r.iter().map(|&id| obs(id, total)).collect();
+        let out_o = original.complete_quantum(&readings_o, Nanos::from_millis(20 + 10 * k));
+        let out_r = restored.complete_quantum(&readings_r, Nanos::from_millis(20 + 10 * k));
+        assert_eq!(out_o.transitions, out_r.transitions, "quantum {k}");
+        assert_eq!(out_o.cycle_completed, out_r.cycle_completed, "quantum {k}");
+    }
+}
+
+#[test]
+fn snapshot_preserves_stale_id_rejection() {
+    let mut sched = AlpsScheduler::new(AlpsConfig::default());
+    let a = sched.add_process(1, Nanos::ZERO);
+    sched.remove_process(a);
+    let _b = sched.add_process(2, Nanos::ZERO); // reuses the slot
+    let json = serde_json::to_string(&sched).unwrap();
+    let restored: AlpsScheduler = serde_json::from_str(&json).unwrap();
+    assert!(restored.allowance(a).is_none(), "stale generation survives");
+}

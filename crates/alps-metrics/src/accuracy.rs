@@ -1,0 +1,132 @@
+//! The paper's accuracy statistic (§3.1).
+//!
+//! For every cycle, compute the RMS of the per-process relative errors
+//! (actual vs. ideal CPU consumed); then take the mean of that RMS over all
+//! cycles of the experiment. Figure 4 plots this "mean RMS relative error",
+//! in percent, for each workload and quantum length.
+
+use alps_core::CycleRecord;
+
+use crate::summary::mean;
+
+/// Mean-of-RMS-relative-error over a slice of cycle records, as a
+/// *percentage* (the paper's unit). `skip` leading cycles are discarded as
+/// warm-up (the paper lets workloads "reach a steady state").
+pub fn mean_rms_relative_error_pct(cycles: &[CycleRecord], skip: usize) -> f64 {
+    let per_cycle: Vec<f64> = cycles
+        .iter()
+        .skip(skip)
+        .map(|c| c.rms_relative_error() * 100.0)
+        .collect();
+    mean(&per_cycle)
+}
+
+/// Per-cycle share percentages for one process — the series Figure 6 plots.
+/// Returns `(cycle_index, share_percent)` pairs.
+pub fn share_percent_series(cycles: &[CycleRecord], id: alps_core::ProcId) -> Vec<(u64, f64)> {
+    cycles
+        .iter()
+        .filter_map(|c| {
+            c.entries
+                .iter()
+                .find(|e| e.id == id)
+                .map(|e| (c.index, e.share_percent(c.total_consumed)))
+        })
+        .collect()
+}
+
+/// Cumulative CPU consumption of one process sampled at each cycle end —
+/// the series Figure 7 plots. Returns `(wall_time_ms, cumulative_cpu_ms)`.
+pub fn cumulative_cpu_series(cycles: &[CycleRecord], id: alps_core::ProcId) -> Vec<(f64, f64)> {
+    let mut acc = 0.0;
+    cycles
+        .iter()
+        .filter_map(|c| {
+            c.entries.iter().find(|e| e.id == id).map(|e| {
+                acc += e.consumed.as_millis_f64();
+                (c.completed_at.as_millis_f64(), acc)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_core::{AlpsConfig, AlpsScheduler, CycleEntry, Nanos};
+
+    fn make_cycles(n: usize, errs: &[(u64, u64)]) -> (Vec<CycleRecord>, Vec<alps_core::ProcId>) {
+        // errs: per-process (share, consumed_ms); repeated for n cycles with
+        // completed_at spaced 100ms apart.
+        let mut s = AlpsScheduler::new(AlpsConfig::default());
+        let ids: Vec<_> = errs
+            .iter()
+            .map(|&(sh, _)| s.add_process(sh, Nanos::ZERO))
+            .collect();
+        let cycles = (0..n)
+            .map(|i| {
+                let entries: Vec<_> = errs
+                    .iter()
+                    .zip(&ids)
+                    .map(|(&(share, ms), &id)| CycleEntry {
+                        id,
+                        share,
+                        consumed: Nanos::from_millis(ms),
+                    })
+                    .collect();
+                let total = entries.iter().map(|e| e.consumed).sum();
+                CycleRecord {
+                    index: i as u64,
+                    completed_at: Nanos::from_millis(100 * (i as u64 + 1)),
+                    total_shares: errs.iter().map(|&(sh, _)| sh).sum(),
+                    total_consumed: total,
+                    entries,
+                }
+            })
+            .collect();
+        (cycles, ids)
+    }
+
+    #[test]
+    fn perfect_distribution_zero_error() {
+        let (cycles, _) = make_cycles(10, &[(1, 10), (2, 20)]);
+        assert!(mean_rms_relative_error_pct(&cycles, 0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_error_percentage() {
+        // Equal shares, 15 vs 5 consumed: RMS rel. error 0.5 => 50%.
+        let (cycles, _) = make_cycles(4, &[(1, 15), (1, 5)]);
+        assert!((mean_rms_relative_error_pct(&cycles, 0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_discards_warmup() {
+        let (mut cycles, _) = make_cycles(2, &[(1, 15), (1, 5)]);
+        let (good, _) = make_cycles(2, &[(1, 10), (1, 10)]);
+        cycles.extend(good);
+        assert!((mean_rms_relative_error_pct(&cycles, 2) - 0.0).abs() < 1e-9);
+        assert!((mean_rms_relative_error_pct(&cycles, 0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_series_extracts_percentages() {
+        let (cycles, ids) = make_cycles(3, &[(1, 25), (3, 75)]);
+        let series = share_percent_series(&cycles, ids[1]);
+        assert_eq!(series.len(), 3);
+        for (i, (idx, pct)) in series.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert!((pct - 75.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cumulative_series_accumulates() {
+        let (cycles, ids) = make_cycles(3, &[(1, 10), (1, 10)]);
+        let series = cumulative_cpu_series(&cycles, ids[0]);
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 10.0).abs() < 1e-9);
+        assert!((series[2].1 - 30.0).abs() < 1e-9);
+        assert!((series[2].0 - 300.0).abs() < 1e-9);
+    }
+}

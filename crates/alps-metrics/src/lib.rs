@@ -1,0 +1,24 @@
+//! # alps-metrics — measurement and statistics for the ALPS evaluation
+//!
+//! The quantitative machinery behind the paper's figures and tables:
+//!
+//! * [`accuracy`] — the mean-RMS-relative-error statistic of §3.1
+//!   (Figures 4 and 9) and the per-cycle series of Figures 6 and 7;
+//! * [`regression`] — least-squares fits (Table 3 rates, §4.2 overhead
+//!   lines);
+//! * [`threshold`] — the `U_Q(N*) = 100/(N*+1)` breakdown-threshold model
+//!   of §4.2;
+//! * [`summary`] — mean/stddev/RMS helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod regression;
+pub mod summary;
+pub mod threshold;
+
+pub use accuracy::{cumulative_cpu_series, mean_rms_relative_error_pct, share_percent_series};
+pub use regression::{linear_fit, LinearFit};
+pub use summary::jain_index;
+pub use threshold::{analyze_overhead_curve, breakdown_threshold, ThresholdAnalysis};

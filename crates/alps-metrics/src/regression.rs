@@ -1,0 +1,112 @@
+//! Least-squares linear regression.
+//!
+//! The paper uses linear regression twice: to extract per-process CPU rates
+//! from the cumulative-consumption traces of Figure 7 (yielding Table 3),
+//! and to fit the linear portion of the overhead curves of Figure 8
+//! (yielding the `U_Q(N)` lines of §4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line at `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs. Returns `None` for fewer
+/// than two points or a degenerate (zero-variance) x.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (nf * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / nf;
+    let ymean = sy / nf;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - ymean) * (p.1 - ymean)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<_> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.at(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        let pts: Vec<_> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 2.0 * x + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none(), "vertical");
+    }
+
+    #[test]
+    fn flat_line_r2_is_one() {
+        let pts = [(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

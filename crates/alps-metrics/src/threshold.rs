@@ -1,0 +1,141 @@
+//! The §4.2 breakdown-threshold model.
+//!
+//! ALPS runs as an ordinary process, so the kernel gives it roughly a
+//! `1/(N+1)` fair share when it competes with `N` compute-bound workload
+//! processes. Once the overhead `U_Q(N)` ALPS *needs* per unit time exceeds
+//! that fair share, the kernel stops scheduling ALPS promptly and it loses
+//! control. The paper fits the linear portion of the measured overhead
+//! curves and predicts the breakdown at the `N*` solving
+//!
+//! ```text
+//! U_Q(N*) − 100/(N* + 1) = 0        (overhead in percent)
+//! ```
+//!
+//! predicting thresholds of 39/54/75 processes for 10/20/40 ms quanta
+//! (observed: 40/60/90).
+
+use serde::{Deserialize, Serialize};
+
+use crate::regression::{linear_fit, LinearFit};
+
+/// Result of the threshold analysis for one quantum length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdAnalysis {
+    /// Fit of the linear portion of overhead vs N (percent CPU).
+    pub fit: LinearFit,
+    /// Predicted breakdown threshold `N*`.
+    pub predicted_threshold: f64,
+}
+
+/// Solve `U(N) = 100/(N+1)` for the fitted overhead line. Returns `None`
+/// if the line never reaches the fair-share curve for N in `(0, 100000]`.
+pub fn breakdown_threshold(fit: &LinearFit) -> Option<f64> {
+    // f(N) = slope*N + intercept - 100/(N+1); increasing in N for positive
+    // slope, so bisection on a bracketing interval works.
+    let f = |n: f64| fit.at(n) - 100.0 / (n + 1.0);
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    if f(lo) > 0.0 {
+        return Some(0.0); // already past breakdown with zero processes
+    }
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        if hi > 100_000.0 {
+            return None;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Fit the initial (linear) portion of an overhead curve and predict the
+/// breakdown threshold.
+///
+/// `points` are `(N, overhead_percent)` samples; only samples with
+/// `N <= linear_max_n` participate in the fit, mirroring the paper's use of
+/// "the initial (linear) portions" of Figure 8.
+pub fn analyze_overhead_curve(
+    points: &[(f64, f64)],
+    linear_max_n: f64,
+) -> Option<ThresholdAnalysis> {
+    let linear: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(n, _)| n <= linear_max_n)
+        .collect();
+    let fit = linear_fit(&linear)?;
+    let predicted_threshold = breakdown_threshold(&fit)?;
+    Some(ThresholdAnalysis {
+        fit,
+        predicted_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's own fitted lines must reproduce the paper's own
+    /// predicted thresholds (39, 54, 75).
+    #[test]
+    fn paper_fits_give_paper_thresholds() {
+        let cases = [
+            (0.0639, 0.0604, 39.0),
+            (0.0338, 0.0340, 54.0),
+            (0.0172, 0.0160, 75.0),
+        ];
+        for (slope, intercept, expected) in cases {
+            let fit = LinearFit {
+                slope,
+                intercept,
+                r_squared: 1.0,
+                n: 10,
+            };
+            let n_star = breakdown_threshold(&fit).unwrap();
+            assert!(
+                (n_star - expected).abs() < 1.0,
+                "slope {slope}: got {n_star}, paper says {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_overhead_never_breaks() {
+        let fit = LinearFit {
+            slope: 0.0,
+            intercept: 0.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        assert!(breakdown_threshold(&fit).is_none());
+    }
+
+    #[test]
+    fn huge_overhead_breaks_immediately() {
+        let fit = LinearFit {
+            slope: 0.0,
+            intercept: 200.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        assert_eq!(breakdown_threshold(&fit), Some(0.0));
+    }
+
+    #[test]
+    fn analyze_filters_to_linear_portion() {
+        // Linear up to N=50, then saturates — only the linear part should
+        // drive the fit.
+        let mut pts: Vec<(f64, f64)> = (1..=50).map(|n| (n as f64, 0.05 * n as f64)).collect();
+        pts.extend((51..=100).map(|n| (n as f64, 2.5)));
+        let a = analyze_overhead_curve(&pts, 50.0).unwrap();
+        assert!((a.fit.slope - 0.05).abs() < 1e-9);
+        // U(N) = 0.05N intersects 100/(N+1) near N ≈ 44.2.
+        assert!((a.predicted_threshold - 44.2).abs() < 0.5);
+    }
+}

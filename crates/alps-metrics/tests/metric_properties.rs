@@ -1,0 +1,86 @@
+//! Property tests for the statistics layer.
+
+use alps_metrics::{breakdown_threshold, linear_fit, LinearFit};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Least squares recovers an exact line regardless of sampling order
+    /// or scale.
+    #[test]
+    fn fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -1000.0f64..1000.0,
+        mut xs in proptest::collection::vec(-1000.0f64..1000.0, 3..40),
+    ) {
+        // Degenerate x-variance inputs are rejected, not mis-fit.
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        prop_assume!(xs.len() >= 3);
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, slope * x + intercept)).collect();
+        let fit = linear_fit(&pts).expect("non-degenerate");
+        let scale = slope.abs().max(1.0);
+        prop_assert!((fit.slope - slope).abs() < 1e-4 * scale,
+            "slope {} vs {}", fit.slope, slope);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-3 * intercept.abs().max(1.0));
+        prop_assert!(fit.r_squared > 1.0 - 1e-6);
+    }
+
+    /// Fitting is permutation-invariant.
+    #[test]
+    fn fit_is_permutation_invariant(
+        pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..20),
+        seed in any::<u64>(),
+    ) {
+        let a = linear_fit(&pts);
+        let mut shuffled = pts.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let b = linear_fit(&shuffled);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.slope - b.slope).abs() < 1e-6_f64.max(a.slope.abs() * 1e-9));
+                prop_assert!((a.intercept - b.intercept).abs() < 1e-6_f64.max(a.intercept.abs() * 1e-9));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one fit succeeded, the other failed"),
+        }
+    }
+
+    /// A steeper overhead line always breaks down at a smaller N.
+    #[test]
+    fn threshold_is_monotone_in_slope(
+        s1 in 0.001f64..1.0,
+        delta in 0.001f64..1.0,
+        intercept in 0.0f64..1.0,
+    ) {
+        let f = |slope: f64| LinearFit { slope, intercept, r_squared: 1.0, n: 5 };
+        let n1 = breakdown_threshold(&f(s1)).expect("positive slope always crosses");
+        let n2 = breakdown_threshold(&f(s1 + delta)).expect("crosses");
+        prop_assert!(n2 <= n1 + 1e-6, "steeper slope {} gave larger N* ({} vs {})",
+            s1 + delta, n2, n1);
+    }
+
+    /// The threshold satisfies its defining equation.
+    #[test]
+    fn threshold_solves_the_equation(
+        slope in 0.001f64..2.0,
+        intercept in -0.5f64..2.0,
+    ) {
+        let fit = LinearFit { slope, intercept, r_squared: 1.0, n: 5 };
+        if let Some(n) = breakdown_threshold(&fit) {
+            if n > 0.0 {
+                let lhs = fit.at(n);
+                let rhs = 100.0 / (n + 1.0);
+                prop_assert!((lhs - rhs).abs() < 1e-3, "U({n}) = {lhs} vs {rhs}");
+            }
+        }
+    }
+}

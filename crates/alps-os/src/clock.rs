@@ -1,0 +1,77 @@
+//! Monotonic clock and absolute sleeps for the quantum loop.
+//!
+//! The paper's ALPS used a periodic interval timer. An absolute-deadline
+//! sleep (`clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME)`) gives the same
+//! drift-free cadence with simpler signal handling: if an invocation runs
+//! long, the next sleep simply returns immediately — the analogue of a
+//! coalesced pending SIGALRM.
+
+use alps_core::Nanos;
+
+/// Current monotonic time.
+pub fn now() -> Nanos {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid out-pointer for clock_gettime.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts) };
+    debug_assert_eq!(rc, 0);
+    Nanos(ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64)
+}
+
+/// Sleep until the given monotonic instant (no-op if it already passed).
+pub fn sleep_until(deadline: Nanos) {
+    let ts = libc::timespec {
+        tv_sec: (deadline.0 / 1_000_000_000) as libc::time_t,
+        tv_nsec: (deadline.0 % 1_000_000_000) as libc::c_long,
+    };
+    loop {
+        // SAFETY: ts is a valid timespec; remain pointer is null, allowed
+        // for TIMER_ABSTIME.
+        let rc = unsafe {
+            libc::clock_nanosleep(
+                libc::CLOCK_MONOTONIC,
+                libc::TIMER_ABSTIME,
+                &ts,
+                std::ptr::null_mut(),
+            )
+        };
+        if rc != libc::EINTR {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sleep_until_reaches_deadline() {
+        let start = now();
+        let deadline = start + Nanos::from_millis(30);
+        sleep_until(deadline);
+        let end = now();
+        assert!(end >= deadline, "woke early: {end} < {deadline}");
+        assert!(
+            end < deadline + Nanos::from_millis(200),
+            "woke far too late: {}ms",
+            (end - deadline).as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn past_deadline_returns_immediately() {
+        let start = now();
+        sleep_until(start.saturating_sub(Nanos::from_secs(1)));
+        assert!(now() - start < Nanos::from_millis(50));
+    }
+}

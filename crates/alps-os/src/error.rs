@@ -1,0 +1,57 @@
+//! Error type for the Linux backend.
+
+use std::fmt;
+
+/// Errors from `/proc` reads, signals, and clocks.
+#[derive(Debug)]
+pub enum OsError {
+    /// An I/O error (usually a `/proc` read).
+    Io(std::io::Error),
+    /// `/proc/<pid>/stat` did not parse.
+    Parse {
+        /// The pid whose stat line was malformed.
+        pid: i32,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A syscall failed with the given errno.
+    Sys {
+        /// The operation attempted.
+        op: &'static str,
+        /// The errno value.
+        errno: i32,
+    },
+    /// The target process no longer exists.
+    NoSuchProcess(i32),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::Io(e) => write!(f, "I/O error: {e}"),
+            OsError::Parse { pid, reason } => {
+                write!(f, "cannot parse /proc/{pid}/stat: {reason}")
+            }
+            OsError::Sys { op, errno } => write!(f, "{op} failed: errno {errno}"),
+            OsError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OsError {
+    fn from(e: std::io::Error) -> Self {
+        OsError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, OsError>;

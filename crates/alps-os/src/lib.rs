@@ -1,0 +1,48 @@
+//! # alps-os — ALPS on real Linux
+//!
+//! The working backend: everything the paper's FreeBSD implementation did,
+//! on an unmodified Linux kernel with no privileges —
+//!
+//! * progress sampling via `/proc/<pid>/stat` (cumulative CPU time and the
+//!   wait-channel/blocked test of §2.4);
+//! * eligible/ineligible group moves via `SIGCONT`/`SIGSTOP`;
+//! * a drift-free quantum loop on the monotonic clock with coalescing of
+//!   missed boundaries (the pending-signal behavior of §4.2);
+//! * per-process supervision ([`Supervisor`]) and per-user/per-group
+//!   principals with periodic membership refresh ([`PrincipalSupervisor`],
+//!   §5);
+//! * live re-measurement of the Table-1 operation costs
+//!   ([`probe::probe_table1`]).
+//!
+//! ```no_run
+//! use alps_core::{AlpsConfig, Nanos};
+//! use alps_os::{SpinnerPool, Supervisor};
+//! use std::time::Duration;
+//!
+//! // Give the second child 3x the CPU of the first.
+//! let pool = SpinnerPool::spawn(2).unwrap();
+//! let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(20)));
+//! sup.add_process(pool.pids()[0], 1).unwrap();
+//! sup.add_process(pool.pids()[1], 3).unwrap();
+//! sup.run_for(Duration::from_secs(10)).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+// This crate is the syscall boundary; unsafe is confined to small,
+// commented blocks around libc calls.
+
+pub mod children;
+pub mod clock;
+pub mod error;
+pub mod principal;
+pub mod probe;
+pub mod proc;
+pub mod signal;
+pub mod supervisor;
+
+pub use children::SpinnerPool;
+pub use error::{OsError, Result};
+pub use principal::{Membership, PrincipalSupervisor};
+pub use probe::{probe_table1, Table1Probe};
+pub use proc::{pids_of_uid, read_stat, ProcStat};
+pub use supervisor::{Supervisor, SupervisorStats};

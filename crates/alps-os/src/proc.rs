@@ -1,0 +1,205 @@
+//! Reading process state from `/proc` — the Linux analogue of the paper's
+//! `kvm` reads on FreeBSD.
+//!
+//! ALPS needs two facts per controlled process (§2.2, §2.4): cumulative
+//! CPU time, and whether the process currently sits on a wait channel. On
+//! Linux both come from one read of `/proc/<pid>/stat`: fields `utime` +
+//! `stime` (in clock ticks) and the one-letter state. The paper's "wait
+//! channel" test maps to state `S` (interruptible sleep) or `D`
+//! (uninterruptible I/O wait).
+
+use std::fs;
+
+use alps_core::Nanos;
+
+use crate::error::{OsError, Result};
+
+/// Nanoseconds per kernel clock tick (`sysconf(_SC_CLK_TCK)`).
+pub fn ns_per_tick() -> u64 {
+    // SAFETY: sysconf is async-signal-safe and has no memory preconditions.
+    let hz = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
+    let hz = if hz <= 0 { 100 } else { hz as u64 };
+    1_000_000_000 / hz
+}
+
+/// A parsed `/proc/<pid>/stat` snapshot (the fields ALPS cares about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcStat {
+    /// The process id.
+    pub pid: i32,
+    /// One-letter state code (`R`, `S`, `D`, `T`, `Z`, …).
+    pub state: char,
+    /// Cumulative user + system CPU time.
+    pub cpu_time: Nanos,
+}
+
+impl ProcStat {
+    /// Whether the process is blocked on a wait channel (§2.4's test).
+    /// Runnable (`R`) and stopped (`T`) processes are not blocked; sleeping
+    /// (`S`) and disk-waiting (`D`) ones are.
+    pub fn blocked(&self) -> bool {
+        matches!(self.state, 'S' | 'D')
+    }
+
+    /// Whether the process is gone or a zombie.
+    pub fn dead(&self) -> bool {
+        matches!(self.state, 'Z' | 'X' | 'x')
+    }
+}
+
+/// Parse the contents of a `/proc/<pid>/stat` file.
+///
+/// The second field (`comm`) may contain spaces and parentheses, so the
+/// parse anchors on the *last* `)` as the real field delimiter.
+pub fn parse_stat(pid: i32, contents: &str, ns_tick: u64) -> Result<ProcStat> {
+    let close = contents.rfind(')').ok_or_else(|| OsError::Parse {
+        pid,
+        reason: "no closing paren around comm".into(),
+    })?;
+    let rest = contents[close + 1..].trim_start();
+    let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
+    // After comm: field 3 is state; utime and stime are fields 14 and 15 of
+    // the full line, i.e. indices 11 and 12 of `rest`.
+    if fields.len() < 13 {
+        return Err(OsError::Parse {
+            pid,
+            reason: format!("only {} fields after comm", fields.len()),
+        });
+    }
+    let state = fields[0].chars().next().ok_or_else(|| OsError::Parse {
+        pid,
+        reason: "empty state field".into(),
+    })?;
+    let utime: u64 = fields[11].parse().map_err(|_| OsError::Parse {
+        pid,
+        reason: format!("bad utime {:?}", fields[11]),
+    })?;
+    let stime: u64 = fields[12].parse().map_err(|_| OsError::Parse {
+        pid,
+        reason: format!("bad stime {:?}", fields[12]),
+    })?;
+    Ok(ProcStat {
+        pid,
+        state,
+        cpu_time: Nanos((utime + stime) * ns_tick),
+    })
+}
+
+/// Read and parse `/proc/<pid>/stat`.
+pub fn read_stat(pid: i32, ns_tick: u64) -> Result<ProcStat> {
+    let path = format!("/proc/{pid}/stat");
+    match fs::read_to_string(&path) {
+        Ok(contents) => parse_stat(pid, &contents, ns_tick),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(OsError::NoSuchProcess(pid)),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// List all pids owned by `uid` (the Linux analogue of the paper's
+/// `kvm_getprocs(KERN_PROC_UID)` used for §5's per-user principals).
+/// Ownership is the *real* uid from `/proc/<pid>/status`.
+pub fn pids_of_uid(uid: u32) -> Result<Vec<i32>> {
+    let mut pids = Vec::new();
+    for entry in fs::read_dir("/proc")? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<i32>().ok()) else {
+            continue;
+        };
+        let status = match fs::read_to_string(format!("/proc/{pid}/status")) {
+            Ok(s) => s,
+            Err(_) => continue, // raced with exit
+        };
+        let owns = status.lines().any(|l| {
+            l.starts_with("Uid:")
+                && l.split_ascii_whitespace().nth(1) == Some(uid.to_string().as_str())
+        });
+        if owns {
+            pids.push(pid);
+        }
+    }
+    pids.sort_unstable();
+    Ok(pids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "1234 (cat) R 1 1234 1 0 -1 4194304 106 0 0 0 7 3 0 0 20 0 1 0 384691 2703360 321 18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0 0";
+
+    #[test]
+    fn parses_simple_stat() {
+        let s = parse_stat(1234, SAMPLE, 10_000_000).unwrap();
+        assert_eq!(s.pid, 1234);
+        assert_eq!(s.state, 'R');
+        // utime 7 + stime 3 ticks at 10ms/tick.
+        assert_eq!(s.cpu_time, Nanos::from_millis(100));
+        assert!(!s.blocked());
+        assert!(!s.dead());
+    }
+
+    #[test]
+    fn parses_comm_with_spaces_and_parens() {
+        let tricky = "99 (weird (name) x) S 1 99 1 0 -1 0 0 0 0 0 42 8 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0 0";
+        let s = parse_stat(99, tricky, 10_000_000).unwrap();
+        assert_eq!(s.state, 'S');
+        assert!(s.blocked());
+        assert_eq!(s.cpu_time, Nanos::from_millis(500));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_stat(1, "not a stat line", 1).is_err());
+        assert!(parse_stat(1, "1 (x) R 1", 1).is_err());
+        assert!(parse_stat(1, "1 (x) R a b c d e f g h i j k l m n", 1).is_err());
+    }
+
+    #[test]
+    fn state_classification() {
+        for (st, blocked, dead) in [
+            ('R', false, false),
+            ('S', true, false),
+            ('D', true, false),
+            ('T', false, false),
+            ('Z', false, true),
+        ] {
+            let line = format!(
+                "5 (x) {st} 1 5 1 0 -1 0 0 0 0 0 1 1 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0"
+            );
+            let s = parse_stat(5, &line, 1_000_000).unwrap();
+            assert_eq!(s.blocked(), blocked, "state {st}");
+            assert_eq!(s.dead(), dead, "state {st}");
+        }
+    }
+
+    #[test]
+    fn reads_own_stat() {
+        let tick = ns_per_tick();
+        assert!(tick > 0);
+        let me = std::process::id() as i32;
+        let s = read_stat(me, tick).unwrap();
+        assert_eq!(s.pid, me);
+        // The stat line reflects the main thread, which may be sleeping
+        // while the test runs on a worker thread.
+        assert!(matches!(s.state, 'R' | 'S'), "state {}", s.state);
+    }
+
+    #[test]
+    fn missing_pid_is_no_such_process() {
+        // Pid 0 has no /proc entry in any namespace we run in.
+        match read_stat(0, 1) {
+            Err(OsError::NoSuchProcess(0)) => {}
+            other => panic!("expected NoSuchProcess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lists_own_uid_pids() {
+        // SAFETY: getuid has no preconditions.
+        let uid = unsafe { libc::getuid() };
+        let pids = pids_of_uid(uid).unwrap();
+        let me = std::process::id() as i32;
+        assert!(pids.contains(&me), "own pid listed for own uid");
+    }
+}

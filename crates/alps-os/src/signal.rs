@@ -1,0 +1,86 @@
+//! Job-control signals — the mechanism ALPS uses to move processes between
+//! the eligible and ineligible groups (§2.2).
+
+use crate::error::{OsError, Result};
+
+fn send(pid: i32, sig: i32, op: &'static str) -> Result<()> {
+    // SAFETY: kill(2) has no memory preconditions; pid is caller-supplied.
+    let rc = unsafe { libc::kill(pid, sig) };
+    if rc == 0 {
+        return Ok(());
+    }
+    let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(0);
+    if errno == libc::ESRCH {
+        Err(OsError::NoSuchProcess(pid))
+    } else {
+        Err(OsError::Sys { op, errno })
+    }
+}
+
+/// Suspend a process (`SIGSTOP` — not catchable or ignorable).
+pub fn sigstop(pid: i32) -> Result<()> {
+    send(pid, libc::SIGSTOP, "kill(SIGSTOP)")
+}
+
+/// Resume a process (`SIGCONT`).
+pub fn sigcont(pid: i32) -> Result<()> {
+    send(pid, libc::SIGCONT, "kill(SIGCONT)")
+}
+
+/// Probe whether a process exists (signal 0).
+pub fn alive(pid: i32) -> bool {
+    // SAFETY: kill(2) with signal 0 only performs the permission check.
+    unsafe { libc::kill(pid, 0) == 0 }
+}
+
+/// Terminate a process (`SIGKILL`) — used by test/example harnesses to
+/// clean up spinner children.
+pub fn sigkill(pid: i32) -> Result<()> {
+    send(pid, libc::SIGKILL, "kill(SIGKILL)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::Command;
+
+    #[test]
+    fn stop_and_continue_a_child() {
+        let mut child = Command::new("sleep").arg("30").spawn().unwrap();
+        let pid = child.id() as i32;
+        assert!(alive(pid));
+        sigstop(pid).unwrap();
+        // State must become T (stopped).
+        let tick = crate::proc::ns_per_tick();
+        let mut stopped = false;
+        for _ in 0..50 {
+            if crate::proc::read_stat(pid, tick).unwrap().state == 'T' {
+                stopped = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(stopped, "child did not stop");
+        sigcont(pid).unwrap();
+        for _ in 0..50 {
+            if crate::proc::read_stat(pid, tick).unwrap().state != 'T' {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_ne!(crate::proc::read_stat(pid, tick).unwrap().state, 'T');
+        sigkill(pid).unwrap();
+        let _ = child.wait();
+    }
+
+    #[test]
+    fn signaling_a_dead_pid_reports_no_such_process() {
+        let mut child = Command::new("true").spawn().unwrap();
+        child.wait().unwrap();
+        // After wait() the pid is fully reaped.
+        match sigstop(child.id() as i32) {
+            Err(OsError::NoSuchProcess(_)) => {}
+            other => panic!("expected NoSuchProcess, got {other:?}"),
+        }
+    }
+}

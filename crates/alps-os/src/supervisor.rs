@@ -1,0 +1,406 @@
+//! The ALPS supervisor for real Linux processes.
+//!
+//! [`Supervisor`] is the paper's ALPS process: an unprivileged loop that
+//! wakes once per quantum, reads the progress of the controlled processes
+//! that are due for measurement (§2.3), runs the Figure-3 algorithm, and
+//! moves processes between the eligible and ineligible groups with
+//! `SIGCONT`/`SIGSTOP`. No special priority, no kernel support.
+//!
+//! ```no_run
+//! use alps_core::{AlpsConfig, Nanos};
+//! use alps_os::{Supervisor, SpinnerPool};
+//! use std::time::Duration;
+//!
+//! let pool = SpinnerPool::spawn(2).unwrap();
+//! let cfg = AlpsConfig::new(Nanos::from_millis(20)).with_cycle_log(true);
+//! let mut sup = Supervisor::new(cfg);
+//! sup.add_process(pool.pids()[0], 1).unwrap();
+//! sup.add_process(pool.pids()[1], 3).unwrap();
+//! sup.run_for(Duration::from_secs(5)).unwrap();
+//! // pool.pids()[1] received ~3x the CPU of pool.pids()[0].
+//! ```
+
+use std::time::Duration;
+
+use alps_core::{
+    AlpsConfig, AlpsScheduler, CycleEntry, CycleRecord, Nanos, Observation, ProcId, Transition,
+};
+
+use crate::clock;
+use crate::error::{OsError, Result};
+use crate::proc::{self, ProcStat};
+use crate::signal;
+
+/// Counters describing a supervisor's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Quantum invocations performed.
+    pub quanta: u64,
+    /// Per-process progress reads performed.
+    pub measurements: u64,
+    /// Signals sent.
+    pub signals: u64,
+    /// Controlled processes that exited and were deregistered.
+    pub reaped: u64,
+    /// Invocations that started late by more than a full quantum
+    /// (the coalesced-timer case of §4.2).
+    pub overruns: u64,
+}
+
+/// A user-level proportional-share scheduler for real processes.
+#[derive(Debug)]
+pub struct Supervisor {
+    sched: AlpsScheduler,
+    /// core id ↔ kernel pid.
+    procs: Vec<(ProcId, i32)>,
+    ns_tick: u64,
+    next_deadline: Option<Nanos>,
+    stats: SupervisorStats,
+    cycles: Vec<CycleRecord>,
+    cycle_snapshot: Vec<(ProcId, Nanos)>,
+    record_cycles: bool,
+}
+
+impl Supervisor {
+    /// Create a supervisor with no controlled processes.
+    pub fn new(cfg: AlpsConfig) -> Self {
+        let record_cycles = cfg.record_cycles;
+        Supervisor {
+            sched: AlpsScheduler::new(cfg.with_cycle_log(false)),
+            procs: Vec::new(),
+            ns_tick: proc::ns_per_tick(),
+            next_deadline: None,
+            stats: SupervisorStats::default(),
+            cycles: Vec::new(),
+            cycle_snapshot: Vec::new(),
+            record_cycles,
+        }
+    }
+
+    /// Take control of `pid` with the given share. The process is suspended
+    /// immediately (it starts in the ineligible group per §2.2 and becomes
+    /// eligible at the next quantum).
+    pub fn add_process(&mut self, pid: i32, share: u64) -> Result<ProcId> {
+        let stat = proc::read_stat(pid, self.ns_tick)?;
+        if stat.dead() {
+            return Err(OsError::NoSuchProcess(pid));
+        }
+        signal::sigstop(pid)?;
+        let id = self.sched.add_process(share, stat.cpu_time);
+        self.procs.push((id, pid));
+        self.cycle_snapshot.push((id, stat.cpu_time));
+        Ok(id)
+    }
+
+    /// Release a process from control (and resume it if suspended).
+    pub fn remove_process(&mut self, id: ProcId) -> Result<()> {
+        let Some(pos) = self.procs.iter().position(|&(i, _)| i == id) else {
+            return Ok(());
+        };
+        let (_, pid) = self.procs.remove(pos);
+        self.cycle_snapshot.retain(|&(i, _)| i != id);
+        self.sched.remove_process(id);
+        match signal::sigcont(pid) {
+            Ok(()) | Err(OsError::NoSuchProcess(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Change a controlled process's share at runtime (e.g. when the
+    /// application's notion of the process's importance changes, as in the
+    /// adaptive-mesh scenario of the paper's introduction).
+    pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<()> {
+        self.sched
+            .set_share(id, share)
+            .map_err(|_| OsError::NoSuchProcess(self.pid_of(id).unwrap_or(-1)))
+    }
+
+    /// The kernel pid of a controlled process.
+    pub fn pid_of(&self, id: ProcId) -> Option<i32> {
+        self.procs.iter().find(|&&(i, _)| i == id).map(|&(_, p)| p)
+    }
+
+    /// Registered `(ProcId, pid)` pairs in registration order.
+    pub fn processes(&self) -> &[(ProcId, i32)] {
+        &self.procs
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// Cycles completed so far.
+    pub fn cycles_completed(&self) -> u64 {
+        self.sched.cycles_completed()
+    }
+
+    /// Per-cycle consumption records (if enabled in the config).
+    pub fn cycles(&self) -> &[CycleRecord] {
+        &self.cycles
+    }
+
+    /// Access the underlying algorithm state (read-only).
+    pub fn scheduler(&self) -> &AlpsScheduler {
+        &self.sched
+    }
+
+    /// Sleep until the next quantum boundary, then run one scheduler
+    /// invocation. Returns the transitions that were applied.
+    pub fn run_quantum(&mut self) -> Result<Vec<Transition>> {
+        let q = self.sched.quantum();
+        let deadline = match self.next_deadline {
+            Some(d) => d,
+            None => clock::now() + q,
+        };
+        clock::sleep_until(deadline);
+        let now = clock::now();
+        // Drift-free cadence with coalescing: if we overslept past one or
+        // more whole quanta (we were starved, exactly as in §4.2), skip the
+        // missed boundaries rather than firing a burst of catch-up quanta.
+        let mut next = deadline + q;
+        if now >= next {
+            self.stats.overruns += 1;
+            let behind = (now - deadline).as_nanos() / q.as_nanos();
+            next = deadline + q * (behind + 1);
+        }
+        self.next_deadline = Some(next);
+        self.invoke(now)
+    }
+
+    /// Run quanta for (at least) the given wall-clock duration.
+    pub fn run_for(&mut self, duration: Duration) -> Result<()> {
+        let end = clock::now() + Nanos::from(duration);
+        while clock::now() < end {
+            self.run_quantum()?;
+        }
+        Ok(())
+    }
+
+    /// Run quanta until at least `n` cycles have completed (with a
+    /// wall-clock cap).
+    pub fn run_cycles(&mut self, n: u64, cap: Duration) -> Result<()> {
+        let target = self.sched.cycles_completed() + n;
+        let end = clock::now() + Nanos::from(cap);
+        while self.sched.cycles_completed() < target && clock::now() < end {
+            self.run_quantum()?;
+        }
+        Ok(())
+    }
+
+    /// One scheduler invocation at time `now` (already woken).
+    fn invoke(&mut self, now: Nanos) -> Result<Vec<Transition>> {
+        self.stats.quanta += 1;
+        let due = self.sched.begin_quantum();
+        let mut observations = Vec::with_capacity(due.len());
+        let mut dead = Vec::new();
+        for id in due {
+            let Some(pid) = self.pid_of(id) else { continue };
+            match proc::read_stat(pid, self.ns_tick) {
+                Ok(stat) if !stat.dead() => {
+                    self.stats.measurements += 1;
+                    observations.push((
+                        id,
+                        Observation {
+                            total_cpu: stat.cpu_time,
+                            blocked: stat.blocked(),
+                        },
+                    ));
+                }
+                Ok(_) | Err(OsError::NoSuchProcess(_)) => dead.push(id),
+                Err(e) => return Err(e),
+            }
+        }
+        for id in dead {
+            self.stats.reaped += 1;
+            self.remove_process(id)?;
+        }
+        let outcome = self.sched.complete_quantum(&observations, now);
+        if outcome.cycle_completed && self.record_cycles {
+            self.record_cycle(now);
+        }
+        for t in &outcome.transitions {
+            let Some(pid) = self.pid_of(t.proc_id()) else {
+                continue;
+            };
+            self.stats.signals += 1;
+            let res = match t {
+                Transition::Resume(_) => signal::sigcont(pid),
+                Transition::Suspend(_) => signal::sigstop(pid),
+            };
+            match res {
+                Ok(()) => {}
+                Err(OsError::NoSuchProcess(_)) => {
+                    self.stats.reaped += 1;
+                    self.remove_process(t.proc_id())?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(outcome.transitions)
+    }
+
+    /// The §3.1 instrumentation: exact per-cycle consumption of every
+    /// controlled process, read at the cycle boundary.
+    fn record_cycle(&mut self, now: Nanos) {
+        let mut entries = Vec::with_capacity(self.procs.len());
+        let mut total = Nanos::ZERO;
+        for &(id, pid) in &self.procs {
+            let cpu = match proc::read_stat(pid, self.ns_tick) {
+                Ok(ProcStat { cpu_time, .. }) => cpu_time,
+                Err(_) => continue,
+            };
+            let Some(snap) = self.cycle_snapshot.iter_mut().find(|(i, _)| *i == id) else {
+                continue;
+            };
+            let consumed = cpu.saturating_sub(snap.1);
+            snap.1 = cpu;
+            total += consumed;
+            entries.push(CycleEntry {
+                id,
+                share: self.sched.share(id).unwrap_or(0),
+                consumed,
+            });
+        }
+        self.cycles.push(CycleRecord {
+            index: self.sched.cycles_completed() - 1,
+            completed_at: now,
+            total_shares: self.sched.total_shares(),
+            total_consumed: total,
+            entries,
+        });
+    }
+
+    /// Resume every controlled process (used on shutdown so nothing is
+    /// left frozen).
+    pub fn release_all(&mut self) {
+        for &(_, pid) in &self.procs {
+            let _ = signal::sigcont(pid);
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::children::SpinnerPool;
+
+    fn cpu_of(pid: i32) -> Nanos {
+        proc::read_stat(pid, proc::ns_per_tick())
+            .map(|s| s.cpu_time)
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    #[test]
+    fn enforces_one_to_three_on_real_processes() {
+        let pool = SpinnerPool::spawn(2).expect("spawn spinners");
+        let pids = pool.pids();
+        let cfg = AlpsConfig::new(Nanos::from_millis(20));
+        let mut sup = Supervisor::new(cfg);
+        let base_a = cpu_of(pids[0]);
+        let base_b = cpu_of(pids[1]);
+        sup.add_process(pids[0], 1).unwrap();
+        sup.add_process(pids[1], 3).unwrap();
+        sup.run_for(Duration::from_secs(4)).unwrap();
+        sup.release_all();
+        let ca = (cpu_of(pids[0]) - base_a).as_secs_f64();
+        let cb = (cpu_of(pids[1]) - base_b).as_secs_f64();
+        assert!(ca > 0.0 && cb > 0.0, "both ran: {ca} {cb}");
+        let ratio = cb / ca;
+        // Tick-granular /proc accounting plus a noisy CI box: generous band.
+        assert!(
+            (1.8..=4.5).contains(&ratio),
+            "expected ~3.0, got {cb:.2}/{ca:.2} = {ratio:.2}"
+        );
+        assert!(sup.stats().quanta > 100, "quanta {}", sup.stats().quanta);
+    }
+
+    #[test]
+    fn exited_children_are_reaped() {
+        let pool = SpinnerPool::spawn(2).expect("spawn spinners");
+        let pids = pool.pids();
+        let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(10)));
+        sup.add_process(pids[0], 1).unwrap();
+        sup.add_process(pids[1], 1).unwrap();
+        // Kill one child out from under the supervisor.
+        signal::sigkill(pids[0]).unwrap();
+        sup.run_for(Duration::from_millis(500)).unwrap();
+        assert_eq!(sup.processes().len(), 1);
+        assert!(sup.stats().reaped >= 1);
+    }
+
+    #[test]
+    fn add_process_rejects_missing_pid() {
+        let mut sup = Supervisor::new(AlpsConfig::default());
+        match sup.add_process(0, 1) {
+            Err(OsError::NoSuchProcess(0)) => {}
+            other => panic!("expected NoSuchProcess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_releases_stopped_children() {
+        let pool = SpinnerPool::spawn(1).expect("spawn spinner");
+        let pid = pool.pids()[0];
+        let wait_state = |want: bool| -> bool {
+            for _ in 0..100 {
+                let st = proc::read_stat(pid, proc::ns_per_tick()).unwrap();
+                if (st.state == 'T') == want {
+                    return true;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            false
+        };
+        {
+            let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(10)));
+            sup.add_process(pid, 1).unwrap();
+            assert!(wait_state(true), "child did not stop");
+        } // drop
+        assert!(wait_state(false), "drop must SIGCONT the child");
+    }
+
+    #[test]
+    fn set_share_retargets_a_running_split() {
+        let pool = SpinnerPool::spawn(2).expect("spawn spinners");
+        let pids = pool.pids();
+        let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(10)));
+        let a = sup.add_process(pids[0], 1).unwrap();
+        let _b = sup.add_process(pids[1], 1).unwrap();
+        sup.run_for(Duration::from_secs(1)).unwrap();
+        // Flip to 4:1 and measure only the post-change window.
+        sup.set_share(a, 4).unwrap();
+        let base: Vec<Nanos> = pids.iter().map(|&p| cpu_of(p)).collect();
+        sup.run_for(Duration::from_secs(3)).unwrap();
+        sup.release_all();
+        let ca = (cpu_of(pids[0]) - base[0]).as_secs_f64();
+        let cb = (cpu_of(pids[1]) - base[1]).as_secs_f64();
+        let ratio = ca / cb.max(1e-9);
+        assert!((2.2..=7.0).contains(&ratio), "want ~4.0, got {ratio:.2}");
+        // Stale ids are rejected.
+        sup.remove_process(a).unwrap();
+        assert!(sup.set_share(a, 2).is_err());
+    }
+
+    #[test]
+    fn cycle_records_accumulate() {
+        let pool = SpinnerPool::spawn(2).expect("spawn spinners");
+        let pids = pool.pids();
+        let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+        let mut sup = Supervisor::new(cfg);
+        sup.add_process(pids[0], 2).unwrap();
+        sup.add_process(pids[1], 2).unwrap();
+        sup.run_cycles(3, Duration::from_secs(5)).unwrap();
+        assert!(sup.cycles_completed() >= 3);
+        assert!(!sup.cycles().is_empty());
+        let rec = &sup.cycles()[0];
+        assert_eq!(rec.total_shares, 4);
+        assert_eq!(rec.entries.len(), 2);
+    }
+}

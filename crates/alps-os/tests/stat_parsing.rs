@@ -1,0 +1,48 @@
+//! Property tests for the `/proc/<pid>/stat` parser: arbitrary input never
+//! panics, and well-formed lines round-trip the fields ALPS reads.
+
+use alps_os::proc::parse_stat;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser is total: any string returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_stat(1, &input, 10_000_000);
+    }
+
+    /// Well-formed stat lines round-trip state/utime/stime, whatever the
+    /// comm field contains (spaces, parens, unicode).
+    #[test]
+    fn well_formed_lines_round_trip(
+        comm in "[a-zA-Z ()<>._-]{1,32}",
+        state in prop::sample::select(vec!['R', 'S', 'D', 'T', 'Z', 'I', 'X']),
+        utime in 0u64..1_000_000,
+        stime in 0u64..1_000_000,
+        trailing in 0usize..20,
+    ) {
+        let tail: String = (0..trailing).map(|i| format!(" {i}")).collect();
+        let line = format!(
+            "1234 ({comm}) {state} 1 2 3 4 -5 6 7 8 9 10 {utime} {stime} 0 0 20 0 1 0 0 0 0{tail}"
+        );
+        let s = parse_stat(1234, &line, 10_000_000).expect("well-formed");
+        prop_assert_eq!(s.state, state);
+        prop_assert_eq!(s.cpu_time.as_nanos(), (utime + stime) * 10_000_000);
+        prop_assert_eq!(s.blocked(), matches!(state, 'S' | 'D'));
+        prop_assert_eq!(s.dead(), matches!(state, 'Z' | 'X'));
+    }
+
+    /// Truncated well-formed lines fail cleanly rather than mis-parsing.
+    #[test]
+    fn truncation_fails_cleanly(cut in 0usize..40) {
+        let full = "1 (x) R 1 2 3 4 -5 6 7 8 9 10 11 12 0 0 20 0 1 0 0 0 0";
+        let line = &full[..cut.min(full.len())];
+        // Either a clean error or (with enough fields) a successful parse;
+        // never a panic, never bogus negatives.
+        if let Ok(s) = parse_stat(1, line, 1) {
+            prop_assert_eq!(s.pid, 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Probe ALPS priority dynamics at N=90, Q=10ms (past the paper threshold).
+use alps_core::{AlpsConfig, Nanos};
+use alps_sim::{spawn_alps, CostModel};
+use kernsim::{ComputeBound, Sim, SimConfig};
+
+fn main() {
+    let mut sim = Sim::new(SimConfig {
+        seed: 1,
+        spawn_estcpu_jitter: 8.0,
+        ..SimConfig::default()
+    });
+    let procs: Vec<_> = (0..90)
+        .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), 5u64))
+        .collect();
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+    let alps = spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
+    let mut last_inv = 0;
+    for step in 0..30 {
+        sim.run_until(Nanos::from_secs(1 + step));
+        let inv = alps.invocations();
+        println!(
+            "t={:3}s alps prio={:3} cpu={:8.2}ms inv={} (+{}/s) load={:.1} w0 prio={} state={}",
+            step + 1,
+            sim.priority(alps.pid),
+            sim.cputime(alps.pid).as_millis_f64(),
+            inv,
+            inv - last_inv,
+            sim.loadavg(),
+            sim.priority(procs[0].0),
+            sim.state_code(procs[0].0),
+        );
+        last_inv = inv;
+    }
+    let ovh = 100.0 * sim.cputime(alps.pid).as_f64() / sim.now().as_f64();
+    println!("overhead {ovh:.3}% fairshare {:.3}%", 100.0 / 91.0);
+    println!(
+        "measurements {} signals {}",
+        alps.stats().measurements,
+        alps.stats().signals
+    );
+}

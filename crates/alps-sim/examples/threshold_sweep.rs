@@ -1,0 +1,25 @@
+//! Probe the §4.2 breakdown thresholds for Q in {10,20,40} ms.
+use alps_core::Nanos;
+use alps_sim::experiments::scalability::{run_scalability, ScalabilityParams};
+
+fn main() {
+    for q in [10u64, 20, 40] {
+        let mut p = ScalabilityParams::paper(Nanos::from_millis(q));
+        p.duration = Nanos::from_secs(80);
+        let r = run_scalability(&p);
+        println!("== Q = {q} ms ==");
+        for pt in &r.points {
+            println!(
+                "  N={:3} ovh={:6.3}% err={:7.2}% serviced={:5.3} cycles={}",
+                pt.n, pt.overhead_pct, pt.mean_rms_error_pct, pt.quanta_serviced_frac, pt.cycles
+            );
+        }
+        if let Some(a) = &r.analysis {
+            println!(
+                "  fit: U(N) = {:.4}N + {:.4} (r2={:.3}) predicted N* = {:.0}",
+                a.fit.slope, a.fit.intercept, a.fit.r_squared, a.predicted_threshold
+            );
+        }
+        println!("  observed threshold: {:?}", r.observed_threshold);
+    }
+}

@@ -1,0 +1,111 @@
+//! The Table-1 operation-cost model.
+//!
+//! The paper measured the three primary operations of its FreeBSD
+//! implementation on the test machine (2.2 GHz Pentium 4):
+//!
+//! | operation                        | time |
+//! |----------------------------------|------|
+//! | receive a timer event            | 9.02 µs |
+//! | measure CPU time of n processes  | 1.1 + 17.4·n µs |
+//! | send a signal                    | 0.97 µs |
+//!
+//! The simulated ALPS process is *charged* these costs as CPU bursts it
+//! must actually win from the kernel scheduler — which is what makes
+//! overhead (Figures 5, 8) and the §4.2 breakdown reproducible.
+
+use alps_core::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation CPU costs charged to the simulated ALPS process.
+///
+/// ```
+/// use alps_sim::CostModel;
+///
+/// let c = CostModel::paper();
+/// // One quantum that measures 10 processes and sends 2 signals costs
+/// // 9.02 + (1.1 + 17.4*10) + 2*0.97 µs of simulated CPU.
+/// let work = c.timer_event + c.measure(10) + c.signals(2);
+/// assert_eq!(work.as_nanos(), 9_020 + 175_100 + 1_940);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Waking up on the interval timer (context switch + signal delivery).
+    pub timer_event: Nanos,
+    /// Fixed part of a progress-measurement pass.
+    pub measure_base: Nanos,
+    /// Per-process part of a progress-measurement pass.
+    pub measure_per_proc: Nanos,
+    /// Sending one `SIGSTOP`/`SIGCONT`.
+    pub signal: Nanos,
+}
+
+impl CostModel {
+    /// The paper's measured values (Table 1).
+    pub fn paper() -> Self {
+        CostModel {
+            timer_event: Nanos::from_micros_f64(9.02),
+            measure_base: Nanos::from_micros_f64(1.1),
+            measure_per_proc: Nanos::from_micros_f64(17.4),
+            signal: Nanos::from_micros_f64(0.97),
+        }
+    }
+
+    /// A zero-cost model (useful for isolating algorithmic effects in
+    /// tests: ALPS acts instantaneously except for the timer receipt, which
+    /// must stay non-zero so bursts are well-formed).
+    pub fn free() -> Self {
+        CostModel {
+            timer_event: Nanos::from_nanos(1),
+            measure_base: Nanos::ZERO,
+            measure_per_proc: Nanos::ZERO,
+            signal: Nanos::ZERO,
+        }
+    }
+
+    /// Cost of measuring the progress of `n` processes; zero when nothing
+    /// is due (the measurement pass is skipped entirely).
+    pub fn measure(&self, n: usize) -> Nanos {
+        if n == 0 {
+            Nanos::ZERO
+        } else {
+            self.measure_base + self.measure_per_proc * n as u64
+        }
+    }
+
+    /// Cost of sending `k` signals.
+    pub fn signals(&self, k: usize) -> Nanos {
+        self.signal * k as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = CostModel::paper();
+        assert_eq!(c.timer_event, Nanos::from_nanos(9_020));
+        assert_eq!(c.measure(1), Nanos::from_nanos(18_500));
+        assert_eq!(c.measure(100), Nanos::from_nanos(1_100 + 1_740_000));
+        assert_eq!(c.measure(0), Nanos::ZERO);
+        assert_eq!(c.signals(3), Nanos::from_nanos(2_910));
+    }
+
+    #[test]
+    fn paper_example_overhead_magnitude() {
+        // The paper's intro: naive per-quantum measurement of 100 processes
+        // every 10ms costs ~1.75ms per 10ms ≈ 17.5% — "as high as roughly
+        // 20% for every hundred processes".
+        let c = CostModel::paper();
+        let per_quantum = c.timer_event + c.measure(100) + c.signals(4);
+        let pct = 100.0 * per_quantum.as_f64() / Nanos::from_millis(10).as_f64();
+        assert!(pct > 15.0 && pct < 20.0, "got {pct}%");
+    }
+}

@@ -1,0 +1,103 @@
+//! Measurement-granularity ablation.
+//!
+//! The paper's FreeBSD 4.8 testbed derived user-visible CPU times from the
+//! kernel's accounting; the historical BSD lineage charged CPU by
+//! *statclock sampling* (one whole tick to whoever is running when the
+//! clock interrupt lands). A user-level scheduler can only be as precise
+//! as the counters it reads, so this ablation reruns the Figure-4 accuracy
+//! experiment under both accounting modes: event-exact readings (modern
+//! kernels) vs tick-sampled readings (classic BSD).
+//!
+//! The paper attributes the skewed workloads' error to "quantization
+//! effects" (§3.1); tick-sampled readings are one concrete quantizer, and
+//! their impact falls most heavily on single-share processes whose whole
+//! per-cycle entitlement is a handful of ticks.
+
+use alps_core::Nanos;
+use kernsim::CpuAccounting;
+use serde::{Deserialize, Serialize};
+use workloads::ShareModel;
+
+use crate::experiments::workload::{run_workload, WorkloadParams};
+
+/// One row of the accounting ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccountingRow {
+    /// Workload name.
+    pub workload: String,
+    /// Quantum in milliseconds.
+    pub quantum_ms: f64,
+    /// Mean RMS relative error with exact readings (percent).
+    pub error_exact_pct: f64,
+    /// Mean RMS relative error with tick-sampled readings (percent).
+    pub error_sampled_pct: f64,
+    /// Overhead with exact readings (percent).
+    pub overhead_exact_pct: f64,
+    /// Overhead with tick-sampled readings (percent).
+    pub overhead_sampled_pct: f64,
+}
+
+/// Run one workload/quantum combination under both accounting modes.
+pub fn run_accounting_row(
+    model: ShareModel,
+    n: usize,
+    quantum: Nanos,
+    target_cycles: u64,
+    seed: u64,
+) -> AccountingRow {
+    let mut p = WorkloadParams::new(model, n, quantum);
+    p.target_cycles = target_cycles;
+    p.seed = seed;
+    p.accounting = CpuAccounting::Exact;
+    let exact = run_workload(&p);
+    p.accounting = CpuAccounting::TickSampled;
+    let sampled = run_workload(&p);
+    AccountingRow {
+        workload: exact.workload.clone(),
+        quantum_ms: exact.quantum_ms,
+        error_exact_pct: exact.mean_rms_error_pct,
+        error_sampled_pct: sampled.mean_rms_error_pct,
+        overhead_exact_pct: exact.overhead_pct,
+        overhead_sampled_pct: sampled.overhead_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_readings_cost_accuracy_at_large_quanta() {
+        // Skewed 10 at a 40ms quantum: each single-share process is
+        // entitled to 4 ticks per cycle, and tick-rounded readings leave
+        // up to a tick of unobserved consumption per measurement — the
+        // paper's "quantization effects", which shrink as the quantum
+        // approaches the tick.
+        let q40 = run_accounting_row(ShareModel::Skewed, 10, Nanos::from_millis(40), 40, 1);
+        assert!(
+            q40.error_sampled_pct > q40.error_exact_pct + 5.0,
+            "sampling should hurt at 40ms: exact {:.2}% vs sampled {:.2}%",
+            q40.error_exact_pct,
+            q40.error_sampled_pct
+        );
+        let q10 = run_accounting_row(ShareModel::Skewed, 10, Nanos::from_millis(10), 40, 1);
+        assert!(
+            q10.error_sampled_pct < q40.error_sampled_pct,
+            "the paper's trend: error falls as Q shrinks ({:.2}% @10ms vs {:.2}% @40ms)",
+            q10.error_sampled_pct,
+            q40.error_sampled_pct
+        );
+    }
+
+    #[test]
+    fn control_still_works_under_sampled_readings() {
+        // Even with tick-granular counters ALPS must keep long-run
+        // proportions (sampling is unbiased).
+        let row = run_accounting_row(ShareModel::Linear, 5, Nanos::from_millis(20), 40, 1);
+        assert!(
+            row.error_sampled_pct < 25.0,
+            "sampled error {:.2}%",
+            row.error_sampled_pct
+        );
+    }
+}

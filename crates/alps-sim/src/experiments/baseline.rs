@@ -1,0 +1,126 @@
+//! Baseline comparison: user-level ALPS vs in-kernel stride scheduling.
+//!
+//! The paper's §6 contrasts ALPS with proportional-share schedulers that
+//! *replace* the kernel scheduler (stride scheduling, ref \[26\], among
+//! them) — trading kernel modification for accuracy and robustness. This
+//! experiment quantifies the trade on identical workloads:
+//!
+//! * **accuracy** — in-kernel stride is deterministic and near-exact at
+//!   every cycle; ALPS pays quantization and sampling error;
+//! * **overhead** — stride's cost is inside the kernel's existing context
+//!   switches (zero extra processes); ALPS burns measurable CPU;
+//! * **robustness** — stride has no breakdown regime; ALPS loses control
+//!   past the §4.2 threshold.
+
+use alps_core::Nanos;
+use kernsim::{ComputeBound, KernelPolicy, Pid, Sim, SimConfig};
+use serde::{Deserialize, Serialize};
+use workloads::ShareModel;
+
+use crate::experiments::workload::{run_workload, WorkloadParams};
+
+/// One row comparing the two approaches on the same workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Workload name.
+    pub workload: String,
+    /// Number of processes.
+    pub n: usize,
+    /// ALPS mean RMS relative error (percent).
+    pub alps_error_pct: f64,
+    /// ALPS overhead (percent of CPU).
+    pub alps_overhead_pct: f64,
+    /// Fraction of quanta ALPS serviced (1.0 = full control).
+    pub alps_serviced: f64,
+    /// In-kernel stride: RMS error of final consumption ratios vs shares
+    /// (percent) — its "accuracy" on the same workload and horizon.
+    pub stride_error_pct: f64,
+}
+
+/// Run in-kernel stride over the same share distribution and horizon and
+/// return the RMS relative error of total consumption vs entitlement.
+fn run_stride(shares: &[u64], duration: Nanos, seed: u64) -> f64 {
+    let mut sim = Sim::new(SimConfig {
+        policy: KernelPolicy::Stride,
+        seed,
+        spawn_estcpu_jitter: 8.0,
+        ..SimConfig::default()
+    });
+    let pids: Vec<(Pid, u64)> = shares
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            (
+                sim.spawn_tickets(format!("w{i}"), s, Box::new(ComputeBound)),
+                s,
+            )
+        })
+        .collect();
+    sim.run_until(duration);
+    let total_shares: u64 = shares.iter().sum();
+    let total: f64 = pids.iter().map(|&(p, _)| sim.cputime(p).as_f64()).sum();
+    let mut sum_sq = 0.0;
+    for &(p, s) in &pids {
+        let ideal = total * s as f64 / total_shares as f64;
+        let re = (sim.cputime(p).as_f64() - ideal) / ideal;
+        sum_sq += re * re;
+    }
+    100.0 * (sum_sq / pids.len() as f64).sqrt()
+}
+
+/// Compare ALPS and in-kernel stride on one equal-share workload size.
+pub fn run_baseline_row(n: usize, quantum: Nanos, duration: Nanos, seed: u64) -> BaselineRow {
+    let mut p = WorkloadParams::new(ShareModel::Equal, n, quantum);
+    p.uniform_share = Some(5);
+    p.seed = seed;
+    p.min_duration = duration;
+    p.target_cycles = 10_000; // duration-bound
+    let alps = run_workload(&p);
+    let shares = vec![5u64; n];
+    let stride_error_pct = run_stride(&shares, duration, seed);
+    BaselineRow {
+        workload: format!("Equal{n} (5 shares each)"),
+        n,
+        alps_error_pct: alps.mean_rms_error_pct,
+        alps_overhead_pct: alps.overhead_pct,
+        alps_serviced: alps.quanta_serviced as f64 / alps.quanta_expected as f64,
+        stride_error_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_near_exact_where_alps_pays_error() {
+        let row = run_baseline_row(10, Nanos::from_millis(10), Nanos::from_secs(30), 1);
+        assert!(
+            row.stride_error_pct < 0.5,
+            "stride error {:.3}%",
+            row.stride_error_pct
+        );
+        assert!(row.alps_error_pct > row.stride_error_pct);
+        assert!(row.alps_overhead_pct > 0.1, "ALPS pays real CPU");
+        assert!(row.alps_serviced > 0.95, "below threshold, full control");
+    }
+
+    #[test]
+    fn stride_has_no_breakdown_regime() {
+        // N = 90 at a 10ms quantum is far past ALPS's breakdown; stride
+        // doesn't care (it needs no user-level scheduler process at all).
+        let row = run_baseline_row(90, Nanos::from_millis(10), Nanos::from_secs(40), 1);
+        // 90 processes x 444ms each over 40s with tick-granular switching:
+        // residual quantization of a tick or two per process (~2%).
+        assert!(
+            row.stride_error_pct < 3.0,
+            "stride error {:.3}%",
+            row.stride_error_pct
+        );
+        assert!(
+            row.alps_serviced < 0.9,
+            "ALPS past breakdown: serviced {:.2}",
+            row.alps_serviced
+        );
+    }
+}

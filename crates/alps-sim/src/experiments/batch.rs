@@ -1,0 +1,143 @@
+//! The fork-join co-completion experiment (the paper's introductory
+//! scientific-application motivation, quantified).
+//!
+//! A stage of workers with heterogeneous work (region sizes after adaptive
+//! mesh refinement) runs to completion twice: under the kernel scheduler
+//! alone (which is fair per *process*) and under ALPS with shares
+//! proportional to each worker's work. Work-proportional scheduling makes
+//! the workers finish *together*: the join point stops waiting on the
+//! largest region while the small ones sit finished.
+
+use alps_core::{AlpsConfig, Nanos};
+use kernsim::{Sim, SimConfig};
+use serde::{Deserialize, Serialize};
+use workloads::batch::{run_to_completion, spawn_batch, BatchJob};
+
+use crate::cost::CostModel;
+use crate::runner::spawn_alps;
+
+/// Parameters of the co-completion experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchParams {
+    /// Work per job, milliseconds of CPU (e.g. cells per mesh region).
+    pub work_ms: Vec<u64>,
+    /// ALPS quantum.
+    pub quantum: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BatchParams {
+    fn default() -> Self {
+        BatchParams {
+            // A refined mesh: one hot region, a few medium, several small.
+            work_ms: vec![3200, 1600, 1600, 800, 800, 400, 400, 200],
+            quantum: Nanos::from_millis(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Result for one scheduling regime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// Completion wall-clock time of each worker, ms, in job order.
+    pub completion_ms: Vec<f64>,
+    /// Time the last worker finished (the join's wait).
+    pub makespan_ms: f64,
+    /// Spread between first and last completion — the straggler window.
+    pub spread_ms: f64,
+}
+
+/// Both regimes side by side.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Kernel scheduler alone (fair per process).
+    pub kernel: BatchOutcome,
+    /// ALPS with work-proportional shares.
+    pub alps: BatchOutcome,
+}
+
+fn outcome(done: &[Nanos]) -> BatchOutcome {
+    let ms: Vec<f64> = done.iter().map(|d| d.as_millis_f64()).collect();
+    let first = ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let last = ms.iter().copied().fold(0.0, f64::max);
+    BatchOutcome {
+        completion_ms: ms,
+        makespan_ms: last,
+        spread_ms: last - first,
+    }
+}
+
+/// Run the experiment.
+pub fn run_batch(p: &BatchParams) -> BatchResult {
+    let jobs: Vec<BatchJob> = p
+        .work_ms
+        .iter()
+        .map(|&ms| BatchJob {
+            work: Nanos::from_millis(ms),
+        })
+        .collect();
+    let cap = Nanos::from_millis(p.work_ms.iter().sum::<u64>() * 3);
+
+    // Kernel alone.
+    let mut sim = Sim::new(SimConfig {
+        seed: p.seed,
+        spawn_estcpu_jitter: 4.0,
+        ..SimConfig::default()
+    });
+    let batch = spawn_batch(&mut sim, "stage", &jobs);
+    let kernel = outcome(&run_to_completion(&mut sim, &batch, cap));
+
+    // ALPS, shares proportional to work (in units of the smallest job).
+    let unit = *p.work_ms.iter().min().expect("non-empty batch");
+    let mut sim = Sim::new(SimConfig {
+        seed: p.seed,
+        spawn_estcpu_jitter: 4.0,
+        ..SimConfig::default()
+    });
+    let batch = spawn_batch(&mut sim, "stage", &jobs);
+    let procs: Vec<_> = batch
+        .pids
+        .iter()
+        .zip(&p.work_ms)
+        .map(|(&pid, &ms)| (pid, ms.div_ceil(unit)))
+        .collect();
+    let cfg = AlpsConfig::new(p.quantum);
+    let _alps = spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
+    let alps = outcome(&run_to_completion(&mut sim, &batch, cap));
+
+    BatchResult { kernel, alps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_proportional_shares_co_complete() {
+        let r = run_batch(&BatchParams::default());
+        // Same total work either way: makespans are close.
+        assert!(
+            (r.alps.makespan_ms - r.kernel.makespan_ms).abs() < 0.15 * r.kernel.makespan_ms,
+            "makespans {:.0} vs {:.0}",
+            r.alps.makespan_ms,
+            r.kernel.makespan_ms
+        );
+        // The straggler window collapses under work-proportional shares.
+        assert!(
+            r.alps.spread_ms < r.kernel.spread_ms * 0.35,
+            "spread {:.0}ms vs kernel {:.0}ms",
+            r.alps.spread_ms,
+            r.kernel.spread_ms
+        );
+    }
+
+    #[test]
+    fn kernel_fairness_finishes_small_jobs_first() {
+        let r = run_batch(&BatchParams::default());
+        // Under per-process fairness the smallest job (index 7) finishes
+        // far before the largest (index 0).
+        assert!(r.kernel.completion_ms[7] < r.kernel.completion_ms[0] * 0.5);
+    }
+}

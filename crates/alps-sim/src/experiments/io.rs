@@ -1,0 +1,224 @@
+//! The §3.3 I/O experiment (Figure 6) and the blocked-process policy
+//! ablation.
+//!
+//! Three processes A, B, C with shares 1, 2, 3 and a 10 ms quantum. After
+//! reaching steady state (near cycle 590 in the paper), B starts
+//! "simulating I/O requests by sleeping for 240 ms after every 80 ms of
+//! execution time". Because B is scheduled at 33.3 % of the CPU it needs
+//! 240 ms of real time per 80 ms of CPU, so it alternates roughly 4
+//! non-blocked cycles with 4 blocked cycles; while blocked, ALPS must
+//! redistribute its CPU 1:3 between A and C (25 % / 75 %).
+
+use alps_core::{AlpsConfig, IoPolicy, Nanos, ProcId};
+use alps_metrics::share_percent_series;
+use kernsim::{ComputeBound, ComputeThenSleep, Sim, SimConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::runner::spawn_alps;
+
+/// Parameters of the Figure-6 experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IoParams {
+    /// ALPS quantum (paper: 10 ms).
+    pub quantum: Nanos,
+    /// Cycle at which B starts its I/O pattern (paper: near 590).
+    pub io_start_cycle: u64,
+    /// Last cycle to record (paper plots up to ~650).
+    pub end_cycle: u64,
+    /// CPU burst between sleeps (paper: 80 ms).
+    pub io_run: Nanos,
+    /// Sleep duration (paper: 240 ms).
+    pub io_sleep: Nanos,
+    /// Blocked-process accounting policy (§2.4; the paper's is
+    /// [`IoPolicy::OneQuantumPenalty`]).
+    pub policy: IoPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IoParams {
+    fn default() -> Self {
+        IoParams {
+            quantum: Nanos::from_millis(10),
+            io_start_cycle: 590,
+            end_cycle: 650,
+            io_run: Nanos::from_millis(80),
+            io_sleep: Nanos::from_millis(240),
+            policy: IoPolicy::OneQuantumPenalty,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-cycle share percentages for the three processes (Figure 6's series).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoResult {
+    /// `(cycle, share%)` for the 1-share process A.
+    pub a: Vec<(u64, f64)>,
+    /// `(cycle, share%)` for the 2-share, I/O-performing process B.
+    pub b: Vec<(u64, f64)>,
+    /// `(cycle, share%)` for the 3-share process C.
+    pub c: Vec<(u64, f64)>,
+    /// Mean share% of each process over cycles where B was fully blocked
+    /// (B's share ≈ 0): the paper expects A ≈ 25 %, C ≈ 75 %.
+    pub blocked_split: (f64, f64),
+    /// Mean share% over cycles before the I/O phase: expect ≈ (16.7, 33.3, 50).
+    pub steady_split: (f64, f64, f64),
+}
+
+/// Run the Figure-6 experiment.
+pub fn run_io(p: &IoParams) -> IoResult {
+    let cycle_cpu = p.quantum.mul_f64(6.0); // shares {1,2,3}: S = 6
+                                            // B receives share 2/6 of each cycle.
+    let b_cpu_per_cycle = cycle_cpu.mul_f64(2.0 / 6.0);
+    let start_after = b_cpu_per_cycle.mul_f64(p.io_start_cycle as f64);
+
+    let mut sim = Sim::new(SimConfig {
+        seed: p.seed,
+        spawn_estcpu_jitter: 4.0,
+        ..SimConfig::default()
+    });
+    let a = sim.spawn("A", Box::new(ComputeBound));
+    let b = sim.spawn(
+        "B",
+        Box::new(ComputeThenSleep::new(p.io_run, p.io_sleep, start_after)),
+    );
+    let c = sim.spawn("C", Box::new(ComputeBound));
+    let cfg = AlpsConfig::new(p.quantum)
+        .with_io_policy(p.policy)
+        .with_cycle_log(true);
+    let alps = spawn_alps(
+        &mut sim,
+        "alps",
+        cfg,
+        CostModel::paper(),
+        &[(a, 1), (b, 2), (c, 3)],
+    );
+    let ids = alps.proc_ids();
+    let (ida, idb, idc) = (ids[0], ids[1], ids[2]);
+
+    // Cycles are ~60 ms of CPU; budget generously (B's sleeps stretch wall
+    // time while it is blocked but ALPS shortens those cycles).
+    let budget = cycle_cpu.mul_f64(p.end_cycle as f64 * 2.5) + Nanos::from_secs(20);
+    while alps.cycle_count() <= p.end_cycle && sim.now() < budget {
+        let next = sim.now() + Nanos::SECOND;
+        sim.run_until(next.min(budget));
+    }
+
+    let cycles = alps.cycles();
+    let series = |id: ProcId| share_percent_series(&cycles, id);
+    let (sa, sb, sc) = (series(ida), series(idb), series(idc));
+
+    // Blocked cycles: B consumed (almost) nothing.
+    let blocked: Vec<u64> = sb
+        .iter()
+        .filter(|&&(cy, pct)| cy >= p.io_start_cycle && cy < p.end_cycle && pct < 1.0)
+        .map(|&(cy, _)| cy)
+        .collect();
+    let mean_at = |s: &[(u64, f64)], cys: &[u64]| -> f64 {
+        let vals: Vec<f64> = s
+            .iter()
+            .filter(|(cy, _)| cys.contains(cy))
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let blocked_split = (mean_at(&sa, &blocked), mean_at(&sc, &blocked));
+
+    let steady: Vec<u64> =
+        (p.io_start_cycle.saturating_sub(30)..p.io_start_cycle.saturating_sub(2)).collect();
+    let steady_split = (
+        mean_at(&sa, &steady),
+        mean_at(&sb, &steady),
+        mean_at(&sc, &steady),
+    );
+
+    IoResult {
+        a: sa,
+        b: sb,
+        c: sc,
+        blocked_split,
+        steady_split,
+    }
+}
+
+/// Compare the three §2.4 blocked-process policies on the same workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoPolicyRow {
+    /// The policy under test.
+    pub policy: IoPolicy,
+    /// Steady-state split before I/O begins.
+    pub steady_split: (f64, f64, f64),
+    /// A/C split while B is blocked (want 25/75).
+    pub blocked_split: (f64, f64),
+}
+
+/// The I/O-policy ablation: same experiment, three accounting policies.
+pub fn run_io_policy_ablation(base: &IoParams) -> Vec<IoPolicyRow> {
+    [
+        IoPolicy::OneQuantumPenalty,
+        IoPolicy::NoPenalty,
+        IoPolicy::ForfeitAllowance,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let mut p = *base;
+        p.policy = policy;
+        let r = run_io(&p);
+        IoPolicyRow {
+            policy,
+            steady_split: r.steady_split,
+            blocked_split: r.blocked_split,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> IoParams {
+        IoParams {
+            io_start_cycle: 60,
+            end_cycle: 120,
+            ..IoParams::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_is_one_two_three() {
+        let r = run_io(&quick());
+        let (a, b, c) = r.steady_split;
+        assert!((a - 16.7).abs() < 3.0, "A {a}%");
+        assert!((b - 33.3).abs() < 3.0, "B {b}%");
+        assert!((c - 50.0).abs() < 3.0, "C {c}%");
+    }
+
+    #[test]
+    fn blocked_b_redistributes_one_to_three() {
+        let r = run_io(&quick());
+        let (a, c) = r.blocked_split;
+        assert!(!a.is_nan(), "no fully-blocked cycles detected");
+        assert!((a - 25.0).abs() < 5.0, "A while B blocked: {a}%");
+        assert!((c - 75.0).abs() < 5.0, "C while B blocked: {c}%");
+    }
+
+    #[test]
+    fn no_penalty_policy_still_converges_long_run() {
+        let mut p = quick();
+        p.policy = IoPolicy::NoPenalty;
+        let r = run_io(&p);
+        // Without the penalty the cycle stalls while B sleeps, but A and C
+        // still share what CPU does flow 1:3 across the blocked window.
+        let (a, c) = r.blocked_split;
+        if !a.is_nan() {
+            assert!((a + c - 100.0).abs() < 2.0, "A+C = {}", a + c);
+        }
+    }
+}

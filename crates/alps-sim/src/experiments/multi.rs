@@ -1,0 +1,272 @@
+//! The §4.1 multiple-applications experiment (Figure 7 and Table 3).
+//!
+//! Three independent groups of 3 processes, each with its own ALPS:
+//! group A (shares {7,8,9}) starts at t=0, group B ({4,5,6}) at t=3 s,
+//! group C ({1,2,3}) at t=6 s; everything runs until t=15 s. Each ALPS
+//! apportions whatever CPU the kernel gives its group; the kernel splits
+//! the machine roughly evenly among the *processes*, hence roughly evenly
+//! among the equally sized groups.
+
+use alps_core::{AlpsConfig, Nanos};
+use alps_metrics::{cumulative_cpu_series, linear_fit};
+use kernsim::{ComputeBound, Pid, Sim, SimConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::runner::{spawn_alps, AlpsHandle};
+
+/// Parameters of the multi-ALPS experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MultiParams {
+    /// ALPS quantum (paper: unstated for this figure; 10 ms is the paper's
+    /// base configuration).
+    pub quantum: Nanos,
+    /// Phase boundaries: B spawns at `phase2`, C at `phase3`.
+    pub phase2: Nanos,
+    /// Start of phase 3.
+    pub phase3: Nanos,
+    /// End of the experiment.
+    pub end: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiParams {
+    fn default() -> Self {
+        MultiParams {
+            quantum: Nanos::from_millis(10),
+            phase2: Nanos::from_secs(3),
+            phase3: Nanos::from_secs(6),
+            end: Nanos::from_secs(15),
+            seed: 1,
+        }
+    }
+}
+
+/// One process's cumulative-consumption trace (a Figure-7 line).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcSeries {
+    /// Figure legend label, e.g. `"4 shares (ALPS B)"`.
+    pub label: String,
+    /// The process's share within its group.
+    pub share: u64,
+    /// Group tag: 'A', 'B', or 'C'.
+    pub group: char,
+    /// `(wall_ms, cumulative_cpu_ms)` at each cycle end of its ALPS.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// The process's share (the table's `S` column).
+    pub share: u64,
+    /// Group tag.
+    pub group: char,
+    /// Target fraction of its group's CPU, percent.
+    pub target_pct: f64,
+    /// Per-phase `(measured %cpu, relative error %)`; `None` when the
+    /// process did not run in that phase.
+    pub phases: [Option<(f64, f64)>; 3],
+}
+
+/// The full experiment outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiResult {
+    /// Figure-7 traces, one per process, in share order 1..=9.
+    pub series: Vec<ProcSeries>,
+    /// Table-3 rows in the paper's order (shares 1..=9).
+    pub table3: Vec<Table3Row>,
+    /// Mean relative error across all table cells (paper: 0.93 %).
+    pub mean_rel_err_pct: f64,
+    /// Fraction of total CPU each group received in phase 3 (paper: each
+    /// ≈ 1/3, "very roughly").
+    pub phase3_group_fractions: [f64; 3],
+}
+
+struct Group {
+    tag: char,
+    shares: Vec<u64>,
+    alps: AlpsHandle,
+    started_at: Nanos,
+}
+
+fn spawn_group(sim: &mut Sim, tag: char, shares: &[u64], quantum: Nanos) -> Group {
+    let pids: Vec<Pid> = shares
+        .iter()
+        .map(|s| sim.spawn(format!("{tag}{s}"), Box::new(ComputeBound)))
+        .collect();
+    let procs: Vec<(Pid, u64)> = pids.into_iter().zip(shares.iter().copied()).collect();
+    let cfg = AlpsConfig::new(quantum).with_cycle_log(true);
+    let alps = spawn_alps(sim, format!("alps-{tag}"), cfg, CostModel::paper(), &procs);
+    Group {
+        tag,
+        shares: shares.to_vec(),
+        alps,
+        started_at: sim.now(),
+    }
+}
+
+/// Run the experiment.
+pub fn run_multi(p: &MultiParams) -> MultiResult {
+    let mut sim = Sim::new(SimConfig {
+        seed: p.seed,
+        spawn_estcpu_jitter: 4.0,
+        ..SimConfig::default()
+    });
+    let a = spawn_group(&mut sim, 'A', &[7, 8, 9], p.quantum);
+    sim.run_until(p.phase2);
+    let b = spawn_group(&mut sim, 'B', &[4, 5, 6], p.quantum);
+    sim.run_until(p.phase3);
+    let c = spawn_group(&mut sim, 'C', &[1, 2, 3], p.quantum);
+    sim.run_until(p.end);
+
+    let phase_bounds = [
+        (Nanos::ZERO, p.phase2),
+        (p.phase2, p.phase3),
+        (p.phase3, p.end),
+    ];
+
+    let groups = [&c, &b, &a]; // share order 1..9: C first
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    let mut all_errs = Vec::new();
+    for g in groups {
+        let cycles = g.alps.cycles();
+        let ids = g.alps.proc_ids();
+        let total_shares: u64 = g.shares.iter().sum();
+        // Per-phase rates for every process in the group.
+        let mut rates: Vec<[Option<f64>; 3]> = vec![[None; 3]; g.shares.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            let pts = cumulative_cpu_series(&cycles, id);
+            series.push(ProcSeries {
+                label: format!(
+                    "{} share{} (ALPS {})",
+                    g.shares[i],
+                    if g.shares[i] == 1 { "" } else { "s" },
+                    g.tag
+                ),
+                share: g.shares[i],
+                group: g.tag,
+                points: pts.clone(),
+            });
+            for (ph, &(lo, hi)) in phase_bounds.iter().enumerate() {
+                if hi <= g.started_at {
+                    continue;
+                }
+                let window: Vec<(f64, f64)> = pts
+                    .iter()
+                    .copied()
+                    .filter(|&(t, _)| t >= lo.as_millis_f64() && t <= hi.as_millis_f64())
+                    .collect();
+                if window.len() >= 3 {
+                    if let Some(fit) = linear_fit(&window) {
+                        rates[i][ph] = Some(fit.slope.max(0.0));
+                    }
+                }
+            }
+        }
+        for (i, &share) in g.shares.iter().enumerate() {
+            let target_pct = 100.0 * share as f64 / total_shares as f64;
+            let mut phases = [None; 3];
+            for ph in 0..3 {
+                let Some(mine) = rates[i][ph] else { continue };
+                let group_total: f64 = rates.iter().filter_map(|r| r[ph]).sum();
+                if group_total <= 0.0 {
+                    continue;
+                }
+                let pct = 100.0 * mine / group_total;
+                let rel_err = 100.0 * (pct - target_pct).abs() / target_pct;
+                phases[ph] = Some((pct, rel_err));
+                all_errs.push(rel_err);
+            }
+            rows.push(Table3Row {
+                share,
+                group: g.tag,
+                target_pct,
+                phases,
+            });
+        }
+    }
+
+    // Phase-3 group fractions from raw process CPU times at the end (the
+    // "very roughly 1/3 each" observation). Use consumption within phase 3
+    // only: total cpu minus cpu at phase-3 start is unavailable here, so
+    // derive from cycle records instead.
+    let phase3_start_ms = p.phase3.as_millis_f64();
+    let group_cpu = |g: &Group| -> f64 {
+        let cycles = g.alps.cycles();
+        g.alps
+            .proc_ids()
+            .iter()
+            .map(|&id| {
+                let pts = cumulative_cpu_series(&cycles, id);
+                let before = pts
+                    .iter()
+                    .rfind(|&&(t, _)| t <= phase3_start_ms)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(0.0);
+                let last = pts.last().map(|&(_, c)| c).unwrap_or(0.0);
+                last - before
+            })
+            .sum()
+    };
+    let (ca, cb, cc) = (group_cpu(&a), group_cpu(&b), group_cpu(&c));
+    let total = (ca + cb + cc).max(1e-9);
+
+    let mean_rel_err_pct = if all_errs.is_empty() {
+        f64::NAN
+    } else {
+        all_errs.iter().sum::<f64>() / all_errs.len() as f64
+    };
+    MultiResult {
+        series,
+        table3: rows,
+        mean_rel_err_pct,
+        phase3_group_fractions: [ca / total, cb / total, cc / total],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_alps_apportions_within_its_group() {
+        let r = run_multi(&MultiParams::default());
+        assert_eq!(r.table3.len(), 9);
+        // Every phase-3 cell exists and is accurate to a few percent.
+        for row in &r.table3 {
+            let (pct, err) = row.phases[2].expect("phase 3 covers everyone");
+            assert!(
+                err < 6.0,
+                "share {} ({}): {pct:.1}% vs target {:.1}% (err {err:.1}%)",
+                row.share,
+                row.group,
+                row.target_pct
+            );
+        }
+        // Group A must have phase-1 cells, group B phase-2 cells.
+        for row in r.table3.iter().filter(|r| r.group == 'A') {
+            assert!(row.phases[0].is_some(), "A ran in phase 1");
+        }
+        for row in r.table3.iter().filter(|r| r.group == 'B') {
+            assert!(row.phases[1].is_some(), "B ran in phase 2");
+            assert!(row.phases[0].is_none(), "B did not exist in phase 1");
+        }
+        assert!(
+            r.mean_rel_err_pct < 4.0,
+            "mean error {:.2}%",
+            r.mean_rel_err_pct
+        );
+    }
+
+    #[test]
+    fn kernel_splits_groups_roughly_evenly_in_phase3() {
+        let r = run_multi(&MultiParams::default());
+        for (i, f) in r.phase3_group_fractions.iter().enumerate() {
+            // Paper: "very roughly, i.e., with up to 20% error".
+            assert!((f - 1.0 / 3.0).abs() < 0.1, "group {i}: fraction {f}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The §4.2 scalability experiment (Figures 8 and 9).
+//!
+//! Equal shares (5 per process), increasing N, quantum lengths of 10, 20,
+//! and 40 ms. Overhead grows linearly in N until ALPS needs more than its
+//! `1/(N+1)` fair share of the CPU — past that point the kernel stops
+//! scheduling it promptly, it misses quanta, and control (accuracy)
+//! collapses.
+
+use alps_core::Nanos;
+use alps_metrics::{analyze_overhead_curve, ThresholdAnalysis};
+use serde::{Deserialize, Serialize};
+use workloads::ShareModel;
+
+use crate::experiments::workload::{run_workload, WorkloadParams};
+
+/// One point of Figures 8/9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityPoint {
+    /// Number of workload processes.
+    pub n: usize,
+    /// Quantum in milliseconds.
+    pub quantum_ms: f64,
+    /// ALPS overhead, percent of CPU (Figure 8 y-axis).
+    pub overhead_pct: f64,
+    /// Mean RMS relative error, percent (Figure 9 y-axis).
+    pub mean_rms_error_pct: f64,
+    /// Fraction of quanta ALPS actually serviced (1.0 = perfect control;
+    /// collapse shows up here first).
+    pub quanta_serviced_frac: f64,
+    /// Cycles recorded.
+    pub cycles: usize,
+}
+
+/// Parameters of a scalability sweep for one quantum length.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityParams {
+    /// Quantum.
+    pub quantum: Nanos,
+    /// Values of N to sample.
+    pub ns: Vec<usize>,
+    /// Wall-clock duration per point (the error statistic needs several
+    /// cycles; cycles are `5·N` quanta of CPU each).
+    pub duration: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScalabilityParams {
+    /// The paper's sweep: N up to 120 (thresholds land at 40/60/90).
+    pub fn paper(quantum: Nanos) -> Self {
+        ScalabilityParams {
+            quantum,
+            ns: vec![5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120],
+            duration: Nanos::from_secs(100),
+            seed: 1,
+        }
+    }
+}
+
+/// Run one point: N equal-share processes for a fixed duration.
+pub fn run_scalability_point(
+    n: usize,
+    quantum: Nanos,
+    duration: Nanos,
+    seed: u64,
+) -> ScalabilityPoint {
+    let mut p = WorkloadParams::new(ShareModel::Equal, n, quantum);
+    p.seed = seed;
+    p.warmup_cycles = 1;
+    // Run for the full wall-clock duration: the breakdown effect needs the
+    // decay-scheduler equilibrium to form, which takes tens of seconds.
+    let cycle_cpu = quantum.mul_f64((5 * n) as f64);
+    p.target_cycles = (duration.as_f64() / cycle_cpu.as_f64()).ceil().max(2.0) as u64;
+    p.uniform_share = Some(5);
+    p.min_duration = duration;
+    let r = run_workload(&p);
+    ScalabilityPoint {
+        n,
+        quantum_ms: quantum.as_millis_f64(),
+        overhead_pct: r.overhead_pct,
+        mean_rms_error_pct: r.mean_rms_error_pct,
+        quanta_serviced_frac: r.quanta_serviced as f64 / r.quanta_expected as f64,
+        cycles: r.cycles,
+    }
+}
+
+/// A full sweep plus the §4.2 threshold analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityResult {
+    /// Quantum in milliseconds.
+    pub quantum_ms: f64,
+    /// The sampled curve.
+    pub points: Vec<ScalabilityPoint>,
+    /// Linear fit of the pre-breakdown overhead and predicted `N*`.
+    pub analysis: Option<ThresholdAnalysis>,
+    /// First sampled N at which control was observably lost (serviced
+    /// fraction < 90 %), if any — the "observed threshold".
+    pub observed_threshold: Option<usize>,
+}
+
+/// Run the sweep for one quantum length.
+pub fn run_scalability(p: &ScalabilityParams) -> ScalabilityResult {
+    let points: Vec<ScalabilityPoint> =
+        p.ns.iter()
+            .map(|&n| run_scalability_point(n, p.quantum, p.duration, p.seed))
+            .collect();
+    let observed_threshold = points
+        .iter()
+        .find(|pt| pt.quanta_serviced_frac < 0.90)
+        .map(|pt| pt.n);
+    // Fit the linear portion: points clearly before breakdown.
+    let linear_max = observed_threshold
+        .map(|t| (t.saturating_sub(10)) as f64)
+        .unwrap_or(f64::INFINITY);
+    let curve: Vec<(f64, f64)> = points
+        .iter()
+        .map(|pt| (pt.n as f64, pt.overhead_pct))
+        .collect();
+    let analysis = analyze_overhead_curve(&curve, linear_max);
+    ScalabilityResult {
+        quantum_ms: p.quantum.as_millis_f64(),
+        points,
+        analysis,
+        observed_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_n_before_breakdown() {
+        let a = run_scalability_point(5, Nanos::from_millis(10), Nanos::from_secs(30), 1);
+        let b = run_scalability_point(20, Nanos::from_millis(10), Nanos::from_secs(30), 1);
+        assert!(
+            b.overhead_pct > a.overhead_pct,
+            "overhead: N=5 {} vs N=20 {}",
+            a.overhead_pct,
+            b.overhead_pct
+        );
+        assert!(a.quanta_serviced_frac > 0.95, "{}", a.quanta_serviced_frac);
+        assert!(a.mean_rms_error_pct < 8.0);
+    }
+
+    #[test]
+    fn control_degrades_for_large_n_small_quantum() {
+        // Well past the paper's 10 ms threshold of ~40 processes.
+        let pt = run_scalability_point(90, Nanos::from_millis(10), Nanos::from_secs(60), 1);
+        assert!(
+            pt.quanta_serviced_frac < 0.9 || pt.mean_rms_error_pct > 10.0,
+            "expected loss of control: serviced {} error {}",
+            pt.quanta_serviced_frac,
+            pt.mean_rms_error_pct
+        );
+    }
+}

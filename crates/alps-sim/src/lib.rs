@@ -1,0 +1,43 @@
+//! # alps-sim — the ALPS paper's evaluation, in simulation
+//!
+//! Glue between [`alps_core`] (the scheduling algorithm) and [`kernsim`]
+//! (the simulated 4.4BSD kernel): an ALPS scheduler runs as an ordinary
+//! simulated process, paying the paper's measured per-operation CPU costs
+//! (Table 1) for every timer receipt, progress measurement, and signal —
+//! and therefore competing for the CPU exactly as the real user-level
+//! scheduler did.
+//!
+//! * [`cost`] — the Table-1 cost model;
+//! * [`runner`] — per-process ALPS ([`runner::spawn_alps`]);
+//! * [`principal_runner`] — per-user (§5) ALPS
+//!   ([`principal_runner::spawn_alps_principals`]);
+//! * [`experiments`] — drivers for every figure and table.
+//!
+//! ## Example: impose 1:3 scheduling on two compute-bound processes
+//!
+//! ```
+//! use alps_core::{AlpsConfig, Nanos};
+//! use alps_sim::{spawn_alps, CostModel};
+//! use kernsim::{ComputeBound, Sim, SimConfig};
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! let a = sim.spawn("a", Box::new(ComputeBound));
+//! let b = sim.spawn("b", Box::new(ComputeBound));
+//! let cfg = AlpsConfig::new(Nanos::from_millis(10));
+//! spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &[(a, 1), (b, 3)]);
+//! sim.run_until(Nanos::from_secs(20));
+//! let ratio = sim.cputime(b).as_f64() / sim.cputime(a).as_f64();
+//! assert!((ratio - 3.0).abs() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod experiments;
+pub mod principal_runner;
+pub mod runner;
+
+pub use cost::CostModel;
+pub use principal_runner::{spawn_alps_principals, MemberList, PrincipalAlpsHandle};
+pub use runner::{spawn_alps, AlpsHandle, RunnerStats};

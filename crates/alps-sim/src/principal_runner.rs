@@ -1,0 +1,386 @@
+//! Running a principal-granularity ALPS (§5) inside the simulator.
+//!
+//! The web-server experiment schedules *users*, not processes: an ALPS
+//! instance controls three principals, each owning a pool of worker
+//! processes, refreshing each principal's membership once per second (the
+//! paper used `kvm_getprocs` to list a user's pids). The runner charges the
+//! Table-1 costs for every member actually read plus a process-table scan
+//! per refresh.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use alps_core::{
+    AlpsConfig, CycleRecord, MemberTransition, Nanos, Observation, PrincipalScheduler, ProcId,
+};
+use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
+
+use crate::cost::CostModel;
+
+/// How membership is refreshed: the driver owns the authoritative pid list
+/// for each principal (in the real system this is "all processes of uid
+/// X"), and may mutate it between `run_until` calls; the runner re-reads it
+/// every `refresh_period`.
+pub type MemberList = Rc<RefCell<Vec<Pid>>>;
+
+#[derive(Debug)]
+struct Shared {
+    sched: PrincipalScheduler<Pid>,
+    principals: Vec<(ProcId, MemberList)>,
+    cycles: Vec<CycleRecord>,
+    quanta_serviced: u64,
+    member_reads: u64,
+    signals: u64,
+    refreshes: u64,
+}
+
+/// Driver-side handle to a principal-mode ALPS instance.
+#[derive(Debug, Clone)]
+pub struct PrincipalAlpsHandle {
+    /// The ALPS process's pid (its CPU time is the overhead numerator).
+    pub pid: Pid,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl PrincipalAlpsHandle {
+    /// Principal ids, in registration order.
+    pub fn principal_ids(&self) -> Vec<ProcId> {
+        self.shared
+            .borrow()
+            .principals
+            .iter()
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    /// Per-cycle records (principal granularity).
+    pub fn cycles(&self) -> Vec<CycleRecord> {
+        self.shared.borrow().cycles.clone()
+    }
+
+    /// Members read, summed over invocations.
+    pub fn member_reads(&self) -> u64 {
+        self.shared.borrow().member_reads
+    }
+
+    /// Membership refreshes performed.
+    pub fn refreshes(&self) -> u64 {
+        self.shared.borrow().refreshes
+    }
+
+    /// Scheduler invocations serviced.
+    pub fn quanta_serviced(&self) -> u64 {
+        self.shared.borrow().quanta_serviced
+    }
+}
+
+enum Phase {
+    Init,
+    Waiting,
+    Measuring(Vec<(ProcId, Vec<Pid>)>),
+    Signaling(Vec<MemberTransition<Pid>>),
+}
+
+struct PrincipalAlpsBehavior {
+    shared: Rc<RefCell<Shared>>,
+    cost: CostModel,
+    refresh_period: Nanos,
+    next_refresh: Nanos,
+    phase: Phase,
+}
+
+impl PrincipalAlpsBehavior {
+    /// Re-read each principal's member list; returns the extra CPU cost of
+    /// the process-table scan plus any reconciliation signals sent.
+    fn refresh_memberships(&mut self, ctl: &mut SimCtl<'_>) -> Nanos {
+        let mut scanned = 0usize;
+        let mut signals = Vec::new();
+        {
+            let mut shared = self.shared.borrow_mut();
+            shared.refreshes += 1;
+            let principals: Vec<(ProcId, MemberList)> = shared.principals.clone();
+            for (id, members) in principals {
+                let current: Vec<(Pid, Nanos)> = members
+                    .borrow()
+                    .iter()
+                    .copied()
+                    .filter(|&p| !ctl.is_exited(p))
+                    .map(|p| (p, ctl.cputime(p)))
+                    .collect();
+                scanned += current.len();
+                if let Some(change) = shared.sched.set_membership(id, &current) {
+                    signals.extend(change.signals);
+                }
+            }
+        }
+        let cost = self.cost.measure(scanned) + self.cost.signals(signals.len());
+        for s in &signals {
+            match s {
+                MemberTransition::Resume(p) => ctl.sigcont(*p),
+                MemberTransition::Suspend(p) => ctl.sigstop(*p),
+            }
+        }
+        cost
+    }
+}
+
+impl Behavior for PrincipalAlpsBehavior {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        match std::mem::replace(&mut self.phase, Phase::Waiting) {
+            Phase::Init => {
+                let quantum = self.shared.borrow().sched.inner().quantum();
+                // Initial membership load; principals start ineligible so
+                // the reconciliation stops every member.
+                let cost = self.refresh_memberships(ctl);
+                let _ = cost; // spawn-time setup is not charged as overhead
+                self.next_refresh = ctl.now() + self.refresh_period;
+                ctl.set_interval_timer(quantum);
+                self.phase = Phase::Waiting;
+                Step::AwaitTimer
+            }
+            Phase::Waiting => {
+                let mut work = self.cost.timer_event;
+                if ctl.now() >= self.next_refresh {
+                    work += self.refresh_memberships(ctl);
+                    self.next_refresh = ctl.now() + self.refresh_period;
+                }
+                let due = {
+                    let mut shared = self.shared.borrow_mut();
+                    shared.quanta_serviced += 1;
+                    shared.sched.begin_quantum()
+                };
+                let to_read: usize = due.iter().map(|(_, m)| m.len()).sum();
+                self.shared.borrow_mut().member_reads += to_read as u64;
+                work += self.cost.measure(to_read);
+                self.phase = Phase::Measuring(due);
+                Step::Compute(work.max(Nanos::from_nanos(1)))
+            }
+            Phase::Measuring(due) => {
+                let readings: Vec<(ProcId, Vec<(Pid, Observation)>)> = due
+                    .iter()
+                    .map(|(id, members)| {
+                        let obs = members
+                            .iter()
+                            .filter(|&&p| !ctl.is_exited(p))
+                            .map(|&p| {
+                                (
+                                    p,
+                                    Observation {
+                                        total_cpu: ctl.cputime(p),
+                                        blocked: ctl.is_blocked(p),
+                                    },
+                                )
+                            })
+                            .collect();
+                        (*id, obs)
+                    })
+                    .collect();
+                let now = ctl.now();
+                let outcome = {
+                    let mut shared = self.shared.borrow_mut();
+                    let outcome = shared.sched.complete_quantum(&readings, now);
+                    if let Some(rec) = &outcome.cycle_record {
+                        shared.cycles.push(rec.clone());
+                    }
+                    outcome
+                };
+                if outcome.signals.is_empty() {
+                    self.phase = Phase::Waiting;
+                    Step::AwaitTimer
+                } else {
+                    let work = self.cost.signals(outcome.signals.len());
+                    self.phase = Phase::Signaling(outcome.signals);
+                    Step::Compute(work.max(Nanos::from_nanos(1)))
+                }
+            }
+            Phase::Signaling(signals) => {
+                self.shared.borrow_mut().signals += signals.len() as u64;
+                for s in &signals {
+                    match s {
+                        MemberTransition::Resume(p) => {
+                            if !ctl.is_exited(*p) {
+                                ctl.sigcont(*p);
+                            }
+                        }
+                        MemberTransition::Suspend(p) => {
+                            if !ctl.is_exited(*p) {
+                                ctl.sigstop(*p);
+                            }
+                        }
+                    }
+                }
+                self.phase = Phase::Waiting;
+                Step::AwaitTimer
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "alps-principal"
+    }
+}
+
+/// Spawn a principal-mode ALPS controlling `(share, member-list)` groups.
+pub fn spawn_alps_principals(
+    sim: &mut Sim,
+    name: impl Into<String>,
+    cfg: AlpsConfig,
+    cost: CostModel,
+    groups: &[(u64, MemberList)],
+    refresh_period: Nanos,
+) -> PrincipalAlpsHandle {
+    assert!(refresh_period > Nanos::ZERO);
+    let mut sched = PrincipalScheduler::new(cfg);
+    let principals: Vec<(ProcId, MemberList)> = groups
+        .iter()
+        .map(|(share, members)| (sched.add_principal(*share), Rc::clone(members)))
+        .collect();
+    let shared = Rc::new(RefCell::new(Shared {
+        sched,
+        principals,
+        cycles: Vec::new(),
+        quanta_serviced: 0,
+        member_reads: 0,
+        signals: 0,
+        refreshes: 0,
+    }));
+    let behavior = PrincipalAlpsBehavior {
+        shared: Rc::clone(&shared),
+        cost,
+        refresh_period,
+        next_refresh: Nanos::ZERO,
+        phase: Phase::Init,
+    };
+    let pid = sim.spawn(name, Box::new(behavior));
+    PrincipalAlpsHandle { pid, shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernsim::{ComputeBound, SimConfig};
+    use std::cell::RefCell;
+
+    #[test]
+    fn principals_get_proportional_cpu() {
+        let mut sim = Sim::new(SimConfig::default());
+        // Two "users" with two compute-bound processes each, shares 1:3.
+        let mk_group = |sim: &mut Sim, tag: &str| -> MemberList {
+            let pids: Vec<Pid> = (0..2)
+                .map(|i| sim.spawn(format!("{tag}{i}"), Box::new(ComputeBound)))
+                .collect();
+            Rc::new(RefCell::new(pids))
+        };
+        let ga = mk_group(&mut sim, "a");
+        let gb = mk_group(&mut sim, "b");
+        let cfg = AlpsConfig::new(Nanos::from_millis(20));
+        let _alps = spawn_alps_principals(
+            &mut sim,
+            "alps",
+            cfg,
+            CostModel::paper(),
+            &[(1, Rc::clone(&ga)), (3, Rc::clone(&gb))],
+            Nanos::SECOND,
+        );
+        sim.run_until(Nanos::from_secs(40));
+        let sum = |g: &MemberList| -> f64 {
+            g.borrow()
+                .iter()
+                .map(|&p| sim.cputime(p).as_secs_f64())
+                .sum()
+        };
+        let (ca, cb) = (sum(&ga), sum(&gb));
+        let ratio = cb / ca;
+        assert!((ratio - 3.0).abs() < 0.25, "expected 3:1, got {ratio:.3}");
+    }
+
+    #[test]
+    fn exited_members_are_skipped_without_charge() {
+        use workloads::FiniteJob;
+        let mut sim = Sim::new(SimConfig::default());
+        let short = sim.spawn("short", Box::new(FiniteJob::new(Nanos::from_millis(100))));
+        let long = sim.spawn("long", Box::new(ComputeBound));
+        let other = sim.spawn("other", Box::new(ComputeBound));
+        let ga: MemberList = Rc::new(RefCell::new(vec![short, long]));
+        let gb: MemberList = Rc::new(RefCell::new(vec![other]));
+        let cfg = AlpsConfig::new(Nanos::from_millis(10));
+        let alps = spawn_alps_principals(
+            &mut sim,
+            "alps",
+            cfg,
+            CostModel::paper(),
+            &[(1, Rc::clone(&ga)), (1, Rc::clone(&gb))],
+            Nanos::SECOND,
+        );
+        sim.run_until(Nanos::from_secs(10));
+        assert!(sim.is_exited(short));
+        // Group totals still split ~1:1 after the exit (the refresh drops
+        // the dead member; the live one inherits the group's share).
+        let ca = (sim.cputime(short) + sim.cputime(long)).as_secs_f64();
+        let cb = sim.cputime(other).as_secs_f64();
+        assert!((ca / cb - 1.0).abs() < 0.15, "split {ca:.2}:{cb:.2}");
+        assert!(alps.refreshes() >= 9);
+    }
+
+    #[test]
+    fn refresh_scan_is_charged_as_cpu() {
+        // Identical workloads, one with a 100ms refresh and one with a 10s
+        // refresh: the frequent scanner must burn measurably more CPU.
+        let run = |refresh: Nanos| {
+            let mut sim = Sim::new(SimConfig::default());
+            let members: Vec<Pid> = (0..60)
+                .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+                .collect();
+            let g: MemberList = Rc::new(RefCell::new(members));
+            let g2: MemberList = Rc::new(RefCell::new(Vec::new()));
+            let alps = spawn_alps_principals(
+                &mut sim,
+                "alps",
+                AlpsConfig::new(Nanos::from_millis(100)),
+                CostModel::paper(),
+                &[(1, g), (1, g2)],
+                refresh,
+            );
+            sim.run_until(Nanos::from_secs(30));
+            sim.cputime(alps.pid)
+        };
+        let frequent = run(Nanos::from_millis(100));
+        let rare = run(Nanos::from_secs(10));
+        assert!(
+            frequent > rare + Nanos::from_millis(5),
+            "frequent {frequent} vs rare {rare}"
+        );
+    }
+
+    #[test]
+    fn membership_change_is_picked_up_at_refresh() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a0 = sim.spawn("a0", Box::new(ComputeBound));
+        let b0 = sim.spawn("b0", Box::new(ComputeBound));
+        let ga: MemberList = Rc::new(RefCell::new(vec![a0]));
+        let gb: MemberList = Rc::new(RefCell::new(vec![b0]));
+        let cfg = AlpsConfig::new(Nanos::from_millis(10));
+        let alps = spawn_alps_principals(
+            &mut sim,
+            "alps",
+            cfg,
+            CostModel::paper(),
+            &[(1, Rc::clone(&ga)), (1, Rc::clone(&gb))],
+            Nanos::SECOND,
+        );
+        sim.run_until(Nanos::from_secs(5));
+        // A new process joins user A's pool mid-run.
+        let a1 = sim.spawn("a1", Box::new(ComputeBound));
+        ga.borrow_mut().push(a1);
+        let refreshes_before = alps.refreshes();
+        sim.run_until(Nanos::from_secs(15));
+        assert!(alps.refreshes() > refreshes_before);
+        // Group totals still split 1:1 (a0+a1 vs b0) after the join.
+        let ca = sim.cputime(a0) + sim.cputime(a1);
+        let cb = sim.cputime(b0);
+        let ratio = ca.as_secs_f64() / cb.as_secs_f64();
+        assert!((ratio - 1.0).abs() < 0.15, "group split {ratio}");
+        // And the joiner really did run.
+        assert!(sim.cputime(a1) > Nanos::from_millis(500));
+    }
+}

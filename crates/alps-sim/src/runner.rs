@@ -1,0 +1,474 @@
+//! Running an ALPS scheduler as a process inside the kernel simulator.
+//!
+//! [`spawn_alps`] plants an ALPS process into a [`Sim`]: an ordinary,
+//! unprivileged simulated process that arms a periodic interval timer with
+//! the ALPS quantum and, on each expiry, pays the Table-1 CPU costs of its
+//! work (timer receipt, progress measurement, signals) as bursts it must
+//! win from the simulated kernel scheduler like everyone else. The returned
+//! [`AlpsHandle`] lets the experiment driver inspect the algorithm state
+//! and harvest per-cycle records afterwards.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use alps_core::{AlpsConfig, AlpsScheduler, CycleRecord, Nanos, Observation, ProcId, Transition};
+use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
+
+use crate::cost::CostModel;
+
+/// Statistics the runner accumulates beyond what the core tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Timer expiries serviced (scheduler invocations actually performed).
+    pub quanta_serviced: u64,
+    /// Processes measured, summed over invocations.
+    pub measurements: u64,
+    /// Signals sent.
+    pub signals: u64,
+    /// Cycles completed.
+    pub cycles: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    sched: AlpsScheduler,
+    /// core ProcId → sim Pid, aligned with registration order.
+    pids: Vec<(ProcId, Pid)>,
+    cycles: Vec<CycleRecord>,
+    /// Cumulative CPU of each controlled process at the last cycle end —
+    /// the instrumentation snapshot (§3.1: ALPS is instrumented to log the
+    /// CPU consumed by each process in every cycle; this is an exact read
+    /// at the cycle boundary, independent of the lazy measurement
+    /// schedule).
+    cycle_snapshot: Vec<(ProcId, Nanos)>,
+    record_cycles: bool,
+    stats: RunnerStats,
+}
+
+impl Shared {
+    fn pid_of(&self, id: ProcId) -> Option<Pid> {
+        self.pids.iter().find(|(i, _)| *i == id).map(|&(_, p)| p)
+    }
+}
+
+/// Driver-side handle to a spawned ALPS instance.
+#[derive(Debug, Clone)]
+pub struct AlpsHandle {
+    /// The ALPS process's own pid in the simulation (its CPU time is the
+    /// overhead numerator of Figures 5 and 8).
+    pub pid: Pid,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl AlpsHandle {
+    /// Per-cycle consumption records collected so far (clones out).
+    pub fn cycles(&self) -> Vec<CycleRecord> {
+        self.shared.borrow().cycles.clone()
+    }
+
+    /// Number of cycles completed so far.
+    pub fn cycle_count(&self) -> u64 {
+        self.shared.borrow().stats.cycles
+    }
+
+    /// Runner statistics.
+    pub fn stats(&self) -> RunnerStats {
+        self.shared.borrow().stats
+    }
+
+    /// The core [`ProcId`]s in registration order (parallel to the pid
+    /// slice passed to [`spawn_alps`]).
+    pub fn proc_ids(&self) -> Vec<ProcId> {
+        self.shared.borrow().pids.iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Current allowance of a controlled process, in quanta.
+    pub fn allowance(&self, id: ProcId) -> Option<f64> {
+        self.shared.borrow().sched.allowance(id)
+    }
+
+    /// Scheduler invocation count (`count` in Figure 3).
+    pub fn invocations(&self) -> u64 {
+        self.shared.borrow().sched.invocations()
+    }
+
+    /// Change a controlled process's share at runtime (e.g. when a mesh
+    /// region refines in the paper's scientific-application scenario).
+    pub fn set_share(&self, id: ProcId, share: u64) -> Result<(), alps_core::StaleId> {
+        self.shared.borrow_mut().sched.set_share(id, share)
+    }
+}
+
+enum Phase {
+    /// Freshly spawned: suspend the controlled processes, arm the timer.
+    Init,
+    /// Blocked on the interval timer.
+    Waiting,
+    /// Paying the measurement cost for the listed due processes.
+    Measuring(Vec<(ProcId, Pid)>),
+    /// Paying the signal cost before enacting the listed transitions.
+    Signaling(Vec<Transition>),
+}
+
+struct AlpsBehavior {
+    shared: Rc<RefCell<Shared>>,
+    cost: CostModel,
+    phase: Phase,
+}
+
+impl AlpsBehavior {
+    /// Deregister any controlled process that has exited (the analogue of
+    /// noticing a stale pid when reading its stats).
+    fn reap_exited(&self, ctl: &mut SimCtl<'_>) {
+        let mut shared = self.shared.borrow_mut();
+        let exited: Vec<(ProcId, Pid)> = shared
+            .pids
+            .iter()
+            .copied()
+            .filter(|&(_, pid)| ctl.is_exited(pid))
+            .collect();
+        for (id, pid) in exited {
+            shared.sched.remove_process(id);
+            shared.pids.retain(|&(_, p)| p != pid);
+            shared.cycle_snapshot.retain(|&(i, _)| i != id);
+        }
+    }
+
+    /// The §3.1 instrumentation: at each cycle boundary, read every
+    /// controlled process's cumulative CPU and log the per-cycle deltas.
+    fn record_cycle(&self, ctl: &mut SimCtl<'_>, now: Nanos) {
+        let mut shared = self.shared.borrow_mut();
+        let shared = &mut *shared;
+        let mut entries = Vec::with_capacity(shared.pids.len());
+        let mut total = Nanos::ZERO;
+        for &(id, pid) in &shared.pids {
+            // Ground truth, independent of the visible-accounting mode.
+            let cpu = ctl.cputime_exact(pid);
+            let last = shared
+                .cycle_snapshot
+                .iter_mut()
+                .find(|(i, _)| *i == id)
+                .expect("snapshot covers all registered processes");
+            let consumed = cpu.saturating_sub(last.1);
+            last.1 = cpu;
+            total += consumed;
+            entries.push(alps_core::CycleEntry {
+                id,
+                share: shared.sched.share(id).unwrap_or(0),
+                consumed,
+            });
+        }
+        let index = shared.stats.cycles - 1;
+        shared.cycles.push(CycleRecord {
+            index,
+            completed_at: now,
+            total_shares: shared.sched.total_shares(),
+            total_consumed: total,
+            entries,
+        });
+    }
+}
+
+impl Behavior for AlpsBehavior {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        match std::mem::replace(&mut self.phase, Phase::Waiting) {
+            Phase::Init => {
+                // Registered processes start ineligible (§2.2): stop them.
+                let pids: Vec<Pid> = {
+                    let shared = self.shared.borrow();
+                    shared.pids.iter().map(|&(_, p)| p).collect()
+                };
+                for pid in pids {
+                    ctl.sigstop(pid);
+                }
+                ctl.set_interval_timer(self.shared.borrow().sched.quantum());
+                self.phase = Phase::Waiting;
+                Step::AwaitTimer
+            }
+            Phase::Waiting => {
+                // Timer expired: begin an invocation. The due list and its
+                // measurement cost are known before any reads happen.
+                self.reap_exited(ctl);
+                let due: Vec<(ProcId, Pid)> = {
+                    let mut shared = self.shared.borrow_mut();
+                    shared.stats.quanta_serviced += 1;
+                    let due_ids = shared.sched.begin_quantum();
+                    shared.stats.measurements += due_ids.len() as u64;
+                    due_ids
+                        .into_iter()
+                        .filter_map(|id| shared.pid_of(id).map(|p| (id, p)))
+                        .collect()
+                };
+                let work = self.cost.timer_event + self.cost.measure(due.len());
+                self.phase = Phase::Measuring(due);
+                Step::Compute(work.max(Nanos::from_nanos(1)))
+            }
+            Phase::Measuring(due) => {
+                // Measurement cost paid: read the actual values and run the
+                // algorithm.
+                let observations: Vec<(ProcId, Observation)> = due
+                    .iter()
+                    .map(|&(id, pid)| {
+                        (
+                            id,
+                            Observation {
+                                total_cpu: ctl.cputime(pid),
+                                blocked: ctl.is_blocked(pid),
+                            },
+                        )
+                    })
+                    .collect();
+                let now = ctl.now();
+                let outcome = {
+                    let mut shared = self.shared.borrow_mut();
+                    let outcome = shared.sched.complete_quantum(&observations, now);
+                    if outcome.cycle_completed {
+                        shared.stats.cycles += 1;
+                    }
+                    outcome
+                };
+                if outcome.cycle_completed && self.shared.borrow().record_cycles {
+                    self.record_cycle(ctl, now);
+                }
+                if outcome.transitions.is_empty() {
+                    self.phase = Phase::Waiting;
+                    Step::AwaitTimer
+                } else {
+                    let work = self.cost.signals(outcome.transitions.len());
+                    self.phase = Phase::Signaling(outcome.transitions);
+                    Step::Compute(work.max(Nanos::from_nanos(1)))
+                }
+            }
+            Phase::Signaling(transitions) => {
+                {
+                    let mut shared = self.shared.borrow_mut();
+                    shared.stats.signals += transitions.len() as u64;
+                    for t in &transitions {
+                        let Some(pid) = shared.pid_of(t.proc_id()) else {
+                            continue;
+                        };
+                        match t {
+                            Transition::Resume(_) => ctl.sigcont(pid),
+                            Transition::Suspend(_) => ctl.sigstop(pid),
+                        }
+                    }
+                }
+                self.phase = Phase::Waiting;
+                Step::AwaitTimer
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "alps"
+    }
+}
+
+/// Spawn an ALPS scheduler process controlling `procs` (pid, share pairs).
+///
+/// The controlled processes are suspended the first time the ALPS process
+/// runs and become eligible at its first quantum, exactly as in §2.2.
+pub fn spawn_alps(
+    sim: &mut Sim,
+    name: impl Into<String>,
+    cfg: AlpsConfig,
+    cost: CostModel,
+    procs: &[(Pid, u64)],
+) -> AlpsHandle {
+    let record_cycles = cfg.record_cycles;
+    // The runner does its own cycle instrumentation (exact reads at cycle
+    // boundaries); the core's measurement-granularity log stays off.
+    let mut sched = AlpsScheduler::new(cfg.with_cycle_log(false));
+    let mut pids = Vec::with_capacity(procs.len());
+    let mut cycle_snapshot = Vec::with_capacity(procs.len());
+    for &(pid, share) in procs {
+        let cpu = sim.cputime(pid);
+        let id = sched.add_process(share, cpu);
+        pids.push((id, pid));
+        cycle_snapshot.push((id, cpu));
+    }
+    let shared = Rc::new(RefCell::new(Shared {
+        sched,
+        pids,
+        cycles: Vec::new(),
+        cycle_snapshot,
+        record_cycles,
+        stats: RunnerStats::default(),
+    }));
+    let behavior = AlpsBehavior {
+        shared: Rc::clone(&shared),
+        cost,
+        phase: Phase::Init,
+    };
+    let pid = sim.spawn(name, Box::new(behavior));
+    AlpsHandle { pid, shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_metrics::mean_rms_relative_error_pct;
+    use kernsim::{ComputeBound, SimConfig};
+
+    fn q_ms(ms: u64) -> AlpsConfig {
+        AlpsConfig::new(Nanos::from_millis(ms)).with_cycle_log(true)
+    }
+
+    #[test]
+    fn alps_enforces_one_to_three_split() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.spawn("a", Box::new(ComputeBound));
+        let b = sim.spawn("b", Box::new(ComputeBound));
+        let alps = spawn_alps(
+            &mut sim,
+            "alps",
+            q_ms(10),
+            CostModel::paper(),
+            &[(a, 1), (b, 3)],
+        );
+        sim.run_until(Nanos::from_secs(30));
+        let (ca, cb) = (sim.cputime(a).as_secs_f64(), sim.cputime(b).as_secs_f64());
+        let ratio = cb / ca;
+        assert!(
+            (ratio - 3.0).abs() < 0.15,
+            "expected 3:1, got {cb:.2}:{ca:.2} = {ratio:.3}"
+        );
+        assert!(alps.cycle_count() > 100, "cycles: {}", alps.cycle_count());
+        // Mean RMS relative error should be in the paper's low range.
+        let err = mean_rms_relative_error_pct(&alps.cycles(), 5);
+        assert!(err < 6.0, "error {err}%");
+    }
+
+    #[test]
+    fn overhead_is_under_one_percent_for_small_workload() {
+        let mut sim = Sim::new(SimConfig::default());
+        let procs: Vec<(Pid, u64)> = (0..5)
+            .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), 5u64))
+            .collect();
+        let alps = spawn_alps(&mut sim, "alps", q_ms(10), CostModel::paper(), &procs);
+        let dur = Nanos::from_secs(60);
+        sim.run_until(dur);
+        let overhead = 100.0 * sim.cputime(alps.pid).as_f64() / dur.as_f64();
+        assert!(overhead < 1.0, "overhead {overhead}%");
+        assert!(overhead > 0.005, "suspiciously free: {overhead}%");
+    }
+
+    #[test]
+    fn lazy_measurement_reduces_work() {
+        let run = |lazy: bool| {
+            let mut sim = Sim::new(SimConfig::default());
+            let procs: Vec<(Pid, u64)> = (0..10)
+                .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), 10u64))
+                .collect();
+            let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_lazy_measurement(lazy);
+            let alps = spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
+            sim.run_until(Nanos::from_secs(30));
+            (alps.stats().measurements, sim.cputime(alps.pid))
+        };
+        let (m_lazy, cpu_lazy) = run(true);
+        let (m_eager, cpu_eager) = run(false);
+        assert!(
+            m_lazy * 2 < m_eager,
+            "optimization should at least halve measurements: {m_lazy} vs {m_eager}"
+        );
+        assert!(
+            cpu_lazy < cpu_eager,
+            "and reduce CPU: {cpu_lazy:?} vs {cpu_eager:?}"
+        );
+    }
+
+    #[test]
+    fn exited_process_is_reaped() {
+        use workloads::FiniteJob;
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.spawn("short", Box::new(FiniteJob::new(Nanos::from_millis(200))));
+        let b = sim.spawn("long", Box::new(ComputeBound));
+        let alps = spawn_alps(
+            &mut sim,
+            "alps",
+            q_ms(10),
+            CostModel::paper(),
+            &[(a, 1), (b, 1)],
+        );
+        sim.run_until(Nanos::from_secs(5));
+        assert!(sim.is_exited(a));
+        assert_eq!(alps.proc_ids().len(), 1, "exited process deregistered");
+        // b keeps running under ALPS control at full speed.
+        assert!(sim.cputime(b) > Nanos::from_secs(4));
+    }
+
+    #[test]
+    fn cycle_records_are_internally_consistent() {
+        let mut sim = Sim::new(SimConfig::default());
+        let procs: Vec<(Pid, u64)> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| (sim.spawn(format!("w{s}"), Box::new(ComputeBound)), s))
+            .collect();
+        let alps = spawn_alps(&mut sim, "alps", q_ms(10), CostModel::paper(), &procs);
+        sim.run_until(Nanos::from_secs(10));
+        let cycles = alps.cycles();
+        assert!(cycles.len() > 50);
+        let mut last_at = Nanos::ZERO;
+        for (i, rec) in cycles.iter().enumerate() {
+            assert_eq!(rec.index, i as u64, "indices are dense");
+            assert!(rec.completed_at >= last_at, "timestamps monotone");
+            last_at = rec.completed_at;
+            assert_eq!(rec.total_shares, 6);
+            let sum: Nanos = rec.entries.iter().map(|e| e.consumed).sum();
+            assert_eq!(sum, rec.total_consumed, "entries sum to the total");
+            assert_eq!(rec.entries.len(), 3);
+        }
+        // Steady-state cycles carry ~S*Q = 60ms of consumption.
+        let mid = &cycles[cycles.len() / 2];
+        let total = mid.total_consumed.as_millis_f64();
+        assert!((total - 60.0).abs() < 15.0, "cycle total {total}ms");
+    }
+
+    #[test]
+    fn missed_quanta_are_counted_not_replayed() {
+        // Overload: 80 equal-share procs at a 10ms quantum is past the
+        // breakdown threshold; the runner must service fewer quanta than
+        // wall time implies (coalescing), never more.
+        let mut sim = Sim::new(SimConfig {
+            seed: 3,
+            spawn_estcpu_jitter: 8.0,
+            ..SimConfig::default()
+        });
+        let procs: Vec<(Pid, u64)> = (0..80)
+            .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), 5u64))
+            .collect();
+        let alps = spawn_alps(
+            &mut sim,
+            "alps",
+            AlpsConfig::new(Nanos::from_millis(10)),
+            CostModel::paper(),
+            &procs,
+        );
+        let horizon = Nanos::from_secs(60);
+        sim.run_until(horizon);
+        let expected = horizon.as_nanos() / Nanos::from_millis(10).as_nanos();
+        let serviced = alps.stats().quanta_serviced;
+        assert!(serviced <= expected, "{serviced} > {expected}");
+        assert!(
+            (serviced as f64) < 0.9 * expected as f64,
+            "expected heavy quanta loss past breakdown: {serviced}/{expected}"
+        );
+        // The algorithm's invocation counter equals serviced quanta (one
+        // begin_quantum per serviced timer, missed fires coalesced).
+        assert_eq!(alps.invocations(), serviced);
+    }
+
+    #[test]
+    fn controlled_procs_start_stopped_then_resume() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.spawn("a", Box::new(ComputeBound));
+        let _alps = spawn_alps(&mut sim, "alps", q_ms(10), CostModel::paper(), &[(a, 1)]);
+        // Before the first quantum the process must be stopped.
+        sim.run_until(Nanos::from_millis(5));
+        assert!(sim.is_stopped(a));
+        // After the first quantum it must be running again.
+        sim.run_until(Nanos::from_millis(40));
+        assert!(!sim.is_stopped(a));
+        assert!(sim.cputime(a) > Nanos::ZERO);
+    }
+}

@@ -1,0 +1,164 @@
+//! Adversarial workloads: processes that try to game ALPS's sampling.
+//!
+//! ALPS only *samples* progress, and its measurement schedule is
+//! predictable (§2.3: a process with allowance `a` is next measured
+//! `⌈a⌉` quanta after its last measurement). These tests check that the
+//! allowance accounting still bounds every adversary's long-run share —
+//! the worst an attacker achieves is shifting *when* within a cycle it
+//! runs, not *how much*.
+
+use alps_core::{AlpsConfig, Nanos};
+use alps_sim::{spawn_alps, CostModel};
+use kernsim::{Behavior, ComputeBound, Sim, SimConfig, SimCtl, Step};
+
+/// Runs in short bursts with micro-sleeps in between, hoping to look
+/// blocked whenever ALPS samples it — and meanwhile to slip consumption
+/// past the sampler.
+struct BurstySneak {
+    burst: Nanos,
+    nap: Nanos,
+    computing: bool,
+}
+
+impl Behavior for BurstySneak {
+    fn on_ready(&mut self, _ctl: &mut SimCtl<'_>) -> Step {
+        self.computing = !self.computing;
+        if self.computing {
+            Step::Compute(self.burst)
+        } else {
+            Step::Sleep(self.nap)
+        }
+    }
+}
+
+/// Sleeps exactly across each quantum boundary (where measurements
+/// happen) and burns CPU in between.
+struct BoundaryDodger {
+    quantum: Nanos,
+    phase: u8,
+}
+
+impl Behavior for BoundaryDodger {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        self.phase = self.phase.wrapping_add(1);
+        let q = self.quantum.as_nanos();
+        let now = ctl.now().as_nanos();
+        let to_boundary = q - (now % q);
+        if self.phase % 2 == 1 {
+            // Compute up to just before the next boundary.
+            let d = to_boundary.saturating_sub(200_000).max(1);
+            Step::Compute(Nanos(d))
+        } else {
+            // Hide (blocked) across the boundary itself.
+            Step::Sleep(Nanos(400_000))
+        }
+    }
+}
+
+fn shares_of(consumed: &[f64]) -> Vec<f64> {
+    let total: f64 = consumed.iter().sum();
+    consumed.iter().map(|c| c / total.max(1e-9)).collect()
+}
+
+#[test]
+fn bursty_sneak_cannot_exceed_its_share() {
+    let mut sim = Sim::new(SimConfig::default());
+    let honest = sim.spawn("honest", Box::new(ComputeBound));
+    let sneak = sim.spawn(
+        "sneak",
+        Box::new(BurstySneak {
+            burst: Nanos::from_millis(3),
+            nap: Nanos::from_micros(300),
+            computing: false,
+        }),
+    );
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+    spawn_alps(
+        &mut sim,
+        "alps",
+        cfg,
+        CostModel::paper(),
+        &[(honest, 1), (sneak, 1)],
+    );
+    sim.run_until(Nanos::from_secs(40));
+    let fr = shares_of(&[sim.cputime(honest).as_f64(), sim.cputime(sneak).as_f64()]);
+    // Equal shares: the sneak must not beat the honest spinner by more
+    // than quantization noise — and being naturally idle part of the time,
+    // plus eating blocked-penalties when caught napping, it lands at or
+    // below 50%.
+    assert!(
+        fr[1] <= 0.54,
+        "sneak got {:.3} of the CPU against an equal-share spinner",
+        fr[1]
+    );
+}
+
+#[test]
+fn boundary_dodger_gains_nothing_durable() {
+    let mut sim = Sim::new(SimConfig::default());
+    let honest = sim.spawn("honest", Box::new(ComputeBound));
+    let dodger = sim.spawn(
+        "dodger",
+        Box::new(BoundaryDodger {
+            quantum: Nanos::from_millis(10),
+            phase: 0,
+        }),
+    );
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+    spawn_alps(
+        &mut sim,
+        "alps",
+        cfg,
+        CostModel::paper(),
+        &[(honest, 3), (dodger, 1)],
+    );
+    sim.run_until(Nanos::from_secs(40));
+    let fr = shares_of(&[sim.cputime(honest).as_f64(), sim.cputime(dodger).as_f64()]);
+    // Target 3:1 = 0.25 for the dodger. Consumption is integrated, not
+    // sampled: hiding at measurement instants cannot erase consumed time,
+    // and every observed nap costs a one-quantum penalty.
+    assert!(fr[1] <= 0.29, "dodger got {:.3}, target 0.25", fr[1]);
+}
+
+#[test]
+fn adversaries_cannot_starve_the_honest_process() {
+    // Five adversaries of both kinds against one honest spinner, all with
+    // equal shares: the spinner still gets roughly its sixth.
+    let mut sim = Sim::new(SimConfig::default());
+    let honest = sim.spawn("honest", Box::new(ComputeBound));
+    let mut procs = vec![(honest, 1u64)];
+    for i in 0..3 {
+        let p = sim.spawn(
+            format!("sneak{i}"),
+            Box::new(BurstySneak {
+                burst: Nanos::from_millis(2 + i),
+                nap: Nanos::from_micros(200 + 100 * i),
+                computing: false,
+            }),
+        );
+        procs.push((p, 1));
+    }
+    for i in 0..2 {
+        let p = sim.spawn(
+            format!("dodger{i}"),
+            Box::new(BoundaryDodger {
+                quantum: Nanos::from_millis(10),
+                phase: i,
+            }),
+        );
+        procs.push((p, 1));
+    }
+    let cfg = AlpsConfig::new(Nanos::from_millis(10));
+    spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
+    sim.run_until(Nanos::from_secs(60));
+    let consumed: Vec<f64> = procs
+        .iter()
+        .map(|&(p, _)| sim.cputime(p).as_f64())
+        .collect();
+    let fr = shares_of(&consumed);
+    assert!(
+        fr[0] >= 1.0 / 6.0 - 0.02,
+        "honest process squeezed to {:.3} (fair: 0.167)",
+        fr[0]
+    );
+}

@@ -1,0 +1,69 @@
+//! §3.2 and §2.3 ablation benches: the cost of a scheduler invocation with
+//! and without the lazy-measurement optimization, across workload sizes —
+//! the microscopic counterpart of the paper's 1.8–5.9× overhead reduction.
+
+use alps_bench::{eligible_scheduler, observations};
+use alps_core::Nanos;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Steady-state invocation cost: drive the scheduler through quanta where
+/// each process consumes 1/n of a quantum per quantum (the fair-share
+/// pattern of an equal workload), and measure a full begin+complete pair.
+fn bench_invocation(c: &mut Criterion, lazy: bool, label: &str) {
+    let mut g = c.benchmark_group(format!("ablation/{label}"));
+    for n in [5usize, 20, 100] {
+        g.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, &n| {
+            let (mut sched, ids) = eligible_scheduler(n, 5, lazy);
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                let due = sched.begin_quantum();
+                // Each due process reports its cumulative fair share.
+                let per_ms = k * 10 / n as u64;
+                let obs: Vec<_> = observations(&ids, per_ms)
+                    .into_iter()
+                    .filter(|(id, _)| due.contains(id))
+                    .collect();
+                black_box(sched.complete_quantum(&obs, Nanos(k * 10_000_000)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn lazy(c: &mut Criterion) {
+    bench_invocation(c, true, "lazy");
+}
+
+fn eager(c: &mut Criterion) {
+    bench_invocation(c, false, "eager");
+}
+
+/// The measurement-skip rate itself: how many of 1000 quanta actually
+/// touch each process (reported via the iteration count of due lists).
+fn bench_due_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/due_list");
+    for lazy_mode in [true, false] {
+        let name = if lazy_mode { "lazy" } else { "eager" };
+        g.bench_function(name, |b| {
+            let (mut sched, ids) = eligible_scheduler(50, 5, lazy_mode);
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                let due = sched.begin_quantum();
+                let per_ms = k * 10 / 50;
+                let obs: Vec<_> = observations(&ids, per_ms)
+                    .into_iter()
+                    .filter(|(id, _)| due.contains(id))
+                    .collect();
+                sched.complete_quantum(&obs, Nanos(k * 10_000_000));
+                black_box(due.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lazy, eager, bench_due_list);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! One bench per paper figure/table family, each running a scaled-down
+//! instance of the experiment that regenerates it. `cargo bench figures`
+//! therefore both times the harness and smoke-tests every reproduction
+//! path; the full-scale data comes from the `repro` binary.
+
+use alps_core::Nanos;
+use alps_sim::experiments::io::{run_io, IoParams};
+use alps_sim::experiments::multi::{run_multi, MultiParams};
+use alps_sim::experiments::scalability::run_scalability_point;
+use alps_sim::experiments::webserver::{run_webserver, WebParams};
+use alps_sim::experiments::workload::{run_workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::ShareModel;
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn fig4_accuracy_point(c: &mut Criterion) {
+    cfg(c).bench_function("figures/fig4_linear5_point", |b| {
+        b.iter(|| {
+            let mut p = WorkloadParams::new(ShareModel::Linear, 5, Nanos::from_millis(10));
+            p.target_cycles = 15;
+            black_box(run_workload(&p).mean_rms_error_pct);
+        })
+    });
+}
+
+fn fig5_overhead_point(c: &mut Criterion) {
+    cfg(c).bench_function("figures/fig5_equal10_point", |b| {
+        b.iter(|| {
+            let mut p = WorkloadParams::new(ShareModel::Equal, 10, Nanos::from_millis(10));
+            p.target_cycles = 10;
+            black_box(run_workload(&p).overhead_pct);
+        })
+    });
+}
+
+fn fig6_io_run(c: &mut Criterion) {
+    cfg(c).bench_function("figures/fig6_io_run", |b| {
+        b.iter(|| {
+            let p = IoParams {
+                io_start_cycle: 20,
+                end_cycle: 50,
+                ..IoParams::default()
+            };
+            black_box(run_io(&p).blocked_split);
+        })
+    });
+}
+
+fn fig7_multi_run(c: &mut Criterion) {
+    cfg(c).bench_function("figures/fig7_table3_run", |b| {
+        b.iter(|| {
+            let p = MultiParams {
+                phase2: Nanos::from_secs(1),
+                phase3: Nanos::from_secs(2),
+                end: Nanos::from_secs(4),
+                ..MultiParams::default()
+            };
+            black_box(run_multi(&p).mean_rel_err_pct);
+        })
+    });
+}
+
+fn fig8_scalability_point(c: &mut Criterion) {
+    cfg(c).bench_function("figures/fig8_9_point_n30", |b| {
+        b.iter(|| {
+            black_box(run_scalability_point(
+                30,
+                Nanos::from_millis(10),
+                Nanos::from_secs(10),
+                1,
+            ))
+        })
+    });
+}
+
+fn websrv_run(c: &mut Criterion) {
+    cfg(c).bench_function("figures/websrv_run", |b| {
+        b.iter(|| {
+            let p = WebParams {
+                workers_per_site: 8,
+                duration: Nanos::from_secs(5),
+                warmup: Nanos::from_secs(1),
+                ..WebParams::default()
+            };
+            black_box(run_webserver(&p).alps_fractions);
+        })
+    });
+}
+
+fn quicker(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quicker(Criterion::default());
+    targets = fig4_accuracy_point, fig5_overhead_point, fig6_io_run,
+              fig7_multi_run, fig8_scalability_point, websrv_run
+}
+criterion_main!(benches);

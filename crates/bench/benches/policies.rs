@@ -1,0 +1,112 @@
+//! Scheduling-policy benches: decay-usage vs stride dispatch throughput,
+//! the principal layer's per-quantum cost, and the tracing overhead.
+
+use alps_core::{AlpsConfig, Nanos, Observation, PrincipalScheduler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernsim::{ComputeBound, KernelPolicy, Sim, SimConfig};
+use std::hint::black_box;
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies/one_sim_second");
+    for (name, policy) in [
+        ("decay", KernelPolicy::DecayUsage),
+        ("stride", KernelPolicy::Stride),
+    ] {
+        for n in [10usize, 50] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut sim = Sim::new(SimConfig {
+                        policy,
+                        ..SimConfig::default()
+                    });
+                    for i in 0..n {
+                        sim.spawn_tickets(
+                            format!("w{i}"),
+                            1 + i as u64 % 7,
+                            Box::new(ComputeBound),
+                        );
+                    }
+                    sim.run_until(Nanos::from_secs(1));
+                    black_box(sim.context_switches());
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_principal_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies/principal_quantum");
+    for members in [10usize, 50, 150] {
+        g.bench_with_input(
+            BenchmarkId::new("members", members),
+            &members,
+            |b, &members| {
+                let mut sched: PrincipalScheduler<u64> =
+                    PrincipalScheduler::new(AlpsConfig::new(Nanos::from_millis(100)));
+                let ids: Vec<_> = (0..3).map(|i| sched.add_principal(i + 1)).collect();
+                for (k, &id) in ids.iter().enumerate() {
+                    let pids: Vec<(u64, Nanos)> = (0..members / 3)
+                        .map(|m| ((k * 1000 + m) as u64, Nanos::ZERO))
+                        .collect();
+                    sched.set_membership(id, &pids);
+                }
+                sched.begin_quantum();
+                sched.complete_quantum(&[], Nanos::ZERO);
+                let mut total_ms = 0u64;
+                b.iter(|| {
+                    total_ms += 1;
+                    let due = sched.begin_quantum();
+                    let readings: Vec<_> = due
+                        .iter()
+                        .map(|(id, ms)| {
+                            let obs: Vec<(u64, Observation)> = ms
+                                .iter()
+                                .map(|&m| {
+                                    (
+                                        m,
+                                        Observation {
+                                            total_cpu: Nanos::from_millis(total_ms),
+                                            blocked: false,
+                                        },
+                                    )
+                                })
+                                .collect();
+                            (*id, obs)
+                        })
+                        .collect();
+                    black_box(sched.complete_quantum(&readings, Nanos::ZERO));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies/trace");
+    for (name, cap) in [("off", 0usize), ("on_64k", 65_536)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::default());
+                if cap > 0 {
+                    sim.enable_trace(cap);
+                }
+                for i in 0..10 {
+                    sim.spawn(format!("w{i}"), Box::new(ComputeBound));
+                }
+                sim.run_until(Nanos::from_secs(1));
+                black_box(sim.now());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_throughput,
+    bench_principal_quantum,
+    bench_trace_overhead
+);
+criterion_main!(benches);

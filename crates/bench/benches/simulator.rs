@@ -1,0 +1,74 @@
+//! Simulator performance: how fast `kernsim` turns simulated seconds into
+//! real ones. These benches bound the cost of the figure regenerations
+//! (the full Figure-8 sweep runs thousands of simulated seconds).
+
+use alps_core::{AlpsConfig, Nanos};
+use alps_sim::{spawn_alps, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernsim::{ComputeBound, Sim, SimConfig};
+use std::hint::black_box;
+
+fn bench_plain_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/plain");
+    for n in [2usize, 10, 50] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("one_sim_second", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::default());
+                for i in 0..n {
+                    sim.spawn(format!("w{i}"), Box::new(ComputeBound));
+                }
+                sim.run_until(Nanos::from_secs(1));
+                black_box(sim.now());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_alps_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/with_alps");
+    for n in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::new("one_sim_second", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::default());
+                let procs: Vec<_> = (0..n)
+                    .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), 5u64))
+                    .collect();
+                spawn_alps(
+                    &mut sim,
+                    "alps",
+                    AlpsConfig::new(Nanos::from_millis(10)),
+                    CostModel::paper(),
+                    &procs,
+                );
+                sim.run_until(Nanos::from_secs(1));
+                black_box(sim.now());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_webserver_sim(c: &mut Criterion) {
+    c.bench_function("simulator/webserver_one_second", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            let spec = workloads::SiteSpec {
+                workers: 20,
+                ..workloads::SiteSpec::default()
+            };
+            let site = workloads::spawn_site(&mut sim, "s", &spec);
+            sim.run_until(Nanos::from_secs(1));
+            black_box(site.completed());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plain_sim,
+    bench_alps_sim,
+    bench_webserver_sim
+);
+criterion_main!(benches);

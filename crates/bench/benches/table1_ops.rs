@@ -1,0 +1,77 @@
+//! Table 1 analogue: the cost of ALPS's primary operations, measured live.
+//!
+//! The paper measured, on FreeBSD 4.8 / 2.2 GHz P4: timer receipt 9.02 µs,
+//! measure n processes 1.1 + 17.4·n µs, signal 0.97 µs. These benches
+//! measure the same operations on the current machine (Linux `/proc`) plus
+//! the pure-algorithm invocation cost, which the paper folds into the
+//! timer-receipt number.
+
+use alps_bench::{eligible_scheduler, observations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_measure_proc_read(c: &mut Criterion) {
+    let me = std::process::id() as i32;
+    let tick = alps_os::proc::ns_per_tick();
+    let mut g = c.benchmark_group("table1/measure");
+    for n in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("proc_stat_reads", n), &n, |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    black_box(alps_os::proc::read_stat(me, tick).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_signal(c: &mut Criterion) {
+    let me = std::process::id() as i32;
+    c.bench_function("table1/signal_null", |b| {
+        b.iter(|| {
+            // Signal 0: permission check only, same kernel path as the
+            // paper's SIGSTOP/SIGCONT without perturbing the benchmark.
+            black_box(alps_os::signal::alive(black_box(me)));
+        })
+    });
+}
+
+fn bench_timer_receipt(c: &mut Criterion) {
+    c.bench_function("table1/timer_receipt", |b| {
+        b.iter(|| {
+            // An already-expired absolute sleep: syscall entry, timer
+            // check, return — the CPU cost of waking on the quantum timer.
+            alps_os::clock::sleep_until(black_box(alps_core::Nanos::ZERO));
+        })
+    });
+}
+
+fn bench_algorithm_invocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/algorithm");
+    for n in [5usize, 20, 100] {
+        g.bench_with_input(BenchmarkId::new("invoke_all_due", n), &n, |b, &n| {
+            // Unoptimized mode: every process measured every quantum — the
+            // worst-case bookkeeping cost per invocation.
+            let (mut sched, ids) = eligible_scheduler(n, 5, false);
+            let mut total_ms = 0u64;
+            b.iter(|| {
+                total_ms += 1;
+                let due = sched.begin_quantum();
+                black_box(&due);
+                let obs = observations(&ids, total_ms);
+                black_box(sched.complete_quantum(&obs, alps_core::Nanos::ZERO));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_measure_proc_read,
+    bench_signal,
+    bench_timer_receipt,
+    bench_algorithm_invocation
+);
+criterion_main!(benches);

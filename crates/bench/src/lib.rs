@@ -1,0 +1,33 @@
+//! Shared helpers for the ALPS criterion benches.
+
+#![forbid(unsafe_code)]
+
+use alps_core::{AlpsConfig, AlpsScheduler, Nanos, Observation, ProcId};
+
+/// Build a scheduler with `n` processes of `share` each, all eligible.
+pub fn eligible_scheduler(n: usize, share: u64, lazy: bool) -> (AlpsScheduler, Vec<ProcId>) {
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_lazy_measurement(lazy);
+    let mut sched = AlpsScheduler::new(cfg);
+    let ids: Vec<ProcId> = (0..n)
+        .map(|_| sched.add_process(share, Nanos::ZERO))
+        .collect();
+    // First invocation flips everyone eligible.
+    sched.begin_quantum();
+    sched.complete_quantum(&[], Nanos::ZERO);
+    (sched, ids)
+}
+
+/// Observations reporting the given cumulative CPU total for each id.
+pub fn observations(ids: &[ProcId], total_ms: u64) -> Vec<(ProcId, Observation)> {
+    ids.iter()
+        .map(|&id| {
+            (
+                id,
+                Observation {
+                    total_cpu: Nanos::from_millis(total_ms),
+                    blocked: false,
+                },
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,157 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`; the sequence number makes the
+//! order of simultaneous events deterministic (FIFO by insertion). Events
+//! targeting a process carry a *token*; the process bumps its token whenever
+//! a previously scheduled event becomes stale (e.g. a wakeup for a sleep
+//! that was interrupted by `SIGSTOP`), so stale events are dropped on pop
+//! instead of being hunted down inside the heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use alps_core::Nanos;
+
+use crate::pid::Pid;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The periodic clock interrupt (`hardclock`/`statclock`): charges the
+    /// running process, enforces the round-robin slice, recomputes the
+    /// running process's priority, and performs any pending preemption.
+    Tick,
+    /// The once-per-second `schedcpu` pass: decays every process's `estcpu`,
+    /// updates the load average, and ages sleep times.
+    SchedCpu,
+    /// A sleeping process's wakeup time arrived.
+    Wake {
+        /// The sleeping process.
+        pid: Pid,
+        /// Token guarding staleness.
+        token: u64,
+    },
+    /// A process's interval timer expired.
+    TimerFire {
+        /// The owner of the timer.
+        pid: Pid,
+        /// Token guarding staleness.
+        token: u64,
+    },
+    /// The running process finished its current CPU burst.
+    BurstDone {
+        /// The process that was running when this was scheduled.
+        pid: Pid,
+        /// Token guarding staleness.
+        token: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Nanos,
+    /// Tie-break for simultaneous events (insertion order).
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: Nanos, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pop the next event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), EventKind::Tick);
+        q.schedule(Nanos(10), EventKind::SchedCpu);
+        q.schedule(Nanos(20), EventKind::Tick);
+        assert_eq!(q.peek_time(), Some(Nanos(10)));
+        assert_eq!(q.pop().unwrap().at, Nanos(10));
+        assert_eq!(q.pop().unwrap().at, Nanos(20));
+        assert_eq!(q.pop().unwrap().at, Nanos(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(5), EventKind::Tick);
+        q.schedule(
+            Nanos(5),
+            EventKind::Wake {
+                pid: Pid(1),
+                token: 0,
+            },
+        );
+        q.schedule(Nanos(5), EventKind::SchedCpu);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Tick);
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Wake { .. }));
+        assert_eq!(q.pop().unwrap().kind, EventKind::SchedCpu);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos(1), EventKind::Tick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Process identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated process id. Never reused within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Dense index for per-process tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let p = Pid(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(format!("{p}"), "pid7");
+    }
+
+    #[test]
+    fn ordering_is_by_number() {
+        assert!(Pid(1) < Pid(2));
+    }
+}

@@ -1,0 +1,1293 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] models a uniprocessor machine running a 4.4BSD-style kernel
+//! scheduler (see [`crate::sched`]): processes with pluggable
+//! [`Behavior`]s compete for one CPU under decay-usage priorities, a 100 Hz
+//! clock, a 100 ms round-robin slice, timed sleeps on wait channels,
+//! interval timers with pending-signal coalescing, and `SIGSTOP`/`SIGCONT`
+//! job control. CPU-time accounting is event-exact (nanosecond
+//! granularity).
+//!
+//! Experiment drivers advance the simulation with [`Sim::run_until`] and
+//! may mutate it (spawn processes, send signals) in between — this is how
+//! the multi-application experiment of §4.1 phases groups in at 3-second
+//! boundaries.
+
+use alps_core::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{EventKind, EventQueue};
+use crate::pid::Pid;
+use crate::process::{Behavior, IntervalTimer, PState, Process, Step};
+use crate::sched::{self, RunQueue};
+use crate::trace::{Trace, TraceKind};
+
+/// How CPU consumption becomes *visible* to user-level readers
+/// (`getrusage`, `/proc`, `kvm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CpuAccounting {
+    /// Readers see the event-exact nanosecond accounting (modern kernels
+    /// with switch-time charging, and the workspace default).
+    #[default]
+    Exact,
+    /// Readers see classic statclock sampling: one whole tick is charged
+    /// to whichever process is running when the clock interrupt lands.
+    /// Unbiased in expectation but quantized to ticks — the accounting the
+    /// historical BSDs exposed, provided for the measurement-granularity
+    /// ablation (`repro accounting`). Internal scheduling physics always
+    /// uses exact accounting.
+    TickSampled,
+}
+
+/// Which in-kernel scheduling policy the simulated machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// The 4.4BSD decay-usage scheduler the paper ran on (default).
+    #[default]
+    DecayUsage,
+    /// In-kernel stride scheduling (Waldspurger & Weihl, the paper's ref
+    /// \[26\]): deterministic proportional share by tickets, used as the
+    /// baseline comparator for ALPS (`repro baseline`). Processes carry
+    /// tickets (see [`Sim::spawn_tickets`]); the CPU always runs the
+    /// smallest-pass runnable client.
+    Stride,
+}
+
+/// Tunables of the simulated kernel. Defaults match FreeBSD 4.x on the
+/// paper's hardware: `hz = 100` (10 ms ticks), 100 ms round-robin slice,
+/// priority recomputation every 4 ticks, `schedcpu` every second.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Clock interrupt period (`1/hz`).
+    pub tick: Nanos,
+    /// Round-robin slice for equal-priority processes.
+    pub rr_slice: Nanos,
+    /// Recompute the running process's priority every this many ticks.
+    pub priority_recalc_ticks: u64,
+    /// Seed for the jitter RNG (initial `estcpu` perturbation). Two runs
+    /// with the same seed are identical; the paper averages 3 runs, which
+    /// we emulate with 3 seeds.
+    pub seed: u64,
+    /// Magnitude of the random initial `estcpu` given to each spawned
+    /// process, emulating the varied short history a freshly forked process
+    /// has on a live system. Zero for strict determinism.
+    pub spawn_estcpu_jitter: f64,
+    /// Granularity of the CPU times user-level readers observe.
+    pub accounting: CpuAccounting,
+    /// Number of CPUs. The paper's machine (and every experiment in it) is
+    /// a uniprocessor; values above 1 support the SMP extension study
+    /// (`repro smp`).
+    pub cpus: usize,
+    /// In-kernel scheduling policy.
+    pub policy: KernelPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            tick: Nanos::from_millis(10),
+            rr_slice: Nanos::from_millis(100),
+            priority_recalc_ticks: 4,
+            seed: 0,
+            spawn_estcpu_jitter: 0.0,
+            accounting: CpuAccounting::Exact,
+            cpus: 1,
+            policy: KernelPolicy::DecayUsage,
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct Sim {
+    cfg: SimConfig,
+    now: Nanos,
+    last_account: Nanos,
+    events: EventQueue,
+    procs: Vec<Process>,
+    runq: RunQueue,
+    /// Runnable set under [`KernelPolicy::Stride`] (min-pass scan).
+    stride_q: Vec<Pid>,
+    /// The process on each CPU (`running[cpu]`).
+    running: Vec<Option<Pid>>,
+    loadavg: f64,
+    tick_count: u64,
+    idle_time: Nanos,
+    ctx_switches: u64,
+    rng: SmallRng,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("procs", &self.procs.len())
+            .field("running", &self.running)
+            .field("loadavg", &self.loadavg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sim {
+    /// A fresh machine at time zero.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.tick > Nanos::ZERO, "tick must be positive");
+        assert!(cfg.cpus >= 1, "need at least one CPU");
+        let mut events = EventQueue::new();
+        events.schedule(cfg.tick, EventKind::Tick);
+        events.schedule(Nanos::SECOND, EventKind::SchedCpu);
+        Sim {
+            cfg,
+            now: Nanos::ZERO,
+            last_account: Nanos::ZERO,
+            events,
+            procs: Vec::new(),
+            runq: RunQueue::new(),
+            stride_q: Vec::new(),
+            running: vec![None; cfg.cpus],
+            loadavg: 0.0,
+            tick_count: 0,
+            idle_time: Nanos::ZERO,
+            ctx_switches: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            trace: None,
+        }
+    }
+
+    /// Start recording an execution trace, retaining at most `capacity`
+    /// events (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn trace_push(&mut self, pid: Pid, kind: TraceKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(self.now, pid, kind);
+        }
+    }
+
+    /// Current simulated wall-clock time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cfg.cpus
+    }
+
+    /// The process currently on the given CPU.
+    pub fn running_on(&self, cpu: usize) -> Option<Pid> {
+        self.running[cpu]
+    }
+
+    /// Total CPU-idle time, summed over CPUs (an SMP machine can idle
+    /// several CPU-seconds per wall second).
+    pub fn idle_time(&self) -> Nanos {
+        self.idle_time
+    }
+
+    /// Total context switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.ctx_switches
+    }
+
+    /// Current 1-minute load average.
+    pub fn loadavg(&self) -> f64 {
+        self.loadavg
+    }
+
+    /// Number of processes ever spawned (including exited ones).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Spawn a process. It is made runnable immediately (or enters whatever
+    /// state its first [`Step`] dictates).
+    pub fn spawn(&mut self, name: impl Into<String>, behavior: Box<dyn Behavior>) -> Pid {
+        self.spawn_nice(name, 0, behavior)
+    }
+
+    /// Spawn with an explicit stride-ticket count (only meaningful under
+    /// [`KernelPolicy::Stride`]; ignored by the decay-usage policy).
+    pub fn spawn_tickets(
+        &mut self,
+        name: impl Into<String>,
+        tickets: u64,
+        behavior: Box<dyn Behavior>,
+    ) -> Pid {
+        assert!(tickets > 0, "tickets must be positive");
+        let pid = self.spawn_nice(name, 0, behavior);
+        self.procs[pid.index()].tickets = tickets;
+        pid
+    }
+
+    /// Spawn with an explicit nice value.
+    pub fn spawn_nice(
+        &mut self,
+        name: impl Into<String>,
+        nice: i8,
+        behavior: Box<dyn Behavior>,
+    ) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        let estcpu = if self.cfg.spawn_estcpu_jitter > 0.0 {
+            self.rng.gen_range(0.0..self.cfg.spawn_estcpu_jitter)
+        } else {
+            0.0
+        };
+        self.procs.push(Process {
+            pid,
+            name: name.into(),
+            state: PState::Runnable, // placeholder until the first step
+            nice,
+            estcpu,
+            priority: sched::user_priority(estcpu, nice),
+            slptime: 0,
+            cputime: Nanos::ZERO,
+            burst_remaining: Some(Nanos::ZERO),
+            dispatched_at: self.now,
+            visible_cputime: Nanos::ZERO,
+            tickets: 1,
+            pass: self.global_pass(),
+            kernel_boost: false,
+            wake_token: 0,
+            burst_token: 0,
+            timer: IntervalTimer::default(),
+            behavior: Some(behavior),
+            dispatches: 0,
+            voluntary_switches: 0,
+        });
+        let step = self.next_step(pid);
+        self.apply_off_cpu_step(pid, step);
+        pid
+    }
+
+    /// Exact cumulative CPU time of a process (simulation ground truth,
+    /// used by instrumentation and assertions). Valid after exit.
+    pub fn cputime(&self, pid: Pid) -> Nanos {
+        self.procs[pid.index()].cputime
+    }
+
+    /// Cumulative CPU time as a *user-level reader* sees it (`getrusage`,
+    /// `/proc`): exact or tick-sampled per [`SimConfig::accounting`].
+    pub fn visible_cputime(&self, pid: Pid) -> Nanos {
+        match self.cfg.accounting {
+            CpuAccounting::Exact => self.procs[pid.index()].cputime,
+            CpuAccounting::TickSampled => self.procs[pid.index()].visible_cputime,
+        }
+    }
+
+    /// The `/proc`-style one-letter state code.
+    pub fn state_code(&self, pid: Pid) -> char {
+        self.procs[pid.index()].state.code()
+    }
+
+    /// Whether the process is blocked on a wait channel (the §2.4 test).
+    pub fn is_blocked(&self, pid: Pid) -> bool {
+        matches!(self.procs[pid.index()].state, PState::Sleeping { .. })
+    }
+
+    /// Whether the process has exited.
+    pub fn is_exited(&self, pid: Pid) -> bool {
+        matches!(self.procs[pid.index()].state, PState::Exited)
+    }
+
+    /// Whether the process is stopped by job control.
+    pub fn is_stopped(&self, pid: Pid) -> bool {
+        matches!(self.procs[pid.index()].state, PState::Stopped { .. })
+    }
+
+    /// Process name.
+    pub fn name(&self, pid: Pid) -> &str {
+        &self.procs[pid.index()].name
+    }
+
+    /// Times the process was placed on the CPU.
+    pub fn dispatches(&self, pid: Pid) -> u64 {
+        self.procs[pid.index()].dispatches
+    }
+
+    /// Current decay-usage priority (lower is better).
+    pub fn priority(&self, pid: Pid) -> u8 {
+        self.procs[pid.index()].priority
+    }
+
+    /// Advance simulated time to `deadline`, processing every event due on
+    /// the way. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Nanos) -> u64 {
+        assert!(deadline >= self.now, "cannot run backwards");
+        self.fixup_dispatch();
+        let mut handled = 0;
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "event from the past");
+            self.advance_to(ev.at);
+            self.now = ev.at;
+            self.handle(ev.kind);
+            // A wakeup that beats the running process preempts right away,
+            // as on a return from interrupt in BSD.
+            self.fixup_dispatch();
+            handled += 1;
+        }
+        self.advance_to(deadline);
+        self.now = deadline;
+        handled
+    }
+
+    /// Deliver `SIGSTOP`: remove the process from contention wherever it is.
+    pub fn sigstop(&mut self, pid: Pid) {
+        match self.procs[pid.index()].state {
+            PState::Runnable => {
+                self.remove_runnable(pid);
+                self.procs[pid.index()].state = PState::Stopped {
+                    resume_sleep_until: None,
+                    was_awaiting_timer: false,
+                };
+                self.trace_push(pid, TraceKind::Stop);
+            }
+            PState::Running => {
+                // A driver, or a behavior running on another CPU, stops a
+                // process that currently holds a CPU.
+                let cpu = self.cpu_of(pid).expect("running process has a CPU");
+                let p = &mut self.procs[pid.index()];
+                p.burst_token = p.burst_token.wrapping_add(1);
+                p.state = PState::Stopped {
+                    resume_sleep_until: None,
+                    was_awaiting_timer: false,
+                };
+                self.running[cpu] = None;
+                self.trace_push(pid, TraceKind::Stop);
+                self.context_switch(cpu);
+            }
+            PState::Sleeping { until } => {
+                let p = &mut self.procs[pid.index()];
+                p.wake_token = p.wake_token.wrapping_add(1); // invalidate Wake
+                p.state = PState::Stopped {
+                    resume_sleep_until: until,
+                    was_awaiting_timer: until.is_none(),
+                };
+                self.trace_push(pid, TraceKind::Stop);
+            }
+            PState::Stopped { .. } | PState::Exited => {}
+        }
+    }
+
+    /// Deliver `SIGCONT`: return a stopped process to where it left off —
+    /// back to its interrupted sleep if that hasn't expired, otherwise on
+    /// to its next step.
+    pub fn sigcont(&mut self, pid: Pid) {
+        let PState::Stopped {
+            resume_sleep_until,
+            was_awaiting_timer,
+        } = self.procs[pid.index()].state
+        else {
+            return;
+        };
+        self.trace_push(pid, TraceKind::Continue);
+        if was_awaiting_timer {
+            let pending = self.procs[pid.index()].timer.pending;
+            if pending {
+                self.procs[pid.index()].timer.pending = false;
+                self.procs[pid.index()].kernel_boost = true;
+                let step = self.next_step(pid);
+                self.apply_off_cpu_step(pid, step);
+            } else {
+                self.procs[pid.index()].state = PState::Sleeping { until: None };
+            }
+        } else if let Some(until) = resume_sleep_until {
+            if until > self.now {
+                let p = &mut self.procs[pid.index()];
+                p.wake_token = p.wake_token.wrapping_add(1);
+                let token = p.wake_token;
+                p.state = PState::Sleeping { until: Some(until) };
+                self.events.schedule(until, EventKind::Wake { pid, token });
+            } else {
+                // The sleep expired while stopped: the step is complete.
+                self.procs[pid.index()].kernel_boost = true;
+                let step = self.next_step(pid);
+                self.apply_off_cpu_step(pid, step);
+            }
+        } else {
+            // Was runnable (or running) when stopped: resume its burst.
+            self.make_runnable(pid);
+        }
+    }
+
+    /// Forcibly terminate a process from the driver (SIGKILL analogue).
+    pub fn terminate(&mut self, pid: Pid) {
+        match self.procs[pid.index()].state {
+            PState::Exited => return,
+            PState::Runnable => {
+                self.remove_runnable(pid);
+            }
+            PState::Running => {
+                let cpu = self.cpu_of(pid).expect("running process has a CPU");
+                self.running[cpu] = None;
+            }
+            _ => {}
+        }
+        let p = &mut self.procs[pid.index()];
+        p.wake_token = p.wake_token.wrapping_add(1);
+        p.burst_token = p.burst_token.wrapping_add(1);
+        p.timer.armed = false;
+        p.state = PState::Exited;
+        self.trace_push(pid, TraceKind::Exit);
+        self.fixup_dispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Charge elapsed time to the running process (or to idle).
+    fn advance_to(&mut self, t: Nanos) {
+        debug_assert!(t >= self.last_account);
+        let dt = t - self.last_account;
+        if dt == Nanos::ZERO {
+            return;
+        }
+        let tick = self.cfg.tick.as_f64();
+        for cpu in 0..self.running.len() {
+            match self.running[cpu] {
+                Some(pid) => {
+                    let p = &mut self.procs[pid.index()];
+                    p.cputime += dt;
+                    // Continuous-time estcpu charging: one unit per tick
+                    // of CPU.
+                    p.estcpu = (p.estcpu + dt.as_f64() / tick).min(sched::ESTCPU_MAX);
+                    p.pass += sched::stride_advance(p.tickets, dt.as_f64());
+                    if let Some(r) = p.burst_remaining.as_mut() {
+                        *r = r.saturating_sub(dt);
+                    }
+                }
+                None => self.idle_time += dt,
+            }
+        }
+        self.last_account = t;
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Tick => self.handle_tick(),
+            EventKind::SchedCpu => self.handle_schedcpu(),
+            EventKind::Wake { pid, token } => self.handle_wake(pid, token),
+            EventKind::TimerFire { pid, token } => self.handle_timer_fire(pid, token),
+            EventKind::BurstDone { pid, token } => self.handle_burst_done(pid, token),
+        }
+    }
+
+    fn handle_tick(&mut self) {
+        self.tick_count += 1;
+        self.events
+            .schedule(self.now + self.cfg.tick, EventKind::Tick);
+        for cpu in 0..self.running.len() {
+            let Some(pid) = self.running[cpu] else {
+                continue;
+            };
+            // statclock: charge a whole tick to whoever holds the CPU now.
+            let tick = self.cfg.tick;
+            self.procs[pid.index()].visible_cputime += tick;
+            if self
+                .tick_count
+                .is_multiple_of(self.cfg.priority_recalc_ticks)
+            {
+                self.resetpriority(pid);
+            }
+            match self.cfg.policy {
+                KernelPolicy::DecayUsage => {
+                    let p = &self.procs[pid.index()];
+                    // roundrobin(): rotate among equal-or-better priorities
+                    // once the slice expires. (A strictly better waiter
+                    // never waits this long — fixup_dispatch preempts for
+                    // it immediately.)
+                    if self.now - p.dispatched_at >= self.cfg.rr_slice {
+                        if let Some(best) = self.runq.best_priority() {
+                            if best <= p.priority {
+                                self.preempt(cpu);
+                            }
+                        }
+                    }
+                }
+                KernelPolicy::Stride => {
+                    // Stride switches at quantum (tick) granularity: if a
+                    // queued client now has the smallest pass, rotate.
+                    let my_pass = self.procs[pid.index()].pass;
+                    let best = self
+                        .stride_q
+                        .iter()
+                        .map(|&q| self.procs[q.index()].pass)
+                        .fold(f64::INFINITY, f64::min);
+                    if best < my_pass {
+                        self.preempt(cpu);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enforce the dispatch invariant: every CPU runs one of the best
+    /// runnable processes; a strictly better arrival preempts the
+    /// worst-priority running process immediately.
+    fn fixup_dispatch(&mut self) {
+        // Fill idle CPUs first (work conservation).
+        for cpu in 0..self.running.len() {
+            if self.running[cpu].is_none() && self.runnable_count() > 0 {
+                self.context_switch(cpu);
+            }
+        }
+        // Decay-usage: preempt while the queue holds something strictly
+        // better than the worst running process. (Stride preempts only at
+        // tick boundaries, in handle_tick.)
+        if self.cfg.policy != KernelPolicy::DecayUsage {
+            return;
+        }
+        loop {
+            let Some(best) = self.runq.best_priority() else {
+                return;
+            };
+            let worst = (0..self.running.len())
+                .filter_map(|cpu| {
+                    self.running[cpu].map(|pid| (self.procs[pid.index()].priority, cpu))
+                })
+                .max();
+            match worst {
+                Some((prio, cpu)) if best < prio => self.preempt(cpu),
+                _ => return,
+            }
+        }
+    }
+
+    /// Number of queued runnable processes under the active policy.
+    fn runnable_count(&self) -> usize {
+        match self.cfg.policy {
+            KernelPolicy::DecayUsage => self.runq.len(),
+            KernelPolicy::Stride => self.stride_q.len(),
+        }
+    }
+
+    fn handle_schedcpu(&mut self) {
+        self.events
+            .schedule(self.now + Nanos::SECOND, EventKind::SchedCpu);
+        let nrun = self.runnable_count() + self.running.iter().flatten().count();
+        self.loadavg = sched::loadavg_step(self.loadavg, nrun);
+        let decay = sched::decay_factor(self.loadavg);
+        for i in 0..self.procs.len() {
+            let pid = Pid(i as u32);
+            let (skip, was_runnable) = {
+                let p = &mut self.procs[i];
+                match p.state {
+                    PState::Exited => continue,
+                    PState::Sleeping { .. } | PState::Stopped { .. } => {
+                        p.slptime = p.slptime.saturating_add(1);
+                        // After one whole second asleep, estcpu decay is
+                        // deferred to updatepri at wakeup (as in BSD).
+                        (p.slptime > 1, false)
+                    }
+                    PState::Runnable => (false, true),
+                    PState::Running => (false, false),
+                }
+            };
+            if skip {
+                continue;
+            }
+            let p = &mut self.procs[i];
+            p.estcpu *= decay;
+            let new_prio = sched::user_priority(p.estcpu, p.nice);
+            if new_prio != p.priority {
+                p.priority = new_prio;
+                if was_runnable {
+                    self.runq.remove(pid);
+                    self.runq.push(pid, new_prio);
+                }
+            }
+        }
+        // Priority shifts under the running process are picked up by the
+        // post-event fixup_dispatch.
+    }
+
+    fn handle_wake(&mut self, pid: Pid, token: u64) {
+        let p = &self.procs[pid.index()];
+        if p.wake_token != token {
+            return; // stale
+        }
+        if !matches!(p.state, PState::Sleeping { until: Some(_) }) {
+            return;
+        }
+        // Waking from a wait channel: kernel-priority dispatch boost.
+        self.procs[pid.index()].kernel_boost = true;
+        let step = self.next_step(pid);
+        self.apply_off_cpu_step(pid, step);
+    }
+
+    fn handle_timer_fire(&mut self, pid: Pid, token: u64) {
+        {
+            let t = &mut self.procs[pid.index()].timer;
+            if !t.armed || t.token != token {
+                return; // stale arming epoch
+            }
+            t.next_fire += t.period;
+            let (at, tok) = (t.next_fire, t.token);
+            self.events
+                .schedule(at, EventKind::TimerFire { pid, token: tok });
+        }
+        match self.procs[pid.index()].state {
+            PState::Sleeping { until: None } => {
+                // The process was waiting for exactly this: its step is done.
+                self.procs[pid.index()].kernel_boost = true;
+                let step = self.next_step(pid);
+                self.apply_off_cpu_step(pid, step);
+            }
+            PState::Exited => {}
+            _ => {
+                // Busy, starved, or stopped: the signal stays pending and is
+                // coalesced with any later fires (§4.2's missed quanta).
+                self.procs[pid.index()].timer.pending = true;
+            }
+        }
+    }
+
+    fn handle_burst_done(&mut self, pid: Pid, token: u64) {
+        let p = &self.procs[pid.index()];
+        if p.burst_token != token || !matches!(p.state, PState::Running) {
+            return; // stale
+        }
+        let cpu = self.cpu_of(pid).expect("running process has a CPU");
+        debug_assert_eq!(p.burst_remaining, Some(Nanos::ZERO));
+        let step = self.next_step(pid);
+        match step {
+            Step::Compute(d) => {
+                assert!(d > Nanos::ZERO, "zero-length burst");
+                // Continue on the CPU without a context switch: the process
+                // simply keeps executing its next stretch of work.
+                let p = &mut self.procs[pid.index()];
+                p.burst_remaining = Some(d);
+                p.burst_token = p.burst_token.wrapping_add(1);
+                let tok = p.burst_token;
+                self.events
+                    .schedule(self.now + d, EventKind::BurstDone { pid, token: tok });
+            }
+            Step::ComputeForever => {
+                self.procs[pid.index()].burst_remaining = None;
+            }
+            blocking => {
+                let p = &mut self.procs[pid.index()];
+                p.voluntary_switches += 1;
+                p.burst_token = p.burst_token.wrapping_add(1);
+                self.running[cpu] = None;
+                self.apply_off_cpu_step(pid, blocking);
+                self.context_switch(cpu);
+            }
+        }
+    }
+
+    /// Ask the behavior for its next step, resolving pending timer fires
+    /// (an `AwaitTimer` with a pending fire completes immediately).
+    fn next_step(&mut self, pid: Pid) -> Step {
+        loop {
+            let mut behavior = self.procs[pid.index()]
+                .behavior
+                .take()
+                .expect("behavior re-entered for the same process");
+            let step = behavior.on_ready(&mut SimCtl { sim: self, me: pid });
+            self.procs[pid.index()].behavior = Some(behavior);
+            if step == Step::AwaitTimer {
+                let t = &mut self.procs[pid.index()].timer;
+                assert!(t.armed, "AwaitTimer with no armed interval timer");
+                if t.pending {
+                    t.pending = false;
+                    continue; // the wait completes instantly
+                }
+            }
+            return step;
+        }
+    }
+
+    /// Apply a step for a process that is not on the CPU (spawn, wakeup,
+    /// or just taken off after a burst).
+    fn apply_off_cpu_step(&mut self, pid: Pid, step: Step) {
+        match step {
+            Step::Compute(d) => {
+                assert!(d > Nanos::ZERO, "zero-length burst");
+                self.procs[pid.index()].burst_remaining = Some(d);
+                self.make_runnable(pid);
+            }
+            Step::ComputeForever => {
+                self.procs[pid.index()].burst_remaining = None;
+                self.make_runnable(pid);
+            }
+            Step::Sleep(d) => {
+                assert!(d > Nanos::ZERO, "zero-length sleep");
+                let p = &mut self.procs[pid.index()];
+                p.kernel_boost = false;
+                p.wake_token = p.wake_token.wrapping_add(1);
+                let token = p.wake_token;
+                let until = self.now + d;
+                p.state = PState::Sleeping { until: Some(until) };
+                self.events.schedule(until, EventKind::Wake { pid, token });
+                self.trace_push(pid, TraceKind::Block);
+            }
+            Step::AwaitTimer => {
+                // Pending fires were consumed in next_step.
+                let p = &mut self.procs[pid.index()];
+                p.kernel_boost = false;
+                p.state = PState::Sleeping { until: None };
+                self.trace_push(pid, TraceKind::Block);
+            }
+            Step::Exit => {
+                let p = &mut self.procs[pid.index()];
+                p.kernel_boost = false;
+                p.timer.armed = false;
+                p.state = PState::Exited;
+                self.trace_push(pid, TraceKind::Exit);
+            }
+        }
+    }
+
+    /// Put a process on the run queue after (re)computing its priority,
+    /// applying the retroactive sleep decay of `updatepri`.
+    fn make_runnable(&mut self, pid: Pid) {
+        let loadavg = self.loadavg;
+        let p = &mut self.procs[pid.index()];
+        if p.slptime > 0 {
+            p.estcpu = sched::updatepri(p.estcpu, loadavg, p.slptime);
+            p.slptime = 0;
+        }
+        p.priority = sched::user_priority(p.estcpu, p.nice);
+        p.state = PState::Runnable;
+        // A fresh sleep-waker is queued at the kernel sleep priority so it
+        // wins the dispatch immediately (the BSD return-from-tsleep path);
+        // p.priority keeps the user priority its subsequent CPU time is
+        // judged by.
+        let prio = if p.kernel_boost {
+            sched::PSLEEP.min(p.priority)
+        } else {
+            p.priority
+        };
+        match self.cfg.policy {
+            KernelPolicy::DecayUsage => self.runq.push(pid, prio),
+            KernelPolicy::Stride => {
+                // A client rejoining after a sleep must not cash in pass
+                // credit accrued while absent (the stride re-join rule).
+                let floor = self.global_pass();
+                let p = &mut self.procs[pid.index()];
+                p.pass = p.pass.max(floor);
+                self.stride_q.push(pid);
+            }
+        }
+        self.trace_push(pid, TraceKind::Wake);
+        // If a CPU is idle, dispatch right away; a preemption of a worse
+        // running process happens in the post-event fixup_dispatch (which
+        // also covers driver-initiated wakeups at the top of run_until).
+        if let Some(cpu) = (0..self.running.len()).find(|&c| self.running[c].is_none()) {
+            self.context_switch(cpu);
+        }
+    }
+
+    /// Take the process off the given CPU, requeue it, and dispatch the
+    /// best runnable process (`mi_switch` after `roundrobin`/`need_resched`).
+    fn preempt(&mut self, cpu: usize) {
+        if let Some(pid) = self.running[cpu].take() {
+            let p = &mut self.procs[pid.index()];
+            p.burst_token = p.burst_token.wrapping_add(1);
+            p.priority = sched::user_priority(p.estcpu, p.nice);
+            p.state = PState::Runnable;
+            let prio = p.priority;
+            match self.cfg.policy {
+                KernelPolicy::DecayUsage => self.runq.push(pid, prio),
+                KernelPolicy::Stride => self.stride_q.push(pid),
+            }
+            self.trace_push(pid, TraceKind::Preempt { cpu });
+        }
+        self.context_switch(cpu);
+    }
+
+    /// The smallest pass among runnable and running clients — stride's
+    /// global virtual time, used as the re-join floor for sleepers.
+    fn global_pass(&self) -> f64 {
+        let min = self
+            .stride_q
+            .iter()
+            .copied()
+            .chain(self.running.iter().flatten().copied())
+            .map(|pid| self.procs[pid.index()].pass)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Pop the runnable client the active policy would dispatch next.
+    fn pop_best_runnable(&mut self) -> Option<Pid> {
+        match self.cfg.policy {
+            KernelPolicy::DecayUsage => self.runq.pop_best().map(|(pid, _)| pid),
+            KernelPolicy::Stride => {
+                let (idx, _) = self.stride_q.iter().enumerate().min_by(|(_, a), (_, b)| {
+                    let pa = self.procs[a.index()].pass;
+                    let pb = self.procs[b.index()].pass;
+                    pa.total_cmp(&pb)
+                })?;
+                Some(self.stride_q.swap_remove(idx))
+            }
+        }
+    }
+
+    /// Remove a process from whichever runnable structure holds it.
+    fn remove_runnable(&mut self, pid: Pid) {
+        match self.cfg.policy {
+            KernelPolicy::DecayUsage => {
+                self.runq.remove(pid);
+            }
+            KernelPolicy::Stride => {
+                self.stride_q.retain(|&q| q != pid);
+            }
+        }
+    }
+
+    /// Which CPU a running process occupies.
+    fn cpu_of(&self, pid: Pid) -> Option<usize> {
+        (0..self.running.len()).find(|&c| self.running[c] == Some(pid))
+    }
+
+    /// Dispatch the best runnable process onto the given (idle) CPU.
+    fn context_switch(&mut self, cpu: usize) {
+        debug_assert!(self.running[cpu].is_none());
+        let Some(pid) = self.pop_best_runnable() else {
+            return;
+        };
+        let now = self.now;
+        let p = &mut self.procs[pid.index()];
+        p.kernel_boost = false; // the kernel-mode return is over
+        p.state = PState::Running;
+        p.dispatched_at = now;
+        p.dispatches += 1;
+        self.ctx_switches += 1;
+        if let Some(r) = p.burst_remaining {
+            p.burst_token = p.burst_token.wrapping_add(1);
+            let token = p.burst_token;
+            self.events
+                .schedule(now + r, EventKind::BurstDone { pid, token });
+        }
+        self.running[cpu] = Some(pid);
+        self.trace_push(pid, TraceKind::Dispatch { cpu });
+    }
+
+    fn resetpriority(&mut self, pid: Pid) {
+        let p = &mut self.procs[pid.index()];
+        p.priority = sched::user_priority(p.estcpu, p.nice);
+    }
+}
+
+/// The facilities a [`Behavior`] may use while deciding its next step —
+/// the analogue of the unprivileged syscall surface ALPS itself relies on
+/// (`getrusage`/`kvm` reads, `kill`, `setitimer`).
+pub struct SimCtl<'a> {
+    sim: &'a mut Sim,
+    me: Pid,
+}
+
+impl<'a> SimCtl<'a> {
+    /// Current wall-clock time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now
+    }
+
+    /// The calling process's pid.
+    pub fn my_pid(&self) -> Pid {
+        self.me
+    }
+
+    /// The calling process's cumulative CPU time.
+    pub fn my_cputime(&self) -> Nanos {
+        self.sim.cputime(self.me)
+    }
+
+    /// Cumulative CPU time of any process as a user-level reader sees it
+    /// (the expensive read ALPS minimizes; cost accounting happens in the
+    /// ALPS runner, not here). Subject to [`SimConfig::accounting`].
+    pub fn cputime(&self, pid: Pid) -> Nanos {
+        self.sim.visible_cputime(pid)
+    }
+
+    /// Event-exact cumulative CPU time — simulation ground truth, for
+    /// *instrumentation* only (a real user-level scheduler cannot see
+    /// better than [`Self::cputime`]).
+    pub fn cputime_exact(&self, pid: Pid) -> Nanos {
+        self.sim.cputime(pid)
+    }
+
+    /// Whether a process is blocked on a wait channel (§2.4's test).
+    pub fn is_blocked(&self, pid: Pid) -> bool {
+        self.sim.is_blocked(pid)
+    }
+
+    /// Whether a process has exited.
+    pub fn is_exited(&self, pid: Pid) -> bool {
+        self.sim.is_exited(pid)
+    }
+
+    /// `/proc`-style state code of a process.
+    pub fn state_code(&self, pid: Pid) -> char {
+        self.sim.state_code(pid)
+    }
+
+    /// Send `SIGSTOP` to another process.
+    pub fn sigstop(&mut self, pid: Pid) {
+        assert_ne!(pid, self.me, "a behavior cannot stop itself mid-step");
+        self.sim.sigstop(pid);
+    }
+
+    /// Send `SIGCONT` to another process.
+    pub fn sigcont(&mut self, pid: Pid) {
+        assert_ne!(pid, self.me, "a behavior cannot continue itself");
+        self.sim.sigcont(pid);
+    }
+
+    /// Arm (or re-arm) the calling process's interval timer with the given
+    /// period; the first fire is one period from now.
+    pub fn set_interval_timer(&mut self, period: Nanos) {
+        assert!(period > Nanos::ZERO, "timer period must be positive");
+        let now = self.sim.now;
+        let me = self.me;
+        let t = &mut self.sim.procs[me.index()].timer;
+        t.period = period;
+        t.armed = true;
+        t.pending = false;
+        t.token = t.token.wrapping_add(1);
+        t.next_fire = now + period;
+        let (at, token) = (t.next_fire, t.token);
+        self.sim
+            .events
+            .schedule(at, EventKind::TimerFire { pid: me, token });
+    }
+
+    /// Disarm the calling process's interval timer.
+    pub fn cancel_interval_timer(&mut self) {
+        let t = &mut self.sim.procs[self.me.index()].timer;
+        t.armed = false;
+        t.pending = false;
+        t.token = t.token.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ComputeBound;
+
+    fn sim() -> Sim {
+        Sim::new(SimConfig::default())
+    }
+
+    #[test]
+    fn single_compute_bound_uses_all_cpu() {
+        let mut s = sim();
+        let p = s.spawn("w", Box::new(ComputeBound));
+        s.run_until(Nanos::from_secs(5));
+        assert_eq!(s.cputime(p), Nanos::from_secs(5));
+        assert_eq!(s.idle_time(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn two_equal_processes_split_cpu_evenly() {
+        let mut s = sim();
+        let a = s.spawn("a", Box::new(ComputeBound));
+        let b = s.spawn("b", Box::new(ComputeBound));
+        s.run_until(Nanos::from_secs(20));
+        let ca = s.cputime(a).as_secs_f64();
+        let cb = s.cputime(b).as_secs_f64();
+        assert!((ca + cb - 20.0).abs() < 1e-9, "no time lost: {ca} + {cb}");
+        // The decay scheduler equalizes long-run usage to within a slice
+        // or two.
+        assert!((ca - cb).abs() < 0.5, "fair split: {ca} vs {cb}");
+    }
+
+    #[test]
+    fn ten_equal_processes_each_get_tenth() {
+        let mut s = sim();
+        let pids: Vec<_> = (0..10)
+            .map(|i| s.spawn(format!("w{i}"), Box::new(ComputeBound)))
+            .collect();
+        s.run_until(Nanos::from_secs(50));
+        for &p in &pids {
+            let c = s.cputime(p).as_secs_f64();
+            assert!(
+                (c - 5.0).abs() < 0.6,
+                "{}: got {c}s, expected ~5s",
+                s.name(p)
+            );
+        }
+    }
+
+    #[test]
+    fn sigstop_removes_from_contention() {
+        let mut s = sim();
+        let a = s.spawn("a", Box::new(ComputeBound));
+        let b = s.spawn("b", Box::new(ComputeBound));
+        s.run_until(Nanos::from_secs(2));
+        s.sigstop(a);
+        let ca = s.cputime(a);
+        s.run_until(Nanos::from_secs(4));
+        assert_eq!(s.cputime(a), ca, "stopped process consumes nothing");
+        assert!(s.is_stopped(a));
+        // b got everything in the meantime.
+        assert!(s.cputime(b) > Nanos::from_millis(2800));
+        s.sigcont(a);
+        s.run_until(Nanos::from_secs(6));
+        assert!(s.cputime(a) > ca, "resumed process runs again");
+    }
+
+    #[test]
+    fn sleeping_process_blocks_and_wakes() {
+        struct OneNap {
+            slept: bool,
+        }
+        impl Behavior for OneNap {
+            fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+                if self.slept {
+                    Step::ComputeForever
+                } else {
+                    self.slept = true;
+                    Step::Sleep(Nanos::from_millis(500))
+                }
+            }
+        }
+        let mut s = sim();
+        let p = s.spawn("napper", Box::new(OneNap { slept: false }));
+        s.run_until(Nanos::from_millis(250));
+        assert!(s.is_blocked(p));
+        assert_eq!(s.state_code(p), 'S');
+        s.run_until(Nanos::from_secs(1));
+        assert!(!s.is_blocked(p));
+        assert_eq!(s.cputime(p), Nanos::from_millis(500));
+    }
+
+    #[test]
+    fn compute_then_exit_leaves_zombie_accounting() {
+        struct RunOnce;
+        impl Behavior for RunOnce {
+            fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+                if ctl.my_cputime() == Nanos::ZERO {
+                    Step::Compute(Nanos::from_millis(30))
+                } else {
+                    Step::Exit
+                }
+            }
+        }
+        let mut s = sim();
+        let p = s.spawn("once", Box::new(RunOnce));
+        s.run_until(Nanos::from_secs(1));
+        assert!(s.is_exited(p));
+        assert_eq!(s.state_code(p), 'Z');
+        assert_eq!(s.cputime(p), Nanos::from_millis(30));
+        assert!(s.idle_time() >= Nanos::from_millis(960));
+    }
+
+    #[test]
+    fn interval_timer_wakes_periodically() {
+        struct Ticker {
+            fires: u64,
+            armed: bool,
+        }
+        impl Behavior for Ticker {
+            fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+                if !self.armed {
+                    self.armed = true;
+                    ctl.set_interval_timer(Nanos::from_millis(100));
+                } else {
+                    self.fires += 1;
+                }
+                Step::AwaitTimer
+            }
+            fn name(&self) -> &str {
+                "ticker"
+            }
+        }
+        let mut s = sim();
+        let p = s.spawn(
+            "t",
+            Box::new(Ticker {
+                fires: 0,
+                armed: false,
+            }),
+        );
+        s.run_until(Nanos::from_secs(1));
+        // Fires at 100,200,...,1000ms. The process never computes.
+        assert_eq!(s.cputime(p), Nanos::ZERO);
+        assert!(s.is_blocked(p));
+    }
+
+    #[test]
+    fn stopped_sleeper_resumes_its_sleep() {
+        struct Napper {
+            naps: u32,
+        }
+        impl Behavior for Napper {
+            fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+                self.naps += 1;
+                if self.naps == 1 {
+                    Step::Sleep(Nanos::from_secs(1))
+                } else {
+                    Step::ComputeForever
+                }
+            }
+        }
+        let mut s = sim();
+        let p = s.spawn("n", Box::new(Napper { naps: 0 }));
+        s.run_until(Nanos::from_millis(100));
+        assert!(s.is_blocked(p));
+        s.sigstop(p);
+        assert!(s.is_stopped(p));
+        // The sleep would expire at t=1s while stopped.
+        s.run_until(Nanos::from_millis(400));
+        s.sigcont(p);
+        // Sleep deadline (1s) is still in the future: back to sleeping.
+        assert!(s.is_blocked(p));
+        s.run_until(Nanos::from_secs(2));
+        // Woke at 1s and computed from then on.
+        assert!((s.cputime(p).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopped_sleeper_whose_deadline_passed_wakes_on_cont() {
+        struct Napper {
+            naps: u32,
+        }
+        impl Behavior for Napper {
+            fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+                self.naps += 1;
+                if self.naps == 1 {
+                    Step::Sleep(Nanos::from_millis(200))
+                } else {
+                    Step::ComputeForever
+                }
+            }
+        }
+        let mut s = sim();
+        let p = s.spawn("n", Box::new(Napper { naps: 0 }));
+        s.run_until(Nanos::from_millis(50));
+        s.sigstop(p);
+        s.run_until(Nanos::from_secs(1)); // deadline passes while stopped
+        assert!(s.is_stopped(p));
+        s.sigcont(p);
+        s.run_until(Nanos::from_secs(2));
+        assert!((s.cputime(p).as_secs_f64() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn terminate_cleans_up() {
+        let mut s = sim();
+        let a = s.spawn("a", Box::new(ComputeBound));
+        let b = s.spawn("b", Box::new(ComputeBound));
+        s.run_until(Nanos::from_secs(1));
+        s.terminate(a);
+        assert!(s.is_exited(a));
+        let ca = s.cputime(a);
+        s.run_until(Nanos::from_secs(3));
+        assert_eq!(s.cputime(a), ca);
+        // b now owns the machine.
+        assert!((s.cputime(b) + ca).as_secs_f64() - 3.0 < 1e-6);
+    }
+
+    #[test]
+    fn woken_sleeper_preempts_lower_priority_within_a_tick() {
+        // A process that just slept a long time gets updatepri credit and
+        // should beat a compute-bound hog quickly (BSD interactivity).
+        struct Napper {
+            naps: u32,
+        }
+        impl Behavior for Napper {
+            fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+                self.naps += 1;
+                if self.naps % 2 == 1 {
+                    Step::Sleep(Nanos::from_secs(3))
+                } else {
+                    Step::Compute(Nanos::from_millis(20))
+                }
+            }
+        }
+        let mut s = sim();
+        let _hog = s.spawn("hog", Box::new(ComputeBound));
+        let n = s.spawn("napper", Box::new(Napper { naps: 0 }));
+        s.run_until(Nanos::from_secs(3) + Nanos::from_millis(50));
+        // Woken at t=3s; within 50ms (a handful of ticks) it must have run.
+        assert!(
+            s.cputime(n) > Nanos::ZERO,
+            "woken interactive process was starved"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let cfg = SimConfig {
+                seed,
+                spawn_estcpu_jitter: 8.0,
+                ..SimConfig::default()
+            };
+            let mut s = Sim::new(cfg);
+            let pids: Vec<_> = (0..5)
+                .map(|i| s.spawn(format!("w{i}"), Box::new(ComputeBound)))
+                .collect();
+            s.run_until(Nanos::from_secs(10));
+            pids.iter().map(|&p| s.cputime(p).0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds perturb the trace");
+    }
+
+    #[test]
+    fn no_time_is_ever_lost() {
+        let mut s = sim();
+        let a = s.spawn("a", Box::new(ComputeBound));
+        let b = s.spawn(
+            "b",
+            Box::new(ComputeThenSleepHelper {
+                inner: crate::process::ComputeThenSleep::new(
+                    Nanos::from_millis(80),
+                    Nanos::from_millis(240),
+                    Nanos::ZERO,
+                ),
+            }),
+        );
+        s.run_until(Nanos::from_secs(7));
+        let total = s.cputime(a) + s.cputime(b) + s.idle_time();
+        assert_eq!(total, Nanos::from_secs(7));
+    }
+
+    /// Wrapper so the test can use ComputeThenSleep through the Behavior
+    /// object without exposing its private phase field.
+    struct ComputeThenSleepHelper {
+        inner: crate::process::ComputeThenSleep,
+    }
+    impl Behavior for ComputeThenSleepHelper {
+        fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+            self.inner.on_ready(ctl)
+        }
+    }
+
+    #[test]
+    fn rr_slice_rotates_equal_priority() {
+        let mut s = sim();
+        let a = s.spawn("a", Box::new(ComputeBound));
+        let b = s.spawn("b", Box::new(ComputeBound));
+        s.run_until(Nanos::from_secs(2));
+        assert!(s.dispatches(a) > 3, "a rotated: {}", s.dispatches(a));
+        assert!(s.dispatches(b) > 3, "b rotated: {}", s.dispatches(b));
+    }
+}

@@ -1,0 +1,88 @@
+//! Tests of the visible-CPU accounting modes (exact vs statclock-sampled).
+
+use alps_core::Nanos;
+use kernsim::{Behavior, ComputeBound, CpuAccounting, Sim, SimConfig, SimCtl, Step};
+
+fn sampled_sim() -> Sim {
+    Sim::new(SimConfig {
+        accounting: CpuAccounting::TickSampled,
+        ..SimConfig::default()
+    })
+}
+
+#[test]
+fn exact_mode_visible_equals_ground_truth() {
+    let mut sim = Sim::new(SimConfig::default());
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    let b = sim.spawn("b", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(3));
+    for p in [a, b] {
+        assert_eq!(sim.visible_cputime(p), sim.cputime(p));
+    }
+}
+
+#[test]
+fn sampled_mode_charges_whole_ticks_to_the_runner() {
+    let mut sim = sampled_sim();
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(2));
+    // Sole runner: it is running at every tick, so the visible clock
+    // matches wall time exactly (200 ticks × 10 ms).
+    assert_eq!(sim.visible_cputime(a), Nanos::from_secs(2));
+    assert_eq!(sim.cputime(a), Nanos::from_secs(2));
+}
+
+#[test]
+fn sampled_mode_misses_sub_tick_bursts() {
+    // A process that always runs *between* ticks is never charged — the
+    // classic statclock blind spot that lets a user-level scheduler look
+    // free (and the reason kernsim charges estcpu continuously).
+    struct BetweenTicks;
+    impl Behavior for BetweenTicks {
+        fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+            let tick = Nanos::from_millis(10);
+            let now = ctl.now();
+            let next_tick = Nanos(now.as_nanos().div_ceil(tick.as_nanos()) * tick.as_nanos());
+            if now + Nanos::from_millis(2) < next_tick {
+                Step::Compute(Nanos::from_millis(1))
+            } else {
+                // Hide across the tick.
+                Step::Sleep(
+                    (next_tick + Nanos::from_micros(100))
+                        .saturating_sub(now)
+                        .max(Nanos(1)),
+                )
+            }
+        }
+    }
+    let mut sim = sampled_sim();
+    let sneak = sim.spawn("sneak", Box::new(BetweenTicks));
+    sim.run_until(Nanos::from_secs(2));
+    assert!(
+        sim.cputime(sneak) > Nanos::from_millis(500),
+        "really consumed {}",
+        sim.cputime(sneak)
+    );
+    assert_eq!(
+        sim.visible_cputime(sneak),
+        Nanos::ZERO,
+        "statclock never catches it"
+    );
+}
+
+#[test]
+fn sampled_mode_is_unbiased_for_interleaved_runners() {
+    let mut sim = sampled_sim();
+    let pids: Vec<_> = (0..4)
+        .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+        .collect();
+    sim.run_until(Nanos::from_secs(40));
+    for &p in &pids {
+        let exact = sim.cputime(p).as_secs_f64();
+        let visible = sim.visible_cputime(p).as_secs_f64();
+        assert!(
+            (visible - exact).abs() < 0.6,
+            "visible {visible:.2}s vs exact {exact:.2}s"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Edge-case tests of the simulator's timers, signals, and lifecycle
+//! machinery — the paths the main tests cross only incidentally.
+
+use alps_core::Nanos;
+use kernsim::{Behavior, ComputeBound, Sim, SimConfig, SimCtl, Step};
+
+/// Re-arms its interval timer with a different period after a few fires,
+/// then cancels it and exits.
+struct RearmingTimer {
+    fires: u32,
+    fire_times: Vec<Nanos>,
+}
+
+impl Behavior for RearmingTimer {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        match self.fires {
+            0 => {
+                ctl.set_interval_timer(Nanos::from_millis(100));
+            }
+            1..=3 => {
+                self.fire_times.push(ctl.now());
+            }
+            4 => {
+                self.fire_times.push(ctl.now());
+                // Re-arm with a shorter period: old pending fire events
+                // must be invalidated by the token bump.
+                ctl.set_interval_timer(Nanos::from_millis(30));
+            }
+            5..=7 => {
+                self.fire_times.push(ctl.now());
+            }
+            _ => {
+                ctl.cancel_interval_timer();
+                return Step::Exit;
+            }
+        }
+        self.fires += 1;
+        Step::AwaitTimer
+    }
+}
+
+#[test]
+fn timer_rearm_and_cancel() {
+    let mut sim = Sim::new(SimConfig::default());
+    // Wrap to extract fire times: use a shared Vec.
+    let times = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    struct Shim {
+        inner: RearmingTimer,
+        out: std::rc::Rc<std::cell::RefCell<Vec<Nanos>>>,
+    }
+    impl Behavior for Shim {
+        fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+            let step = self.inner.on_ready(ctl);
+            *self.out.borrow_mut() = self.inner.fire_times.clone();
+            step
+        }
+    }
+    let p = sim.spawn(
+        "t",
+        Box::new(Shim {
+            inner: RearmingTimer {
+                fires: 0,
+                fire_times: Vec::new(),
+            },
+            out: std::rc::Rc::clone(&times),
+        }),
+    );
+    sim.run_until(Nanos::from_secs(2));
+    assert!(sim.is_exited(p));
+    let t = times.borrow();
+    // First arming: fires at 100,200,300,400ms; re-arm at 400 -> fires at
+    // 430,460,490ms.
+    assert_eq!(t.len(), 7, "{t:?}");
+    assert_eq!(t[0], Nanos::from_millis(100));
+    assert_eq!(t[3], Nanos::from_millis(400));
+    assert_eq!(t[4], Nanos::from_millis(430));
+    assert_eq!(t[6], Nanos::from_millis(490));
+}
+
+#[test]
+fn redundant_signals_are_idempotent() {
+    let mut sim = Sim::new(SimConfig::default());
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    let b = sim.spawn("b", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_millis(500));
+    sim.sigstop(a);
+    sim.sigstop(a); // second stop: no-op
+    let frozen = sim.cputime(a);
+    sim.run_until(Nanos::from_secs(1));
+    sim.sigcont(a);
+    sim.sigcont(a); // second cont: no-op
+    sim.sigcont(b); // cont of a running proc: no-op
+    sim.run_until(Nanos::from_secs(2));
+    assert!(sim.cputime(a) > frozen);
+    assert_eq!(
+        sim.cputime(a) + sim.cputime(b) + sim.idle_time(),
+        Nanos::from_secs(2)
+    );
+}
+
+#[test]
+fn signals_to_exited_processes_are_ignored() {
+    struct Quick;
+    impl Behavior for Quick {
+        fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+            if ctl.my_cputime() == Nanos::ZERO {
+                Step::Compute(Nanos::from_millis(10))
+            } else {
+                Step::Exit
+            }
+        }
+    }
+    let mut sim = Sim::new(SimConfig::default());
+    let p = sim.spawn("q", Box::new(Quick));
+    sim.run_until(Nanos::from_millis(200));
+    assert!(sim.is_exited(p));
+    sim.sigstop(p);
+    sim.sigcont(p);
+    sim.terminate(p);
+    assert!(sim.is_exited(p));
+    assert_eq!(sim.cputime(p), Nanos::from_millis(10));
+}
+
+#[test]
+fn stop_interrupted_sleep_then_terminate() {
+    struct Sleeper;
+    impl Behavior for Sleeper {
+        fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+            Step::Sleep(Nanos::from_secs(1))
+        }
+    }
+    let mut sim = Sim::new(SimConfig::default());
+    let p = sim.spawn("s", Box::new(Sleeper));
+    sim.run_until(Nanos::from_millis(100));
+    sim.sigstop(p);
+    sim.run_until(Nanos::from_millis(200));
+    sim.terminate(p);
+    // The stale Wake event for the interrupted sleep must not resurrect it.
+    sim.run_until(Nanos::from_secs(3));
+    assert!(sim.is_exited(p));
+    assert_eq!(sim.cputime(p), Nanos::ZERO);
+}
+
+#[test]
+fn run_until_same_instant_is_a_noop() {
+    let mut sim = Sim::new(SimConfig::default());
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_millis(100));
+    let before = sim.cputime(a);
+    sim.run_until(Nanos::from_millis(100));
+    assert_eq!(sim.cputime(a), before);
+    assert_eq!(sim.now(), Nanos::from_millis(100));
+}
+
+#[test]
+#[should_panic(expected = "cannot run backwards")]
+fn run_until_rejects_past_deadlines() {
+    let mut sim = Sim::new(SimConfig::default());
+    sim.run_until(Nanos::from_millis(100));
+    sim.run_until(Nanos::from_millis(50));
+}
+
+#[test]
+#[should_panic(expected = "AwaitTimer with no armed interval timer")]
+fn await_without_timer_is_a_bug() {
+    struct Bad;
+    impl Behavior for Bad {
+        fn on_ready(&mut self, _: &mut SimCtl<'_>) -> Step {
+            Step::AwaitTimer
+        }
+    }
+    let mut sim = Sim::new(SimConfig::default());
+    sim.spawn("bad", Box::new(Bad));
+}
+
+#[test]
+fn nice_processes_get_less_cpu() {
+    let mut sim = Sim::new(SimConfig::default());
+    let normal = sim.spawn_nice("normal", 0, Box::new(ComputeBound));
+    let nice = sim.spawn_nice("nice", 10, Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(20));
+    let cn = sim.cputime(normal).as_secs_f64();
+    let cv = sim.cputime(nice).as_secs_f64();
+    assert!(
+        cn > cv * 1.5,
+        "nice +10 should yield well under half: {cn:.2} vs {cv:.2}"
+    );
+    assert_eq!(
+        sim.cputime(normal) + sim.cputime(nice),
+        Nanos::from_secs(20)
+    );
+}

@@ -1,0 +1,102 @@
+//! Model-based property test: the bitmap run queue against a naive
+//! reference implementation.
+
+use kernsim::sched::RunQueue;
+use kernsim::Pid;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference: a plain sorted structure with FIFO semantics per priority.
+#[derive(Default)]
+struct Model {
+    items: Vec<(u8, VecDeque<Pid>)>, // sorted by priority
+}
+
+impl Model {
+    fn push(&mut self, pid: Pid, prio: u8) {
+        let prio = prio.min(127);
+        match self.items.binary_search_by_key(&prio, |(p, _)| *p) {
+            Ok(i) => self.items[i].1.push_back(pid),
+            Err(i) => {
+                let mut q = VecDeque::new();
+                q.push_back(pid);
+                self.items.insert(i, (prio, q));
+            }
+        }
+    }
+
+    fn pop_best(&mut self) -> Option<(Pid, u8)> {
+        let (prio, q) = self.items.first_mut()?;
+        let prio = *prio;
+        let pid = q.pop_front().expect("non-empty");
+        if q.is_empty() {
+            self.items.remove(0);
+        }
+        Some((pid, prio))
+    }
+
+    fn best_priority(&self) -> Option<u8> {
+        self.items.first().map(|(p, _)| *p)
+    }
+
+    fn remove(&mut self, pid: Pid) -> bool {
+        for i in 0..self.items.len() {
+            if let Some(pos) = self.items[i].1.iter().position(|&q| q == pid) {
+                self.items[i].1.remove(pos);
+                if self.items[i].1.is_empty() {
+                    self.items.remove(i);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.items.iter().map(|(_, q)| q.len()).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn runqueue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..3, 0u32..40, 0u8..=255), 1..200),
+    ) {
+        let mut real = RunQueue::new();
+        let mut model = Model::default();
+        let mut next_unique = 1000u32;
+        for (op, pid_n, prio) in ops {
+            match op {
+                0 => {
+                    // push (unique pids so FIFO order is comparable)
+                    let pid = Pid(next_unique);
+                    next_unique += 1;
+                    real.push(pid, prio);
+                    model.push(pid, prio);
+                    let _ = pid_n;
+                }
+                1 => {
+                    prop_assert_eq!(real.pop_best(), model.pop_best());
+                }
+                _ => {
+                    let pid = Pid(pid_n + 1000);
+                    prop_assert_eq!(real.remove(pid), model.remove(pid));
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+            prop_assert_eq!(real.is_empty(), model.len() == 0);
+            prop_assert_eq!(real.best_priority(), model.best_priority());
+        }
+        // Drain both and compare total order.
+        loop {
+            let a = real.pop_best();
+            let b = model.pop_best();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tests of the SMP extension: multiple CPUs under the same decay-usage
+//! policy. (Every experiment in the paper is uniprocessor; these tests
+//! pin down the substrate the `repro smp` extension study runs on.)
+
+use alps_core::Nanos;
+use kernsim::{Behavior, ComputeBound, Sim, SimConfig, SimCtl, Step};
+
+fn smp(cpus: usize) -> Sim {
+    Sim::new(SimConfig {
+        cpus,
+        ..SimConfig::default()
+    })
+}
+
+#[test]
+fn two_cpus_run_two_processes_concurrently() {
+    let mut sim = smp(2);
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    let b = sim.spawn("b", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(5));
+    // Each gets a whole CPU: no sharing, no idle.
+    assert_eq!(sim.cputime(a), Nanos::from_secs(5));
+    assert_eq!(sim.cputime(b), Nanos::from_secs(5));
+    assert_eq!(sim.idle_time(), Nanos::ZERO);
+}
+
+#[test]
+fn spare_cpu_idles() {
+    let mut sim = smp(4);
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(sim.cputime(a), Nanos::from_secs(2));
+    // Three CPUs idle for the whole run.
+    assert_eq!(sim.idle_time(), Nanos::from_secs(6));
+}
+
+#[test]
+fn time_conservation_scales_with_cpu_count() {
+    let mut sim = smp(3);
+    let pids: Vec<_> = (0..7)
+        .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+        .collect();
+    let horizon = Nanos::from_secs(9);
+    sim.run_until(horizon);
+    let total: Nanos = pids.iter().map(|&p| sim.cputime(p)).sum();
+    assert_eq!(total + sim.idle_time(), horizon * 3, "3 CPU-seconds/second");
+    assert_eq!(sim.idle_time(), Nanos::ZERO, "7 > 3 procs: no idling");
+}
+
+#[test]
+fn oversubscribed_smp_is_long_run_fair() {
+    let mut sim = smp(2);
+    let pids: Vec<_> = (0..6)
+        .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+        .collect();
+    sim.run_until(Nanos::from_secs(30));
+    // 2 CPUs over 6 equal processes: ~10s each.
+    for &p in &pids {
+        let c = sim.cputime(p).as_secs_f64();
+        assert!((c - 10.0).abs() < 1.0, "{}: {c}s", sim.name(p));
+    }
+}
+
+#[test]
+fn sigstop_on_running_vacates_its_cpu_for_the_queue() {
+    let mut sim = smp(2);
+    let a = sim.spawn("a", Box::new(ComputeBound));
+    let b = sim.spawn("b", Box::new(ComputeBound));
+    let c = sim.spawn("c", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_secs(1));
+    // a and b hold the CPUs roughly; stop whichever is running now.
+    let victim = sim.running_on(0).unwrap();
+    sim.sigstop(victim);
+    let frozen = sim.cputime(victim);
+    sim.run_until(Nanos::from_secs(4));
+    assert_eq!(sim.cputime(victim), frozen);
+    // Remaining two processes share both CPUs fully.
+    let others: Vec<_> = [a, b, c].into_iter().filter(|&p| p != victim).collect();
+    let sum: Nanos = others.iter().map(|&p| sim.cputime(p)).sum();
+    assert!(sum + frozen + sim.idle_time() == Nanos::from_secs(8));
+    assert_eq!(sim.idle_time(), Nanos::ZERO);
+}
+
+#[test]
+fn behavior_can_stop_a_process_running_on_another_cpu() {
+    struct Police {
+        target: kernsim::Pid,
+        fired: bool,
+    }
+    impl Behavior for Police {
+        fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+            if self.fired {
+                Step::ComputeForever
+            } else {
+                self.fired = true;
+                // The target is running on the other CPU right now.
+                ctl.sigstop(self.target);
+                Step::Compute(Nanos::from_millis(100))
+            }
+        }
+    }
+    let mut sim = smp(2);
+    let victim = sim.spawn("victim", Box::new(ComputeBound));
+    sim.run_until(Nanos::from_millis(50)); // victim occupies cpu0
+    let cop = sim.spawn(
+        "cop",
+        Box::new(Police {
+            target: victim,
+            fired: false,
+        }),
+    );
+    sim.run_until(Nanos::from_secs(1));
+    assert!(sim.is_stopped(victim));
+    assert!(sim.cputime(victim) < Nanos::from_millis(100));
+    assert!(sim.cputime(cop) > Nanos::from_millis(800));
+}
+
+#[test]
+fn single_cpu_config_is_unchanged() {
+    // The SMP generalization must not disturb the uniprocessor paper runs:
+    // same seed, same trace as a 1-CPU machine.
+    let run = |cpus: usize| {
+        let mut sim = Sim::new(SimConfig {
+            cpus,
+            seed: 7,
+            spawn_estcpu_jitter: 8.0,
+            ..SimConfig::default()
+        });
+        let pids: Vec<_> = (0..4)
+            .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+            .collect();
+        sim.run_until(Nanos::from_secs(5));
+        pids.iter().map(|&p| sim.cputime(p).0).collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(1));
+}

@@ -1,0 +1,104 @@
+//! `repro` — regenerate every table and figure of the ALPS paper.
+//!
+//! Usage: `repro [--quick] <experiment>...` where experiments are any of
+//! `table1 table2 fig4 fig5 ablation fig6 io-policy fig7 table3 fig8 fig9
+//! thresholds websrv all`.
+
+#![forbid(unsafe_code)]
+
+mod commands;
+mod output;
+
+use commands::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] <experiment>...\n\
+         experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
+                      fig7 table3 fig8 fig9 thresholds websrv smp baseline batch latency verify all\n\
+         --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
+         --data <dir>: also write gnuplot-ready .dat files"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let data_dir = args.iter().position(|a| a == "--data").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("error: --data needs a directory");
+            std::process::exit(2);
+        }
+        std::path::PathBuf::from(args[i + 1].clone())
+    });
+    if let Some(i) = args.iter().position(|a| a == "--data") {
+        args.drain(i..=i + 1);
+    }
+    output::set_data_dir(data_dir);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: repro [--quick] [--data <dir>] <experiment>...\n\
+             run `repro all` for every table and figure; see DESIGN.md"
+        );
+        return;
+    }
+    if args.is_empty() {
+        usage();
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let all = [
+        "table1",
+        "table2",
+        "fig4",
+        "fig5",
+        "ablation",
+        "accounting",
+        "fig6",
+        "io-policy",
+        "fig7",
+        "table3",
+        "fig8",
+        "fig9",
+        "thresholds",
+        "websrv",
+        "smp",
+        "baseline",
+        "batch",
+        "latency",
+        "verify",
+    ];
+    let selected: Vec<String> = if args.iter().any(|a| a == "all") {
+        all.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for exp in &selected {
+        match exp.as_str() {
+            "table1" => commands::table1(),
+            "table2" => commands::table2(),
+            "fig4" => commands::fig4(&scale),
+            "fig5" => commands::fig5(&scale),
+            "ablation" => commands::ablation(&scale),
+            "accounting" => commands::accounting(&scale),
+            "fig6" => commands::fig6(),
+            "io-policy" => commands::io_policy(),
+            "fig7" => commands::fig7(),
+            "table3" => commands::table3(),
+            "fig8" => commands::scalability(&scale, "fig8"),
+            "fig9" => commands::scalability(&scale, "fig9"),
+            "thresholds" => commands::scalability(&scale, "thresholds"),
+            "websrv" => commands::websrv(&scale),
+            "smp" => commands::smp(),
+            "baseline" => commands::baseline(&scale),
+            "batch" => commands::batch(),
+            "verify" => commands::verify(),
+            "latency" => commands::latency(&scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        }
+    }
+}

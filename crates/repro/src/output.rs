@@ -1,0 +1,102 @@
+//! Small helpers for paper-style text tables and series output.
+
+/// Print a rule line.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Print a section heading.
+pub fn heading(title: &str) {
+    println!();
+    rule(72);
+    println!("{title}");
+    rule(72);
+}
+
+/// Format a float with fixed precision, or a dash for NaN.
+pub fn fmt(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+/// Print an `(x, y)` series as two columns with a label header, thinned to
+/// at most `max_rows` evenly spaced rows (figures have hundreds of points;
+/// the console wants fewer).
+pub fn series(label: &str, points: &[(f64, f64)], max_rows: usize) {
+    println!("# {label} ({} points)", points.len());
+    if points.is_empty() {
+        return;
+    }
+    let step = (points.len() / max_rows.max(1)).max(1);
+    for (i, (x, y)) in points.iter().enumerate() {
+        if i % step == 0 || i == points.len() - 1 {
+            println!("{:>12.1} {:>12.2}", x, y);
+        }
+    }
+}
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+static DATA_DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// Set the directory for machine-readable data files (once, from main).
+pub fn set_data_dir(dir: Option<PathBuf>) {
+    let _ = DATA_DIR.set(dir);
+}
+
+/// Write a whitespace-separated data file (gnuplot-ready) if a data
+/// directory was configured with `--data`. Errors are reported, not fatal.
+pub fn write_data(name: &str, header: &str, rows: &[Vec<f64>]) {
+    let Some(Some(dir)) = DATA_DIR.get().map(|d| d.as_ref()) else {
+        return;
+    };
+    let path = dir.join(name);
+    let mut body = String::with_capacity(rows.len() * 24 + header.len() + 4);
+    body.push_str("# ");
+    body.push_str(header);
+    body.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        body.push_str(&cells.join(" "));
+        body.push('\n');
+    }
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_handles_nan_and_precision() {
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(1.5, 0), "2");
+    }
+
+    #[test]
+    fn write_data_is_a_noop_without_a_dir() {
+        // set_data_dir may already be set by another test; write_data must
+        // not panic either way.
+        write_data("never.dat", "a b", &[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn write_data_writes_when_configured() {
+        let dir = std::env::temp_dir().join(format!("repro-test-{}", std::process::id()));
+        set_data_dir(Some(dir.clone()));
+        write_data("t.dat", "x y", &[vec![1.0, 2.5], vec![2.0, 3.5]]);
+        let body = std::fs::read_to_string(dir.join("t.dat")).expect("file written");
+        assert!(body.starts_with("# x y\n"));
+        assert!(body.contains("1.000000 2.500000"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

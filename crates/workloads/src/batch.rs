@@ -1,0 +1,124 @@
+//! Fork-join batch workloads — the paper's introductory scientific
+//! application ("multiple processes, each of which computes over some
+//! space … CPU time … allocated proportionally to the size of that
+//! space").
+//!
+//! The point of work-proportional shares in a fork-join stage is
+//! *co-completion*: if every worker's share matches its work, all workers
+//! finish together and the join never waits on a straggler. Under an
+//! equal-share kernel policy, small regions finish early and idle (or
+//! steal CPU needed elsewhere) while the largest region drags the join.
+
+use alps_core::Nanos;
+use kernsim::{Pid, Sim};
+
+use crate::FiniteJob;
+
+/// One worker of a fork-join stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Total CPU the worker needs (e.g. proportional to its region size).
+    pub work: Nanos,
+}
+
+/// A spawned batch stage.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Worker pids, in job order.
+    pub pids: Vec<Pid>,
+    /// The jobs, in the same order.
+    pub jobs: Vec<BatchJob>,
+}
+
+impl Batch {
+    /// Completion wall-clock time of each worker (`None` while running).
+    pub fn completion_times(&self, sim: &Sim) -> Vec<Option<Nanos>> {
+        self.pids
+            .iter()
+            .map(|&p| sim.is_exited(p).then(|| sim.cputime(p)))
+            .collect()
+    }
+
+    /// Whether every worker has exited.
+    pub fn all_done(&self, sim: &Sim) -> bool {
+        self.pids.iter().all(|&p| sim.is_exited(p))
+    }
+}
+
+/// Spawn one worker per job.
+pub fn spawn_batch(sim: &mut Sim, name: &str, jobs: &[BatchJob]) -> Batch {
+    let pids = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| sim.spawn(format!("{name}-j{i}"), Box::new(FiniteJob::new(job.work))))
+        .collect();
+    Batch {
+        pids,
+        jobs: jobs.to_vec(),
+    }
+}
+
+/// Run the simulation until the whole batch has exited (bounded by `cap`),
+/// returning each worker's completion wall-clock time.
+pub fn run_to_completion(sim: &mut Sim, batch: &Batch, cap: Nanos) -> Vec<Nanos> {
+    let mut done_at: Vec<Option<Nanos>> = vec![None; batch.pids.len()];
+    while sim.now() < cap {
+        let next = sim.now() + Nanos::from_millis(10);
+        sim.run_until(next.min(cap));
+        for (i, &p) in batch.pids.iter().enumerate() {
+            if done_at[i].is_none() && sim.is_exited(p) {
+                done_at[i] = Some(sim.now());
+            }
+        }
+        if done_at.iter().all(|d| d.is_some()) {
+            break;
+        }
+    }
+    done_at.into_iter().map(|d| d.unwrap_or(cap)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernsim::SimConfig;
+
+    #[test]
+    fn batch_workers_run_and_exit() {
+        let mut sim = Sim::new(SimConfig::default());
+        let jobs: Vec<BatchJob> = [100u64, 200, 300]
+            .iter()
+            .map(|&ms| BatchJob {
+                work: Nanos::from_millis(ms),
+            })
+            .collect();
+        let batch = spawn_batch(&mut sim, "stage", &jobs);
+        let done = run_to_completion(&mut sim, &batch, Nanos::from_secs(5));
+        assert!(batch.all_done(&sim));
+        // Total work 600ms on one CPU: the last completion is ~600ms.
+        let last = done.iter().max().unwrap();
+        assert!((last.as_millis_f64() - 600.0).abs() < 50.0, "{last}");
+        // Each consumed exactly its work.
+        for (pid, job) in batch.pids.iter().zip(&jobs) {
+            assert_eq!(sim.cputime(*pid), job.work);
+        }
+    }
+
+    #[test]
+    fn completion_times_query() {
+        let mut sim = Sim::new(SimConfig::default());
+        let jobs = vec![
+            BatchJob {
+                work: Nanos::from_millis(50),
+            },
+            BatchJob {
+                work: Nanos::from_secs(10),
+            },
+        ];
+        let batch = spawn_batch(&mut sim, "s", &jobs);
+        sim.run_until(Nanos::from_secs(1));
+        let times = batch.completion_times(&sim);
+        assert!(times[0].is_some(), "small job done");
+        assert!(times[1].is_none(), "big job still running");
+        assert!(!batch.all_done(&sim));
+    }
+}

@@ -1,0 +1,28 @@
+//! # workloads — workload generators for the ALPS evaluation
+//!
+//! Everything the paper runs *under* ALPS:
+//!
+//! * [`shares`] — the Table-2 share distributions (linear/equal/skewed for
+//!   5/10/20 processes);
+//! * [`behavior`] — synthetic process behaviors beyond `kernsim`'s
+//!   built-ins (randomized on/off I/O, finite batch jobs);
+//! * [`webserver`] — the §5 shared-web-server model: three saturated
+//!   bulletin-board sites whose worker pools compete for the CPU;
+//! * [`batch`] — fork-join stages with heterogeneous work (the intro's
+//!   scientific application);
+//! * [`replay`] — trace-driven workloads (replay recorded burst/sleep
+//!   schedules).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod behavior;
+pub mod replay;
+pub mod shares;
+pub mod webserver;
+
+pub use behavior::{FiniteJob, RandomOnOff};
+pub use replay::{parse_trace, OnEnd, Segment, TraceReplay};
+pub use shares::ShareModel;
+pub use webserver::{spawn_site, Site, SiteSpec};

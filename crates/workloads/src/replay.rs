@@ -1,0 +1,246 @@
+//! Trace-driven workloads: replay a recorded burst/sleep schedule.
+//!
+//! The paper's workloads are synthetic; real deployments would want to
+//! evaluate ALPS against recorded application behavior. [`TraceReplay`]
+//! replays a sequence of `(cpu_burst, sleep)` segments — the format most
+//! CPU-trace tools reduce to — and [`parse_trace`] reads the simple text
+//! form (one `burst_us sleep_us` pair per line, `#` comments).
+
+use alps_core::Nanos;
+use kernsim::{Behavior, SimCtl, Step};
+
+/// One segment of recorded behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// CPU to consume.
+    pub burst: Nanos,
+    /// Wait-channel time afterwards (zero = go straight to the next burst).
+    pub sleep: Nanos,
+}
+
+/// What the replay does when the trace is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnEnd {
+    /// Start over from the first segment.
+    Loop,
+    /// Exit the process.
+    Exit,
+}
+
+/// A behavior that replays a trace of CPU bursts and sleeps.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    segments: Vec<Segment>,
+    on_end: OnEnd,
+    at: usize,
+    mid_segment: bool,
+}
+
+impl TraceReplay {
+    /// Replay the given segments. Zero-length bursts/sleeps are skipped.
+    pub fn new(segments: Vec<Segment>, on_end: OnEnd) -> Self {
+        assert!(!segments.is_empty(), "empty trace");
+        TraceReplay {
+            segments,
+            on_end,
+            at: 0,
+            mid_segment: false,
+        }
+    }
+
+    /// Total CPU one pass of the trace consumes.
+    pub fn total_cpu(&self) -> Nanos {
+        self.segments.iter().map(|s| s.burst).sum()
+    }
+}
+
+impl Behavior for TraceReplay {
+    fn on_ready(&mut self, _ctl: &mut SimCtl<'_>) -> Step {
+        loop {
+            if self.at >= self.segments.len() {
+                match self.on_end {
+                    OnEnd::Loop => self.at = 0,
+                    OnEnd::Exit => return Step::Exit,
+                }
+            }
+            let seg = self.segments[self.at];
+            if !self.mid_segment {
+                self.mid_segment = true;
+                if seg.burst > Nanos::ZERO {
+                    return Step::Compute(seg.burst);
+                }
+            }
+            // Burst done (or empty): sleep, then advance.
+            self.mid_segment = false;
+            self.at += 1;
+            if seg.sleep > Nanos::ZERO {
+                return Step::Sleep(seg.sleep);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+/// Parse the text trace format: one `burst_us sleep_us` pair per line;
+/// blank lines and `#` comments ignored.
+pub fn parse_trace(text: &str) -> Result<Vec<Segment>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let burst: u64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing burst", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad burst: {e}", lineno + 1))?;
+        let sleep: u64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing sleep", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad sleep: {e}", lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing fields", lineno + 1));
+        }
+        out.push(Segment {
+            burst: Nanos::from_micros(burst),
+            sleep: Nanos::from_micros(sleep),
+        });
+    }
+    if out.is_empty() {
+        return Err("trace has no segments".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernsim::{Sim, SimConfig};
+
+    #[test]
+    fn parse_valid_trace() {
+        let segs = parse_trace("# demo\n1000 2000\n\n500 0 # tail\n").unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].burst, Nanos::from_micros(1000));
+        assert_eq!(segs[0].sleep, Nanos::from_micros(2000));
+        assert_eq!(segs[1].sleep, Nanos::ZERO);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("# only comments\n").is_err());
+        assert!(parse_trace("12").is_err());
+        assert!(parse_trace("a b").is_err());
+        assert!(parse_trace("1 2 3").is_err());
+    }
+
+    #[test]
+    fn replay_consumes_exactly_the_trace_once() {
+        let segs = parse_trace("10000 5000\n20000 0\n5000 1000\n").unwrap();
+        let replay = TraceReplay::new(segs.clone(), OnEnd::Exit);
+        let want_cpu = replay.total_cpu();
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.spawn("replay", Box::new(replay));
+        sim.run_until(Nanos::from_secs(1));
+        assert!(sim.is_exited(p));
+        assert_eq!(sim.cputime(p), want_cpu);
+    }
+
+    #[test]
+    fn looping_replay_repeats_with_duty_cycle() {
+        // 10ms CPU + 10ms sleep looped: ~50% duty cycle when alone.
+        let segs = vec![Segment {
+            burst: Nanos::from_millis(10),
+            sleep: Nanos::from_millis(10),
+        }];
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.spawn("loop", Box::new(TraceReplay::new(segs, OnEnd::Loop)));
+        sim.run_until(Nanos::from_secs(4));
+        let frac = sim.cputime(p).as_secs_f64() / 4.0;
+        assert!((frac - 0.5).abs() < 0.02, "duty {frac}");
+    }
+
+    #[test]
+    fn replay_under_alps_is_bounded_by_its_share() {
+        // A greedy trace (all burst, no sleep) next to a spinner at 1:1.
+        let segs = vec![Segment {
+            burst: Nanos::from_millis(50),
+            sleep: Nanos::from_micros(100),
+        }];
+        let mut sim = Sim::new(SimConfig::default());
+        let r = sim.spawn("replay", Box::new(TraceReplay::new(segs, OnEnd::Loop)));
+        let s = sim.spawn("spin", Box::new(kernsim::ComputeBound));
+        alps_sim_spawn(&mut sim, &[(r, 1), (s, 1)]);
+        sim.run_until(Nanos::from_secs(20));
+        let fr = sim.cputime(r).as_secs_f64() / 20.0;
+        assert!(fr < 0.56, "replay got {fr} of the CPU at equal shares");
+    }
+
+    /// Local shim so `workloads` does not depend on `alps-sim` (which
+    /// depends on us): a minimal ALPS loop driven straight from a test.
+    fn alps_sim_spawn(sim: &mut Sim, procs: &[(kernsim::Pid, u64)]) {
+        use alps_core::{AlpsConfig, AlpsScheduler, Observation};
+        struct MiniAlps {
+            sched: AlpsScheduler,
+            map: Vec<(alps_core::ProcId, kernsim::Pid)>,
+            armed: bool,
+        }
+        impl Behavior for MiniAlps {
+            fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+                if !self.armed {
+                    self.armed = true;
+                    for &(_, pid) in &self.map {
+                        ctl.sigstop(pid);
+                    }
+                    ctl.set_interval_timer(Nanos::from_millis(10));
+                    return Step::AwaitTimer;
+                }
+                let due = self.sched.begin_quantum();
+                let obs: Vec<_> = due
+                    .iter()
+                    .filter_map(|&id| {
+                        self.map.iter().find(|(i, _)| *i == id).map(|&(_, pid)| {
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: ctl.cputime(pid),
+                                    blocked: ctl.is_blocked(pid),
+                                },
+                            )
+                        })
+                    })
+                    .collect();
+                let out = self.sched.complete_quantum(&obs, ctl.now());
+                for t in &out.transitions {
+                    if let Some(&(_, pid)) = self.map.iter().find(|(i, _)| *i == t.proc_id()) {
+                        match t {
+                            alps_core::Transition::Resume(_) => ctl.sigcont(pid),
+                            alps_core::Transition::Suspend(_) => ctl.sigstop(pid),
+                        }
+                    }
+                }
+                Step::AwaitTimer
+            }
+        }
+        let mut sched = AlpsScheduler::new(AlpsConfig::new(Nanos::from_millis(10)));
+        let map = procs
+            .iter()
+            .map(|&(pid, share)| (sched.add_process(share, Nanos::ZERO), pid))
+            .collect();
+        sim.spawn(
+            "mini-alps",
+            Box::new(MiniAlps {
+                sched,
+                map,
+                armed: false,
+            }),
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The share distributions of Table 2.
+//!
+//! The paper evaluates workloads of 5, 10, or 20 processes whose shares
+//! follow one of three models, with the total always `n²` for an
+//! `n`-process workload (the paper notes shares were deliberately *not*
+//! scaled by their GCD):
+//!
+//! | model  | 5 procs            | total |
+//! |--------|--------------------|-------|
+//! | Linear | {1, 3, 5, 7, 9}    | 25    |
+//! | Equal  | {5, 5, 5, 5, 5}    | 25    |
+//! | Skewed | {1, 1, 1, 1, 21}   | 25    |
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A share-distribution model from Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShareModel {
+    /// Shares 1, 3, 5, …, 2n−1 (sums to n²).
+    Linear,
+    /// Every process gets n shares (sums to n²).
+    Equal,
+    /// n−1 processes get a single share; the last gets n²−(n−1).
+    Skewed,
+}
+
+impl ShareModel {
+    /// All three models, in the paper's order.
+    pub const ALL: [ShareModel; 3] = [ShareModel::Linear, ShareModel::Equal, ShareModel::Skewed];
+
+    /// The share vector for an `n`-process workload.
+    pub fn shares(self, n: usize) -> Vec<u64> {
+        assert!(n >= 1, "workload needs at least one process");
+        let n64 = n as u64;
+        match self {
+            ShareModel::Linear => (0..n64).map(|i| 2 * i + 1).collect(),
+            ShareModel::Equal => vec![n64; n],
+            ShareModel::Skewed => {
+                let mut v = vec![1u64; n - 1];
+                v.push(n64 * n64 - (n64 - 1));
+                v
+            }
+        }
+    }
+
+    /// Total shares (always n²).
+    pub fn total_shares(self, n: usize) -> u64 {
+        self.shares(n).iter().sum()
+    }
+
+    /// The paper's name for a workload, e.g. `Skewed10`.
+    pub fn workload_name(self, n: usize) -> String {
+        format!("{self}{n}")
+    }
+}
+
+impl fmt::Display for ShareModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShareModel::Linear => "Linear",
+            ShareModel::Equal => "Equal",
+            ShareModel::Skewed => "Skewed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_linear() {
+        assert_eq!(ShareModel::Linear.shares(5), vec![1, 3, 5, 7, 9]);
+        assert_eq!(
+            ShareModel::Linear.shares(10),
+            vec![1, 3, 5, 7, 9, 11, 13, 15, 17, 19]
+        );
+        let l20 = ShareModel::Linear.shares(20);
+        assert_eq!(l20[0], 1);
+        assert_eq!(l20[17], 35);
+        assert_eq!(l20[18], 37);
+        assert_eq!(l20[19], 39);
+    }
+
+    #[test]
+    fn table2_equal() {
+        assert_eq!(ShareModel::Equal.shares(5), vec![5; 5]);
+        assert_eq!(ShareModel::Equal.shares(10), vec![10; 10]);
+        assert_eq!(ShareModel::Equal.shares(20), vec![20; 20]);
+    }
+
+    #[test]
+    fn table2_skewed() {
+        assert_eq!(ShareModel::Skewed.shares(5), vec![1, 1, 1, 1, 21]);
+        let s10 = ShareModel::Skewed.shares(10);
+        assert_eq!(&s10[..9], &[1; 9]);
+        assert_eq!(s10[9], 91);
+        let s20 = ShareModel::Skewed.shares(20);
+        assert_eq!(&s20[..19], &[1; 19]);
+        assert_eq!(s20[19], 381);
+    }
+
+    #[test]
+    fn totals_are_n_squared() {
+        for model in ShareModel::ALL {
+            for n in [1, 2, 5, 10, 20, 33] {
+                assert_eq!(
+                    model.total_shares(n),
+                    (n * n) as u64,
+                    "{model} with {n} processes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ShareModel::Skewed.workload_name(10), "Skewed10");
+        assert_eq!(ShareModel::Equal.workload_name(20), "Equal20");
+        assert_eq!(ShareModel::Linear.workload_name(5), "Linear5");
+    }
+}

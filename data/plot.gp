@@ -1,0 +1,74 @@
+# Render the reproduced figures from the .dat files in this directory.
+#
+#   gnuplot -c plot.gp        # writes fig4.png ... fig9.png, latency.png
+#
+# Regenerate the data with:
+#   cargo run --release -p repro -- --data data all
+
+set terminal pngcairo size 900,600
+set key left top
+set grid
+
+set output "fig4.png"
+set title "Figure 4: accuracy vs quantum length"
+set xlabel "Quantum Length (ms)"
+set ylabel "Mean RMS Relative Error (%)"
+plot for [w in "skewed5 skewed10 skewed20 linear5 linear10 linear20 equal5 equal10 equal20"] \
+    sprintf("fig4_%s.dat", w) using 1:2 with linespoints title w
+
+set output "fig5.png"
+set title "Figure 5: ALPS overhead vs number of processes"
+set xlabel "Number of Processes (N)"
+set ylabel "Overhead (%)"
+plot for [m in "skewed linear equal"] \
+    sprintf("fig5_%s.dat", m) using 1:2 with linespoints title sprintf("%s, 10ms", m), \
+    for [m in "skewed linear equal"] \
+    sprintf("fig5_%s.dat", m) using 1:3 with linespoints title sprintf("%s, 20ms", m), \
+    for [m in "skewed linear equal"] \
+    sprintf("fig5_%s.dat", m) using 1:4 with linespoints title sprintf("%s, 40ms", m)
+
+set output "fig6.png"
+set title "Figure 6: share per cycle while the 2-share process does I/O"
+set xlabel "Cycle Number"
+set ylabel "Share (%)"
+set xrange [560:650]
+plot "fig6_a.dat" using 1:2 with linespoints title "1 share", \
+     "fig6_b.dat" using 1:2 with linespoints title "2 shares, I/O", \
+     "fig6_c.dat" using 1:2 with linespoints title "3 shares"
+unset xrange
+
+set output "fig7.png"
+set title "Figure 7: cumulative CPU, three concurrent ALPSs"
+set xlabel "Time (ms)"
+set ylabel "Cumulative CPU Consumption (ms)"
+plot for [s=1:3] sprintf("fig7_%dshare_c.dat", s) using 1:2 with lines \
+        title sprintf("%d shares (ALPS C)", s), \
+     for [s=4:6] sprintf("fig7_%dshare_b.dat", s) using 1:2 with lines \
+        title sprintf("%d shares (ALPS B)", s), \
+     for [s=7:9] sprintf("fig7_%dshare_a.dat", s) using 1:2 with lines \
+        title sprintf("%d shares (ALPS A)", s)
+
+set output "fig8.png"
+set title "Figure 8: overhead, equal-share workload"
+set xlabel "Number of Processes (N)"
+set ylabel "Overhead (%)"
+plot "fig8_9_q10ms.dat" using 1:2 with linespoints title "10 ms quantum", \
+     "fig8_9_q20ms.dat" using 1:2 with linespoints title "20 ms quantum", \
+     "fig8_9_q40ms.dat" using 1:2 with linespoints title "40 ms quantum"
+
+set output "fig9.png"
+set title "Figure 9: accuracy, equal-share workload"
+set xlabel "Number of Processes (N)"
+set ylabel "Mean RMS Relative Error (%)"
+plot "fig8_9_q10ms.dat" using 1:3 with linespoints title "10 ms quantum", \
+     "fig8_9_q20ms.dat" using 1:3 with linespoints title "20 ms quantum", \
+     "fig8_9_q40ms.dat" using 1:3 with linespoints title "40 ms quantum"
+
+set output "latency.png"
+set title "Extension: quantum length vs request latency (web workload)"
+set xlabel "ALPS quantum (ms)"
+set ylabel "Latency (ms)"
+set logscale x
+plot "latency_sweep.dat" using 1:2 with linespoints title "throttled site p50", \
+     "latency_sweep.dat" using 1:3 with linespoints title "throttled site p95", \
+     "latency_sweep.dat" using 1:5 with linespoints title "favored site p95"

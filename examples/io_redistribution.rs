@@ -1,0 +1,89 @@
+//! Figure 6 on real Linux: one of three children alternates CPU bursts
+//! with sleeps; while it sleeps, ALPS redistributes its entitlement to the
+//! other two in proportion to their shares.
+//!
+//! Run with: `cargo run --release --example io_redistribution`
+
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use alps::{AlpsConfig, Nanos, Supervisor};
+
+fn cpu_of(pid: i32) -> Nanos {
+    alps::os::read_stat(pid, alps::os::proc::ns_per_tick())
+        .map(|s| s.cpu_time)
+        .unwrap_or(Nanos::ZERO)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A: spinner (1 share); B: bursts ~80ms CPU then sleeps 240ms
+    // (2 shares); C: spinner (3 shares) — the paper's §3.3 workload.
+    let spin = "while :; do :; done";
+    let burst = "while :; do i=0; while [ $i -lt 200000 ]; do i=$((i+1)); done; sleep 0.24; done";
+    let mut children = Vec::new();
+    for script in [spin, burst, spin] {
+        children.push(
+            Command::new("/bin/sh")
+                .arg("-c")
+                .arg(script)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()?,
+        );
+    }
+    let pids: Vec<i32> = children.iter().map(|c| c.id() as i32).collect();
+
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+    let mut sup = Supervisor::new(cfg);
+    for (&pid, share) in pids.iter().zip([1u64, 2, 3]) {
+        sup.add_process(pid, share)?;
+    }
+
+    println!("A=1 share (spin), B=2 shares (80ms bursts + 240ms sleeps), C=3 shares (spin)");
+    println!("running 8s at a 10ms quantum...\n");
+    let before: Vec<Nanos> = pids.iter().map(|&p| cpu_of(p)).collect();
+    sup.run_for(Duration::from_secs(8))?;
+    sup.release_all();
+    let after: Vec<Nanos> = pids.iter().map(|&p| cpu_of(p)).collect();
+
+    let consumed: Vec<f64> = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| a.saturating_sub(*b).as_secs_f64())
+        .collect();
+    let total: f64 = consumed.iter().sum();
+    for ((label, share), c) in ["A", "B", "C"].iter().zip([1, 2, 3]).zip(&consumed) {
+        println!(
+            "  {label} ({share} share{}): {c:5.2}s CPU = {:5.1}% of group",
+            if share == 1 { "" } else { "s" },
+            100.0 * c / total
+        );
+    }
+    println!("\nB runs below its 33% entitlement (it keeps sleeping); ALPS hands");
+    println!("its unused time to A and C in their 1:3 ratio instead of wasting it.");
+    println!(
+        "A:C achieved ratio = 1:{:.2} (target 1:3)",
+        consumed[2] / consumed[0].max(1e-9)
+    );
+
+    // Show the per-cycle picture briefly.
+    let cycles = sup.cycles();
+    if cycles.len() > 12 {
+        println!("\nlast cycles (consumption ms per process):");
+        for rec in cycles.iter().rev().take(8).rev() {
+            let parts: Vec<String> = rec
+                .entries
+                .iter()
+                .map(|e| format!("{:5.1}", e.consumed.as_millis_f64()))
+                .collect();
+            println!("  cycle {:>4}: [{}]", rec.index, parts.join(" "));
+        }
+    }
+
+    for child in &mut children {
+        let _ = alps::os::signal::sigcont(child.id() as i32);
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    Ok(())
+}

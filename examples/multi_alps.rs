@@ -1,0 +1,48 @@
+//! The §4.1 multiple-applications scenario: three independent ALPS
+//! instances, phased in at 0 s / 3 s / 6 s, each apportioning whatever CPU
+//! the kernel gives its group (Figure 7 / Table 3 of the paper).
+//!
+//! Run with: `cargo run --release --example multi_alps`
+
+use alps_sim::experiments::multi::{run_multi, MultiParams};
+
+fn main() {
+    let params = MultiParams::default();
+    println!("group A (shares 7,8,9) at t=0; B (4,5,6) at t=3s; C (1,2,3) at t=6s");
+    println!("running to t=15s...\n");
+    let r = run_multi(&params);
+
+    println!("cumulative CPU at the end of each process's run:");
+    for s in &r.series {
+        if let Some(&(t, c)) = s.points.last() {
+            println!("  {:<22} {c:>8.0} ms CPU by t={t:>8.0} ms", s.label);
+        }
+    }
+
+    println!("\nper-phase share of the group's CPU (Table 3):");
+    println!(
+        "{:>2} {:>7} {:>13} {:>13} {:>13}",
+        "S", "target%", "phase 1", "phase 2", "phase 3"
+    );
+    for row in &r.table3 {
+        let cell = |c: Option<(f64, f64)>| match c {
+            Some((pct, re)) => format!("{pct:5.1} ({re:3.1}%)"),
+            None => "      -     ".to_string(),
+        };
+        println!(
+            "{:>2} {:>7.1} {:>13} {:>13} {:>13}",
+            row.share,
+            row.target_pct,
+            cell(row.phases[0]),
+            cell(row.phases[1]),
+            cell(row.phases[2])
+        );
+    }
+    println!(
+        "\nmean relative error {:.2}% (paper: 0.93%); phase-3 group split {:.2}/{:.2}/{:.2}",
+        r.mean_rel_err_pct,
+        r.phase3_group_fractions[0],
+        r.phase3_group_fractions[1],
+        r.phase3_group_fractions[2]
+    );
+}
