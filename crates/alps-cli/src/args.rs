@@ -17,6 +17,7 @@ OPTIONS:
     -d, --duration <s>     stop after this many seconds [default: forever]
     -r, --refresh <s>      membership refresh period for `user` [default: 1]
     -v, --verbose          print a status line at each completed cycle
+    -t, --trace            trace every engine event to stderr
     -h, --help             show this help
 
 EXAMPLES:
@@ -59,6 +60,8 @@ pub struct Opts {
     pub refresh_s: u64,
     /// Per-cycle status output.
     pub verbose: bool,
+    /// Per-event engine trace on stderr.
+    pub trace: bool,
     /// The share specs.
     pub specs: Vec<ShareSpec>,
 }
@@ -113,6 +116,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
         duration_s: None,
         refresh_s: 1,
         verbose: false,
+        trace: false,
         specs: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -149,6 +153,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
                 }
             }
             "-v" | "--verbose" => opts.verbose = true,
+            "-t" | "--trace" => opts.trace = true,
             "-h" | "--help" => return Ok(Cmd::Help),
             spec => opts.specs.push(parse_spec(spec)?),
         }
@@ -201,6 +206,18 @@ mod tests {
             panic!()
         };
         assert_eq!(o.specs[0].target, "echo a:b");
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let Cmd::Run(o) = parse(&v(&["run", "--trace", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert!(o.trace);
+        let Cmd::Run(o) = parse(&v(&["run", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert!(!o.trace);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use alps_core::{AlpsConfig, Nanos};
+use alps_core::{AlpsConfig, Nanos, TraceSink};
 use alps_os::{Membership, PrincipalSupervisor, Supervisor};
 
 use crate::args::{Cmd, Opts, ShareSpec, USAGE};
@@ -128,8 +128,12 @@ fn attach_pids(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
 fn drive(sup: &mut Supervisor, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let end = deadline(opts);
     let mut last_cycles = 0;
+    let mut trace = opts.trace.then(|| TraceSink::new(std::io::stderr()));
     while !should_stop(end) {
-        sup.run_quantum()?;
+        let _ = match trace.as_mut() {
+            Some(sink) => sup.run_quantum_with(sink)?,
+            None => sup.run_quantum()?,
+        };
         if opts.verbose {
             let cycles = sup.cycles_completed();
             if cycles > last_cycles {
@@ -173,8 +177,12 @@ fn supervise_users(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("alps: uid {uid} <- {} share(s)", spec.share);
     }
     let end = deadline(&opts);
+    let mut trace = opts.trace.then(|| TraceSink::new(std::io::stderr()));
     while !should_stop(end) {
-        sup.run_quantum()?;
+        match trace.as_mut() {
+            Some(sink) => sup.run_quantum_with(sink)?,
+            None => sup.run_quantum()?,
+        }
     }
     sup.release_all();
     eprintln!(

@@ -1,0 +1,467 @@
+//! The generic ALPS control loop, shared by every backend.
+//!
+//! Before this module existed, the simulator runners and the OS supervisor
+//! each carried their own copy of the per-quantum loop: ask the scheduler
+//! who is due, read those processes, complete the invocation, deliver the
+//! resulting stop/continue signals, snapshot consumption at cycle
+//! boundaries, and reap processes that exited. [`Engine`] owns that loop
+//! once; backends implement the small [`Substrate`] trait (read a process,
+//! deliver a signal, tell the time) and get identical scheduling behavior,
+//! identical bookkeeping ([`EngineStats`]), and a uniform instrumentation
+//! stream ([`Event`]/[`EventSink`]) for free.
+//!
+//! The engine is principal-granular — it drives a
+//! [`PrincipalScheduler`], so a scheduled entity may be one process (the
+//! common case; see [`Engine::add_member`]) or a group of processes
+//! scheduled as a unit (§5; see [`Engine::add_principal`] +
+//! [`Engine::set_membership`]).
+
+mod event;
+mod substrate;
+
+pub use event::{Event, EventSink, NullSink, RecordingSink, TraceSink};
+pub use substrate::{Signal, Substrate};
+
+use core::fmt;
+use core::hash::Hash;
+use std::collections::HashMap;
+
+use crate::config::AlpsConfig;
+use crate::cycle::{CycleEntry, CycleRecord};
+use crate::principal::{MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler};
+use crate::sched::{AlpsScheduler, Observation, ProcId, StaleId, Transition};
+use crate::time::Nanos;
+
+/// Counters for everything externally observable the engine has done.
+///
+/// This is the union of the statistics the backend-specific runners used
+/// to keep separately (`RunnerStats` in `alps-sim`, `SupervisorStats` in
+/// `alps-os`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Scheduler invocations serviced.
+    pub quanta: u64,
+    /// Per-member CPU-time reads that found the member alive.
+    pub measurements: u64,
+    /// Stop/continue deliveries attempted (including refresh-time
+    /// reconciliation signals).
+    pub signals: u64,
+    /// Cycle boundaries crossed.
+    pub cycles: u64,
+    /// Invocations that arrived two or more quanta after the previous one
+    /// (late/coalesced timer, §4.2).
+    pub overruns: u64,
+    /// Principals removed because their sole member exited.
+    pub reaped: u64,
+}
+
+/// How the engine fills its per-cycle consumption log (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instrumentation {
+    /// At each cycle boundary, re-read every principal's members through
+    /// [`Substrate::read_exact`] and record deltas against a snapshot taken
+    /// at the previous boundary. This measures what was *actually* consumed
+    /// — ground truth in the simulator, a fresh `/proc` read on Linux —
+    /// independent of what the scheduler happened to observe. The inner
+    /// scheduler's own (measurement-granular) log is disabled.
+    Exact,
+    /// Keep the inner scheduler's log: consumption at measurement
+    /// granularity, exactly what the algorithm itself saw.
+    Measured,
+}
+
+/// Convenience alias: the engine type driven by a given substrate.
+pub type EngineFor<S> = Engine<<S as Substrate>::Member>;
+
+/// The generic per-quantum ALPS control loop.
+///
+/// One invocation is three stages, which backends may drive separately
+/// (the simulator interleaves cost-model charges between them) or all at
+/// once via [`Engine::run_quantum`]:
+///
+/// 1. [`begin_quantum`](Engine::begin_quantum) — note the time, detect
+///    overruns, ask the scheduler who is due;
+/// 2. [`complete_quantum`](Engine::complete_quantum) — read the due
+///    members from the substrate, feed the observations to the scheduler,
+///    handle the cycle boundary;
+/// 3. [`apply_signals`](Engine::apply_signals) — deliver the resulting
+///    stop/continue signals.
+///
+/// Members that turn out to be gone (unreadable, or a signal bounces) are
+/// reaped automatically when [`with_auto_reap`](Engine::with_auto_reap) is
+/// enabled and they are their principal's sole member; group-scheduling
+/// backends instead reconcile membership at their refresh period via
+/// [`set_membership`](Engine::set_membership).
+#[derive(Debug, Clone)]
+pub struct Engine<M: Copy + Ord + Hash + fmt::Debug> {
+    sched: PrincipalScheduler<M>,
+    /// Principals in registration order (the order cycle-record entries
+    /// are emitted in).
+    order: Vec<ProcId>,
+    /// Member → owning principal, for reap lookups on failed delivery.
+    member_index: HashMap<M, ProcId>,
+    /// Per-principal cumulative exact CPU at the last cycle boundary,
+    /// parallel to `order`. Only meaningful under
+    /// [`Instrumentation::Exact`].
+    snapshot: Vec<(ProcId, Nanos)>,
+    cycles: Vec<CycleRecord>,
+    stats: EngineStats,
+    record_cycles: bool,
+    instrumentation: Instrumentation,
+    auto_reap: bool,
+    last_begin: Option<Nanos>,
+}
+
+impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
+    /// An empty engine. `cfg.record_cycles` selects whether a per-cycle
+    /// log is kept at all; `instrumentation` selects how it is filled.
+    pub fn new(cfg: AlpsConfig, instrumentation: Instrumentation) -> Self {
+        let record_cycles = cfg.record_cycles;
+        let inner_cfg = match instrumentation {
+            // The engine rebuilds records from exact readings itself; the
+            // inner measurement-granular log would only waste work.
+            Instrumentation::Exact => cfg.with_cycle_log(false),
+            Instrumentation::Measured => cfg,
+        };
+        Engine {
+            sched: PrincipalScheduler::new(inner_cfg),
+            order: Vec::new(),
+            member_index: HashMap::new(),
+            snapshot: Vec::new(),
+            cycles: Vec::new(),
+            stats: EngineStats::default(),
+            record_cycles,
+            instrumentation,
+            auto_reap: false,
+            last_begin: None,
+        }
+    }
+
+    /// Enable automatic removal of a principal when its sole member is
+    /// found to be gone (per-process backends). Off by default: a
+    /// group-scheduling backend must not tear a principal down just
+    /// because one member exited.
+    pub fn with_auto_reap(mut self, on: bool) -> Self {
+        self.auto_reap = on;
+        self
+    }
+
+    // --- registration -----------------------------------------------------
+
+    /// Register a single-member principal — the common "schedule this
+    /// process with this share" case. `initial_cpu` is the member's
+    /// cumulative CPU reading at registration, so only consumption from
+    /// this point on is charged.
+    ///
+    /// Per §2.2 the principal starts ineligible; the caller is responsible
+    /// for suspending the member now (the first invocation will resume it).
+    pub fn add_member(&mut self, member: M, share: u64, initial_cpu: Nanos) -> ProcId {
+        let id = self.sched.add_principal(share);
+        // The returned change only asks us to suspend `member`, which the
+        // caller does as part of registration.
+        let _ = self.sched.set_membership(id, &[(member, initial_cpu)]);
+        self.member_index.insert(member, id);
+        self.order.push(id);
+        self.snapshot.push((id, initial_cpu));
+        id
+    }
+
+    /// Register an empty principal (group scheduling, §5). Populate it
+    /// with [`Engine::set_membership`].
+    pub fn add_principal(&mut self, share: u64) -> ProcId {
+        let id = self.sched.add_principal(share);
+        self.order.push(id);
+        self.snapshot.push((id, Nanos::ZERO));
+        id
+    }
+
+    /// Replace a principal's member set (the once-per-second refresh of
+    /// §5). Returns the joiners/leavers and the reconciliation signals the
+    /// backend must deliver (conveniently via
+    /// [`Engine::apply_signals`]).
+    pub fn set_membership(
+        &mut self,
+        id: ProcId,
+        current: &[(M, Nanos)],
+    ) -> Option<MembershipChange<M>> {
+        let change = self.sched.set_membership(id, current)?;
+        for m in &change.added {
+            self.member_index.insert(*m, id);
+        }
+        for m in &change.removed {
+            self.member_index.remove(m);
+        }
+        Some(change)
+    }
+
+    /// Deregister a principal, returning its members (which the backend
+    /// should resume if the principal was ineligible).
+    pub fn remove_principal(&mut self, id: ProcId) -> Option<Vec<M>> {
+        let members = self.sched.remove_principal(id)?;
+        self.order.retain(|&x| x != id);
+        self.snapshot.retain(|&(x, _)| x != id);
+        for m in &members {
+            self.member_index.remove(m);
+        }
+        Some(members)
+    }
+
+    /// Change a principal's share (§2.2: remaining allowance is rescaled).
+    pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<(), StaleId> {
+        self.sched.set_share(id, share)
+    }
+
+    // --- the per-quantum loop ---------------------------------------------
+
+    /// Stage 1: enter a quantum. Notes the substrate time (detecting
+    /// overrun/coalesced timers, §4.2) and returns, per due principal, the
+    /// members whose CPU time must be read.
+    pub fn begin_quantum<S>(
+        &mut self,
+        sub: &mut S,
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<Vec<(ProcId, Vec<M>)>, S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        let now = sub.now();
+        if let Some(last) = self.last_begin {
+            let gap = now.saturating_sub(last);
+            if gap >= self.quantum() * 2 {
+                self.stats.overruns += 1;
+                sink.on_event(&Event::Overrun { now, gap });
+            }
+        }
+        self.last_begin = Some(now);
+        self.stats.quanta += 1;
+        let due = self.sched.begin_quantum();
+        sink.on_event(&Event::QuantumStart {
+            invocation: self.stats.quanta,
+            now,
+            due: due.iter().map(|(_, ms)| ms.len()).sum(),
+        });
+        Ok(due)
+    }
+
+    /// Stage 2: read every due member from the substrate and complete the
+    /// scheduler invocation. Members that are gone are skipped without
+    /// charge (and reaped, under auto-reap, if they were their principal's
+    /// sole member). On a cycle boundary the per-cycle log is extended
+    /// according to the configured [`Instrumentation`].
+    pub fn complete_quantum<S>(
+        &mut self,
+        sub: &mut S,
+        due: &[(ProcId, Vec<M>)],
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<PrincipalOutcome<M>, S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        let mut readings: Vec<(ProcId, Vec<(M, Observation)>)> = Vec::with_capacity(due.len());
+        let mut gone: Vec<(ProcId, M)> = Vec::new();
+        for (id, members) in due {
+            let mut obs = Vec::with_capacity(members.len());
+            for &m in members {
+                match sub.read(m)? {
+                    Some(o) => {
+                        self.stats.measurements += 1;
+                        sink.on_event(&Event::Measured {
+                            member: m,
+                            cpu: o.total_cpu,
+                            blocked: o.blocked,
+                        });
+                        obs.push((m, o));
+                    }
+                    None => gone.push((*id, m)),
+                }
+            }
+            readings.push((*id, obs));
+        }
+        for (id, m) in gone {
+            self.reap(id, m, sink);
+        }
+        let now = sub.now();
+        let outcome = self.sched.complete_quantum(&readings, now);
+        if outcome.cycle_completed {
+            self.stats.cycles += 1;
+            sink.on_event(&Event::CycleEnd {
+                index: self.sched.inner().cycles_completed().saturating_sub(1),
+                now,
+            });
+            if self.record_cycles {
+                match self.instrumentation {
+                    Instrumentation::Exact => self.record_exact_cycle(sub, now)?,
+                    Instrumentation::Measured => {
+                        if let Some(rec) = &outcome.cycle_record {
+                            self.cycles.push(rec.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Stage 3: deliver stop/continue signals through the substrate. A
+    /// bounced delivery (member gone) reaps the member's principal under
+    /// auto-reap.
+    pub fn apply_signals<S>(
+        &mut self,
+        sub: &mut S,
+        signals: &[MemberTransition<M>],
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<(), S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        for t in signals {
+            let m = t.member();
+            let sig = match t {
+                MemberTransition::Resume(_) => Signal::Continue,
+                MemberTransition::Suspend(_) => Signal::Stop,
+            };
+            let delivered = sub.deliver(m, sig)?;
+            self.stats.signals += 1;
+            sink.on_event(&Event::SignalSent {
+                member: m,
+                signal: sig,
+                delivered,
+            });
+            if !delivered {
+                if let Some(&id) = self.member_index.get(&m) {
+                    self.reap(id, m, sink);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All three stages back to back — the whole scheduler invocation for
+    /// backends with nothing to interleave. Returns the principal-level
+    /// eligibility transitions this invocation produced.
+    pub fn run_quantum<S>(
+        &mut self,
+        sub: &mut S,
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<Vec<Transition>, S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        let due = self.begin_quantum(sub, sink)?;
+        let outcome = self.complete_quantum(sub, &due, sink)?;
+        self.apply_signals(sub, &outcome.signals, sink)?;
+        Ok(outcome.transitions)
+    }
+
+    fn reap(&mut self, id: ProcId, m: M, sink: &mut dyn EventSink<M>) {
+        if !self.auto_reap {
+            return;
+        }
+        // Only tear the principal down if the vanished process was its
+        // sole member; otherwise membership reconciliation is the
+        // backend's job (refresh).
+        if self.sched.members(id).as_deref() != Some(&[m]) {
+            return;
+        }
+        self.remove_principal(id);
+        self.stats.reaped += 1;
+        sink.on_event(&Event::MemberReaped { member: m });
+    }
+
+    /// Build a [`CycleRecord`] from exact substrate readings, differenced
+    /// against the snapshot taken at the previous boundary.
+    fn record_exact_cycle<S>(&mut self, sub: &mut S, now: Nanos) -> Result<(), S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        let mut entries = Vec::with_capacity(self.snapshot.len());
+        let mut total = Nanos::ZERO;
+        for i in 0..self.snapshot.len() {
+            let (id, last) = self.snapshot[i];
+            let mut sum = Nanos::ZERO;
+            let mut alive = false;
+            for m in self.sched.members(id).unwrap_or_default() {
+                if let Some(cpu) = sub.read_exact(m)? {
+                    sum += cpu;
+                    alive = true;
+                }
+            }
+            // A principal whose members are all gone is charged nothing
+            // further; keep the old snapshot so the record is stable.
+            let current = if alive { sum } else { last };
+            let consumed = current.saturating_sub(last);
+            self.snapshot[i].1 = current;
+            total += consumed;
+            entries.push(CycleEntry {
+                id,
+                share: self.sched.inner().share(id).unwrap_or(0),
+                consumed,
+            });
+        }
+        self.cycles.push(CycleRecord {
+            index: self.sched.inner().cycles_completed().saturating_sub(1),
+            completed_at: now,
+            total_shares: self.sched.inner().total_shares(),
+            total_consumed: total,
+            entries,
+        });
+        Ok(())
+    }
+
+    // --- accessors --------------------------------------------------------
+
+    /// Counters of everything the engine has done.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The per-cycle consumption log (empty unless `record_cycles`).
+    pub fn cycles(&self) -> &[CycleRecord] {
+        &self.cycles
+    }
+
+    /// Live principals, in registration order.
+    pub fn proc_ids(&self) -> &[ProcId] {
+        &self.order
+    }
+
+    /// A principal's remaining allowance in quanta.
+    pub fn allowance(&self, id: ProcId) -> Option<f64> {
+        self.sched.inner().allowance(id)
+    }
+
+    /// A principal's share, or `None` if it is gone.
+    pub fn share(&self, id: ProcId) -> Option<u64> {
+        self.sched.inner().share(id)
+    }
+
+    /// Whether a principal is currently eligible.
+    pub fn is_eligible(&self, id: ProcId) -> Option<bool> {
+        self.sched.inner().is_eligible(id)
+    }
+
+    /// Scheduler invocations completed.
+    pub fn invocations(&self) -> u64 {
+        self.sched.inner().invocations()
+    }
+
+    /// Cycles completed.
+    pub fn cycles_completed(&self) -> u64 {
+        self.sched.inner().cycles_completed()
+    }
+
+    /// The configured quantum `Q`.
+    pub fn quantum(&self) -> Nanos {
+        self.sched.inner().quantum()
+    }
+
+    /// Members of a principal.
+    pub fn members(&self, id: ProcId) -> Option<Vec<M>> {
+        self.sched.members(id)
+    }
+
+    /// The inner Figure-3 scheduler, for read-only inspection.
+    pub fn scheduler(&self) -> &AlpsScheduler {
+        self.sched.inner()
+    }
+}

@@ -1,0 +1,63 @@
+//! The backend abstraction the [`Engine`](super::Engine) drives.
+//!
+//! A [`Substrate`] is whatever world the controlled processes live in: the
+//! `kernsim` discrete-event simulator, a real Linux box read through
+//! `/proc`, or a scripted mock in tests. The engine owns the per-quantum
+//! control loop; the substrate owns *observation* (cumulative CPU time,
+//! blocked state) and *actuation* (stop/continue delivery). Everything the
+//! paper's ALPS process does to the outside world passes through these four
+//! methods.
+
+use core::fmt;
+use core::hash::Hash;
+
+use crate::sched::Observation;
+use crate::time::Nanos;
+
+/// A suspend/continue request for one member process — the engine-level
+/// view of `SIGSTOP`/`SIGCONT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Suspend the member (`SIGSTOP`).
+    Stop,
+    /// Make the member runnable again (`SIGCONT`).
+    Continue,
+}
+
+/// A world the engine can schedule processes in.
+///
+/// Implementations report *cumulative* CPU readings (the engine and the
+/// core scheduler difference successive readings themselves) and signal
+/// delivery outcomes. A member that no longer exists is reported as
+/// `Ok(None)` from [`Substrate::read`] / [`Substrate::read_exact`] and
+/// `Ok(false)` from [`Substrate::deliver`] — the engine reaps it; `Err` is
+/// reserved for faults that should abort the quantum (e.g. an unreadable
+/// `/proc` for reasons other than process exit).
+pub trait Substrate {
+    /// The backend's member identifier (a `pid_t` on Linux, a simulator
+    /// pid in `kernsim`).
+    type Member: Copy + Ord + Hash + fmt::Debug;
+    /// Backend fault type. Use [`core::convert::Infallible`] for backends
+    /// that cannot fail (e.g. the simulator).
+    type Error;
+
+    /// The backend's current wall clock.
+    fn now(&mut self) -> Nanos;
+
+    /// Read a member's progress: cumulative CPU time and blocked state.
+    /// Returns `Ok(None)` if the member no longer exists.
+    fn read(&mut self, member: Self::Member) -> Result<Option<Observation>, Self::Error>;
+
+    /// Read a member's cumulative CPU time with the best precision the
+    /// backend has, for cycle-boundary instrumentation (§3.1). Defaults to
+    /// the visible reading from [`Substrate::read`]; the simulator
+    /// overrides this with ground truth so accuracy numbers measure the
+    /// *scheduler*, not the tick-sampled counters it reads.
+    fn read_exact(&mut self, member: Self::Member) -> Result<Option<Nanos>, Self::Error> {
+        Ok(self.read(member)?.map(|o| o.total_cpu))
+    }
+
+    /// Deliver a stop/continue signal. Returns `Ok(false)` if the member
+    /// no longer exists.
+    fn deliver(&mut self, member: Self::Member, signal: Signal) -> Result<bool, Self::Error>;
+}

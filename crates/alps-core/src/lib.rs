@@ -48,6 +48,10 @@
 //! ## Crate map
 //!
 //! * [`sched`] — the Figure-3 algorithm ([`AlpsScheduler`]).
+//! * [`engine`] — the generic per-quantum control loop every backend
+//!   drives, over the [`Substrate`] trait backends implement (read a
+//!   process, deliver a signal, tell the time), with an [`EventSink`]
+//!   instrumentation stream.
 //! * [`principal`] — §5's resource principals: schedule groups of processes
 //!   (e.g. all processes of one user) as single entities.
 //! * [`hierarchy`] — share *trees* (users → apps → processes), flattened
@@ -63,6 +67,7 @@
 
 pub mod config;
 pub mod cycle;
+pub mod engine;
 pub mod hierarchy;
 pub mod principal;
 pub mod sched;
@@ -70,6 +75,10 @@ pub mod time;
 
 pub use config::{AlpsConfig, IoPolicy};
 pub use cycle::{CycleEntry, CycleRecord};
+pub use engine::{
+    Engine, EngineFor, EngineStats, Event, EventSink, Instrumentation, NullSink, RecordingSink,
+    Signal, Substrate, TraceSink,
+};
 pub use hierarchy::{NodeId, ShareTree};
 pub use principal::{MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler};
 pub use sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, StaleId, Transition};

@@ -13,7 +13,7 @@
 //! table once per second with `kvm_getprocs`); see
 //! [`PrincipalScheduler::set_membership`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::config::AlpsConfig;
 use crate::cycle::CycleRecord;
@@ -59,6 +59,9 @@ pub struct PrincipalOutcome<M> {
     /// Signals to enact, covering every member of every principal whose
     /// eligibility flipped.
     pub signals: Vec<MemberTransition<M>>,
+    /// The principal-level transitions behind `signals` (one per principal
+    /// whose eligibility flipped, before the fan-out to members).
+    pub transitions: Vec<Transition>,
     /// Whether a cycle boundary was crossed.
     pub cycle_completed: bool,
     /// Per-cycle record (principal-granularity), if logging is enabled.
@@ -99,7 +102,7 @@ struct Principal<M> {
 #[derive(Debug, Clone)]
 pub struct PrincipalScheduler<M: Ord + Copy> {
     inner: AlpsScheduler,
-    principals: BTreeMap<ProcId, Principal<M>>,
+    principals: HashMap<ProcId, Principal<M>>,
 }
 
 impl<M: Ord + Copy> PrincipalScheduler<M> {
@@ -107,7 +110,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
     pub fn new(cfg: AlpsConfig) -> Self {
         PrincipalScheduler {
             inner: AlpsScheduler::new(cfg),
-            principals: BTreeMap::new(),
+            principals: HashMap::new(),
         }
     }
 
@@ -156,6 +159,12 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
     /// Whether a principal is currently eligible.
     pub fn is_eligible(&self, id: ProcId) -> Option<bool> {
         self.inner.is_eligible(id)
+    }
+
+    /// Change a principal's share (takes effect per §2.2: the remaining
+    /// allowance is rescaled in place).
+    pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<(), crate::sched::StaleId> {
+        self.inner.set_share(id, share)
     }
 
     /// Members of a principal, in key order.
@@ -275,6 +284,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         }
         PrincipalOutcome {
             signals,
+            transitions: out.transitions,
             cycle_completed: out.cycle_completed,
             cycle_record: out.cycle_record,
         }

@@ -1,0 +1,274 @@
+//! The generic engine must be a faithful wrapper: driven in lockstep with
+//! a raw [`AlpsScheduler`] over identical observations it must produce
+//! identical transitions and identical per-cycle records, and its event
+//! stream must narrate every quantum and cycle boundary.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::convert::Infallible;
+
+use alps_core::{
+    AlpsConfig, AlpsScheduler, Engine, Event, Instrumentation, Nanos, NullSink, Observation,
+    ProcId, RecordingSink, Signal, Substrate,
+};
+
+/// A fully scripted substrate: the test owns the clock and every member's
+/// cumulative CPU counter; `deliver` tracks the stopped set like a kernel
+/// would.
+#[derive(Debug, Default)]
+struct MockSubstrate {
+    now: Nanos,
+    cpu: BTreeMap<u32, Nanos>,
+    stopped: BTreeSet<u32>,
+    gone: BTreeSet<u32>,
+}
+
+impl MockSubstrate {
+    fn add(&mut self, m: u32) {
+        self.cpu.insert(m, Nanos::ZERO);
+        self.stopped.insert(m); // registered suspended, per §2.2
+    }
+
+    /// Advance the clock by `dt`, charging `dt` of CPU to every member
+    /// that is currently runnable.
+    fn advance(&mut self, dt: Nanos) {
+        self.now += dt;
+        for (&m, cpu) in self.cpu.iter_mut() {
+            if !self.stopped.contains(&m) && !self.gone.contains(&m) {
+                *cpu += dt;
+            }
+        }
+    }
+}
+
+impl Substrate for MockSubstrate {
+    type Member = u32;
+    type Error = Infallible;
+
+    fn now(&mut self) -> Nanos {
+        self.now
+    }
+
+    fn read(&mut self, m: u32) -> Result<Option<Observation>, Infallible> {
+        if self.gone.contains(&m) {
+            return Ok(None);
+        }
+        Ok(self.cpu.get(&m).map(|&total_cpu| Observation {
+            total_cpu,
+            blocked: false,
+        }))
+    }
+
+    fn deliver(&mut self, m: u32, sig: Signal) -> Result<bool, Infallible> {
+        if self.gone.contains(&m) || !self.cpu.contains_key(&m) {
+            return Ok(false);
+        }
+        match sig {
+            Signal::Stop => self.stopped.insert(m),
+            Signal::Continue => self.stopped.remove(&m),
+        };
+        Ok(true)
+    }
+}
+
+fn obs(id: ProcId, ms: u64) -> (ProcId, Observation) {
+    (
+        id,
+        Observation {
+            total_cpu: Nanos::from_millis(ms),
+            blocked: false,
+        },
+    )
+}
+
+/// The engine, fed the exact observations the snapshot-test fixture feeds
+/// a raw scheduler, must stay in lockstep with it for 200 quanta:
+/// identical due lists, identical transitions, and — the §3.1 consumption
+/// log — identical `CycleRecord`s.
+#[test]
+fn engine_matches_raw_scheduler_in_lockstep() {
+    let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_cycle_log(true);
+    let mut raw = AlpsScheduler::new(cfg);
+    let a = raw.add_process(2, Nanos::ZERO);
+    let b = raw.add_process(3, Nanos::ZERO);
+
+    let mut engine: Engine<u32> = Engine::new(cfg, Instrumentation::Measured);
+    let mut sub = MockSubstrate::default();
+    sub.add(10);
+    sub.add(20);
+    let ea = engine.add_member(10, 2, Nanos::ZERO);
+    let eb = engine.add_member(20, 3, Nanos::ZERO);
+    assert_eq!((a, b), (ea, eb), "registration must mint the same ids");
+
+    let mut raw_records = Vec::new();
+    for k in 0..200u64 {
+        let now = Nanos::from_millis(10 * (k + 1));
+        let total = 7 + (k + 1) * 4;
+
+        let due_raw = raw.begin_quantum();
+        let readings: Vec<_> = due_raw.iter().map(|&id| obs(id, total)).collect();
+        let out_raw = raw.complete_quantum(&readings, now);
+        if let Some(rec) = &out_raw.cycle_record {
+            raw_records.push(rec.clone());
+        }
+
+        sub.now = now;
+        let due = engine.begin_quantum(&mut sub, &mut NullSink).unwrap();
+        let due_ids: Vec<ProcId> = due.iter().map(|&(id, _)| id).collect();
+        assert_eq!(due_ids, due_raw, "due lists diverged at quantum {k}");
+        for (_, members) in &due {
+            for &m in members {
+                sub.cpu.insert(m, Nanos::from_millis(total));
+            }
+        }
+        let out = engine
+            .complete_quantum(&mut sub, &due, &mut NullSink)
+            .unwrap();
+        engine
+            .apply_signals(&mut sub, &out.signals, &mut NullSink)
+            .unwrap();
+
+        assert_eq!(out.transitions, out_raw.transitions, "quantum {k}");
+        assert_eq!(out.cycle_completed, out_raw.cycle_completed, "quantum {k}");
+    }
+
+    assert!(
+        !raw_records.is_empty(),
+        "fixture must cross cycle boundaries"
+    );
+    assert_eq!(engine.cycles(), raw_records.as_slice());
+    assert_eq!(engine.invocations(), raw.invocations());
+    assert_eq!(engine.cycles_completed(), raw.cycles_completed());
+    assert_eq!(engine.allowance(a), raw.allowance(a));
+    assert_eq!(engine.allowance(b), raw.allowance(b));
+}
+
+/// A three-process, two-cycle run narrated through a [`RecordingSink`]:
+/// every quantum opens with `QuantumStart`, measurements precede signals
+/// within a quantum, and each boundary emits a correctly indexed
+/// `CycleEnd`.
+#[test]
+fn recording_sink_sees_the_whole_story() {
+    let q = Nanos::from_millis(10);
+    let cfg = AlpsConfig::new(q).with_lazy_measurement(false);
+    let mut engine: Engine<u32> = Engine::new(cfg, Instrumentation::Measured);
+    let mut sub = MockSubstrate::default();
+    for (m, share) in [(1u32, 1u64), (2, 1), (3, 1)] {
+        sub.add(m);
+        engine.add_member(m, share, Nanos::ZERO);
+    }
+
+    let mut sink = RecordingSink::new();
+    let mut guard = 0;
+    while engine.cycles_completed() < 2 {
+        sub.advance(q);
+        engine.run_quantum(&mut sub, &mut sink).unwrap();
+        guard += 1;
+        assert!(guard < 50, "two 3-share cycles should take ~6 quanta");
+    }
+
+    let events = &sink.events;
+    assert!(matches!(
+        events[0],
+        Event::QuantumStart { invocation: 1, .. }
+    ));
+
+    let starts = events
+        .iter()
+        .filter(|e| matches!(e, Event::QuantumStart { .. }))
+        .count() as u64;
+    assert_eq!(starts, engine.stats().quanta);
+
+    let cycle_indices: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CycleEnd { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cycle_indices, vec![0, 1]);
+
+    let measured = events
+        .iter()
+        .filter(|e| matches!(e, Event::Measured { .. }))
+        .count() as u64;
+    assert_eq!(measured, engine.stats().measurements);
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::SignalSent {
+            delivered: true,
+            ..
+        }
+    )));
+
+    // Within each quantum: measurements, then the cycle boundary (if
+    // any), then signal deliveries.
+    for quantum in events.split(|e| matches!(e, Event::QuantumStart { .. })) {
+        let rank = |e: &Event<u32>| match e {
+            Event::Measured { .. } => 0,
+            Event::CycleEnd { .. } => 1,
+            Event::SignalSent { .. } => 2,
+            _ => 3,
+        };
+        let ranks: Vec<_> = quantum.iter().map(rank).filter(|&r| r < 3).collect();
+        assert!(
+            ranks.windows(2).all(|w| w[0] <= w[1]),
+            "out-of-order events within a quantum: {quantum:?}"
+        );
+    }
+}
+
+/// §4.2: when the timer fires late (or deliveries coalesce) the next
+/// invocation sees a multi-quantum gap. The engine must count it as an
+/// overrun, emit the event, and — because consumption is charged from
+/// cumulative readings — debit the whole gap against the runner's
+/// allowance, not just one quantum.
+#[test]
+fn late_timer_counts_overrun_and_charges_full_gap() {
+    let q = Nanos::from_millis(10);
+    let cfg = AlpsConfig::new(q).with_lazy_measurement(false);
+    let mut engine: Engine<u32> = Engine::new(cfg, Instrumentation::Measured);
+    let mut sub = MockSubstrate::default();
+    sub.add(1);
+    sub.add(2);
+    // Shares 6:2 → cycle = 80ms; A's per-cycle allowance is 6 quanta, so
+    // nothing ends the cycle during the skip.
+    let a = engine.add_member(1, 6, Nanos::ZERO);
+    let _b = engine.add_member(2, 2, Nanos::ZERO);
+
+    let mut sink = RecordingSink::new();
+    // Quantum 1 (t=10ms): cycle starts, A and B resumed; nobody has run
+    // yet so no allowance is spent. Only A's consumption is scripted — B
+    // stays idle so the cycle cannot end on total consumption mid-test.
+    sub.now += q;
+    engine.run_quantum(&mut sub, &mut sink).unwrap();
+    assert_eq!(engine.stats().overruns, 0);
+    // Quantum 2 (t=20ms): on time; A ran one quantum.
+    sub.now += q;
+    sub.cpu.insert(1, q);
+    engine.run_quantum(&mut sub, &mut sink).unwrap();
+    assert_eq!(engine.stats().overruns, 0);
+    let before = engine.allowance(a).expect("a is live");
+
+    // The timer now arrives 30ms late: a 3-quantum gap while A kept
+    // running the whole time.
+    sub.now += q * 3;
+    sub.cpu.insert(1, q * 4);
+    engine.run_quantum(&mut sub, &mut sink).unwrap();
+
+    assert_eq!(engine.stats().overruns, 1);
+    let overruns: Vec<_> = sink
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Overrun { gap, .. } => Some(*gap),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(overruns, vec![q * 3]);
+
+    let after = engine.allowance(a).expect("a is live");
+    assert!(
+        (before - after - 3.0).abs() < 1e-9,
+        "the full 3-quantum gap must be charged: {before} -> {after}"
+    );
+}

@@ -14,6 +14,11 @@
 //! * live re-measurement of the Table-1 operation costs
 //!   ([`probe::probe_table1`]).
 //!
+//! The per-quantum control loop itself lives in [`alps_core::engine`];
+//! this crate implements its [`alps_core::Substrate`] trait over `/proc`
+//! and `kill(2)` ([`substrate::OsSubstrate`]) and supplies the sleep
+//! cadence, registration surface, and membership refresh around it.
+//!
 //! ```no_run
 //! use alps_core::{AlpsConfig, Nanos};
 //! use alps_os::{SpinnerPool, Supervisor};
@@ -38,6 +43,7 @@ pub mod principal;
 pub mod probe;
 pub mod proc;
 pub mod signal;
+pub mod substrate;
 pub mod supervisor;
 
 pub use children::SpinnerPool;
@@ -45,4 +51,7 @@ pub use error::{OsError, Result};
 pub use principal::{Membership, PrincipalSupervisor};
 pub use probe::{probe_table1, Table1Probe};
 pub use proc::{pids_of_uid, read_stat, ProcStat};
-pub use supervisor::{Supervisor, SupervisorStats};
+pub use substrate::OsSubstrate;
+pub use supervisor::Supervisor;
+#[allow(deprecated)]
+pub use supervisor::SupervisorStats;

@@ -3,15 +3,19 @@
 //! Schedules *groups* of processes — e.g. all processes of one user — as
 //! single resource principals, refreshing each group's membership once per
 //! second exactly as the paper's modified ALPS did with `kvm_getprocs`.
+//! The per-quantum loop is the generic [`alps_core::Engine`] over an
+//! [`OsSubstrate`]; this module adds membership
+//! resolution (uid → pids) and the refresh cadence.
 
 use std::time::Duration;
 
-use alps_core::{AlpsConfig, MemberTransition, Nanos, Observation, PrincipalScheduler, ProcId};
+use alps_core::{AlpsConfig, Engine, EventSink, Instrumentation, Nanos, NullSink, ProcId};
 
 use crate::clock;
-use crate::error::{OsError, Result};
+use crate::error::Result;
 use crate::proc;
 use crate::signal;
+use crate::substrate::OsSubstrate;
 
 /// Where a principal's member pids come from at each refresh.
 #[derive(Debug, Clone)]
@@ -26,13 +30,13 @@ pub enum Membership {
 /// A user-level proportional-share scheduler over process groups.
 #[derive(Debug)]
 pub struct PrincipalSupervisor {
-    sched: PrincipalScheduler<i32>,
+    engine: Engine<i32>,
     sources: Vec<(ProcId, Membership)>,
+    sub: OsSubstrate,
     ns_tick: u64,
     refresh_period: Nanos,
     next_refresh: Nanos,
     next_deadline: Option<Nanos>,
-    quanta: u64,
     refreshes: u64,
 }
 
@@ -41,13 +45,15 @@ impl PrincipalSupervisor {
     /// period (the paper used one second).
     pub fn new(cfg: AlpsConfig, refresh_period: Duration) -> Self {
         PrincipalSupervisor {
-            sched: PrincipalScheduler::new(cfg),
+            // Group consumption is attributed per principal at measurement
+            // granularity, as the paper's modified ALPS logged it.
+            engine: Engine::new(cfg, Instrumentation::Measured),
             sources: Vec::new(),
+            sub: OsSubstrate::new(),
             ns_tick: proc::ns_per_tick(),
             refresh_period: refresh_period.into(),
             next_refresh: Nanos::ZERO,
             next_deadline: None,
-            quanta: 0,
             refreshes: 0,
         }
     }
@@ -55,7 +61,7 @@ impl PrincipalSupervisor {
     /// Register a principal. Its current members are discovered and
     /// suspended at the first refresh (which happens on the next quantum).
     pub fn add_principal(&mut self, share: u64, membership: Membership) -> ProcId {
-        let id = self.sched.add_principal(share);
+        let id = self.engine.add_principal(share);
         self.sources.push((id, membership));
         id
     }
@@ -69,7 +75,7 @@ impl PrincipalSupervisor {
 
     /// Quanta serviced so far.
     pub fn quanta(&self) -> u64 {
-        self.quanta
+        self.engine.stats().quanta
     }
 
     /// Membership refreshes performed so far.
@@ -79,7 +85,7 @@ impl PrincipalSupervisor {
 
     /// Current members of a principal.
     pub fn members(&self, id: ProcId) -> Option<Vec<i32>> {
-        self.sched.members(id)
+        self.engine.members(id)
     }
 
     fn resolve(&self, membership: &Membership) -> Vec<i32> {
@@ -89,7 +95,7 @@ impl PrincipalSupervisor {
         }
     }
 
-    fn refresh(&mut self) -> Result<()> {
+    fn refresh(&mut self, sink: &mut dyn EventSink<i32>) -> Result<()> {
         self.refreshes += 1;
         let me = std::process::id() as i32;
         let sources: Vec<(ProcId, Membership)> = self.sources.clone();
@@ -105,13 +111,9 @@ impl PrincipalSupervisor {
                     }
                 }
             }
-            if let Some(change) = self.sched.set_membership(id, &current) {
-                for s in change.signals {
-                    let _ = match s {
-                        MemberTransition::Resume(p) => signal::sigcont(p),
-                        MemberTransition::Suspend(p) => signal::sigstop(p),
-                    };
-                }
+            if let Some(change) = self.engine.set_membership(id, &current) {
+                self.engine
+                    .apply_signals(&mut self.sub, &change.signals, sink)?;
             }
         }
         Ok(())
@@ -120,7 +122,13 @@ impl PrincipalSupervisor {
     /// Sleep to the next quantum boundary and run one invocation
     /// (refreshing membership first if the refresh period has elapsed).
     pub fn run_quantum(&mut self) -> Result<()> {
-        let q = self.sched.inner().quantum();
+        self.run_quantum_with(&mut NullSink)
+    }
+
+    /// [`run_quantum`](PrincipalSupervisor::run_quantum) with an event
+    /// sink observing every measurement, signal, and cycle boundary.
+    pub fn run_quantum_with(&mut self, sink: &mut dyn EventSink<i32>) -> Result<()> {
+        let q = self.engine.quantum();
         let deadline = match self.next_deadline {
             Some(d) => d,
             None => clock::now() + q,
@@ -135,41 +143,11 @@ impl PrincipalSupervisor {
         self.next_deadline = Some(next);
 
         if now >= self.next_refresh {
-            self.refresh()?;
+            self.refresh(sink)?;
             self.next_refresh = now + self.refresh_period;
         }
 
-        self.quanta += 1;
-        let due = self.sched.begin_quantum();
-        let mut readings = Vec::with_capacity(due.len());
-        for (id, members) in due {
-            let mut obs = Vec::with_capacity(members.len());
-            for pid in members {
-                if let Ok(stat) = proc::read_stat(pid, self.ns_tick) {
-                    if !stat.dead() {
-                        obs.push((
-                            pid,
-                            Observation {
-                                total_cpu: stat.cpu_time,
-                                blocked: stat.blocked(),
-                            },
-                        ));
-                    }
-                }
-            }
-            readings.push((id, obs));
-        }
-        let outcome = self.sched.complete_quantum(&readings, now);
-        for s in outcome.signals {
-            let res = match s {
-                MemberTransition::Resume(p) => signal::sigcont(p),
-                MemberTransition::Suspend(p) => signal::sigstop(p),
-            };
-            match res {
-                Ok(()) | Err(OsError::NoSuchProcess(_)) => {}
-                Err(e) => return Err(e),
-            }
-        }
+        self.engine.run_quantum(&mut self.sub, sink)?;
         Ok(())
     }
 
@@ -186,7 +164,7 @@ impl PrincipalSupervisor {
     pub fn release_all(&mut self) {
         let ids: Vec<ProcId> = self.sources.iter().map(|&(id, _)| id).collect();
         for id in ids {
-            for pid in self.sched.members(id).unwrap_or_default() {
+            for pid in self.engine.members(id).unwrap_or_default() {
                 let _ = signal::sigcont(pid);
             }
         }

@@ -1,0 +1,70 @@
+//! The [`Substrate`] adapter over a real Linux kernel.
+//!
+//! The generic [`alps_core::Engine`] does the scheduling; this adapter
+//! gives it what the paper's unprivileged ALPS process had: the monotonic
+//! clock, `/proc/<pid>/stat` progress reads, and `SIGSTOP`/`SIGCONT`
+//! delivery via `kill(2)`. A pid that has vanished (or turned zombie) is
+//! reported as gone rather than as an error, so the engine can reap it;
+//! any other `/proc` or `kill` failure aborts the quantum with an
+//! [`OsError`].
+
+use alps_core::{Nanos, Observation, Signal, Substrate};
+
+use crate::clock;
+use crate::error::OsError;
+use crate::proc;
+use crate::signal;
+
+/// Linux as a scheduling substrate.
+#[derive(Debug, Clone)]
+pub struct OsSubstrate {
+    ns_tick: u64,
+}
+
+impl OsSubstrate {
+    /// A substrate using the kernel's reported clock-tick length for
+    /// `/proc` CPU-time conversion.
+    pub fn new() -> Self {
+        OsSubstrate {
+            ns_tick: proc::ns_per_tick(),
+        }
+    }
+}
+
+impl Default for OsSubstrate {
+    fn default() -> Self {
+        OsSubstrate::new()
+    }
+}
+
+impl Substrate for OsSubstrate {
+    type Member = i32;
+    type Error = OsError;
+
+    fn now(&mut self) -> Nanos {
+        clock::now()
+    }
+
+    fn read(&mut self, pid: i32) -> Result<Option<Observation>, OsError> {
+        match proc::read_stat(pid, self.ns_tick) {
+            Ok(stat) if !stat.dead() => Ok(Some(Observation {
+                total_cpu: stat.cpu_time,
+                blocked: stat.blocked(),
+            })),
+            Ok(_) | Err(OsError::NoSuchProcess(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn deliver(&mut self, pid: i32, sig: Signal) -> Result<bool, OsError> {
+        let res = match sig {
+            Signal::Stop => signal::sigstop(pid),
+            Signal::Continue => signal::sigcont(pid),
+        };
+        match res {
+            Ok(()) => Ok(true),
+            Err(OsError::NoSuchProcess(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}

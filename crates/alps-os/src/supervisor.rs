@@ -4,7 +4,10 @@
 //! wakes once per quantum, reads the progress of the controlled processes
 //! that are due for measurement (§2.3), runs the Figure-3 algorithm, and
 //! moves processes between the eligible and ineligible groups with
-//! `SIGCONT`/`SIGSTOP`. No special priority, no kernel support.
+//! `SIGCONT`/`SIGSTOP`. No special priority, no kernel support. The
+//! per-quantum loop itself is the generic [`alps_core::Engine`] driven
+//! over an [`OsSubstrate`]; this module adds the
+//! drift-free sleep cadence and the process registration surface.
 //!
 //! ```no_run
 //! use alps_core::{AlpsConfig, Nanos};
@@ -23,57 +26,39 @@
 use std::time::Duration;
 
 use alps_core::{
-    AlpsConfig, AlpsScheduler, CycleEntry, CycleRecord, Nanos, Observation, ProcId, Transition,
+    AlpsConfig, AlpsScheduler, CycleRecord, Engine, EngineStats, EventSink, Instrumentation, Nanos,
+    NullSink, ProcId, Transition,
 };
 
 use crate::clock;
 use crate::error::{OsError, Result};
-use crate::proc::{self, ProcStat};
+use crate::proc;
 use crate::signal;
+use crate::substrate::OsSubstrate;
 
-/// Counters describing a supervisor's activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SupervisorStats {
-    /// Quantum invocations performed.
-    pub quanta: u64,
-    /// Per-process progress reads performed.
-    pub measurements: u64,
-    /// Signals sent.
-    pub signals: u64,
-    /// Controlled processes that exited and were deregistered.
-    pub reaped: u64,
-    /// Invocations that started late by more than a full quantum
-    /// (the coalesced-timer case of §4.2).
-    pub overruns: u64,
-}
+/// Former name of the supervisor's counters, now unified across backends.
+#[deprecated(note = "supervisor statistics are the engine's; use `EngineStats`")]
+pub type SupervisorStats = EngineStats;
 
 /// A user-level proportional-share scheduler for real processes.
 #[derive(Debug)]
 pub struct Supervisor {
-    sched: AlpsScheduler,
-    /// core id ↔ kernel pid.
+    engine: Engine<i32>,
+    /// core id ↔ kernel pid, in registration order.
     procs: Vec<(ProcId, i32)>,
-    ns_tick: u64,
+    sub: OsSubstrate,
     next_deadline: Option<Nanos>,
-    stats: SupervisorStats,
-    cycles: Vec<CycleRecord>,
-    cycle_snapshot: Vec<(ProcId, Nanos)>,
-    record_cycles: bool,
 }
 
 impl Supervisor {
     /// Create a supervisor with no controlled processes.
     pub fn new(cfg: AlpsConfig) -> Self {
-        let record_cycles = cfg.record_cycles;
         Supervisor {
-            sched: AlpsScheduler::new(cfg.with_cycle_log(false)),
+            // §3.1 instrumentation re-reads /proc at cycle boundaries.
+            engine: Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true),
             procs: Vec::new(),
-            ns_tick: proc::ns_per_tick(),
+            sub: OsSubstrate::new(),
             next_deadline: None,
-            stats: SupervisorStats::default(),
-            cycles: Vec::new(),
-            cycle_snapshot: Vec::new(),
-            record_cycles,
         }
     }
 
@@ -81,36 +66,37 @@ impl Supervisor {
     /// immediately (it starts in the ineligible group per §2.2 and becomes
     /// eligible at the next quantum).
     pub fn add_process(&mut self, pid: i32, share: u64) -> Result<ProcId> {
-        let stat = proc::read_stat(pid, self.ns_tick)?;
+        let stat = proc::read_stat(pid, proc::ns_per_tick())?;
         if stat.dead() {
             return Err(OsError::NoSuchProcess(pid));
         }
         signal::sigstop(pid)?;
-        let id = self.sched.add_process(share, stat.cpu_time);
+        let id = self.engine.add_member(pid, share, stat.cpu_time);
         self.procs.push((id, pid));
-        self.cycle_snapshot.push((id, stat.cpu_time));
         Ok(id)
     }
 
     /// Release a process from control (and resume it if suspended).
     pub fn remove_process(&mut self, id: ProcId) -> Result<()> {
-        let Some(pos) = self.procs.iter().position(|&(i, _)| i == id) else {
+        let Some(members) = self.engine.remove_principal(id) else {
+            self.procs.retain(|&(i, _)| i != id);
             return Ok(());
         };
-        let (_, pid) = self.procs.remove(pos);
-        self.cycle_snapshot.retain(|&(i, _)| i != id);
-        self.sched.remove_process(id);
-        match signal::sigcont(pid) {
-            Ok(()) | Err(OsError::NoSuchProcess(_)) => Ok(()),
-            Err(e) => Err(e),
+        self.procs.retain(|&(i, _)| i != id);
+        for pid in members {
+            match signal::sigcont(pid) {
+                Ok(()) | Err(OsError::NoSuchProcess(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
+        Ok(())
     }
 
     /// Change a controlled process's share at runtime (e.g. when the
     /// application's notion of the process's importance changes, as in the
     /// adaptive-mesh scenario of the paper's introduction).
     pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<()> {
-        self.sched
+        self.engine
             .set_share(id, share)
             .map_err(|_| OsError::NoSuchProcess(self.pid_of(id).unwrap_or(-1)))
     }
@@ -126,29 +112,36 @@ impl Supervisor {
     }
 
     /// Activity counters.
-    pub fn stats(&self) -> SupervisorStats {
-        self.stats
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Cycles completed so far.
     pub fn cycles_completed(&self) -> u64 {
-        self.sched.cycles_completed()
+        self.engine.cycles_completed()
     }
 
     /// Per-cycle consumption records (if enabled in the config).
     pub fn cycles(&self) -> &[CycleRecord] {
-        &self.cycles
+        self.engine.cycles()
     }
 
     /// Access the underlying algorithm state (read-only).
     pub fn scheduler(&self) -> &AlpsScheduler {
-        &self.sched
+        self.engine.scheduler()
     }
 
     /// Sleep until the next quantum boundary, then run one scheduler
     /// invocation. Returns the transitions that were applied.
     pub fn run_quantum(&mut self) -> Result<Vec<Transition>> {
-        let q = self.sched.quantum();
+        self.run_quantum_with(&mut NullSink)
+    }
+
+    /// [`run_quantum`](Supervisor::run_quantum) with an event sink
+    /// observing every measurement, signal, and cycle boundary (the
+    /// `--trace` wiring of `alps-cli`).
+    pub fn run_quantum_with(&mut self, sink: &mut dyn EventSink<i32>) -> Result<Vec<Transition>> {
+        let q = self.engine.quantum();
         let deadline = match self.next_deadline {
             Some(d) => d,
             None => clock::now() + q,
@@ -158,14 +151,19 @@ impl Supervisor {
         // Drift-free cadence with coalescing: if we overslept past one or
         // more whole quanta (we were starved, exactly as in §4.2), skip the
         // missed boundaries rather than firing a burst of catch-up quanta.
+        // The engine's own overrun detector counts these from the gap
+        // between consecutive invocations.
         let mut next = deadline + q;
         if now >= next {
-            self.stats.overruns += 1;
             let behind = (now - deadline).as_nanos() / q.as_nanos();
             next = deadline + q * (behind + 1);
         }
         self.next_deadline = Some(next);
-        self.invoke(now)
+        let transitions = self.engine.run_quantum(&mut self.sub, sink)?;
+        // Keep the pid table in sync with what the engine auto-reaped.
+        let engine = &self.engine;
+        self.procs.retain(|&(id, _)| engine.share(id).is_some());
+        Ok(transitions)
     }
 
     /// Run quanta for (at least) the given wall-clock duration.
@@ -180,95 +178,12 @@ impl Supervisor {
     /// Run quanta until at least `n` cycles have completed (with a
     /// wall-clock cap).
     pub fn run_cycles(&mut self, n: u64, cap: Duration) -> Result<()> {
-        let target = self.sched.cycles_completed() + n;
+        let target = self.engine.cycles_completed() + n;
         let end = clock::now() + Nanos::from(cap);
-        while self.sched.cycles_completed() < target && clock::now() < end {
+        while self.engine.cycles_completed() < target && clock::now() < end {
             self.run_quantum()?;
         }
         Ok(())
-    }
-
-    /// One scheduler invocation at time `now` (already woken).
-    fn invoke(&mut self, now: Nanos) -> Result<Vec<Transition>> {
-        self.stats.quanta += 1;
-        let due = self.sched.begin_quantum();
-        let mut observations = Vec::with_capacity(due.len());
-        let mut dead = Vec::new();
-        for id in due {
-            let Some(pid) = self.pid_of(id) else { continue };
-            match proc::read_stat(pid, self.ns_tick) {
-                Ok(stat) if !stat.dead() => {
-                    self.stats.measurements += 1;
-                    observations.push((
-                        id,
-                        Observation {
-                            total_cpu: stat.cpu_time,
-                            blocked: stat.blocked(),
-                        },
-                    ));
-                }
-                Ok(_) | Err(OsError::NoSuchProcess(_)) => dead.push(id),
-                Err(e) => return Err(e),
-            }
-        }
-        for id in dead {
-            self.stats.reaped += 1;
-            self.remove_process(id)?;
-        }
-        let outcome = self.sched.complete_quantum(&observations, now);
-        if outcome.cycle_completed && self.record_cycles {
-            self.record_cycle(now);
-        }
-        for t in &outcome.transitions {
-            let Some(pid) = self.pid_of(t.proc_id()) else {
-                continue;
-            };
-            self.stats.signals += 1;
-            let res = match t {
-                Transition::Resume(_) => signal::sigcont(pid),
-                Transition::Suspend(_) => signal::sigstop(pid),
-            };
-            match res {
-                Ok(()) => {}
-                Err(OsError::NoSuchProcess(_)) => {
-                    self.stats.reaped += 1;
-                    self.remove_process(t.proc_id())?;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(outcome.transitions)
-    }
-
-    /// The §3.1 instrumentation: exact per-cycle consumption of every
-    /// controlled process, read at the cycle boundary.
-    fn record_cycle(&mut self, now: Nanos) {
-        let mut entries = Vec::with_capacity(self.procs.len());
-        let mut total = Nanos::ZERO;
-        for &(id, pid) in &self.procs {
-            let cpu = match proc::read_stat(pid, self.ns_tick) {
-                Ok(ProcStat { cpu_time, .. }) => cpu_time,
-                Err(_) => continue,
-            };
-            let Some(snap) = self.cycle_snapshot.iter_mut().find(|(i, _)| *i == id) else {
-                continue;
-            };
-            let consumed = cpu.saturating_sub(snap.1);
-            snap.1 = cpu;
-            total += consumed;
-            entries.push(CycleEntry {
-                id,
-                share: self.sched.share(id).unwrap_or(0),
-                consumed,
-            });
-        }
-        self.cycles.push(CycleRecord {
-            index: self.sched.cycles_completed() - 1,
-            completed_at: now,
-            total_shares: self.sched.total_shares(),
-            total_consumed: total,
-            entries,
-        });
     }
 
     /// Resume every controlled process (used on shutdown so nothing is

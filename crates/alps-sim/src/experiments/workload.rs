@@ -153,7 +153,7 @@ pub fn run_workload(p: &WorkloadParams) -> WorkloadRun {
         overhead_pct: 100.0 * alps_cpu.as_f64() / duration.as_f64(),
         duration,
         alps_cpu,
-        quanta_serviced: stats.quanta_serviced,
+        quanta_serviced: stats.quanta,
         quanta_expected: (duration.as_nanos() / p.quantum.as_nanos()).max(1),
         measurements: stats.measurements,
         signals: stats.signals,

@@ -7,7 +7,13 @@
 //! and therefore competing for the CPU exactly as the real user-level
 //! scheduler did.
 //!
+//! The per-quantum control loop lives in [`alps_core::engine`]; this crate
+//! implements its [`alps_core::Substrate`] trait over the simulator
+//! ([`substrate::SimSubstrate`]) and drives the engine stage by stage so
+//! the Table-1 costs can be charged between stages.
+//!
 //! * [`cost`] — the Table-1 cost model;
+//! * [`substrate`] — the simulator as an engine substrate;
 //! * [`runner`] — per-process ALPS ([`runner::spawn_alps`]);
 //! * [`principal_runner`] — per-user (§5) ALPS
 //!   ([`principal_runner::spawn_alps_principals`]);
@@ -37,7 +43,11 @@ pub mod cost;
 pub mod experiments;
 pub mod principal_runner;
 pub mod runner;
+pub mod substrate;
 
 pub use cost::CostModel;
 pub use principal_runner::{spawn_alps_principals, MemberList, PrincipalAlpsHandle};
-pub use runner::{spawn_alps, AlpsHandle, RunnerStats};
+#[allow(deprecated)]
+pub use runner::RunnerStats;
+pub use runner::{spawn_alps, AlpsHandle};
+pub use substrate::SimSubstrate;

@@ -3,19 +3,22 @@
 //! The web-server experiment schedules *users*, not processes: an ALPS
 //! instance controls three principals, each owning a pool of worker
 //! processes, refreshing each principal's membership once per second (the
-//! paper used `kvm_getprocs` to list a user's pids). The runner charges the
-//! Table-1 costs for every member actually read plus a process-table scan
-//! per refresh.
+//! paper used `kvm_getprocs` to list a user's pids). The scheduling loop is
+//! the generic [`alps_core::Engine`] over a
+//! [`SimSubstrate`]; this module adds the membership
+//! refresh and charges the Table-1 costs for every member actually read
+//! plus a process-table scan per refresh.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use alps_core::{
-    AlpsConfig, CycleRecord, MemberTransition, Nanos, Observation, PrincipalScheduler, ProcId,
+    AlpsConfig, CycleRecord, Engine, Instrumentation, MemberTransition, Nanos, NullSink, ProcId,
 };
 use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
 use crate::cost::CostModel;
+use crate::substrate::SimSubstrate;
 
 /// How membership is refreshed: the driver owns the authoritative pid list
 /// for each principal (in the real system this is "all processes of uid
@@ -25,12 +28,8 @@ pub type MemberList = Rc<RefCell<Vec<Pid>>>;
 
 #[derive(Debug)]
 struct Shared {
-    sched: PrincipalScheduler<Pid>,
+    engine: Engine<Pid>,
     principals: Vec<(ProcId, MemberList)>,
-    cycles: Vec<CycleRecord>,
-    quanta_serviced: u64,
-    member_reads: u64,
-    signals: u64,
     refreshes: u64,
 }
 
@@ -55,12 +54,12 @@ impl PrincipalAlpsHandle {
 
     /// Per-cycle records (principal granularity).
     pub fn cycles(&self) -> Vec<CycleRecord> {
-        self.shared.borrow().cycles.clone()
+        self.shared.borrow().engine.cycles().to_vec()
     }
 
     /// Members read, summed over invocations.
     pub fn member_reads(&self) -> u64 {
-        self.shared.borrow().member_reads
+        self.shared.borrow().engine.stats().measurements
     }
 
     /// Membership refreshes performed.
@@ -70,7 +69,7 @@ impl PrincipalAlpsHandle {
 
     /// Scheduler invocations serviced.
     pub fn quanta_serviced(&self) -> u64 {
-        self.shared.borrow().quanta_serviced
+        self.shared.borrow().engine.stats().quanta
     }
 }
 
@@ -108,27 +107,27 @@ impl PrincipalAlpsBehavior {
                     .map(|p| (p, ctl.cputime(p)))
                     .collect();
                 scanned += current.len();
-                if let Some(change) = shared.sched.set_membership(id, &current) {
+                if let Some(change) = shared.engine.set_membership(id, &current) {
                     signals.extend(change.signals);
                 }
             }
         }
         let cost = self.cost.measure(scanned) + self.cost.signals(signals.len());
-        for s in &signals {
-            match s {
-                MemberTransition::Resume(p) => ctl.sigcont(*p),
-                MemberTransition::Suspend(p) => ctl.sigstop(*p),
-            }
-        }
+        self.shared
+            .borrow_mut()
+            .engine
+            .apply_signals(&mut SimSubstrate::new(ctl), &signals, &mut NullSink)
+            .unwrap();
         cost
     }
 }
 
 impl Behavior for PrincipalAlpsBehavior {
     fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        let mut sink = NullSink;
         match std::mem::replace(&mut self.phase, Phase::Waiting) {
             Phase::Init => {
-                let quantum = self.shared.borrow().sched.inner().quantum();
+                let quantum = self.shared.borrow().engine.quantum();
                 // Initial membership load; principals start ineligible so
                 // the reconciliation stops every member.
                 let cost = self.refresh_memberships(ctl);
@@ -146,43 +145,23 @@ impl Behavior for PrincipalAlpsBehavior {
                 }
                 let due = {
                     let mut shared = self.shared.borrow_mut();
-                    shared.quanta_serviced += 1;
-                    shared.sched.begin_quantum()
+                    shared
+                        .engine
+                        .begin_quantum(&mut SimSubstrate::new(ctl), &mut sink)
+                        .unwrap()
                 };
                 let to_read: usize = due.iter().map(|(_, m)| m.len()).sum();
-                self.shared.borrow_mut().member_reads += to_read as u64;
                 work += self.cost.measure(to_read);
                 self.phase = Phase::Measuring(due);
                 Step::Compute(work.max(Nanos::from_nanos(1)))
             }
             Phase::Measuring(due) => {
-                let readings: Vec<(ProcId, Vec<(Pid, Observation)>)> = due
-                    .iter()
-                    .map(|(id, members)| {
-                        let obs = members
-                            .iter()
-                            .filter(|&&p| !ctl.is_exited(p))
-                            .map(|&p| {
-                                (
-                                    p,
-                                    Observation {
-                                        total_cpu: ctl.cputime(p),
-                                        blocked: ctl.is_blocked(p),
-                                    },
-                                )
-                            })
-                            .collect();
-                        (*id, obs)
-                    })
-                    .collect();
-                let now = ctl.now();
                 let outcome = {
                     let mut shared = self.shared.borrow_mut();
-                    let outcome = shared.sched.complete_quantum(&readings, now);
-                    if let Some(rec) = &outcome.cycle_record {
-                        shared.cycles.push(rec.clone());
-                    }
-                    outcome
+                    shared
+                        .engine
+                        .complete_quantum(&mut SimSubstrate::new(ctl), &due, &mut sink)
+                        .unwrap()
                 };
                 if outcome.signals.is_empty() {
                     self.phase = Phase::Waiting;
@@ -194,21 +173,11 @@ impl Behavior for PrincipalAlpsBehavior {
                 }
             }
             Phase::Signaling(signals) => {
-                self.shared.borrow_mut().signals += signals.len() as u64;
-                for s in &signals {
-                    match s {
-                        MemberTransition::Resume(p) => {
-                            if !ctl.is_exited(*p) {
-                                ctl.sigcont(*p);
-                            }
-                        }
-                        MemberTransition::Suspend(p) => {
-                            if !ctl.is_exited(*p) {
-                                ctl.sigstop(*p);
-                            }
-                        }
-                    }
-                }
+                self.shared
+                    .borrow_mut()
+                    .engine
+                    .apply_signals(&mut SimSubstrate::new(ctl), &signals, &mut sink)
+                    .unwrap();
                 self.phase = Phase::Waiting;
                 Step::AwaitTimer
             }
@@ -230,18 +199,16 @@ pub fn spawn_alps_principals(
     refresh_period: Nanos,
 ) -> PrincipalAlpsHandle {
     assert!(refresh_period > Nanos::ZERO);
-    let mut sched = PrincipalScheduler::new(cfg);
+    // Group scheduling keeps the core's measurement-granular cycle log
+    // (consumption is attributed per principal, not per process).
+    let mut engine = Engine::new(cfg, Instrumentation::Measured);
     let principals: Vec<(ProcId, MemberList)> = groups
         .iter()
-        .map(|(share, members)| (sched.add_principal(*share), Rc::clone(members)))
+        .map(|(share, members)| (engine.add_principal(*share), Rc::clone(members)))
         .collect();
     let shared = Rc::new(RefCell::new(Shared {
-        sched,
+        engine,
         principals,
-        cycles: Vec::new(),
-        quanta_serviced: 0,
-        member_reads: 0,
-        signals: 0,
         refreshes: 0,
     }));
     let behavior = PrincipalAlpsBehavior {

@@ -4,51 +4,32 @@
 //! unprivileged simulated process that arms a periodic interval timer with
 //! the ALPS quantum and, on each expiry, pays the Table-1 CPU costs of its
 //! work (timer receipt, progress measurement, signals) as bursts it must
-//! win from the simulated kernel scheduler like everyone else. The returned
-//! [`AlpsHandle`] lets the experiment driver inspect the algorithm state
-//! and harvest per-cycle records afterwards.
+//! win from the simulated kernel scheduler like everyone else. The
+//! scheduling loop itself is the generic [`alps_core::Engine`] driven over
+//! a [`SimSubstrate`]; this module only interleaves the cost-model charges
+//! between the engine's stages. The returned [`AlpsHandle`] lets the
+//! experiment driver inspect the algorithm state and harvest per-cycle
+//! records afterwards.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use alps_core::{AlpsConfig, AlpsScheduler, CycleRecord, Nanos, Observation, ProcId, Transition};
+use alps_core::{
+    AlpsConfig, CycleRecord, Engine, EngineStats, Instrumentation, MemberTransition, Nanos,
+    NullSink, ProcId,
+};
 use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
 use crate::cost::CostModel;
+use crate::substrate::SimSubstrate;
 
-/// Statistics the runner accumulates beyond what the core tracks.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RunnerStats {
-    /// Timer expiries serviced (scheduler invocations actually performed).
-    pub quanta_serviced: u64,
-    /// Processes measured, summed over invocations.
-    pub measurements: u64,
-    /// Signals sent.
-    pub signals: u64,
-    /// Cycles completed.
-    pub cycles: u64,
-}
+/// Former name of the per-runner statistics, now unified across backends.
+#[deprecated(note = "runner statistics are the engine's; use `EngineStats`")]
+pub type RunnerStats = EngineStats;
 
 #[derive(Debug)]
 struct Shared {
-    sched: AlpsScheduler,
-    /// core ProcId → sim Pid, aligned with registration order.
-    pids: Vec<(ProcId, Pid)>,
-    cycles: Vec<CycleRecord>,
-    /// Cumulative CPU of each controlled process at the last cycle end —
-    /// the instrumentation snapshot (§3.1: ALPS is instrumented to log the
-    /// CPU consumed by each process in every cycle; this is an exact read
-    /// at the cycle boundary, independent of the lazy measurement
-    /// schedule).
-    cycle_snapshot: Vec<(ProcId, Nanos)>,
-    record_cycles: bool,
-    stats: RunnerStats,
-}
-
-impl Shared {
-    fn pid_of(&self, id: ProcId) -> Option<Pid> {
-        self.pids.iter().find(|(i, _)| *i == id).map(|&(_, p)| p)
-    }
+    engine: Engine<Pid>,
 }
 
 /// Driver-side handle to a spawned ALPS instance.
@@ -63,39 +44,39 @@ pub struct AlpsHandle {
 impl AlpsHandle {
     /// Per-cycle consumption records collected so far (clones out).
     pub fn cycles(&self) -> Vec<CycleRecord> {
-        self.shared.borrow().cycles.clone()
+        self.shared.borrow().engine.cycles().to_vec()
     }
 
     /// Number of cycles completed so far.
     pub fn cycle_count(&self) -> u64 {
-        self.shared.borrow().stats.cycles
+        self.shared.borrow().engine.stats().cycles
     }
 
-    /// Runner statistics.
-    pub fn stats(&self) -> RunnerStats {
-        self.shared.borrow().stats
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.borrow().engine.stats()
     }
 
     /// The core [`ProcId`]s in registration order (parallel to the pid
     /// slice passed to [`spawn_alps`]).
     pub fn proc_ids(&self) -> Vec<ProcId> {
-        self.shared.borrow().pids.iter().map(|&(i, _)| i).collect()
+        self.shared.borrow().engine.proc_ids().to_vec()
     }
 
     /// Current allowance of a controlled process, in quanta.
     pub fn allowance(&self, id: ProcId) -> Option<f64> {
-        self.shared.borrow().sched.allowance(id)
+        self.shared.borrow().engine.allowance(id)
     }
 
     /// Scheduler invocation count (`count` in Figure 3).
     pub fn invocations(&self) -> u64 {
-        self.shared.borrow().sched.invocations()
+        self.shared.borrow().engine.invocations()
     }
 
     /// Change a controlled process's share at runtime (e.g. when a mesh
     /// region refines in the paper's scientific-application scenario).
     pub fn set_share(&self, id: ProcId, share: u64) -> Result<(), alps_core::StaleId> {
-        self.shared.borrow_mut().sched.set_share(id, share)
+        self.shared.borrow_mut().engine.set_share(id, share)
     }
 }
 
@@ -104,10 +85,10 @@ enum Phase {
     Init,
     /// Blocked on the interval timer.
     Waiting,
-    /// Paying the measurement cost for the listed due processes.
-    Measuring(Vec<(ProcId, Pid)>),
-    /// Paying the signal cost before enacting the listed transitions.
-    Signaling(Vec<Transition>),
+    /// Paying the measurement cost for the listed due members.
+    Measuring(Vec<(ProcId, Vec<Pid>)>),
+    /// Paying the signal cost before delivering the listed signals.
+    Signaling(Vec<MemberTransition<Pid>>),
 }
 
 struct AlpsBehavior {
@@ -116,143 +97,68 @@ struct AlpsBehavior {
     phase: Phase,
 }
 
-impl AlpsBehavior {
-    /// Deregister any controlled process that has exited (the analogue of
-    /// noticing a stale pid when reading its stats).
-    fn reap_exited(&self, ctl: &mut SimCtl<'_>) {
-        let mut shared = self.shared.borrow_mut();
-        let exited: Vec<(ProcId, Pid)> = shared
-            .pids
-            .iter()
-            .copied()
-            .filter(|&(_, pid)| ctl.is_exited(pid))
-            .collect();
-        for (id, pid) in exited {
-            shared.sched.remove_process(id);
-            shared.pids.retain(|&(_, p)| p != pid);
-            shared.cycle_snapshot.retain(|&(i, _)| i != id);
-        }
-    }
-
-    /// The §3.1 instrumentation: at each cycle boundary, read every
-    /// controlled process's cumulative CPU and log the per-cycle deltas.
-    fn record_cycle(&self, ctl: &mut SimCtl<'_>, now: Nanos) {
-        let mut shared = self.shared.borrow_mut();
-        let shared = &mut *shared;
-        let mut entries = Vec::with_capacity(shared.pids.len());
-        let mut total = Nanos::ZERO;
-        for &(id, pid) in &shared.pids {
-            // Ground truth, independent of the visible-accounting mode.
-            let cpu = ctl.cputime_exact(pid);
-            let last = shared
-                .cycle_snapshot
-                .iter_mut()
-                .find(|(i, _)| *i == id)
-                .expect("snapshot covers all registered processes");
-            let consumed = cpu.saturating_sub(last.1);
-            last.1 = cpu;
-            total += consumed;
-            entries.push(alps_core::CycleEntry {
-                id,
-                share: shared.sched.share(id).unwrap_or(0),
-                consumed,
-            });
-        }
-        let index = shared.stats.cycles - 1;
-        shared.cycles.push(CycleRecord {
-            index,
-            completed_at: now,
-            total_shares: shared.sched.total_shares(),
-            total_consumed: total,
-            entries,
-        });
-    }
-}
-
 impl Behavior for AlpsBehavior {
     fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        let mut sink = NullSink;
         match std::mem::replace(&mut self.phase, Phase::Waiting) {
             Phase::Init => {
                 // Registered processes start ineligible (§2.2): stop them.
                 let pids: Vec<Pid> = {
                     let shared = self.shared.borrow();
-                    shared.pids.iter().map(|&(_, p)| p).collect()
+                    let engine = &shared.engine;
+                    engine
+                        .proc_ids()
+                        .iter()
+                        .flat_map(|&id| engine.members(id).unwrap_or_default())
+                        .collect()
                 };
                 for pid in pids {
                     ctl.sigstop(pid);
                 }
-                ctl.set_interval_timer(self.shared.borrow().sched.quantum());
+                ctl.set_interval_timer(self.shared.borrow().engine.quantum());
                 self.phase = Phase::Waiting;
                 Step::AwaitTimer
             }
             Phase::Waiting => {
                 // Timer expired: begin an invocation. The due list and its
                 // measurement cost are known before any reads happen.
-                self.reap_exited(ctl);
-                let due: Vec<(ProcId, Pid)> = {
+                let due = {
                     let mut shared = self.shared.borrow_mut();
-                    shared.stats.quanta_serviced += 1;
-                    let due_ids = shared.sched.begin_quantum();
-                    shared.stats.measurements += due_ids.len() as u64;
-                    due_ids
-                        .into_iter()
-                        .filter_map(|id| shared.pid_of(id).map(|p| (id, p)))
-                        .collect()
+                    shared
+                        .engine
+                        .begin_quantum(&mut SimSubstrate::new(ctl), &mut sink)
+                        .unwrap()
                 };
-                let work = self.cost.timer_event + self.cost.measure(due.len());
+                let to_read: usize = due.iter().map(|(_, ms)| ms.len()).sum();
+                let work = self.cost.timer_event + self.cost.measure(to_read);
                 self.phase = Phase::Measuring(due);
                 Step::Compute(work.max(Nanos::from_nanos(1)))
             }
             Phase::Measuring(due) => {
                 // Measurement cost paid: read the actual values and run the
                 // algorithm.
-                let observations: Vec<(ProcId, Observation)> = due
-                    .iter()
-                    .map(|&(id, pid)| {
-                        (
-                            id,
-                            Observation {
-                                total_cpu: ctl.cputime(pid),
-                                blocked: ctl.is_blocked(pid),
-                            },
-                        )
-                    })
-                    .collect();
-                let now = ctl.now();
                 let outcome = {
                     let mut shared = self.shared.borrow_mut();
-                    let outcome = shared.sched.complete_quantum(&observations, now);
-                    if outcome.cycle_completed {
-                        shared.stats.cycles += 1;
-                    }
-                    outcome
+                    shared
+                        .engine
+                        .complete_quantum(&mut SimSubstrate::new(ctl), &due, &mut sink)
+                        .unwrap()
                 };
-                if outcome.cycle_completed && self.shared.borrow().record_cycles {
-                    self.record_cycle(ctl, now);
-                }
-                if outcome.transitions.is_empty() {
+                if outcome.signals.is_empty() {
                     self.phase = Phase::Waiting;
                     Step::AwaitTimer
                 } else {
-                    let work = self.cost.signals(outcome.transitions.len());
-                    self.phase = Phase::Signaling(outcome.transitions);
+                    let work = self.cost.signals(outcome.signals.len());
+                    self.phase = Phase::Signaling(outcome.signals);
                     Step::Compute(work.max(Nanos::from_nanos(1)))
                 }
             }
-            Phase::Signaling(transitions) => {
-                {
-                    let mut shared = self.shared.borrow_mut();
-                    shared.stats.signals += transitions.len() as u64;
-                    for t in &transitions {
-                        let Some(pid) = shared.pid_of(t.proc_id()) else {
-                            continue;
-                        };
-                        match t {
-                            Transition::Resume(_) => ctl.sigcont(pid),
-                            Transition::Suspend(_) => ctl.sigstop(pid),
-                        }
-                    }
-                }
+            Phase::Signaling(signals) => {
+                self.shared
+                    .borrow_mut()
+                    .engine
+                    .apply_signals(&mut SimSubstrate::new(ctl), &signals, &mut sink)
+                    .unwrap();
                 self.phase = Phase::Waiting;
                 Step::AwaitTimer
             }
@@ -275,26 +181,13 @@ pub fn spawn_alps(
     cost: CostModel,
     procs: &[(Pid, u64)],
 ) -> AlpsHandle {
-    let record_cycles = cfg.record_cycles;
-    // The runner does its own cycle instrumentation (exact reads at cycle
-    // boundaries); the core's measurement-granularity log stays off.
-    let mut sched = AlpsScheduler::new(cfg.with_cycle_log(false));
-    let mut pids = Vec::with_capacity(procs.len());
-    let mut cycle_snapshot = Vec::with_capacity(procs.len());
+    // Cycle instrumentation reads ground truth at cycle boundaries (§3.1),
+    // independent of the visible-accounting mode the algorithm sees.
+    let mut engine = Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true);
     for &(pid, share) in procs {
-        let cpu = sim.cputime(pid);
-        let id = sched.add_process(share, cpu);
-        pids.push((id, pid));
-        cycle_snapshot.push((id, cpu));
+        engine.add_member(pid, share, sim.cputime(pid));
     }
-    let shared = Rc::new(RefCell::new(Shared {
-        sched,
-        pids,
-        cycles: Vec::new(),
-        cycle_snapshot,
-        record_cycles,
-        stats: RunnerStats::default(),
-    }));
+    let shared = Rc::new(RefCell::new(Shared { engine }));
     let behavior = AlpsBehavior {
         shared: Rc::clone(&shared),
         cost,
@@ -393,6 +286,7 @@ mod tests {
         sim.run_until(Nanos::from_secs(5));
         assert!(sim.is_exited(a));
         assert_eq!(alps.proc_ids().len(), 1, "exited process deregistered");
+        assert!(alps.stats().reaped >= 1);
         // b keeps running under ALPS control at full speed.
         assert!(sim.cputime(b) > Nanos::from_secs(4));
     }
@@ -447,7 +341,7 @@ mod tests {
         let horizon = Nanos::from_secs(60);
         sim.run_until(horizon);
         let expected = horizon.as_nanos() / Nanos::from_millis(10).as_nanos();
-        let serviced = alps.stats().quanta_serviced;
+        let serviced = alps.stats().quanta;
         assert!(serviced <= expected, "{serviced} > {expected}");
         assert!(
             (serviced as f64) < 0.9 * expected as f64,
@@ -456,6 +350,8 @@ mod tests {
         // The algorithm's invocation counter equals serviced quanta (one
         // begin_quantum per serviced timer, missed fires coalesced).
         assert_eq!(alps.invocations(), serviced);
+        // Past breakdown, the engine's §4.2 overrun detector must fire.
+        assert!(alps.stats().overruns > 0);
     }
 
     #[test]

@@ -1241,11 +1241,17 @@ mod tests {
                 ..SimConfig::default()
             };
             let mut s = Sim::new(cfg);
-            let pids: Vec<_> = (0..5)
-                .map(|i| s.spawn(format!("w{i}"), Box::new(ComputeBound)))
-                .collect();
+            s.enable_trace(4096);
+            for i in 0..5 {
+                s.spawn(format!("w{i}"), Box::new(ComputeBound));
+            }
             s.run_until(Nanos::from_secs(10));
-            pids.iter().map(|&p| s.cputime(p).0).collect::<Vec<_>>()
+            s.trace()
+                .unwrap()
+                .events()
+                .iter()
+                .map(|e| (e.at, e.pid, e.kind))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2), "different seeds perturb the trace");

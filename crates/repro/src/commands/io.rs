@@ -1,0 +1,65 @@
+//! The I/O experiment (Figure 6) and the §2.4 blocked-process-policy
+//! ablation.
+
+use alps_sim::experiments::io::{run_io, run_io_policy_ablation, IoParams};
+
+use crate::output::{fmt, heading, rule, series, write_data};
+
+/// Figure 6: the I/O experiment.
+pub fn fig6() {
+    heading("Figure 6: share (%) per cycle while the 2-share process does I/O");
+    let p = IoParams::default();
+    let r = run_io(&p);
+    let window = |s: &[(u64, f64)]| -> Vec<(f64, f64)> {
+        s.iter()
+            .filter(|&&(cy, _)| (560..=650).contains(&cy))
+            .map(|&(cy, v)| (cy as f64, v))
+            .collect()
+    };
+    series("1 share (A)", &window(&r.a), 30);
+    series("2 shares, I/O (B)", &window(&r.b), 30);
+    series("3 shares (C)", &window(&r.c), 30);
+    for (name, s) in [("a", &r.a), ("b", &r.b), ("c", &r.c)] {
+        let rows: Vec<Vec<f64>> = s.iter().map(|&(cy, v)| vec![cy as f64, v]).collect();
+        write_data(&format!("fig6_{name}.dat"), "cycle share_pct", &rows);
+    }
+    println!(
+        "\nsteady state (A,B,C): ({}, {}, {})%  [ideal 16.7/33.3/50.0]",
+        fmt(r.steady_split.0, 1),
+        fmt(r.steady_split.1, 1),
+        fmt(r.steady_split.2, 1)
+    );
+    println!(
+        "while B blocked (A,C): ({}, {})%      [paper: 25/75]",
+        fmt(r.blocked_split.0, 1),
+        fmt(r.blocked_split.1, 1)
+    );
+}
+
+/// §2.4 ablation: blocked-process accounting policies.
+pub fn io_policy() {
+    heading("§2.4 ablation: blocked-process policies on the Figure-6 workload");
+    let base = IoParams {
+        io_start_cycle: 100,
+        end_cycle: 200,
+        ..IoParams::default()
+    };
+    println!(
+        "{:<22} {:>22} {:>18}",
+        "policy", "steady (A,B,C) %", "B-blocked (A,C) %"
+    );
+    rule(66);
+    for row in run_io_policy_ablation(&base) {
+        println!(
+            "{:<22} {:>6},{:>6},{:>6} {:>9},{:>7}",
+            format!("{:?}", row.policy),
+            fmt(row.steady_split.0, 1),
+            fmt(row.steady_split.1, 1),
+            fmt(row.steady_split.2, 1),
+            fmt(row.blocked_split.0, 1),
+            fmt(row.blocked_split.1, 1)
+        );
+    }
+    println!("\nthe paper's OneQuantumPenalty keeps the cycle moving and splits");
+    println!("the blocked process's time 1:3; NoPenalty stalls cycle turnover.");
+}

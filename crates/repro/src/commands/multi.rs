@@ -1,0 +1,59 @@
+//! Multiple concurrent ALPSs: Figure 7 and Table 3.
+
+use alps_sim::experiments::multi::{run_multi, MultiParams};
+
+use crate::output::{fmt, heading, rule, series, write_data};
+
+/// Figure 7: cumulative CPU for three concurrent ALPSs.
+pub fn fig7() {
+    heading("Figure 7: cumulative CPU (ms) vs wall time (ms), 3 ALPSs");
+    let r = run_multi(&MultiParams::default());
+    for s in &r.series {
+        series(&s.label, &s.points, 15);
+        let rows: Vec<Vec<f64>> = s.points.iter().map(|&(t, c)| vec![t, c]).collect();
+        write_data(
+            &format!("fig7_{}share_{}.dat", s.share, s.group.to_lowercase()),
+            "wall_ms cumulative_cpu_ms",
+            &rows,
+        );
+    }
+    println!(
+        "\nphase-3 group fractions (A,B,C): {:.2}/{:.2}/{:.2}  [paper: ~1/3 each]",
+        r.phase3_group_fractions[0], r.phase3_group_fractions[1], r.phase3_group_fractions[2]
+    );
+}
+
+/// Table 3: accuracy of multiple ALPSs.
+pub fn table3() {
+    heading("Table 3: Accuracy of Multiple ALPSs");
+    let r = run_multi(&MultiParams::default());
+    println!(
+        "{:>2} {:>7} | {:>7} {:>5} | {:>7} {:>5} | {:>7} {:>5}",
+        "S", "target", "ph1 %", "re%", "ph2 %", "re%", "ph3 %", "re%"
+    );
+    rule(60);
+    for row in &r.table3 {
+        let cell = |c: Option<(f64, f64)>| match c {
+            Some((pct, re)) => (fmt(pct, 1), fmt(re, 1)),
+            None => ("-".into(), "-".into()),
+        };
+        let (p1, e1) = cell(row.phases[0]);
+        let (p2, e2) = cell(row.phases[1]);
+        let (p3, e3) = cell(row.phases[2]);
+        println!(
+            "{:>2} {:>7} | {:>7} {:>5} | {:>7} {:>5} | {:>7} {:>5}",
+            row.share,
+            fmt(row.target_pct, 1),
+            p1,
+            e1,
+            p2,
+            e2,
+            p3,
+            e3
+        );
+    }
+    println!(
+        "\nmean relative error: {}% (paper: 0.93%)",
+        fmt(r.mean_rel_err_pct, 2)
+    );
+}

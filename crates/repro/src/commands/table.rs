@@ -1,0 +1,53 @@
+//! Aligned-column table printing shared by the command modules.
+
+use crate::output::rule;
+
+/// A fixed column layout: one signed width per column, where a positive
+/// width right-aligns the cell and a negative width left-aligns it (the
+/// usual split between numbers and labels). Columns are separated by a
+/// single space.
+pub(crate) struct Table {
+    cols: Vec<(usize, bool)>,
+}
+
+impl Table {
+    pub(crate) fn new(widths: &[i32]) -> Self {
+        Table {
+            cols: widths
+                .iter()
+                .map(|&w| (w.unsigned_abs() as usize, w < 0))
+                .collect(),
+        }
+    }
+
+    fn line(&self, cells: &[String]) {
+        let mut out = String::new();
+        for ((width, left), cell) in self.cols.iter().zip(cells) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if *left {
+                out.push_str(&format!("{cell:<width$}"));
+            } else {
+                out.push_str(&format!("{cell:>width$}"));
+            }
+        }
+        println!("{}", out.trim_end());
+    }
+
+    /// Total printed width (columns plus separators).
+    pub(crate) fn width(&self) -> usize {
+        self.cols.iter().map(|&(w, _)| w).sum::<usize>() + self.cols.len().saturating_sub(1)
+    }
+
+    /// Print the header row followed by a rule spanning the table.
+    pub(crate) fn header(&self, cells: &[&str]) {
+        self.line(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        rule(self.width());
+    }
+
+    /// Print one data row.
+    pub(crate) fn row(&self, cells: &[String]) {
+        self.line(cells);
+    }
+}

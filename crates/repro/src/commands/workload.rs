@@ -1,0 +1,183 @@
+//! The synthetic-workload accuracy/overhead studies: Table 2, Figures 4
+//! and 5, the §3.2 lazy-measurement ablation, and the
+//! measurement-granularity ablation.
+
+use alps_core::Nanos;
+use alps_sim::experiments::accounting::run_accounting_row;
+use alps_sim::experiments::workload::{run_ablation, run_workload_mean, WorkloadParams};
+use workloads::ShareModel;
+
+use super::table::Table;
+use super::Scale;
+use crate::output::{fmt, heading, write_data};
+
+/// Table 2: workload share distributions.
+pub fn table2() {
+    heading("Table 2: Workload Share Distributions");
+    let table = Table::new(&[-8, 3, -52, 6]);
+    table.header(&["model", "n", "shares", "total"]);
+    for model in ShareModel::ALL {
+        for n in [5usize, 10, 20] {
+            let shares = model.shares(n);
+            let shown = if shares.len() <= 10 {
+                format!("{shares:?}")
+            } else {
+                format!(
+                    "[{}, {}, ..., {}, {}]",
+                    shares[0],
+                    shares[1],
+                    shares[n - 2],
+                    shares[n - 1]
+                )
+            };
+            table.row(&[
+                model.to_string(),
+                n.to_string(),
+                shown,
+                model.total_shares(n).to_string(),
+            ]);
+        }
+    }
+}
+
+/// Figure 4: accuracy (mean RMS relative error) vs quantum length.
+pub fn fig4(scale: &Scale) {
+    heading("Figure 4: Accuracy — mean RMS relative error (%) vs quantum length");
+    let quanta_ms = [10u64, 15, 20, 25, 30, 35, 40];
+    let mut widths = vec![-10i32];
+    widths.extend(std::iter::repeat_n(9, quanta_ms.len()));
+    let table = Table::new(&widths);
+    let header: Vec<String> = std::iter::once("workload".to_string())
+        .chain(quanta_ms.iter().map(|q| format!("{q}ms")))
+        .collect();
+    table.header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
+        for n in [5usize, 10, 20] {
+            let mut cells = vec![model.workload_name(n)];
+            let mut rows = Vec::new();
+            for q in quanta_ms {
+                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+                p.target_cycles = scale.cycles;
+                let r = run_workload_mean(&p, &scale.seed_list());
+                cells.push(fmt(r.mean_rms_error_pct, 2));
+                rows.push(vec![q as f64, r.mean_rms_error_pct]);
+            }
+            table.row(&cells);
+            write_data(
+                &format!("fig4_{}.dat", model.workload_name(n).to_lowercase()),
+                "quantum_ms mean_rms_error_pct",
+                &rows,
+            );
+        }
+    }
+    println!("\npaper: most workloads < 5%; skewed highest (up to ~25% at 40 ms).");
+}
+
+/// Figure 5: overhead (% CPU used by ALPS) vs number of processes.
+pub fn fig5(scale: &Scale) {
+    heading("Figure 5: Overhead — ALPS CPU / wall time (%) vs N");
+    let quanta_ms = [10u64, 20, 40];
+    let table = Table::new(&[-8, 4, 10, 10, 10]);
+    table.header(&["model", "N", "Q=10ms", "Q=20ms", "Q=40ms"]);
+    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
+        let mut rows = Vec::new();
+        for n in [5usize, 10, 20] {
+            let mut cells = vec![model.to_string(), n.to_string()];
+            let mut row = vec![n as f64];
+            for q in quanta_ms {
+                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+                p.target_cycles = scale.cycles;
+                let r = run_workload_mean(&p, &scale.seed_list());
+                cells.push(fmt(r.overhead_pct, 3));
+                row.push(r.overhead_pct);
+            }
+            table.row(&cells);
+            rows.push(row);
+        }
+        write_data(
+            &format!("fig5_{}.dat", model.to_string().to_lowercase()),
+            "n overhead_q10 overhead_q20 overhead_q40",
+            &rows,
+        );
+    }
+    println!("\npaper: typically < 0.3%, equal-share highest, larger Q cheaper.");
+}
+
+/// §3.2 ablation: the lazy-measurement optimization.
+pub fn ablation(scale: &Scale) {
+    heading("§3.2 ablation: lazy measurement on vs off (overhead reduction)");
+    let table = Table::new(&[-10, 6, 12, 12, 8, 10, 10]);
+    table.header(&[
+        "workload",
+        "Q(ms)",
+        "ovh opt(%)",
+        "ovh unopt(%)",
+        "factor",
+        "err opt",
+        "err unopt",
+    ]);
+    let mut factors = Vec::new();
+    for model in ShareModel::ALL {
+        for n in [5usize, 10, 20] {
+            for q in [10u64, 20, 40] {
+                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+                p.target_cycles = scale.cycles.min(60);
+                let row = run_ablation(&p);
+                factors.push(row.factor);
+                table.row(&[
+                    row.workload.clone(),
+                    q.to_string(),
+                    fmt(row.overhead_opt_pct, 3),
+                    fmt(row.overhead_unopt_pct, 3),
+                    fmt(row.factor, 2),
+                    fmt(row.error_opt_pct, 2),
+                    fmt(row.error_unopt_pct, 2),
+                ]);
+            }
+        }
+    }
+    let (lo, hi) = factors
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &f| {
+            (lo.min(f), hi.max(f))
+        });
+    println!(
+        "\nfactor range here: {:.1}x – {:.1}x (paper: 1.8x – 5.9x)",
+        lo, hi
+    );
+}
+
+/// Measurement-granularity ablation: exact vs statclock-sampled readings.
+pub fn accounting(scale: &Scale) {
+    heading("ablation: exact vs tick-sampled CPU readings (error %, overhead %)");
+    let table = Table::new(&[-10, 6, 11, 13, 11, 13]);
+    table.header(&[
+        "workload",
+        "Q(ms)",
+        "err exact",
+        "err sampled",
+        "ovh exact",
+        "ovh sampled",
+    ]);
+    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
+        for n in [5usize, 10, 20] {
+            for q in [10u64, 40] {
+                let row =
+                    run_accounting_row(model, n, Nanos::from_millis(q), scale.cycles.min(80), 1);
+                table.row(&[
+                    row.workload.clone(),
+                    q.to_string(),
+                    fmt(row.error_exact_pct, 2),
+                    fmt(row.error_sampled_pct, 2),
+                    fmt(row.overhead_exact_pct, 3),
+                    fmt(row.overhead_sampled_pct, 3),
+                ]);
+            }
+        }
+    }
+    println!(
+        "
+a user-level scheduler is only as precise as the counters it"
+    );
+    println!("reads: tick-sampled counters hit single-share processes hardest.");
+}

@@ -1,0 +1,56 @@
+//! Watching the engine think: the `--trace` event stream.
+//!
+//! Every backend drives the same generic engine (`alps_core::engine`),
+//! and the engine narrates everything it does through an `EventSink`.
+//! This example attaches the human-readable `TraceSink` to a real-Linux
+//! supervisor over two spinner children with shares 1:3 — exactly what
+//! `alps run --trace 1:'...' 3:'...'` prints. Expect output like:
+//!
+//! ```text
+//! [    0.020134] quantum #1: 2 due
+//!                measure 4711: cpu 0.000 ms
+//!                measure 4712: cpu 0.000 ms
+//!                signal  4711: CONT
+//!                signal  4712: CONT
+//! [    0.040191] quantum #2: 2 due
+//!                measure 4711: cpu 19.724 ms
+//!                ...
+//! [    0.080611] ---- cycle 0 complete ----
+//! ```
+//!
+//! `quantum #N: D due` opens each invocation (D members to measure —
+//! fewer than the full set once §3.2 lazy measurement kicks in);
+//! `measure`/`signal` lines show the per-member reads and
+//! `SIGSTOP`/`SIGCONT` deliveries; `---- cycle N complete ----` marks
+//! each S·Q boundary; a late timer prints `overrun: X ms since last
+//! quantum` (§4.2) and an exited child prints `reaped <pid>`.
+//!
+//! Run with: `cargo run --release --example trace_events`
+
+use std::time::Duration;
+
+use alps::{AlpsConfig, Nanos, SpinnerPool, TraceSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pool = SpinnerPool::spawn(2)?;
+    let pids = pool.pids();
+
+    let cfg = AlpsConfig::new(Nanos::from_millis(20));
+    let mut sup = alps::Supervisor::new(cfg);
+    sup.add_process(pids[0], 1)?;
+    sup.add_process(pids[1], 3)?;
+
+    let mut sink = TraceSink::new(std::io::stderr());
+    let end = std::time::Instant::now() + Duration::from_secs(2);
+    while std::time::Instant::now() < end {
+        sup.run_quantum_with(&mut sink)?;
+    }
+    sup.release_all();
+
+    let s = sup.stats();
+    eprintln!(
+        "done: {} quanta, {} measurements, {} signals, {} cycles, {} overruns",
+        s.quanta, s.measurements, s.signals, s.cycles, s.overruns
+    );
+    Ok(())
+}

@@ -56,8 +56,9 @@ pub use alps_os as os;
 pub use alps_sim as sim;
 
 pub use alps_core::{
-    AlpsConfig, AlpsScheduler, CycleEntry, CycleRecord, IoPolicy, Nanos, NodeId, Observation,
-    PrincipalScheduler, ProcId, ShareTree, Transition,
+    AlpsConfig, AlpsScheduler, CycleEntry, CycleRecord, Engine, EngineStats, Event, EventSink,
+    Instrumentation, IoPolicy, Nanos, NodeId, NullSink, Observation, PrincipalScheduler, ProcId,
+    RecordingSink, ShareTree, Signal, Substrate, TraceSink, Transition,
 };
 pub use alps_os::{Membership, PrincipalSupervisor, SpinnerPool, Supervisor};
 pub use alps_sim::{spawn_alps, spawn_alps_principals, AlpsHandle, CostModel};

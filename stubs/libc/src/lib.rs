@@ -1,0 +1,55 @@
+//! Minimal libc bindings for the symbols this workspace uses.
+//!
+//! These are real FFI declarations against the system C library — not
+//! mocks. Only Linux is supported, matching the alps-os backend.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type c_uint = u32;
+pub type time_t = i64;
+pub type pid_t = i32;
+pub type uid_t = u32;
+pub type clockid_t = i32;
+pub type sighandler_t = usize;
+
+/// `struct timespec` as defined on 64-bit Linux.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+pub const SIGINT: c_int = 2;
+pub const SIGKILL: c_int = 9;
+pub const SIGTERM: c_int = 15;
+pub const SIGSTOP: c_int = 19;
+pub const SIGCONT: c_int = 18;
+
+pub const EINTR: c_int = 4;
+pub const ESRCH: c_int = 3;
+
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+pub const TIMER_ABSTIME: c_int = 1;
+
+pub const _SC_CLK_TCK: c_int = 2;
+
+pub const SIG_DFL: sighandler_t = 0;
+pub const SIG_IGN: sighandler_t = 1;
+pub const SIG_ERR: sighandler_t = !0;
+
+extern "C" {
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    pub fn getuid() -> uid_t;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn clock_nanosleep(
+        clk_id: clockid_t,
+        flags: c_int,
+        request: *const timespec,
+        remain: *mut timespec,
+    ) -> c_int;
+}
