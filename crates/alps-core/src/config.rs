@@ -60,6 +60,12 @@ impl AlpsConfig {
         }
     }
 
+    /// Builder-style choice of quantum.
+    pub fn with_quantum(mut self, quantum: Nanos) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
     /// Builder-style switch for the §2.3 optimization.
     pub fn with_lazy_measurement(mut self, on: bool) -> Self {
         self.lazy_measurement = on;
@@ -101,7 +107,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let cfg = AlpsConfig::new(Nanos::from_millis(40))
+        let cfg = AlpsConfig::default()
+            .with_quantum(Nanos::from_millis(40))
             .with_lazy_measurement(false)
             .with_io_policy(IoPolicy::NoPenalty)
             .with_cycle_log(true);

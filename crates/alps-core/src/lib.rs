@@ -73,6 +73,26 @@ pub mod principal;
 pub mod sched;
 pub mod time;
 
+/// The types every ALPS driver imports.
+///
+/// A backend — simulator runner, OS supervisor, or test harness — builds
+/// an [`AlpsConfig`], drives an [`Engine`] over its [`Substrate`], watches
+/// through an [`EventSink`], and talks in [`Nanos`] and [`ProcId`]s:
+///
+/// ```
+/// use alps_core::prelude::*;
+///
+/// let cfg = AlpsConfig::new(Nanos::from_millis(10));
+/// let mut alps = AlpsScheduler::new(cfg);
+/// let _p = alps.add_process(1, Nanos::ZERO);
+/// ```
+pub mod prelude {
+    pub use crate::config::AlpsConfig;
+    pub use crate::engine::{Engine, EventSink, Substrate};
+    pub use crate::sched::{AlpsScheduler, ProcId};
+    pub use crate::time::Nanos;
+}
+
 pub use config::{AlpsConfig, IoPolicy};
 pub use cycle::{CycleEntry, CycleRecord};
 pub use engine::{

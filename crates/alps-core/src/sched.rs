@@ -111,6 +111,9 @@ struct ProcState {
 struct Slot {
     generation: u32,
     state: Option<ProcState>,
+    /// Whether this slot has an entry in the `occupied` index (either
+    /// live, or vacated and awaiting compaction).
+    listed: bool,
 }
 
 /// The ALPS proportional-share scheduler core (one instance per application).
@@ -123,6 +126,18 @@ struct Slot {
 pub struct AlpsScheduler {
     cfg: AlpsConfig,
     slots: Vec<Slot>,
+    /// Vacant slot indices (LIFO). Popping here replaces the historical
+    /// full-`Vec` vacancy scan, making registration and removal O(1)
+    /// regardless of population size.
+    free: Vec<u32>,
+    /// Slot indices holding (or recently holding) a process, in
+    /// registration order. Invocations iterate this instead of the full
+    /// slot vector, so they cost O(live); vacated entries are skipped and
+    /// compacted away once they outnumber the live ones, which keeps
+    /// departed processes from costing anything per quantum.
+    occupied: Vec<u32>,
+    /// Vacated entries still present in `occupied`.
+    vacated: usize,
     live: usize,
     total_shares: u64,
     /// Time remaining in the current cycle, in nanoseconds (`t_c`).
@@ -140,6 +155,9 @@ impl AlpsScheduler {
         AlpsScheduler {
             cfg,
             slots: Vec::new(),
+            free: Vec::new(),
+            occupied: Vec::new(),
+            vacated: 0,
             live: 0,
             total_shares: 0,
             tc: 0.0,
@@ -217,11 +235,24 @@ impl AlpsScheduler {
         self.total_shares += share;
         self.tc += share as f64 * self.cfg.quantum.as_f64();
         self.live += 1;
-        // Reuse a free slot if available.
-        if let Some(idx) = self.slots.iter().position(|s| s.state.is_none()) {
+        // Reuse the most recently freed slot if available. The free list
+        // replaces a full-`Vec` vacancy scan that made registering N
+        // processes O(N²) — the dominant cost of large-N sweeps.
+        if let Some(idx) = self.free.pop() {
+            let idx = idx as usize;
+            debug_assert!(self.slots[idx].state.is_none(), "free slot occupied");
             let slot = &mut self.slots[idx];
             slot.generation = slot.generation.wrapping_add(1);
             slot.state = Some(state);
+            if !slot.listed {
+                // The vacated entry was compacted away; list the slot
+                // again. (If it is still listed, the old entry simply
+                // becomes live again at its original position.)
+                slot.listed = true;
+                self.occupied.push(idx as u32);
+            } else {
+                self.vacated -= 1;
+            }
             ProcId {
                 idx: idx as u32,
                 generation: slot.generation,
@@ -230,7 +261,9 @@ impl AlpsScheduler {
             self.slots.push(Slot {
                 generation: 0,
                 state: Some(state),
+                listed: true,
             });
+            self.occupied.push((self.slots.len() - 1) as u32);
             ProcId {
                 idx: (self.slots.len() - 1) as u32,
                 generation: 0,
@@ -249,6 +282,19 @@ impl AlpsScheduler {
             return None;
         }
         let state = slot.state.take()?;
+        self.free.push(id.idx);
+        self.vacated += 1;
+        if self.vacated * 2 > self.occupied.len() {
+            let slots = &mut self.slots;
+            self.occupied.retain(|&i| {
+                let keep = slots[i as usize].state.is_some();
+                if !keep {
+                    slots[i as usize].listed = false;
+                }
+                keep
+            });
+            self.vacated = 0;
+        }
         self.total_shares -= state.share;
         self.live -= 1;
         if state.allowance > 0.0 {
@@ -297,11 +343,13 @@ impl AlpsScheduler {
         self.state(id).map(|s| s.eligible)
     }
 
-    /// Iterate over the ids of all registered processes, in slot order.
+    /// Iterate over the ids of all registered processes, in registration
+    /// order.
     pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| {
+        self.occupied.iter().filter_map(|&i| {
+            let s = &self.slots[i as usize];
             s.state.as_ref().map(|_| ProcId {
-                idx: i as u32,
+                idx: i,
                 generation: s.generation,
             })
         })
@@ -318,14 +366,14 @@ impl AlpsScheduler {
         self.count += 1;
         let count = self.count;
         let lazy = self.cfg.lazy_measurement;
-        self.slots
+        self.occupied
             .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| {
+            .filter_map(|&i| {
+                let slot = &self.slots[i as usize];
                 let s = slot.state.as_ref()?;
                 if s.eligible && (!lazy || s.update <= count) {
                     Some(ProcId {
-                        idx: i as u32,
+                        idx: i,
                         generation: slot.generation,
                     })
                 } else {
@@ -395,8 +443,9 @@ impl AlpsScheduler {
             if self.cfg.record_cycles {
                 cycle_record = Some(self.take_cycle_record(now));
             } else {
-                for slot in &mut self.slots {
-                    if let Some(s) = slot.state.as_mut() {
+                for k in 0..self.occupied.len() {
+                    let i = self.occupied[k] as usize;
+                    if let Some(s) = self.slots[i].state.as_mut() {
                         s.cycle_consumed = Nanos::ZERO;
                         s.forfeited = false;
                     }
@@ -408,7 +457,9 @@ impl AlpsScheduler {
         // next measurement of every process measured this invocation.
         let count = self.count;
         let mut transitions = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
+        for k in 0..self.occupied.len() {
+            let i = self.occupied[k] as usize;
+            let slot = &mut self.slots[i];
             let Some(s) = slot.state.as_mut() else {
                 continue;
             };
@@ -446,10 +497,12 @@ impl AlpsScheduler {
         // and re-credits allowances.
         if self.live > 0
             && self.tc > 0.0
-            && self
-                .slots
-                .iter()
-                .all(|s| s.state.as_ref().is_none_or(|p| !p.eligible))
+            && self.occupied.iter().all(|&i| {
+                self.slots[i as usize]
+                    .state
+                    .as_ref()
+                    .is_none_or(|p| !p.eligible)
+            })
         {
             self.tc = 0.0;
         }
@@ -465,7 +518,9 @@ impl AlpsScheduler {
     fn take_cycle_record(&mut self, now: Nanos) -> CycleRecord {
         let mut entries = Vec::with_capacity(self.live);
         let mut total = Nanos::ZERO;
-        for (i, slot) in self.slots.iter_mut().enumerate() {
+        for k in 0..self.occupied.len() {
+            let i = self.occupied[k] as usize;
+            let slot = &mut self.slots[i];
             if let Some(s) = slot.state.as_mut() {
                 entries.push(CycleEntry {
                     id: ProcId {
@@ -918,5 +973,108 @@ mod tests {
         }
         let due = s.begin_quantum();
         assert_eq!(due, vec![a], "due exactly at ceil(4.3)=5 quanta");
+    }
+
+    /// Brute-force check that the slot indexes (`free`, `occupied`,
+    /// `listed`, `vacated`) exactly summarize `slots`.
+    fn assert_indexes_consistent(s: &AlpsScheduler) {
+        for (pos, &idx) in s.free.iter().enumerate() {
+            let idx = idx as usize;
+            assert!(s.slots[idx].state.is_none(), "free slot {idx} is occupied");
+            assert!(
+                !s.free[pos + 1..].contains(&(idx as u32)),
+                "slot {idx} listed twice in the free list"
+            );
+        }
+        for (pos, &idx) in s.occupied.iter().enumerate() {
+            let idx = idx as usize;
+            assert!(
+                s.slots[idx].listed,
+                "occupied entry {idx} not marked listed"
+            );
+            assert!(
+                !s.occupied[pos + 1..].contains(&(idx as u32)),
+                "slot {idx} listed twice in the occupied index"
+            );
+        }
+        for (idx, slot) in s.slots.iter().enumerate() {
+            let in_occupied = s.occupied.contains(&(idx as u32));
+            assert_eq!(
+                slot.listed, in_occupied,
+                "slot {idx}: listed flag disagrees with the occupied index"
+            );
+            if slot.state.is_some() {
+                assert!(
+                    in_occupied,
+                    "live slot {idx} missing from the occupied index"
+                );
+                assert!(
+                    !s.free.contains(&(idx as u32)),
+                    "live slot {idx} on the free list"
+                );
+            } else {
+                assert!(
+                    s.free.contains(&(idx as u32)),
+                    "vacant slot {idx} missing from the free list"
+                );
+            }
+        }
+        let dead = s
+            .occupied
+            .iter()
+            .filter(|&&i| s.slots[i as usize].state.is_none())
+            .count();
+        assert_eq!(s.vacated, dead, "vacated count disagrees with a scan");
+        assert!(
+            s.vacated * 2 <= s.occupied.len().max(1),
+            "compaction threshold violated: {} dead of {}",
+            s.vacated,
+            s.occupied.len()
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Random add/remove/quantum churn keeps the O(1) slot indexes
+        /// exactly consistent with a brute-force scan of every slot, and
+        /// `proc_ids` reporting exactly the live processes.
+        #[test]
+        fn slot_index_churn_stays_consistent(
+            ops in proptest::collection::vec((0u8..4, 0usize..16, 1u64..6), 1..80),
+        ) {
+            let mut s = AlpsScheduler::new(cfg_ms(10));
+            let mut live: Vec<ProcId> = Vec::new();
+            let mut clock = 0u64;
+            for (op, pick, share) in ops {
+                match op {
+                    0 | 1 => live.push(s.add_process(share, Nanos::from_millis(clock))),
+                    2 if !live.is_empty() => {
+                        let id = live.swap_remove(pick % live.len());
+                        s.remove_process(id).expect("id was live");
+                    }
+                    _ => {
+                        clock += 10;
+                        let due = s.begin_quantum();
+                        let obs: Vec<_> = due
+                            .iter()
+                            .map(|&id| {
+                                (id, Observation {
+                                    total_cpu: Nanos::from_millis(clock / 2),
+                                    blocked: pick % 2 == 0,
+                                })
+                            })
+                            .collect();
+                        s.complete_quantum(&obs, Nanos::from_millis(clock));
+                    }
+                }
+                assert_indexes_consistent(&s);
+                let mut want: Vec<ProcId> = live.clone();
+                want.sort_by_key(|id| (id.idx, id.generation));
+                let mut got: Vec<ProcId> = s.proc_ids().collect();
+                got.sort_by_key(|id| (id.idx, id.generation));
+                proptest::prop_assert_eq!(got, want, "proc_ids disagrees with live set");
+            }
+        }
     }
 }

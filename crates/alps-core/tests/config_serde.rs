@@ -1,0 +1,48 @@
+//! [`AlpsConfig`] and [`IoPolicy`] are part of the persisted experiment
+//! surface (bench reports, repro manifests): every field and every policy
+//! variant must survive a JSON round trip unchanged.
+
+use alps_core::prelude::*;
+use alps_core::IoPolicy;
+
+#[test]
+fn io_policy_round_trips_every_variant() {
+    for policy in [
+        IoPolicy::OneQuantumPenalty,
+        IoPolicy::NoPenalty,
+        IoPolicy::ForfeitAllowance,
+    ] {
+        let json = serde_json::to_string(&policy).expect("serialize");
+        let back: IoPolicy = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(policy, back, "via {json}");
+    }
+}
+
+#[test]
+fn alps_config_round_trips_all_fields() {
+    for policy in [
+        IoPolicy::OneQuantumPenalty,
+        IoPolicy::NoPenalty,
+        IoPolicy::ForfeitAllowance,
+    ] {
+        for lazy in [false, true] {
+            for cycles in [false, true] {
+                let cfg = AlpsConfig::new(Nanos::from_millis(40))
+                    .with_io_policy(policy)
+                    .with_lazy_measurement(lazy)
+                    .with_cycle_log(cycles);
+                let json = serde_json::to_string(&cfg).expect("serialize");
+                let back: AlpsConfig = serde_json::from_str(&json).expect("deserialize");
+                assert_eq!(cfg, back, "via {json}");
+            }
+        }
+    }
+}
+
+#[test]
+fn default_config_survives_with_quantum_builder() {
+    let cfg = AlpsConfig::default().with_quantum(Nanos::from_millis(100));
+    assert_eq!(cfg.quantum, Nanos::from_millis(100));
+    let back: AlpsConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(cfg, back);
+}

@@ -53,5 +53,3 @@ pub use probe::{probe_table1, Table1Probe};
 pub use proc::{pids_of_uid, read_stat, ProcStat};
 pub use substrate::OsSubstrate;
 pub use supervisor::Supervisor;
-#[allow(deprecated)]
-pub use supervisor::SupervisorStats;

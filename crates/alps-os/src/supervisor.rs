@@ -36,10 +36,6 @@ use crate::proc;
 use crate::signal;
 use crate::substrate::OsSubstrate;
 
-/// Former name of the supervisor's counters, now unified across backends.
-#[deprecated(note = "supervisor statistics are the engine's; use `EngineStats`")]
-pub type SupervisorStats = EngineStats;
-
 /// A user-level proportional-share scheduler for real processes.
 #[derive(Debug)]
 pub struct Supervisor {

@@ -21,17 +21,17 @@ fn main() {
         println!(
             "t={:3}s alps prio={:3} cpu={:8.2}ms inv={} (+{}/s) load={:.1} w0 prio={} state={}",
             step + 1,
-            sim.priority(alps.pid),
-            sim.cputime(alps.pid).as_millis_f64(),
+            sim.proc(alps.pid).unwrap().priority(),
+            sim.proc(alps.pid).unwrap().cputime().as_millis_f64(),
             inv,
             inv - last_inv,
             sim.loadavg(),
-            sim.priority(procs[0].0),
-            sim.state_code(procs[0].0),
+            sim.proc(procs[0].0).unwrap().priority(),
+            sim.proc(procs[0].0).unwrap().state_code(),
         );
         last_inv = inv;
     }
-    let ovh = 100.0 * sim.cputime(alps.pid).as_f64() / sim.now().as_f64();
+    let ovh = 100.0 * sim.proc(alps.pid).unwrap().cputime().as_f64() / sim.now().as_f64();
     println!("overhead {ovh:.3}% fairshare {:.3}%", 100.0 / 91.0);
     println!(
         "measurements {} signals {}",

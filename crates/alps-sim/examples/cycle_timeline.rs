@@ -41,7 +41,7 @@ fn main() {
     let mut rows: Vec<(kernsim::Pid, &str)> = Vec::new();
     let names: Vec<String> = procs
         .iter()
-        .map(|&(pid, _)| sim.name(pid).to_string())
+        .map(|&(pid, _)| sim.proc(pid).unwrap().name().to_string())
         .collect();
     for (i, &(pid, _)) in procs.iter().enumerate() {
         rows.push((pid, &names[i]));

@@ -58,11 +58,14 @@ fn run_stride(shares: &[u64], duration: Nanos, seed: u64) -> f64 {
         .collect();
     sim.run_until(duration);
     let total_shares: u64 = shares.iter().sum();
-    let total: f64 = pids.iter().map(|&(p, _)| sim.cputime(p).as_f64()).sum();
+    let total: f64 = pids
+        .iter()
+        .map(|&(p, _)| sim.proc(p).unwrap().cputime().as_f64())
+        .sum();
     let mut sum_sq = 0.0;
     for &(p, s) in &pids {
         let ideal = total * s as f64 / total_shares as f64;
-        let re = (sim.cputime(p).as_f64() - ideal) / ideal;
+        let re = (sim.proc(p).unwrap().cputime().as_f64() - ideal) / ideal;
         sum_sq += re * re;
     }
     100.0 * (sum_sq / pids.len() as f64).sqrt()

@@ -123,7 +123,7 @@ pub fn run_smp(p: &SmpParams) -> SmpResult {
 
     let consumed: Vec<f64> = procs
         .iter()
-        .map(|&(pid, _)| sim.cputime(pid).as_f64())
+        .map(|&(pid, _)| sim.proc(pid).unwrap().cputime().as_f64())
         .collect();
     let total: f64 = consumed.iter().sum();
     let capacity = p.duration.as_f64() * p.cpus as f64;
@@ -139,7 +139,7 @@ pub fn run_smp(p: &SmpParams) -> SmpResult {
         achieved_frac: consumed.iter().map(|c| c / total.max(1.0)).collect(),
         feasible_frac: feasible_fractions(&p.shares, p.cpus),
         mean_rms_error_pct: mean_rms_relative_error_pct(&alps.cycles(), 3),
-        overhead_pct: 100.0 * sim.cputime(alps.pid).as_f64() / p.duration.as_f64(),
+        overhead_pct: 100.0 * sim.proc(alps.pid).unwrap().cputime().as_f64() / p.duration.as_f64(),
         idle_frac: sim.idle_time().as_f64() / capacity,
     }
 }

@@ -150,7 +150,7 @@ pub fn run_webserver(p: &WebParams) -> WebResult {
     );
     let alps_rps = measure_throughput(&mut sim, &sites, p);
     let wall = sim.now();
-    let overhead_pct = 100.0 * sim.cputime(alps.pid).as_f64() / wall.as_f64();
+    let overhead_pct = 100.0 * sim.proc(alps.pid).unwrap().cputime().as_f64() / wall.as_f64();
     let alps_p50_ms = std::array::from_fn(|i| {
         sites[i]
             .latency_percentile_ms(0.5, warm)

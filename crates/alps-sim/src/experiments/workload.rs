@@ -142,7 +142,7 @@ pub fn run_workload(p: &WorkloadParams) -> WorkloadRun {
     }
 
     let duration = sim.now();
-    let alps_cpu = sim.cputime(alps.pid);
+    let alps_cpu = sim.proc(alps.pid).unwrap().cputime();
     let cycles = alps.cycles();
     let stats = alps.stats();
     WorkloadRun {

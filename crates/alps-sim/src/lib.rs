@@ -47,7 +47,5 @@ pub mod substrate;
 
 pub use cost::CostModel;
 pub use principal_runner::{spawn_alps_principals, MemberList, PrincipalAlpsHandle};
-#[allow(deprecated)]
-pub use runner::RunnerStats;
 pub use runner::{spawn_alps, AlpsHandle};
 pub use substrate::SimSubstrate;

@@ -253,7 +253,7 @@ mod tests {
         let sum = |g: &MemberList| -> f64 {
             g.borrow()
                 .iter()
-                .map(|&p| sim.cputime(p).as_secs_f64())
+                .map(|&p| sim.proc(p).unwrap().cputime().as_secs_f64())
                 .sum()
         };
         let (ca, cb) = (sum(&ga), sum(&gb));
@@ -280,11 +280,12 @@ mod tests {
             Nanos::SECOND,
         );
         sim.run_until(Nanos::from_secs(10));
-        assert!(sim.is_exited(short));
+        assert!(sim.proc(short).unwrap().is_exited());
         // Group totals still split ~1:1 after the exit (the refresh drops
         // the dead member; the live one inherits the group's share).
-        let ca = (sim.cputime(short) + sim.cputime(long)).as_secs_f64();
-        let cb = sim.cputime(other).as_secs_f64();
+        let ca =
+            (sim.proc(short).unwrap().cputime() + sim.proc(long).unwrap().cputime()).as_secs_f64();
+        let cb = sim.proc(other).unwrap().cputime().as_secs_f64();
         assert!((ca / cb - 1.0).abs() < 0.15, "split {ca:.2}:{cb:.2}");
         assert!(alps.refreshes() >= 9);
     }
@@ -309,7 +310,7 @@ mod tests {
                 refresh,
             );
             sim.run_until(Nanos::from_secs(30));
-            sim.cputime(alps.pid)
+            sim.proc(alps.pid).unwrap().cputime()
         };
         let frequent = run(Nanos::from_millis(100));
         let rare = run(Nanos::from_secs(10));
@@ -343,11 +344,11 @@ mod tests {
         sim.run_until(Nanos::from_secs(15));
         assert!(alps.refreshes() > refreshes_before);
         // Group totals still split 1:1 (a0+a1 vs b0) after the join.
-        let ca = sim.cputime(a0) + sim.cputime(a1);
-        let cb = sim.cputime(b0);
+        let ca = sim.proc(a0).unwrap().cputime() + sim.proc(a1).unwrap().cputime();
+        let cb = sim.proc(b0).unwrap().cputime();
         let ratio = ca.as_secs_f64() / cb.as_secs_f64();
         assert!((ratio - 1.0).abs() < 0.15, "group split {ratio}");
         // And the joiner really did run.
-        assert!(sim.cputime(a1) > Nanos::from_millis(500));
+        assert!(sim.proc(a1).unwrap().cputime() > Nanos::from_millis(500));
     }
 }

@@ -23,10 +23,6 @@ use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 use crate::cost::CostModel;
 use crate::substrate::SimSubstrate;
 
-/// Former name of the per-runner statistics, now unified across backends.
-#[deprecated(note = "runner statistics are the engine's; use `EngineStats`")]
-pub type RunnerStats = EngineStats;
-
 #[derive(Debug)]
 struct Shared {
     engine: Engine<Pid>,
@@ -60,7 +56,7 @@ impl AlpsHandle {
     /// The core [`ProcId`]s in registration order (parallel to the pid
     /// slice passed to [`spawn_alps`]).
     pub fn proc_ids(&self) -> Vec<ProcId> {
-        self.shared.borrow().engine.proc_ids().to_vec()
+        self.shared.borrow().engine.proc_ids()
     }
 
     /// Current allowance of a controlled process, in quanta.
@@ -185,7 +181,7 @@ pub fn spawn_alps(
     // independent of the visible-accounting mode the algorithm sees.
     let mut engine = Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true);
     for &(pid, share) in procs {
-        engine.add_member(pid, share, sim.cputime(pid));
+        engine.add_member(pid, share, sim.proc(pid).unwrap().cputime());
     }
     let shared = Rc::new(RefCell::new(Shared { engine }));
     let behavior = AlpsBehavior {
@@ -220,7 +216,10 @@ mod tests {
             &[(a, 1), (b, 3)],
         );
         sim.run_until(Nanos::from_secs(30));
-        let (ca, cb) = (sim.cputime(a).as_secs_f64(), sim.cputime(b).as_secs_f64());
+        let (ca, cb) = (
+            sim.proc(a).unwrap().cputime().as_secs_f64(),
+            sim.proc(b).unwrap().cputime().as_secs_f64(),
+        );
         let ratio = cb / ca;
         assert!(
             (ratio - 3.0).abs() < 0.15,
@@ -241,7 +240,7 @@ mod tests {
         let alps = spawn_alps(&mut sim, "alps", q_ms(10), CostModel::paper(), &procs);
         let dur = Nanos::from_secs(60);
         sim.run_until(dur);
-        let overhead = 100.0 * sim.cputime(alps.pid).as_f64() / dur.as_f64();
+        let overhead = 100.0 * sim.proc(alps.pid).unwrap().cputime().as_f64() / dur.as_f64();
         assert!(overhead < 1.0, "overhead {overhead}%");
         assert!(overhead > 0.005, "suspiciously free: {overhead}%");
     }
@@ -256,7 +255,10 @@ mod tests {
             let cfg = AlpsConfig::new(Nanos::from_millis(10)).with_lazy_measurement(lazy);
             let alps = spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
             sim.run_until(Nanos::from_secs(30));
-            (alps.stats().measurements, sim.cputime(alps.pid))
+            (
+                alps.stats().measurements,
+                sim.proc(alps.pid).unwrap().cputime(),
+            )
         };
         let (m_lazy, cpu_lazy) = run(true);
         let (m_eager, cpu_eager) = run(false);
@@ -284,11 +286,11 @@ mod tests {
             &[(a, 1), (b, 1)],
         );
         sim.run_until(Nanos::from_secs(5));
-        assert!(sim.is_exited(a));
+        assert!(sim.proc(a).unwrap().is_exited());
         assert_eq!(alps.proc_ids().len(), 1, "exited process deregistered");
         assert!(alps.stats().reaped >= 1);
         // b keeps running under ALPS control at full speed.
-        assert!(sim.cputime(b) > Nanos::from_secs(4));
+        assert!(sim.proc(b).unwrap().cputime() > Nanos::from_secs(4));
     }
 
     #[test]
@@ -361,10 +363,10 @@ mod tests {
         let _alps = spawn_alps(&mut sim, "alps", q_ms(10), CostModel::paper(), &[(a, 1)]);
         // Before the first quantum the process must be stopped.
         sim.run_until(Nanos::from_millis(5));
-        assert!(sim.is_stopped(a));
+        assert!(sim.proc(a).unwrap().is_stopped());
         // After the first quantum it must be running again.
         sim.run_until(Nanos::from_millis(40));
-        assert!(!sim.is_stopped(a));
-        assert!(sim.cputime(a) > Nanos::ZERO);
+        assert!(!sim.proc(a).unwrap().is_stopped());
+        assert!(sim.proc(a).unwrap().cputime() > Nanos::ZERO);
     }
 }

@@ -81,7 +81,10 @@ fn bursty_sneak_cannot_exceed_its_share() {
         &[(honest, 1), (sneak, 1)],
     );
     sim.run_until(Nanos::from_secs(40));
-    let fr = shares_of(&[sim.cputime(honest).as_f64(), sim.cputime(sneak).as_f64()]);
+    let fr = shares_of(&[
+        sim.proc(honest).unwrap().cputime().as_f64(),
+        sim.proc(sneak).unwrap().cputime().as_f64(),
+    ]);
     // Equal shares: the sneak must not beat the honest spinner by more
     // than quantization noise — and being naturally idle part of the time,
     // plus eating blocked-penalties when caught napping, it lands at or
@@ -113,7 +116,10 @@ fn boundary_dodger_gains_nothing_durable() {
         &[(honest, 3), (dodger, 1)],
     );
     sim.run_until(Nanos::from_secs(40));
-    let fr = shares_of(&[sim.cputime(honest).as_f64(), sim.cputime(dodger).as_f64()]);
+    let fr = shares_of(&[
+        sim.proc(honest).unwrap().cputime().as_f64(),
+        sim.proc(dodger).unwrap().cputime().as_f64(),
+    ]);
     // Target 3:1 = 0.25 for the dodger. Consumption is integrated, not
     // sampled: hiding at measurement instants cannot erase consumed time,
     // and every observed nap costs a one-quantum penalty.
@@ -153,7 +159,7 @@ fn adversaries_cannot_starve_the_honest_process() {
     sim.run_until(Nanos::from_secs(60));
     let consumed: Vec<f64> = procs
         .iter()
-        .map(|&(p, _)| sim.cputime(p).as_f64())
+        .map(|&(p, _)| sim.proc(p).unwrap().cputime().as_f64())
         .collect();
     let fr = shares_of(&consumed);
     assert!(

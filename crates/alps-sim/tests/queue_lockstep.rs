@@ -1,0 +1,96 @@
+//! The indexed simulator must be invisible to ALPS.
+//!
+//! An ALPS runner driven on a kernel with the indexed run queue must
+//! produce *identical* per-cycle consumption records and `EngineStats` to
+//! one driven on the seed linear queue — over 300 quanta (≥ 200), with
+//! `SIGSTOP`/`SIGCONT`-based suspension happening every quantum (that is
+//! ALPS's own mechanism) plus driver-initiated stop/cont and terminate
+//! churn, for both the lazy (§2.3) and the unoptimized variants.
+
+use alps_core::{AlpsConfig, CycleRecord, EngineStats, Nanos};
+use alps_sim::{spawn_alps, CostModel};
+use kernsim::{ComputeBound, ComputeThenSleep, Pid, RunQueueKind, Sim, SimConfig};
+
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    cycles: Vec<CycleRecord>,
+    stats: EngineStats,
+    cputimes: Vec<Nanos>,
+    invocations: u64,
+}
+
+fn run(kind: RunQueueKind, lazy: bool) -> Outcome {
+    let cfg = SimConfig {
+        seed: 5,
+        spawn_estcpu_jitter: 8.0,
+        runqueue: kind,
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+    let mut members: Vec<(Pid, u64)> = Vec::new();
+    for (i, share) in [5u64, 4, 3, 2].into_iter().enumerate() {
+        members.push((sim.spawn(format!("cpu{i}"), Box::new(ComputeBound)), share));
+    }
+    for i in 0..2 {
+        let pid = sim.spawn(
+            format!("io{i}"),
+            Box::new(ComputeThenSleep::new(
+                Nanos::from_millis(80),
+                Nanos::from_millis(240),
+                Nanos::ZERO,
+            )),
+        );
+        members.push((pid, 1));
+    }
+
+    let alps_cfg = AlpsConfig::new(Nanos::from_millis(10))
+        .with_lazy_measurement(lazy)
+        .with_cycle_log(true);
+    let alps = spawn_alps(&mut sim, "alps", alps_cfg, CostModel::paper(), &members);
+
+    // 3 simulated seconds = 300 ALPS quanta, with driver churn on top of
+    // the stop/cont traffic ALPS itself generates.
+    sim.run_until(Nanos::from_millis(700));
+    sim.sigstop(members[1].0); // fight ALPS over a member
+    sim.run_until(Nanos::from_millis(900));
+    sim.sigcont(members[1].0);
+    sim.run_until(Nanos::from_millis(1500));
+    sim.terminate(members[5].0); // auto-reap path
+    sim.run_until(Nanos::from_secs(3));
+    sim.assert_index_consistent();
+
+    Outcome {
+        cycles: alps.cycles(),
+        stats: alps.stats(),
+        cputimes: members
+            .iter()
+            .map(|&(p, _)| sim.proc(p).unwrap().cputime())
+            .collect(),
+        invocations: alps.invocations(),
+    }
+}
+
+#[test]
+fn alps_cycles_and_stats_identical_across_queue_kinds_lazy() {
+    let indexed = run(RunQueueKind::Indexed, true);
+    let linear = run(RunQueueKind::Linear, true);
+    assert!(
+        indexed.invocations >= 200,
+        "need ≥200 quanta, got {}",
+        indexed.invocations
+    );
+    assert!(
+        !indexed.cycles.is_empty(),
+        "the fixture must cross cycle boundaries"
+    );
+    assert_eq!(indexed, linear);
+}
+
+#[test]
+fn alps_cycles_and_stats_identical_across_queue_kinds_eager() {
+    let indexed = run(RunQueueKind::Indexed, false);
+    let linear = run(RunQueueKind::Linear, false);
+    assert!(indexed.invocations >= 200);
+    assert!(!indexed.cycles.is_empty());
+    assert_eq!(indexed, linear);
+}

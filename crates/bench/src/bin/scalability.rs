@@ -1,0 +1,81 @@
+//! `bench-scalability` — regenerate `BENCH_kernsim.json`.
+//!
+//! Sweeps the §3.2-shaped workload over N ∈ {10, 100, 1000, 5000}
+//! processes, lazy and unoptimized ALPS, on both the indexed and the seed
+//! linear ready queue, and writes the report JSON. Run with `--release`;
+//! see EXPERIMENTS.md.
+//!
+//! Usage: `bench-scalability [--fast] [--out <path>]`
+//!   --fast   N ≤ 100 only, 5 simulated seconds per point (CI smoke)
+//!   --out    output path (default `BENCH_kernsim.json`)
+
+use alps_bench::scalability::{
+    run_point, run_point_best_of, sim_secs_for, sweep_ns, BenchReport, QUANTUM_MS, SHARE,
+};
+use kernsim::RunQueueKind;
+
+/// Repetitions per point; the fastest is kept (the sim is deterministic,
+/// so repetitions differ only in wall-clock noise).
+const REPS: usize = 5;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    args.retain(|a| a != "--fast");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("error: --out needs a path");
+                std::process::exit(2);
+            }
+            let p = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            p
+        }
+        None => "BENCH_kernsim.json".to_string(),
+    };
+    if !args.is_empty() {
+        eprintln!("usage: bench-scalability [--fast] [--out <path>]");
+        std::process::exit(2);
+    }
+
+    let mut report = BenchReport {
+        name: "kernsim-scalability".into(),
+        quantum_ms: QUANTUM_MS,
+        share: SHARE,
+        fast,
+        points: Vec::new(),
+    };
+    // Discarded warmup so the first measured point doesn't pay for page
+    // faults and CPU frequency ramp-up.
+    let _ = run_point(100, true, RunQueueKind::Indexed, 2);
+    for n in sweep_ns(fast) {
+        let secs = sim_secs_for(n, fast);
+        for lazy in [true, false] {
+            for kind in [RunQueueKind::Indexed, RunQueueKind::Linear] {
+                let p = run_point_best_of(n, lazy, kind, secs, REPS);
+                eprintln!(
+                    "N={:5} lazy={:5} {:7}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx",
+                    p.n,
+                    p.lazy,
+                    p.runqueue,
+                    p.register_seconds,
+                    p.drive_seconds,
+                    p.teardown_seconds,
+                    p.wall_per_sim_second,
+                    p.events_per_wall_second,
+                    p.context_switches
+                );
+                report.points.push(p);
+            }
+            if let Some(s) = report.speedup(n, lazy) {
+                eprintln!("N={n:5} lazy={lazy:5} indexed speedup over linear: {s:.2}x");
+            }
+        }
+    }
+    std::fs::write(&out, report.to_pretty_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

@@ -1,6 +1,9 @@
-//! Shared helpers for the ALPS criterion benches.
+//! Shared helpers for the ALPS criterion benches, plus the kernsim
+//! scalability sweep ([`scalability`]) behind `BENCH_kernsim.json`.
 
 #![forbid(unsafe_code)]
+
+pub mod scalability;
 
 use alps_core::{AlpsConfig, AlpsScheduler, Nanos, Observation, ProcId};
 

@@ -1,0 +1,241 @@
+//! The kernsim scalability sweep behind `BENCH_kernsim.json`.
+//!
+//! Reproduces the *shape* of the paper's §3.2 overhead experiment — N
+//! equal-share (5 each) compute-bound processes under an ALPS runner with
+//! a 10 ms quantum — but measures the *simulator*: wall-clock per
+//! simulated second, events per wall second, and context switches, for
+//! N ∈ {10, 100, 1000, 5000}, each under the lazy (§2.3) and unoptimized
+//! ALPS variants, and each on both ready-queue implementations
+//! ([`RunQueueKind::Indexed`] vs the seed [`RunQueueKind::Linear`]). The
+//! linear points exist to quantify the indexed hot path's speedup; the
+//! two implementations are trace-identical (see
+//! `crates/kernsim/tests/lockstep.rs`).
+
+use alps_core::{AlpsConfig, Nanos};
+use alps_sim::{spawn_alps, CostModel};
+use kernsim::{ComputeBound, Pid, RunQueueKind, Sim, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Equal share per process, as in §3.2.
+pub const SHARE: u64 = 5;
+
+/// ALPS quantum for the sweep.
+pub const QUANTUM_MS: u64 = 10;
+
+/// Simulated seconds driven after mass termination (the teardown phase:
+/// the ALPS runner discovers the exits and reaps every principal).
+pub const TAIL_SECS: u64 = 5;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchPoint {
+    /// Number of workload processes.
+    pub n: usize,
+    /// Whether the §2.3 lazy-measurement optimization was on.
+    pub lazy: bool,
+    /// Ready-queue implementation: `"indexed"` or `"linear"`.
+    pub runqueue: String,
+    /// Simulated seconds of steady-state drive (excludes the teardown
+    /// tail of [`TAIL_SECS`]).
+    pub sim_seconds: u64,
+    /// Wall-clock seconds for the whole point:
+    /// `register + drive + teardown`.
+    pub wall_seconds: f64,
+    /// Wall-clock seconds to spawn the workload and register it with the
+    /// ALPS runner.
+    pub register_seconds: f64,
+    /// Wall-clock seconds for the steady-state drive.
+    pub drive_seconds: f64,
+    /// Wall-clock seconds to terminate every member and drive the tail
+    /// until the runner has reaped them all.
+    pub teardown_seconds: f64,
+    /// Steady-state wall-clock seconds per simulated second
+    /// (`drive_seconds / sim_seconds`).
+    pub wall_per_sim_second: f64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Events processed per wall-clock second.
+    pub events_per_wall_second: f64,
+    /// Context switches the simulated kernel performed.
+    pub context_switches: u64,
+}
+
+/// The committed benchmark report (`BENCH_kernsim.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report name.
+    pub name: String,
+    /// ALPS quantum in milliseconds.
+    pub quantum_ms: u64,
+    /// Share per process.
+    pub share: u64,
+    /// `true` when produced with `--fast` (CI smoke; N ≤ 100 only).
+    pub fast: bool,
+    /// The measured points.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// The point for `(n, lazy, kind)`, if present.
+    pub fn point(&self, n: usize, lazy: bool, kind: &str) -> Option<&BenchPoint> {
+        self.points
+            .iter()
+            .find(|p| p.n == n && p.lazy == lazy && p.runqueue == kind)
+    }
+
+    /// Wall-clock speedup of the indexed queue over the linear one for
+    /// `(n, lazy)`: `wall(linear) / wall(indexed)` over the whole point.
+    pub fn speedup(&self, n: usize, lazy: bool) -> Option<f64> {
+        let idx = self.point(n, lazy, "indexed")?;
+        let lin = self.point(n, lazy, "linear")?;
+        Some(lin.wall_seconds / idx.wall_seconds)
+    }
+
+    /// Render as multi-line JSON, one point per line (stable git diffs).
+    /// `parse` and plain `serde_json::from_str` both read it back.
+    pub fn to_pretty_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"name\": {},\n",
+            serde_json::to_string(&self.name).expect("string")
+        ));
+        out.push_str(&format!("  \"quantum_ms\": {},\n", self.quantum_ms));
+        out.push_str(&format!("  \"share\": {},\n", self.share));
+        out.push_str(&format!("  \"fast\": {},\n", self.fast));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&serde_json::to_string(p).expect("point"));
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a report previously rendered by [`BenchReport::to_pretty_json`].
+    pub fn parse(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Simulated seconds to drive for a given N (larger populations amortize
+/// their per-second cost over fewer simulated seconds to keep the sweep's
+/// wall time bounded — the per-sim-second metric normalizes this away).
+pub fn sim_secs_for(n: usize, fast: bool) -> u64 {
+    if fast {
+        5
+    } else {
+        match n {
+            0..=100 => 20,
+            101..=1000 => 10,
+            _ => 4,
+        }
+    }
+}
+
+/// The sweep's population sizes.
+pub fn sweep_ns(fast: bool) -> Vec<usize> {
+    if fast {
+        vec![10, 100]
+    } else {
+        vec![10, 100, 1000, 5000]
+    }
+}
+
+/// Measure one point of the sweep: the full lifecycle of one §3.2
+/// experiment run.
+///
+/// Three phases are timed separately:
+/// 1. **register** — spawn N equal-share compute-bound processes and
+///    register them with an ALPS runner;
+/// 2. **drive** — `sim_secs` simulated seconds of steady state;
+/// 3. **teardown** — terminate every member and drive [`TAIL_SECS`] more
+///    simulated seconds, during which the runner discovers the exits and
+///    reaps all N principals.
+pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> BenchPoint {
+    let cfg = SimConfig {
+        seed: 1,
+        spawn_estcpu_jitter: 8.0,
+        runqueue: kind,
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+
+    let t_register = std::time::Instant::now();
+    let members: Vec<(Pid, u64)> = (0..n)
+        .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), SHARE))
+        .collect();
+    let alps_cfg = AlpsConfig::new(Nanos::from_millis(QUANTUM_MS)).with_lazy_measurement(lazy);
+    let alps = spawn_alps(&mut sim, "alps", alps_cfg, CostModel::paper(), &members);
+    let register_seconds = t_register.elapsed().as_secs_f64();
+
+    let t_drive = std::time::Instant::now();
+    let mut events = sim.run_until(Nanos::from_secs(sim_secs));
+    let drive_seconds = t_drive.elapsed().as_secs_f64();
+
+    let t_teardown = std::time::Instant::now();
+    for &(pid, _) in &members {
+        sim.terminate(pid);
+    }
+    events += sim.run_until(Nanos::from_secs(sim_secs + TAIL_SECS));
+    let teardown_seconds = t_teardown.elapsed().as_secs_f64();
+    debug_assert_eq!(alps.stats().reaped, n as u64, "teardown must reap all");
+
+    BenchPoint {
+        n,
+        lazy,
+        runqueue: match kind {
+            RunQueueKind::Indexed => "indexed".to_string(),
+            RunQueueKind::Linear => "linear".to_string(),
+        },
+        sim_seconds: sim_secs,
+        wall_seconds: register_seconds + drive_seconds + teardown_seconds,
+        register_seconds,
+        drive_seconds,
+        teardown_seconds,
+        wall_per_sim_second: drive_seconds / sim_secs as f64,
+        events,
+        events_per_wall_second: events as f64 / (drive_seconds + teardown_seconds).max(1e-9),
+        context_switches: sim.context_switches(),
+    }
+}
+
+/// Measure [`run_point`] `reps` times and keep the fastest repetition
+/// (by whole-lifecycle wall clock). The simulation is deterministic, so
+/// the repetitions differ only in wall-clock noise — the minimum is the
+/// least-disturbed measurement.
+pub fn run_point_best_of(
+    n: usize,
+    lazy: bool,
+    kind: RunQueueKind,
+    sim_secs: u64,
+    reps: usize,
+) -> BenchPoint {
+    (0..reps.max(1))
+        .map(|_| run_point(n, lazy, kind, sim_secs))
+        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        .expect("reps >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_pretty_json() {
+        let report = BenchReport {
+            name: "kernsim-scalability".into(),
+            quantum_ms: QUANTUM_MS,
+            share: SHARE,
+            fast: true,
+            points: vec![run_point(4, true, RunQueueKind::Indexed, 1)],
+        };
+        let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
+        assert_eq!(report, back);
+        assert!(report.point(4, true, "indexed").is_some());
+    }
+}

@@ -83,6 +83,16 @@ impl EventQueue {
         Self::default()
     }
 
+    /// An empty queue with pre-allocated room for `cap` pending events
+    /// (large populations schedule one timer/burst event per process, and
+    /// heap regrowth is pure overhead on the hot path).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Schedule `kind` to fire at `at`.
     pub fn schedule(&mut self, at: Nanos, kind: EventKind) {
         let seq = self.next_seq;

@@ -52,7 +52,8 @@
 //! let b = sim.spawn("worker-b", Box::new(ComputeBound));
 //! sim.run_until(Nanos::from_secs(10));
 //! // The kernel scheduler splits the CPU roughly evenly.
-//! let (ca, cb) = (sim.cputime(a).as_secs_f64(), sim.cputime(b).as_secs_f64());
+//! let ca = sim.proc(a).unwrap().cputime().as_secs_f64();
+//! let cb = sim.proc(b).unwrap().cputime().as_secs_f64();
 //! assert!((ca - cb).abs() < 0.5);
 //! ```
 
@@ -64,9 +65,12 @@ pub mod pid;
 pub mod process;
 pub mod sched;
 pub mod sim;
+pub mod table;
 pub mod trace;
 
 pub use pid::Pid;
-pub use process::{Behavior, ComputeBound, ComputeThenSleep, PState, Step};
+pub use process::{Behavior, ComputeBound, ComputeThenSleep, PState, ProcView, Step};
+pub use sched::RunQueueKind;
 pub use sim::{CpuAccounting, KernelPolicy, Sim, SimConfig, SimCtl};
+pub use table::ProcTable;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -233,6 +233,96 @@ impl std::fmt::Debug for Process {
     }
 }
 
+/// A read-only view of one process, returned by `Sim::proc`.
+///
+/// This is the query API experiment drivers use: one fallible lookup
+/// (`sim.proc(pid)?`) instead of a family of per-field getters that each
+/// panic on a bad pid. The view carries the simulation's accounting mode so
+/// [`ProcView::visible_cputime`] reports what a user-level reader
+/// (`getrusage`, `/proc`) would actually see.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcView<'a> {
+    pub(crate) proc: &'a Process,
+    pub(crate) accounting: crate::sim::CpuAccounting,
+}
+
+impl<'a> ProcView<'a> {
+    /// The process's pid.
+    pub fn pid(&self) -> Pid {
+        self.proc.pid
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &'a str {
+        &self.proc.name
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> PState {
+        self.proc.state
+    }
+
+    /// The `/proc`-style one-letter state code.
+    pub fn state_code(&self) -> char {
+        self.proc.state.code()
+    }
+
+    /// Exact cumulative CPU time (simulation ground truth, valid after
+    /// exit).
+    pub fn cputime(&self) -> Nanos {
+        self.proc.cputime
+    }
+
+    /// Cumulative CPU time as a *user-level reader* sees it: exact or
+    /// tick-sampled per `SimConfig::accounting`.
+    pub fn visible_cputime(&self) -> Nanos {
+        match self.accounting {
+            crate::sim::CpuAccounting::Exact => self.proc.cputime,
+            crate::sim::CpuAccounting::TickSampled => self.proc.visible_cputime,
+        }
+    }
+
+    /// Current decay-usage priority (lower is better).
+    pub fn priority(&self) -> u8 {
+        self.proc.priority
+    }
+
+    /// Nice value.
+    pub fn nice(&self) -> i8 {
+        self.proc.nice
+    }
+
+    /// Recent-CPU estimate driving the decay-usage priority.
+    pub fn estcpu(&self) -> f64 {
+        self.proc.estcpu
+    }
+
+    /// Times the process was placed on the CPU.
+    pub fn dispatches(&self) -> u64 {
+        self.proc.dispatches
+    }
+
+    /// Count of voluntary context switches (blocked or exited).
+    pub fn voluntary_switches(&self) -> u64 {
+        self.proc.voluntary_switches
+    }
+
+    /// Whether the process is blocked on a wait channel (the §2.4 test).
+    pub fn is_blocked(&self) -> bool {
+        matches!(self.proc.state, PState::Sleeping { .. })
+    }
+
+    /// Whether the process has exited.
+    pub fn is_exited(&self) -> bool {
+        matches!(self.proc.state, PState::Exited)
+    }
+
+    /// Whether the process is stopped by job control.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self.proc.state, PState::Stopped { .. })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,8 +25,6 @@
 //! paper's breakdown analysis (overhead vs. the 1/(N+1) fair share)
 //! reproducible in simulation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::pid::Pid;
 
 /// Baseline user-mode priority (`PUSER` in BSD). Lower is better.
@@ -91,11 +89,47 @@ pub fn loadavg_step(loadavg: f64, nrunnable: usize) -> f64 {
     loadavg * LOADAVG_EXP + nrunnable as f64 * (1.0 - LOADAVG_EXP)
 }
 
+/// Sentinel for "no node" in the run queue's intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// One per-pid link cell of the intrusive run-queue lists.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: u32,
+    next: u32,
+    prio: u8,
+    queued: bool,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            prev: NIL,
+            next: NIL,
+            prio: 0,
+            queued: false,
+        }
+    }
+}
+
 /// FIFO run queues indexed by priority, with a two-word bitmap for O(1)
 /// best-priority selection — the `qs`/`whichqs` structure of 4.4BSD.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Each priority level is an intrusive doubly-linked list threaded
+/// through a pid-indexed slab of link cells, so *every* operation —
+/// `push`, `pop_best`, and crucially the mid-queue `remove` that
+/// `SIGSTOP` and the once-per-second `schedcpu` requeue perform — is
+/// O(1). The historical `Vec<VecDeque>` representation (kept as
+/// [`LinearRunQueue`] for lockstep testing and benchmarking) pays O(n)
+/// per removal, which made large-N scalability sweeps quadratic.
+#[derive(Debug, Clone)]
 pub struct RunQueue {
-    queues: Vec<std::collections::VecDeque<Pid>>,
+    /// First queued pid index per priority, or [`NIL`].
+    head: Vec<u32>,
+    /// Last queued pid index per priority, or [`NIL`].
+    tail: Vec<u32>,
+    /// Per-pid link cells, grown on demand (pids are dense).
+    nodes: Vec<Node>,
     bitmap: [u64; 2],
     len: usize,
 }
@@ -110,6 +144,131 @@ impl RunQueue {
     /// An empty run queue.
     pub fn new() -> Self {
         RunQueue {
+            head: vec![NIL; 128],
+            tail: vec![NIL; 128],
+            nodes: Vec::new(),
+            bitmap: [0; 2],
+            len: 0,
+        }
+    }
+
+    /// Number of queued processes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether a specific process is queued. O(1).
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.nodes.get(pid.index()).is_some_and(|n| n.queued)
+    }
+
+    /// Enqueue at the tail of the priority's FIFO (`setrunqueue`). O(1).
+    pub fn push(&mut self, pid: Pid, priority: u8) {
+        let p = priority.min(MAXPRI) as usize;
+        let i = pid.index();
+        if i >= self.nodes.len() {
+            self.nodes.resize(i + 1, Node::default());
+        }
+        debug_assert!(!self.nodes[i].queued, "{pid} queued twice");
+        let t = self.tail[p];
+        self.nodes[i] = Node {
+            prev: t,
+            next: NIL,
+            prio: p as u8,
+            queued: true,
+        };
+        if t == NIL {
+            self.head[p] = i as u32;
+        } else {
+            self.nodes[t as usize].next = i as u32;
+        }
+        self.tail[p] = i as u32;
+        self.bitmap[p / 64] |= 1u64 << (p % 64);
+        self.len += 1;
+    }
+
+    /// Best (numerically smallest) occupied priority, if any. O(1).
+    pub fn best_priority(&self) -> Option<u8> {
+        if self.bitmap[0] != 0 {
+            Some(self.bitmap[0].trailing_zeros() as u8)
+        } else if self.bitmap[1] != 0 {
+            Some(64 + self.bitmap[1].trailing_zeros() as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Dequeue the process at the head of the best priority queue. O(1).
+    pub fn pop_best(&mut self) -> Option<(Pid, u8)> {
+        let p = self.best_priority()? as usize;
+        let i = self.head[p];
+        debug_assert_ne!(i, NIL, "bitmap said non-empty");
+        self.unlink(i as usize, p);
+        Some((Pid(i), p as u8))
+    }
+
+    /// Remove a specific process wherever it is queued (`remrq`). Returns
+    /// true if it was present. O(1).
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        let i = pid.index();
+        let Some(node) = self.nodes.get(i) else {
+            return false;
+        };
+        if !node.queued {
+            return false;
+        }
+        let p = node.prio as usize;
+        self.unlink(i, p);
+        true
+    }
+
+    /// Detach node `i` from the priority-`p` list and reset it.
+    fn unlink(&mut self, i: usize, p: usize) {
+        let Node { prev, next, .. } = self.nodes[i];
+        if prev == NIL {
+            self.head[p] = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail[p] = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        if self.head[p] == NIL {
+            self.bitmap[p / 64] &= !(1u64 << (p % 64));
+        }
+        self.nodes[i] = Node::default();
+        self.len -= 1;
+    }
+}
+
+/// The seed's `Vec<VecDeque>` run-queue representation, kept verbatim so
+/// the lockstep test and the scalability bench can run the indexed and
+/// the original implementation side by side ([`RunQueueKind::Linear`]).
+/// Semantically identical to [`RunQueue`]; `remove` is O(n).
+#[derive(Debug, Clone)]
+pub struct LinearRunQueue {
+    queues: Vec<std::collections::VecDeque<Pid>>,
+    bitmap: [u64; 2],
+    len: usize,
+}
+
+impl Default for LinearRunQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearRunQueue {
+    /// An empty run queue.
+    pub fn new() -> Self {
+        LinearRunQueue {
             queues: (0..128)
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
@@ -126,6 +285,11 @@ impl RunQueue {
     /// True when nothing is runnable.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Whether a specific process is queued. O(n).
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.queues.iter().any(|q| q.contains(&pid))
     }
 
     /// Enqueue at the tail of the priority's FIFO (`setrunqueue`).
@@ -172,6 +336,92 @@ impl RunQueue {
             }
         }
         false
+    }
+}
+
+/// Which run-queue representation a simulation uses
+/// ([`crate::SimConfig::runqueue`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunQueueKind {
+    /// The O(1) intrusive-list [`RunQueue`] (default).
+    #[default]
+    Indexed,
+    /// The seed's [`LinearRunQueue`] with O(n) removal — the baseline the
+    /// lockstep test and the scalability bench compare against.
+    Linear,
+}
+
+/// A run queue of either representation, dispatched at runtime. Both
+/// variants implement identical FIFO-per-priority semantics; the lockstep
+/// test (`tests/lockstep.rs`) pins trace equality between them.
+#[derive(Debug, Clone)]
+pub enum ReadyQueue {
+    /// O(1) intrusive-list representation.
+    Indexed(RunQueue),
+    /// The seed's linear-scan representation.
+    Linear(LinearRunQueue),
+}
+
+impl ReadyQueue {
+    /// An empty queue of the given representation.
+    pub fn new(kind: RunQueueKind) -> Self {
+        match kind {
+            RunQueueKind::Indexed => ReadyQueue::Indexed(RunQueue::new()),
+            RunQueueKind::Linear => ReadyQueue::Linear(LinearRunQueue::new()),
+        }
+    }
+
+    /// Number of queued processes.
+    pub fn len(&self) -> usize {
+        match self {
+            ReadyQueue::Indexed(q) => q.len(),
+            ReadyQueue::Linear(q) => q.len(),
+        }
+    }
+
+    /// True when nothing is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a specific process is queued.
+    pub fn contains(&self, pid: Pid) -> bool {
+        match self {
+            ReadyQueue::Indexed(q) => q.contains(pid),
+            ReadyQueue::Linear(q) => q.contains(pid),
+        }
+    }
+
+    /// Enqueue at the tail of the priority's FIFO.
+    pub fn push(&mut self, pid: Pid, priority: u8) {
+        match self {
+            ReadyQueue::Indexed(q) => q.push(pid, priority),
+            ReadyQueue::Linear(q) => q.push(pid, priority),
+        }
+    }
+
+    /// Best occupied priority, if any.
+    pub fn best_priority(&self) -> Option<u8> {
+        match self {
+            ReadyQueue::Indexed(q) => q.best_priority(),
+            ReadyQueue::Linear(q) => q.best_priority(),
+        }
+    }
+
+    /// Dequeue the process at the head of the best priority queue.
+    pub fn pop_best(&mut self) -> Option<(Pid, u8)> {
+        match self {
+            ReadyQueue::Indexed(q) => q.pop_best(),
+            ReadyQueue::Linear(q) => q.pop_best(),
+        }
+    }
+
+    /// Remove a specific process wherever it is queued.
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        match self {
+            ReadyQueue::Indexed(q) => q.remove(pid),
+            ReadyQueue::Linear(q) => q.remove(pid),
+        }
     }
 }
 
@@ -252,5 +502,57 @@ mod tests {
     #[test]
     fn estcpu_cap_matches_maxpri() {
         assert_eq!(user_priority(ESTCPU_MAX, 0), MAXPRI);
+    }
+
+    #[test]
+    fn runqueue_contains_tracks_membership() {
+        let mut rq = RunQueue::new();
+        assert!(!rq.contains(Pid(5)));
+        rq.push(Pid(5), 60);
+        assert!(rq.contains(Pid(5)));
+        rq.pop_best();
+        assert!(!rq.contains(Pid(5)));
+        rq.push(Pid(5), 60);
+        assert!(rq.remove(Pid(5)));
+        assert!(!rq.contains(Pid(5)));
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_interleaved_ops() {
+        let mut a = ReadyQueue::new(RunQueueKind::Indexed);
+        let mut b = ReadyQueue::new(RunQueueKind::Linear);
+        // Deterministic interleaving of pushes, removes, and pops across
+        // both bitmap words, with re-pushes after pops.
+        let mut next = 0u32;
+        for round in 0..6 {
+            for k in 0..20u32 {
+                let pid = Pid(next);
+                next += 1;
+                let prio = ((k * 13 + round * 7) % 128) as u8;
+                a.push(pid, prio);
+                b.push(pid, prio);
+            }
+            for k in (0..next).step_by(3) {
+                assert_eq!(a.remove(Pid(k)), b.remove(Pid(k)), "remove {k}");
+            }
+            for _ in 0..10 {
+                assert_eq!(a.best_priority(), b.best_priority());
+                let (x, y) = (a.pop_best(), b.pop_best());
+                assert_eq!(x, y);
+                if let Some((pid, prio)) = x {
+                    // Requeue at a shifted priority to churn the lists.
+                    a.push(pid, prio.wrapping_add(11) & 127);
+                    b.push(pid, prio.wrapping_add(11) & 127);
+                }
+            }
+            assert_eq!(a.len(), b.len());
+        }
+        loop {
+            let (x, y) = (a.pop_best(), b.pop_best());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
     }
 }

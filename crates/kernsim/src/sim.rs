@@ -12,6 +12,19 @@
 //! may mutate it (spawn processes, send signals) in between — this is how
 //! the multi-application experiment of §4.1 phases groups in at 3-second
 //! boundaries.
+//!
+//! ## Indexed hot path
+//!
+//! Per-event work is independent of the total process population: the
+//! process table ([`crate::table::ProcTable`]) resolves pids in O(1) and
+//! keeps a live-process index so the once-per-second `schedcpu` pass walks
+//! only live processes; the decay-usage ready queue
+//! ([`crate::sched::RunQueue`]) supports O(1) insert/remove/pop; and the
+//! timer/burst/wakeup machinery is a binary-heap event queue, so quiescent
+//! processes cost nothing per tick. Set [`SimConfig::runqueue`] to
+//! [`RunQueueKind::Linear`] to run the pre-index ready queue instead — the
+//! lockstep tests and the bench harness use it to pin trace equivalence
+//! and quantify the speedup.
 
 use alps_core::Nanos;
 use rand::rngs::SmallRng;
@@ -19,8 +32,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::event::{EventKind, EventQueue};
 use crate::pid::Pid;
-use crate::process::{Behavior, IntervalTimer, PState, Process, Step};
-use crate::sched::{self, RunQueue};
+use crate::process::{Behavior, IntervalTimer, PState, ProcView, Process, Step};
+use crate::sched::{self, ReadyQueue, RunQueueKind};
+use crate::table::ProcTable;
 use crate::trace::{Trace, TraceKind};
 
 /// How CPU consumption becomes *visible* to user-level readers
@@ -81,6 +95,11 @@ pub struct SimConfig {
     pub cpus: usize,
     /// In-kernel scheduling policy.
     pub policy: KernelPolicy,
+    /// Ready-queue implementation for the decay-usage policy. The default
+    /// indexed queue is O(1) per operation; [`RunQueueKind::Linear`] keeps
+    /// the pre-index linear-scan queue for lockstep comparison and
+    /// benchmarking. Both produce identical schedules.
+    pub runqueue: RunQueueKind,
 }
 
 impl Default for SimConfig {
@@ -94,6 +113,7 @@ impl Default for SimConfig {
             accounting: CpuAccounting::Exact,
             cpus: 1,
             policy: KernelPolicy::DecayUsage,
+            runqueue: RunQueueKind::Indexed,
         }
     }
 }
@@ -104,8 +124,8 @@ pub struct Sim {
     now: Nanos,
     last_account: Nanos,
     events: EventQueue,
-    procs: Vec<Process>,
-    runq: RunQueue,
+    procs: ProcTable,
+    runq: ReadyQueue,
     /// Runnable set under [`KernelPolicy::Stride`] (min-pass scan).
     stride_q: Vec<Pid>,
     /// The process on each CPU (`running[cpu]`).
@@ -134,7 +154,7 @@ impl Sim {
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.tick > Nanos::ZERO, "tick must be positive");
         assert!(cfg.cpus >= 1, "need at least one CPU");
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_capacity(64);
         events.schedule(cfg.tick, EventKind::Tick);
         events.schedule(Nanos::SECOND, EventKind::SchedCpu);
         Sim {
@@ -142,8 +162,8 @@ impl Sim {
             now: Nanos::ZERO,
             last_account: Nanos::ZERO,
             events,
-            procs: Vec::new(),
-            runq: RunQueue::new(),
+            procs: ProcTable::new(),
+            runq: ReadyQueue::new(cfg.runqueue),
             stride_q: Vec::new(),
             running: vec![None; cfg.cpus],
             loadavg: 0.0,
@@ -213,6 +233,11 @@ impl Sim {
         self.procs.len()
     }
 
+    /// Number of processes that have not exited.
+    pub fn live_count(&self) -> usize {
+        self.procs.live_count()
+    }
+
     /// Spawn a process. It is made runnable immediately (or enters whatever
     /// state its first [`Step`] dictates).
     pub fn spawn(&mut self, name: impl Into<String>, behavior: Box<dyn Behavior>) -> Pid {
@@ -229,7 +254,7 @@ impl Sim {
     ) -> Pid {
         assert!(tickets > 0, "tickets must be positive");
         let pid = self.spawn_nice(name, 0, behavior);
-        self.procs[pid.index()].tickets = tickets;
+        self.procs[pid].tickets = tickets;
         pid
     }
 
@@ -240,7 +265,7 @@ impl Sim {
         nice: i8,
         behavior: Box<dyn Behavior>,
     ) -> Pid {
-        let pid = Pid(self.procs.len() as u32);
+        let pid = self.procs.next_pid();
         let estcpu = if self.cfg.spawn_estcpu_jitter > 0.0 {
             self.rng.gen_range(0.0..self.cfg.spawn_estcpu_jitter)
         } else {
@@ -273,54 +298,82 @@ impl Sim {
         pid
     }
 
+    /// Read-only view of a process; `None` for a pid this machine never
+    /// spawned. Valid after exit (post-mortem accounting).
+    ///
+    /// This is the query surface for drivers and instrumentation:
+    ///
+    /// ```
+    /// # use alps_core::Nanos;
+    /// # use kernsim::{ComputeBound, Sim, SimConfig};
+    /// # let mut sim = Sim::new(SimConfig::default());
+    /// # let pid = sim.spawn("w", Box::new(ComputeBound));
+    /// # sim.run_until(Nanos::from_secs(1));
+    /// let p = sim.proc(pid).expect("spawned above");
+    /// assert_eq!(p.cputime(), Nanos::from_secs(1));
+    /// assert!(!p.is_blocked());
+    /// ```
+    pub fn proc(&self, pid: Pid) -> Option<ProcView<'_>> {
+        self.procs.get(pid).map(|p| ProcView {
+            proc: p,
+            accounting: self.cfg.accounting,
+        })
+    }
+
     /// Exact cumulative CPU time of a process (simulation ground truth,
     /// used by instrumentation and assertions). Valid after exit.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::cputime`")]
     pub fn cputime(&self, pid: Pid) -> Nanos {
-        self.procs[pid.index()].cputime
+        self.proc(pid).expect("unknown pid").cputime()
     }
 
     /// Cumulative CPU time as a *user-level reader* sees it (`getrusage`,
     /// `/proc`): exact or tick-sampled per [`SimConfig::accounting`].
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::visible_cputime`")]
     pub fn visible_cputime(&self, pid: Pid) -> Nanos {
-        match self.cfg.accounting {
-            CpuAccounting::Exact => self.procs[pid.index()].cputime,
-            CpuAccounting::TickSampled => self.procs[pid.index()].visible_cputime,
-        }
+        self.proc(pid).expect("unknown pid").visible_cputime()
     }
 
     /// The `/proc`-style one-letter state code.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::state_code`")]
     pub fn state_code(&self, pid: Pid) -> char {
-        self.procs[pid.index()].state.code()
+        self.proc(pid).expect("unknown pid").state_code()
     }
 
     /// Whether the process is blocked on a wait channel (the §2.4 test).
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_blocked`")]
     pub fn is_blocked(&self, pid: Pid) -> bool {
-        matches!(self.procs[pid.index()].state, PState::Sleeping { .. })
+        self.proc(pid).expect("unknown pid").is_blocked()
     }
 
     /// Whether the process has exited.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_exited`")]
     pub fn is_exited(&self, pid: Pid) -> bool {
-        matches!(self.procs[pid.index()].state, PState::Exited)
+        self.proc(pid).expect("unknown pid").is_exited()
     }
 
     /// Whether the process is stopped by job control.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_stopped`")]
     pub fn is_stopped(&self, pid: Pid) -> bool {
-        matches!(self.procs[pid.index()].state, PState::Stopped { .. })
+        self.proc(pid).expect("unknown pid").is_stopped()
     }
 
     /// Process name.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::name`")]
     pub fn name(&self, pid: Pid) -> &str {
-        &self.procs[pid.index()].name
+        self.proc(pid).expect("unknown pid").name()
     }
 
     /// Times the process was placed on the CPU.
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::dispatches`")]
     pub fn dispatches(&self, pid: Pid) -> u64 {
-        self.procs[pid.index()].dispatches
+        self.proc(pid).expect("unknown pid").dispatches()
     }
 
     /// Current decay-usage priority (lower is better).
+    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::priority`")]
     pub fn priority(&self, pid: Pid) -> u8 {
-        self.procs[pid.index()].priority
+        self.proc(pid).expect("unknown pid").priority()
     }
 
     /// Advance simulated time to `deadline`, processing every event due on
@@ -350,10 +403,10 @@ impl Sim {
 
     /// Deliver `SIGSTOP`: remove the process from contention wherever it is.
     pub fn sigstop(&mut self, pid: Pid) {
-        match self.procs[pid.index()].state {
+        match self.procs[pid].state {
             PState::Runnable => {
                 self.remove_runnable(pid);
-                self.procs[pid.index()].state = PState::Stopped {
+                self.procs[pid].state = PState::Stopped {
                     resume_sleep_until: None,
                     was_awaiting_timer: false,
                 };
@@ -363,7 +416,7 @@ impl Sim {
                 // A driver, or a behavior running on another CPU, stops a
                 // process that currently holds a CPU.
                 let cpu = self.cpu_of(pid).expect("running process has a CPU");
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.burst_token = p.burst_token.wrapping_add(1);
                 p.state = PState::Stopped {
                     resume_sleep_until: None,
@@ -374,7 +427,7 @@ impl Sim {
                 self.context_switch(cpu);
             }
             PState::Sleeping { until } => {
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.wake_token = p.wake_token.wrapping_add(1); // invalidate Wake
                 p.state = PState::Stopped {
                     resume_sleep_until: until,
@@ -393,31 +446,31 @@ impl Sim {
         let PState::Stopped {
             resume_sleep_until,
             was_awaiting_timer,
-        } = self.procs[pid.index()].state
+        } = self.procs[pid].state
         else {
             return;
         };
         self.trace_push(pid, TraceKind::Continue);
         if was_awaiting_timer {
-            let pending = self.procs[pid.index()].timer.pending;
+            let pending = self.procs[pid].timer.pending;
             if pending {
-                self.procs[pid.index()].timer.pending = false;
-                self.procs[pid.index()].kernel_boost = true;
+                self.procs[pid].timer.pending = false;
+                self.procs[pid].kernel_boost = true;
                 let step = self.next_step(pid);
                 self.apply_off_cpu_step(pid, step);
             } else {
-                self.procs[pid.index()].state = PState::Sleeping { until: None };
+                self.procs[pid].state = PState::Sleeping { until: None };
             }
         } else if let Some(until) = resume_sleep_until {
             if until > self.now {
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.wake_token = p.wake_token.wrapping_add(1);
                 let token = p.wake_token;
                 p.state = PState::Sleeping { until: Some(until) };
                 self.events.schedule(until, EventKind::Wake { pid, token });
             } else {
                 // The sleep expired while stopped: the step is complete.
-                self.procs[pid.index()].kernel_boost = true;
+                self.procs[pid].kernel_boost = true;
                 let step = self.next_step(pid);
                 self.apply_off_cpu_step(pid, step);
             }
@@ -429,7 +482,7 @@ impl Sim {
 
     /// Forcibly terminate a process from the driver (SIGKILL analogue).
     pub fn terminate(&mut self, pid: Pid) {
-        match self.procs[pid.index()].state {
+        match self.procs[pid].state {
             PState::Exited => return,
             PState::Runnable => {
                 self.remove_runnable(pid);
@@ -440,13 +493,55 @@ impl Sim {
             }
             _ => {}
         }
-        let p = &mut self.procs[pid.index()];
+        let p = &mut self.procs[pid];
         p.wake_token = p.wake_token.wrapping_add(1);
         p.burst_token = p.burst_token.wrapping_add(1);
         p.timer.armed = false;
         p.state = PState::Exited;
+        self.procs.mark_dead(pid);
         self.trace_push(pid, TraceKind::Exit);
         self.fixup_dispatch();
+    }
+
+    /// Brute-force cross-check of every index against the ground-truth
+    /// process states: the live index, the ready queue(s), and the CPU
+    /// assignments must all agree with a full scan. Panics on any
+    /// inconsistency. Test support — O(N·queues), never on the hot path.
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        self.procs.assert_live_index_consistent();
+        let mut runnable = 0usize;
+        for i in 0..self.procs.len() {
+            let pid = Pid(i as u32);
+            let p = &self.procs[pid];
+            assert_eq!(
+                self.procs.is_live(pid),
+                !matches!(p.state, PState::Exited),
+                "{pid}: live index disagrees with state {:?}",
+                p.state
+            );
+            let queued = match self.cfg.policy {
+                KernelPolicy::DecayUsage => self.runq.contains(pid),
+                KernelPolicy::Stride => self.stride_q.contains(&pid),
+            };
+            match p.state {
+                PState::Runnable => {
+                    assert!(queued, "{pid} runnable but not queued");
+                    assert!(self.cpu_of(pid).is_none(), "{pid} runnable yet on a CPU");
+                    runnable += 1;
+                }
+                PState::Running => {
+                    assert!(!queued, "{pid} running yet still queued");
+                    assert!(self.cpu_of(pid).is_some(), "{pid} running but on no CPU");
+                }
+                _ => assert!(!queued, "{pid} queued in state {:?}", p.state),
+            }
+        }
+        assert_eq!(
+            self.runnable_count(),
+            runnable,
+            "ready-queue length disagrees with a full scan"
+        );
     }
 
     // ------------------------------------------------------------------
@@ -464,7 +559,7 @@ impl Sim {
         for cpu in 0..self.running.len() {
             match self.running[cpu] {
                 Some(pid) => {
-                    let p = &mut self.procs[pid.index()];
+                    let p = &mut self.procs[pid];
                     p.cputime += dt;
                     // Continuous-time estcpu charging: one unit per tick
                     // of CPU.
@@ -500,7 +595,7 @@ impl Sim {
             };
             // statclock: charge a whole tick to whoever holds the CPU now.
             let tick = self.cfg.tick;
-            self.procs[pid.index()].visible_cputime += tick;
+            self.procs[pid].visible_cputime += tick;
             if self
                 .tick_count
                 .is_multiple_of(self.cfg.priority_recalc_ticks)
@@ -509,7 +604,7 @@ impl Sim {
             }
             match self.cfg.policy {
                 KernelPolicy::DecayUsage => {
-                    let p = &self.procs[pid.index()];
+                    let p = &self.procs[pid];
                     // roundrobin(): rotate among equal-or-better priorities
                     // once the slice expires. (A strictly better waiter
                     // never waits this long — fixup_dispatch preempts for
@@ -525,11 +620,11 @@ impl Sim {
                 KernelPolicy::Stride => {
                     // Stride switches at quantum (tick) granularity: if a
                     // queued client now has the smallest pass, rotate.
-                    let my_pass = self.procs[pid.index()].pass;
+                    let my_pass = self.procs[pid].pass;
                     let best = self
                         .stride_q
                         .iter()
-                        .map(|&q| self.procs[q.index()].pass)
+                        .map(|&q| self.procs[q].pass)
                         .fold(f64::INFINITY, f64::min);
                     if best < my_pass {
                         self.preempt(cpu);
@@ -560,9 +655,7 @@ impl Sim {
                 return;
             };
             let worst = (0..self.running.len())
-                .filter_map(|cpu| {
-                    self.running[cpu].map(|pid| (self.procs[pid.index()].priority, cpu))
-                })
+                .filter_map(|cpu| self.running[cpu].map(|pid| (self.procs[pid].priority, cpu)))
                 .max();
             match worst {
                 Some((prio, cpu)) if best < prio => self.preempt(cpu),
@@ -585,12 +678,17 @@ impl Sim {
         let nrun = self.runnable_count() + self.running.iter().flatten().count();
         self.loadavg = sched::loadavg_step(self.loadavg, nrun);
         let decay = sched::decay_factor(self.loadavg);
-        for i in 0..self.procs.len() {
-            let pid = Pid(i as u32);
+        // Only live processes decay: the dead cost nothing, at any
+        // population. Membership is stable during the walk (nothing here
+        // exits), and with no deaths the live order is spawn order, so the
+        // linear and indexed queues requeue equal-priority processes
+        // identically.
+        for li in 0..self.procs.live_count() {
+            let pid = self.procs.live_at(li);
             let (skip, was_runnable) = {
-                let p = &mut self.procs[i];
+                let p = &mut self.procs[pid];
                 match p.state {
-                    PState::Exited => continue,
+                    PState::Exited => continue, // unreachable: dead pids are not live
                     PState::Sleeping { .. } | PState::Stopped { .. } => {
                         p.slptime = p.slptime.saturating_add(1);
                         // After one whole second asleep, estcpu decay is
@@ -604,12 +702,14 @@ impl Sim {
             if skip {
                 continue;
             }
-            let p = &mut self.procs[i];
+            let p = &mut self.procs[pid];
             p.estcpu *= decay;
             let new_prio = sched::user_priority(p.estcpu, p.nice);
             if new_prio != p.priority {
                 p.priority = new_prio;
-                if was_runnable {
+                // Under stride the runnable set lives in stride_q and is
+                // ordered by pass, not priority — nothing to requeue.
+                if was_runnable && self.cfg.policy == KernelPolicy::DecayUsage {
                     self.runq.remove(pid);
                     self.runq.push(pid, new_prio);
                 }
@@ -620,7 +720,7 @@ impl Sim {
     }
 
     fn handle_wake(&mut self, pid: Pid, token: u64) {
-        let p = &self.procs[pid.index()];
+        let p = &self.procs[pid];
         if p.wake_token != token {
             return; // stale
         }
@@ -628,14 +728,14 @@ impl Sim {
             return;
         }
         // Waking from a wait channel: kernel-priority dispatch boost.
-        self.procs[pid.index()].kernel_boost = true;
+        self.procs[pid].kernel_boost = true;
         let step = self.next_step(pid);
         self.apply_off_cpu_step(pid, step);
     }
 
     fn handle_timer_fire(&mut self, pid: Pid, token: u64) {
         {
-            let t = &mut self.procs[pid.index()].timer;
+            let t = &mut self.procs[pid].timer;
             if !t.armed || t.token != token {
                 return; // stale arming epoch
             }
@@ -644,10 +744,10 @@ impl Sim {
             self.events
                 .schedule(at, EventKind::TimerFire { pid, token: tok });
         }
-        match self.procs[pid.index()].state {
+        match self.procs[pid].state {
             PState::Sleeping { until: None } => {
                 // The process was waiting for exactly this: its step is done.
-                self.procs[pid.index()].kernel_boost = true;
+                self.procs[pid].kernel_boost = true;
                 let step = self.next_step(pid);
                 self.apply_off_cpu_step(pid, step);
             }
@@ -655,13 +755,13 @@ impl Sim {
             _ => {
                 // Busy, starved, or stopped: the signal stays pending and is
                 // coalesced with any later fires (§4.2's missed quanta).
-                self.procs[pid.index()].timer.pending = true;
+                self.procs[pid].timer.pending = true;
             }
         }
     }
 
     fn handle_burst_done(&mut self, pid: Pid, token: u64) {
-        let p = &self.procs[pid.index()];
+        let p = &self.procs[pid];
         if p.burst_token != token || !matches!(p.state, PState::Running) {
             return; // stale
         }
@@ -673,7 +773,7 @@ impl Sim {
                 assert!(d > Nanos::ZERO, "zero-length burst");
                 // Continue on the CPU without a context switch: the process
                 // simply keeps executing its next stretch of work.
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.burst_remaining = Some(d);
                 p.burst_token = p.burst_token.wrapping_add(1);
                 let tok = p.burst_token;
@@ -681,10 +781,10 @@ impl Sim {
                     .schedule(self.now + d, EventKind::BurstDone { pid, token: tok });
             }
             Step::ComputeForever => {
-                self.procs[pid.index()].burst_remaining = None;
+                self.procs[pid].burst_remaining = None;
             }
             blocking => {
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.voluntary_switches += 1;
                 p.burst_token = p.burst_token.wrapping_add(1);
                 self.running[cpu] = None;
@@ -698,14 +798,14 @@ impl Sim {
     /// (an `AwaitTimer` with a pending fire completes immediately).
     fn next_step(&mut self, pid: Pid) -> Step {
         loop {
-            let mut behavior = self.procs[pid.index()]
+            let mut behavior = self.procs[pid]
                 .behavior
                 .take()
                 .expect("behavior re-entered for the same process");
             let step = behavior.on_ready(&mut SimCtl { sim: self, me: pid });
-            self.procs[pid.index()].behavior = Some(behavior);
+            self.procs[pid].behavior = Some(behavior);
             if step == Step::AwaitTimer {
-                let t = &mut self.procs[pid.index()].timer;
+                let t = &mut self.procs[pid].timer;
                 assert!(t.armed, "AwaitTimer with no armed interval timer");
                 if t.pending {
                     t.pending = false;
@@ -722,16 +822,16 @@ impl Sim {
         match step {
             Step::Compute(d) => {
                 assert!(d > Nanos::ZERO, "zero-length burst");
-                self.procs[pid.index()].burst_remaining = Some(d);
+                self.procs[pid].burst_remaining = Some(d);
                 self.make_runnable(pid);
             }
             Step::ComputeForever => {
-                self.procs[pid.index()].burst_remaining = None;
+                self.procs[pid].burst_remaining = None;
                 self.make_runnable(pid);
             }
             Step::Sleep(d) => {
                 assert!(d > Nanos::ZERO, "zero-length sleep");
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.kernel_boost = false;
                 p.wake_token = p.wake_token.wrapping_add(1);
                 let token = p.wake_token;
@@ -742,16 +842,17 @@ impl Sim {
             }
             Step::AwaitTimer => {
                 // Pending fires were consumed in next_step.
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.kernel_boost = false;
                 p.state = PState::Sleeping { until: None };
                 self.trace_push(pid, TraceKind::Block);
             }
             Step::Exit => {
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.kernel_boost = false;
                 p.timer.armed = false;
                 p.state = PState::Exited;
+                self.procs.mark_dead(pid);
                 self.trace_push(pid, TraceKind::Exit);
             }
         }
@@ -761,7 +862,7 @@ impl Sim {
     /// applying the retroactive sleep decay of `updatepri`.
     fn make_runnable(&mut self, pid: Pid) {
         let loadavg = self.loadavg;
-        let p = &mut self.procs[pid.index()];
+        let p = &mut self.procs[pid];
         if p.slptime > 0 {
             p.estcpu = sched::updatepri(p.estcpu, loadavg, p.slptime);
             p.slptime = 0;
@@ -783,7 +884,7 @@ impl Sim {
                 // A client rejoining after a sleep must not cash in pass
                 // credit accrued while absent (the stride re-join rule).
                 let floor = self.global_pass();
-                let p = &mut self.procs[pid.index()];
+                let p = &mut self.procs[pid];
                 p.pass = p.pass.max(floor);
                 self.stride_q.push(pid);
             }
@@ -801,7 +902,7 @@ impl Sim {
     /// best runnable process (`mi_switch` after `roundrobin`/`need_resched`).
     fn preempt(&mut self, cpu: usize) {
         if let Some(pid) = self.running[cpu].take() {
-            let p = &mut self.procs[pid.index()];
+            let p = &mut self.procs[pid];
             p.burst_token = p.burst_token.wrapping_add(1);
             p.priority = sched::user_priority(p.estcpu, p.nice);
             p.state = PState::Runnable;
@@ -823,7 +924,7 @@ impl Sim {
             .iter()
             .copied()
             .chain(self.running.iter().flatten().copied())
-            .map(|pid| self.procs[pid.index()].pass)
+            .map(|pid| self.procs[pid].pass)
             .fold(f64::INFINITY, f64::min);
         if min.is_finite() {
             min
@@ -838,8 +939,8 @@ impl Sim {
             KernelPolicy::DecayUsage => self.runq.pop_best().map(|(pid, _)| pid),
             KernelPolicy::Stride => {
                 let (idx, _) = self.stride_q.iter().enumerate().min_by(|(_, a), (_, b)| {
-                    let pa = self.procs[a.index()].pass;
-                    let pb = self.procs[b.index()].pass;
+                    let pa = self.procs[**a].pass;
+                    let pb = self.procs[**b].pass;
                     pa.total_cmp(&pb)
                 })?;
                 Some(self.stride_q.swap_remove(idx))
@@ -871,7 +972,7 @@ impl Sim {
             return;
         };
         let now = self.now;
-        let p = &mut self.procs[pid.index()];
+        let p = &mut self.procs[pid];
         p.kernel_boost = false; // the kernel-mode return is over
         p.state = PState::Running;
         p.dispatched_at = now;
@@ -888,7 +989,7 @@ impl Sim {
     }
 
     fn resetpriority(&mut self, pid: Pid) {
-        let p = &mut self.procs[pid.index()];
+        let p = &mut self.procs[pid];
         p.priority = sched::user_priority(p.estcpu, p.nice);
     }
 }
@@ -914,36 +1015,41 @@ impl<'a> SimCtl<'a> {
 
     /// The calling process's cumulative CPU time.
     pub fn my_cputime(&self) -> Nanos {
-        self.sim.cputime(self.me)
+        self.sim.procs[self.me].cputime
+    }
+
+    /// Read-only view of any process (see [`Sim::proc`]).
+    pub fn proc(&self, pid: Pid) -> Option<ProcView<'_>> {
+        self.sim.proc(pid)
     }
 
     /// Cumulative CPU time of any process as a user-level reader sees it
     /// (the expensive read ALPS minimizes; cost accounting happens in the
     /// ALPS runner, not here). Subject to [`SimConfig::accounting`].
     pub fn cputime(&self, pid: Pid) -> Nanos {
-        self.sim.visible_cputime(pid)
+        self.sim.proc(pid).expect("unknown pid").visible_cputime()
     }
 
     /// Event-exact cumulative CPU time — simulation ground truth, for
     /// *instrumentation* only (a real user-level scheduler cannot see
     /// better than [`Self::cputime`]).
     pub fn cputime_exact(&self, pid: Pid) -> Nanos {
-        self.sim.cputime(pid)
+        self.sim.procs[pid].cputime
     }
 
     /// Whether a process is blocked on a wait channel (§2.4's test).
     pub fn is_blocked(&self, pid: Pid) -> bool {
-        self.sim.is_blocked(pid)
+        self.sim.proc(pid).expect("unknown pid").is_blocked()
     }
 
     /// Whether a process has exited.
     pub fn is_exited(&self, pid: Pid) -> bool {
-        self.sim.is_exited(pid)
+        self.sim.proc(pid).expect("unknown pid").is_exited()
     }
 
     /// `/proc`-style state code of a process.
     pub fn state_code(&self, pid: Pid) -> char {
-        self.sim.state_code(pid)
+        self.sim.proc(pid).expect("unknown pid").state_code()
     }
 
     /// Send `SIGSTOP` to another process.
@@ -964,7 +1070,7 @@ impl<'a> SimCtl<'a> {
         assert!(period > Nanos::ZERO, "timer period must be positive");
         let now = self.sim.now;
         let me = self.me;
-        let t = &mut self.sim.procs[me.index()].timer;
+        let t = &mut self.sim.procs[me].timer;
         t.period = period;
         t.armed = true;
         t.pending = false;
@@ -978,7 +1084,7 @@ impl<'a> SimCtl<'a> {
 
     /// Disarm the calling process's interval timer.
     pub fn cancel_interval_timer(&mut self) {
-        let t = &mut self.sim.procs[self.me.index()].timer;
+        let t = &mut self.sim.procs[self.me].timer;
         t.armed = false;
         t.pending = false;
         t.token = t.token.wrapping_add(1);
@@ -994,13 +1100,25 @@ mod tests {
         Sim::new(SimConfig::default())
     }
 
+    fn cputime(s: &Sim, pid: Pid) -> Nanos {
+        s.proc(pid).expect("spawned").cputime()
+    }
+
     #[test]
     fn single_compute_bound_uses_all_cpu() {
         let mut s = sim();
         let p = s.spawn("w", Box::new(ComputeBound));
         s.run_until(Nanos::from_secs(5));
-        assert_eq!(s.cputime(p), Nanos::from_secs(5));
+        assert_eq!(cputime(&s, p), Nanos::from_secs(5));
         assert_eq!(s.idle_time(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn proc_returns_none_for_unknown_pid() {
+        let mut s = sim();
+        let p = s.spawn("w", Box::new(ComputeBound));
+        assert!(s.proc(p).is_some());
+        assert!(s.proc(Pid(42)).is_none());
     }
 
     #[test]
@@ -1009,8 +1127,8 @@ mod tests {
         let a = s.spawn("a", Box::new(ComputeBound));
         let b = s.spawn("b", Box::new(ComputeBound));
         s.run_until(Nanos::from_secs(20));
-        let ca = s.cputime(a).as_secs_f64();
-        let cb = s.cputime(b).as_secs_f64();
+        let ca = cputime(&s, a).as_secs_f64();
+        let cb = cputime(&s, b).as_secs_f64();
         assert!((ca + cb - 20.0).abs() < 1e-9, "no time lost: {ca} + {cb}");
         // The decay scheduler equalizes long-run usage to within a slice
         // or two.
@@ -1025,11 +1143,12 @@ mod tests {
             .collect();
         s.run_until(Nanos::from_secs(50));
         for &p in &pids {
-            let c = s.cputime(p).as_secs_f64();
+            let v = s.proc(p).expect("spawned");
+            let c = v.cputime().as_secs_f64();
             assert!(
                 (c - 5.0).abs() < 0.6,
                 "{}: got {c}s, expected ~5s",
-                s.name(p)
+                v.name()
             );
         }
     }
@@ -1041,15 +1160,15 @@ mod tests {
         let b = s.spawn("b", Box::new(ComputeBound));
         s.run_until(Nanos::from_secs(2));
         s.sigstop(a);
-        let ca = s.cputime(a);
+        let ca = cputime(&s, a);
         s.run_until(Nanos::from_secs(4));
-        assert_eq!(s.cputime(a), ca, "stopped process consumes nothing");
-        assert!(s.is_stopped(a));
+        assert_eq!(cputime(&s, a), ca, "stopped process consumes nothing");
+        assert!(s.proc(a).expect("spawned").is_stopped());
         // b got everything in the meantime.
-        assert!(s.cputime(b) > Nanos::from_millis(2800));
+        assert!(cputime(&s, b) > Nanos::from_millis(2800));
         s.sigcont(a);
         s.run_until(Nanos::from_secs(6));
-        assert!(s.cputime(a) > ca, "resumed process runs again");
+        assert!(cputime(&s, a) > ca, "resumed process runs again");
     }
 
     #[test]
@@ -1070,11 +1189,11 @@ mod tests {
         let mut s = sim();
         let p = s.spawn("napper", Box::new(OneNap { slept: false }));
         s.run_until(Nanos::from_millis(250));
-        assert!(s.is_blocked(p));
-        assert_eq!(s.state_code(p), 'S');
+        assert!(s.proc(p).expect("spawned").is_blocked());
+        assert_eq!(s.proc(p).expect("spawned").state_code(), 'S');
         s.run_until(Nanos::from_secs(1));
-        assert!(!s.is_blocked(p));
-        assert_eq!(s.cputime(p), Nanos::from_millis(500));
+        assert!(!s.proc(p).expect("spawned").is_blocked());
+        assert_eq!(cputime(&s, p), Nanos::from_millis(500));
     }
 
     #[test]
@@ -1092,10 +1211,13 @@ mod tests {
         let mut s = sim();
         let p = s.spawn("once", Box::new(RunOnce));
         s.run_until(Nanos::from_secs(1));
-        assert!(s.is_exited(p));
-        assert_eq!(s.state_code(p), 'Z');
-        assert_eq!(s.cputime(p), Nanos::from_millis(30));
+        let v = s.proc(p).expect("spawned");
+        assert!(v.is_exited());
+        assert_eq!(v.state_code(), 'Z');
+        assert_eq!(v.cputime(), Nanos::from_millis(30));
         assert!(s.idle_time() >= Nanos::from_millis(960));
+        assert_eq!(s.live_count(), 0, "exit must leave the live index");
+        s.assert_index_consistent();
     }
 
     #[test]
@@ -1128,8 +1250,8 @@ mod tests {
         );
         s.run_until(Nanos::from_secs(1));
         // Fires at 100,200,...,1000ms. The process never computes.
-        assert_eq!(s.cputime(p), Nanos::ZERO);
-        assert!(s.is_blocked(p));
+        assert_eq!(cputime(&s, p), Nanos::ZERO);
+        assert!(s.proc(p).expect("spawned").is_blocked());
     }
 
     #[test]
@@ -1150,17 +1272,17 @@ mod tests {
         let mut s = sim();
         let p = s.spawn("n", Box::new(Napper { naps: 0 }));
         s.run_until(Nanos::from_millis(100));
-        assert!(s.is_blocked(p));
+        assert!(s.proc(p).expect("spawned").is_blocked());
         s.sigstop(p);
-        assert!(s.is_stopped(p));
+        assert!(s.proc(p).expect("spawned").is_stopped());
         // The sleep would expire at t=1s while stopped.
         s.run_until(Nanos::from_millis(400));
         s.sigcont(p);
         // Sleep deadline (1s) is still in the future: back to sleeping.
-        assert!(s.is_blocked(p));
+        assert!(s.proc(p).expect("spawned").is_blocked());
         s.run_until(Nanos::from_secs(2));
         // Woke at 1s and computed from then on.
-        assert!((s.cputime(p).as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((cputime(&s, p).as_secs_f64() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1183,10 +1305,10 @@ mod tests {
         s.run_until(Nanos::from_millis(50));
         s.sigstop(p);
         s.run_until(Nanos::from_secs(1)); // deadline passes while stopped
-        assert!(s.is_stopped(p));
+        assert!(s.proc(p).expect("spawned").is_stopped());
         s.sigcont(p);
         s.run_until(Nanos::from_secs(2));
-        assert!((s.cputime(p).as_secs_f64() - 1.0).abs() < 0.02);
+        assert!((cputime(&s, p).as_secs_f64() - 1.0).abs() < 0.02);
     }
 
     #[test]
@@ -1196,12 +1318,14 @@ mod tests {
         let b = s.spawn("b", Box::new(ComputeBound));
         s.run_until(Nanos::from_secs(1));
         s.terminate(a);
-        assert!(s.is_exited(a));
-        let ca = s.cputime(a);
+        assert!(s.proc(a).expect("spawned").is_exited());
+        assert_eq!(s.live_count(), 1);
+        let ca = cputime(&s, a);
         s.run_until(Nanos::from_secs(3));
-        assert_eq!(s.cputime(a), ca);
+        assert_eq!(cputime(&s, a), ca);
         // b now owns the machine.
-        assert!((s.cputime(b) + ca).as_secs_f64() - 3.0 < 1e-6);
+        assert!((cputime(&s, b) + ca).as_secs_f64() - 3.0 < 1e-6);
+        s.assert_index_consistent();
     }
 
     #[test]
@@ -1227,7 +1351,7 @@ mod tests {
         s.run_until(Nanos::from_secs(3) + Nanos::from_millis(50));
         // Woken at t=3s; within 50ms (a handful of ticks) it must have run.
         assert!(
-            s.cputime(n) > Nanos::ZERO,
+            cputime(&s, n) > Nanos::ZERO,
             "woken interactive process was starved"
         );
     }
@@ -1258,6 +1382,31 @@ mod tests {
     }
 
     #[test]
+    fn linear_runqueue_reproduces_the_indexed_schedule() {
+        let run = |kind| {
+            let cfg = SimConfig {
+                seed: 3,
+                spawn_estcpu_jitter: 8.0,
+                runqueue: kind,
+                ..SimConfig::default()
+            };
+            let mut s = Sim::new(cfg);
+            s.enable_trace(1 << 16);
+            for i in 0..8 {
+                s.spawn(format!("w{i}"), Box::new(ComputeBound));
+            }
+            s.run_until(Nanos::from_secs(10));
+            s.trace()
+                .unwrap()
+                .events()
+                .iter()
+                .map(|e| (e.at, e.pid, e.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(RunQueueKind::Indexed), run(RunQueueKind::Linear));
+    }
+
+    #[test]
     fn no_time_is_ever_lost() {
         let mut s = sim();
         let a = s.spawn("a", Box::new(ComputeBound));
@@ -1272,7 +1421,7 @@ mod tests {
             }),
         );
         s.run_until(Nanos::from_secs(7));
-        let total = s.cputime(a) + s.cputime(b) + s.idle_time();
+        let total = cputime(&s, a) + cputime(&s, b) + s.idle_time();
         assert_eq!(total, Nanos::from_secs(7));
     }
 
@@ -1293,7 +1442,11 @@ mod tests {
         let a = s.spawn("a", Box::new(ComputeBound));
         let b = s.spawn("b", Box::new(ComputeBound));
         s.run_until(Nanos::from_secs(2));
-        assert!(s.dispatches(a) > 3, "a rotated: {}", s.dispatches(a));
-        assert!(s.dispatches(b) > 3, "b rotated: {}", s.dispatches(b));
+        let (da, db) = (
+            s.proc(a).expect("spawned").dispatches(),
+            s.proc(b).expect("spawned").dispatches(),
+        );
+        assert!(da > 3, "a rotated: {da}");
+        assert!(db > 3, "b rotated: {db}");
     }
 }

@@ -1,0 +1,195 @@
+//! The process table: a dense pid→slot map with a live-process index.
+//!
+//! Pids are minted densely and never reused, so the table is a plain
+//! `Vec<Process>` indexed by [`Pid::index`]. On top of it sits a *live
+//! index* — the set of not-yet-exited pids, maintained with O(1)
+//! swap-removal — so the once-per-second `schedcpu` pass (and any other
+//! whole-table walk) touches only live processes. A long-dead process
+//! costs nothing per tick, per second, or per event.
+
+use crate::pid::Pid;
+use crate::process::Process;
+
+/// Position sentinel for a pid that is not in the live index.
+const DEAD: u32 = u32::MAX;
+
+/// The simulated machine's process table.
+#[derive(Default)]
+pub struct ProcTable {
+    slots: Vec<Process>,
+    /// Pids of live (not exited) processes, unordered (swap-removal).
+    live: Vec<Pid>,
+    /// Per-pid position in `live`, or [`DEAD`].
+    live_pos: Vec<u32>,
+}
+
+impl ProcTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pid the next [`ProcTable::push`] will occupy.
+    pub fn next_pid(&self) -> Pid {
+        Pid(self.slots.len() as u32)
+    }
+
+    /// Number of processes ever spawned (including exited ones).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no process was ever spawned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Insert a freshly spawned process. Its pid must be the next slot.
+    pub fn push(&mut self, p: Process) {
+        assert_eq!(p.pid, self.next_pid(), "pids are minted densely");
+        self.live_pos.push(self.live.len() as u32);
+        self.live.push(p.pid);
+        self.slots.push(p);
+    }
+
+    /// Shared access by pid; `None` for a pid this table never minted.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.slots.get(pid.index())
+    }
+
+    /// Whether the process exists and has not exited.
+    pub fn is_live(&self, pid: Pid) -> bool {
+        self.live_pos
+            .get(pid.index())
+            .is_some_and(|&pos| pos != DEAD)
+    }
+
+    /// Number of live processes.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The `i`-th live pid (unordered; stable across calls as long as no
+    /// process dies in between).
+    pub fn live_at(&self, i: usize) -> Pid {
+        self.live[i]
+    }
+
+    /// The live pids, unordered.
+    pub fn live(&self) -> &[Pid] {
+        &self.live
+    }
+
+    /// Drop a process from the live index (on exit). Idempotent. O(1).
+    pub fn mark_dead(&mut self, pid: Pid) {
+        let i = pid.index();
+        let pos = self.live_pos[i];
+        if pos == DEAD {
+            return;
+        }
+        self.live.swap_remove(pos as usize);
+        if let Some(&moved) = self.live.get(pos as usize) {
+            self.live_pos[moved.index()] = pos;
+        }
+        self.live_pos[i] = DEAD;
+    }
+
+    /// Brute-force check of the live index against the slot states;
+    /// panics on any inconsistency (test support).
+    pub fn assert_live_index_consistent(&self) {
+        assert_eq!(self.live_pos.len(), self.slots.len());
+        for (pos, &pid) in self.live.iter().enumerate() {
+            assert_eq!(
+                self.live_pos[pid.index()],
+                pos as u32,
+                "{pid} live position out of sync"
+            );
+        }
+        let live_by_scan = self
+            .slots
+            .iter()
+            .filter(|p| self.live_pos[p.pid.index()] != DEAD)
+            .count();
+        assert_eq!(live_by_scan, self.live.len(), "duplicate live entries");
+    }
+}
+
+impl std::ops::Index<Pid> for ProcTable {
+    type Output = Process;
+
+    fn index(&self, pid: Pid) -> &Process {
+        &self.slots[pid.index()]
+    }
+}
+
+impl std::ops::IndexMut<Pid> for ProcTable {
+    fn index_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.slots[pid.index()]
+    }
+}
+
+impl std::fmt::Debug for ProcTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcTable")
+            .field("len", &self.slots.len())
+            .field("live", &self.live.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{IntervalTimer, PState};
+    use alps_core::Nanos;
+
+    fn proc_named(pid: Pid) -> Process {
+        Process {
+            pid,
+            name: format!("p{}", pid.0),
+            state: PState::Runnable,
+            nice: 0,
+            estcpu: 0.0,
+            priority: 50,
+            slptime: 0,
+            cputime: Nanos::ZERO,
+            visible_cputime: Nanos::ZERO,
+            tickets: 1,
+            pass: 0.0,
+            burst_remaining: None,
+            dispatched_at: Nanos::ZERO,
+            kernel_boost: false,
+            wake_token: 0,
+            burst_token: 0,
+            timer: IntervalTimer::default(),
+            behavior: None,
+            dispatches: 0,
+            voluntary_switches: 0,
+        }
+    }
+
+    #[test]
+    fn push_get_and_live_tracking() {
+        let mut t = ProcTable::new();
+        for i in 0..5 {
+            let pid = t.next_pid();
+            assert_eq!(pid, Pid(i));
+            t.push(proc_named(pid));
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.live_count(), 5);
+        assert!(t.is_live(Pid(3)));
+        assert!(t.get(Pid(9)).is_none());
+
+        t.mark_dead(Pid(1));
+        t.mark_dead(Pid(3));
+        t.mark_dead(Pid(3)); // idempotent
+        assert_eq!(t.live_count(), 3);
+        assert!(!t.is_live(Pid(3)));
+        assert!(t.get(Pid(3)).is_some(), "dead slots stay readable");
+        let mut live: Vec<u32> = t.live().iter().map(|p| p.0).collect();
+        live.sort_unstable();
+        assert_eq!(live, vec![0, 2, 4]);
+        t.assert_live_index_consistent();
+    }
+}

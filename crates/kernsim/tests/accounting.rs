@@ -17,7 +17,10 @@ fn exact_mode_visible_equals_ground_truth() {
     let b = sim.spawn("b", Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(3));
     for p in [a, b] {
-        assert_eq!(sim.visible_cputime(p), sim.cputime(p));
+        assert_eq!(
+            sim.proc(p).unwrap().visible_cputime(),
+            sim.proc(p).unwrap().cputime()
+        );
     }
 }
 
@@ -28,8 +31,8 @@ fn sampled_mode_charges_whole_ticks_to_the_runner() {
     sim.run_until(Nanos::from_secs(2));
     // Sole runner: it is running at every tick, so the visible clock
     // matches wall time exactly (200 ticks × 10 ms).
-    assert_eq!(sim.visible_cputime(a), Nanos::from_secs(2));
-    assert_eq!(sim.cputime(a), Nanos::from_secs(2));
+    assert_eq!(sim.proc(a).unwrap().visible_cputime(), Nanos::from_secs(2));
+    assert_eq!(sim.proc(a).unwrap().cputime(), Nanos::from_secs(2));
 }
 
 #[test]
@@ -59,12 +62,12 @@ fn sampled_mode_misses_sub_tick_bursts() {
     let sneak = sim.spawn("sneak", Box::new(BetweenTicks));
     sim.run_until(Nanos::from_secs(2));
     assert!(
-        sim.cputime(sneak) > Nanos::from_millis(500),
+        sim.proc(sneak).unwrap().cputime() > Nanos::from_millis(500),
         "really consumed {}",
-        sim.cputime(sneak)
+        sim.proc(sneak).unwrap().cputime()
     );
     assert_eq!(
-        sim.visible_cputime(sneak),
+        sim.proc(sneak).unwrap().visible_cputime(),
         Nanos::ZERO,
         "statclock never catches it"
     );
@@ -78,8 +81,8 @@ fn sampled_mode_is_unbiased_for_interleaved_runners() {
         .collect();
     sim.run_until(Nanos::from_secs(40));
     for &p in &pids {
-        let exact = sim.cputime(p).as_secs_f64();
-        let visible = sim.visible_cputime(p).as_secs_f64();
+        let exact = sim.proc(p).unwrap().cputime().as_secs_f64();
+        let visible = sim.proc(p).unwrap().visible_cputime().as_secs_f64();
         assert!(
             (visible - exact).abs() < 0.6,
             "visible {visible:.2}s vs exact {exact:.2}s"

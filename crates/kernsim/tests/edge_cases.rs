@@ -66,7 +66,7 @@ fn timer_rearm_and_cancel() {
         }),
     );
     sim.run_until(Nanos::from_secs(2));
-    assert!(sim.is_exited(p));
+    assert!(sim.proc(p).unwrap().is_exited());
     let t = times.borrow();
     // First arming: fires at 100,200,300,400ms; re-arm at 400 -> fires at
     // 430,460,490ms.
@@ -85,15 +85,15 @@ fn redundant_signals_are_idempotent() {
     sim.run_until(Nanos::from_millis(500));
     sim.sigstop(a);
     sim.sigstop(a); // second stop: no-op
-    let frozen = sim.cputime(a);
+    let frozen = sim.proc(a).unwrap().cputime();
     sim.run_until(Nanos::from_secs(1));
     sim.sigcont(a);
     sim.sigcont(a); // second cont: no-op
     sim.sigcont(b); // cont of a running proc: no-op
     sim.run_until(Nanos::from_secs(2));
-    assert!(sim.cputime(a) > frozen);
+    assert!(sim.proc(a).unwrap().cputime() > frozen);
     assert_eq!(
-        sim.cputime(a) + sim.cputime(b) + sim.idle_time(),
+        sim.proc(a).unwrap().cputime() + sim.proc(b).unwrap().cputime() + sim.idle_time(),
         Nanos::from_secs(2)
     );
 }
@@ -113,12 +113,12 @@ fn signals_to_exited_processes_are_ignored() {
     let mut sim = Sim::new(SimConfig::default());
     let p = sim.spawn("q", Box::new(Quick));
     sim.run_until(Nanos::from_millis(200));
-    assert!(sim.is_exited(p));
+    assert!(sim.proc(p).unwrap().is_exited());
     sim.sigstop(p);
     sim.sigcont(p);
     sim.terminate(p);
-    assert!(sim.is_exited(p));
-    assert_eq!(sim.cputime(p), Nanos::from_millis(10));
+    assert!(sim.proc(p).unwrap().is_exited());
+    assert_eq!(sim.proc(p).unwrap().cputime(), Nanos::from_millis(10));
 }
 
 #[test]
@@ -137,8 +137,8 @@ fn stop_interrupted_sleep_then_terminate() {
     sim.terminate(p);
     // The stale Wake event for the interrupted sleep must not resurrect it.
     sim.run_until(Nanos::from_secs(3));
-    assert!(sim.is_exited(p));
-    assert_eq!(sim.cputime(p), Nanos::ZERO);
+    assert!(sim.proc(p).unwrap().is_exited());
+    assert_eq!(sim.proc(p).unwrap().cputime(), Nanos::ZERO);
 }
 
 #[test]
@@ -146,9 +146,9 @@ fn run_until_same_instant_is_a_noop() {
     let mut sim = Sim::new(SimConfig::default());
     let a = sim.spawn("a", Box::new(ComputeBound));
     sim.run_until(Nanos::from_millis(100));
-    let before = sim.cputime(a);
+    let before = sim.proc(a).unwrap().cputime();
     sim.run_until(Nanos::from_millis(100));
-    assert_eq!(sim.cputime(a), before);
+    assert_eq!(sim.proc(a).unwrap().cputime(), before);
     assert_eq!(sim.now(), Nanos::from_millis(100));
 }
 
@@ -179,14 +179,14 @@ fn nice_processes_get_less_cpu() {
     let normal = sim.spawn_nice("normal", 0, Box::new(ComputeBound));
     let nice = sim.spawn_nice("nice", 10, Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(20));
-    let cn = sim.cputime(normal).as_secs_f64();
-    let cv = sim.cputime(nice).as_secs_f64();
+    let cn = sim.proc(normal).unwrap().cputime().as_secs_f64();
+    let cv = sim.proc(nice).unwrap().cputime().as_secs_f64();
     assert!(
         cn > cv * 1.5,
         "nice +10 should yield well under half: {cn:.2} vs {cv:.2}"
     );
     assert_eq!(
-        sim.cputime(normal) + sim.cputime(nice),
+        sim.proc(normal).unwrap().cputime() + sim.proc(nice).unwrap().cputime(),
         Nanos::from_secs(20)
     );
 }

@@ -49,7 +49,7 @@ proptest! {
             .collect();
         let horizon = Nanos::from_millis(horizon_ms);
         sim.run_until(horizon);
-        let total: Nanos = pids.iter().map(|&p| sim.cputime(p)).sum();
+        let total: Nanos = pids.iter().map(|&p| sim.proc(p).unwrap().cputime()).sum();
         prop_assert_eq!(total + sim.idle_time(), horizon);
     }
 
@@ -68,7 +68,7 @@ proptest! {
                 .collect();
             sim.run_until(Nanos::from_millis(horizon_ms));
             pids.iter()
-                .map(|&p| (sim.cputime(p).0, sim.dispatches(p)))
+                .map(|&p| (sim.proc(p).unwrap().cputime().0, sim.proc(p).unwrap().dispatches()))
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
@@ -90,26 +90,26 @@ proptest! {
             t += Nanos::from_millis(delay_ms);
             sim.run_until(t);
             let pid = pids[target % pids.len()];
-            let before = sim.cputime(pid);
+            let before = sim.proc(pid).unwrap().cputime();
             match op {
                 0 => sim.sigstop(pid),
                 1 => sim.sigcont(pid),
                 _ => sim.terminate(pid),
             }
             // The signal itself consumes no target CPU.
-            prop_assert_eq!(sim.cputime(pid), before);
-            if op == 0 && !sim.is_exited(pid) {
+            prop_assert_eq!(sim.proc(pid).unwrap().cputime(), before);
+            if op == 0 && !sim.proc(pid).unwrap().is_exited() {
                 // A stopped process stays stopped until continued.
-                let frozen = sim.cputime(pid);
+                let frozen = sim.proc(pid).unwrap().cputime();
                 let probe = t + Nanos::from_millis(50);
                 sim.run_until(probe);
                 t = probe;
-                prop_assert_eq!(sim.cputime(pid), frozen);
-                prop_assert!(sim.is_stopped(pid));
+                prop_assert_eq!(sim.proc(pid).unwrap().cputime(), frozen);
+                prop_assert!(sim.proc(pid).unwrap().is_stopped());
             }
         }
         // Conservation still holds after all the interference.
-        let total: Nanos = pids.iter().map(|&p| sim.cputime(p)).sum();
+        let total: Nanos = pids.iter().map(|&p| sim.proc(p).unwrap().cputime()).sum();
         prop_assert_eq!(total + sim.idle_time(), sim.now());
     }
 
@@ -144,7 +144,7 @@ proptest! {
         sim.run_until(horizon);
         let want = horizon.as_secs_f64() / n as f64;
         for &p in &pids {
-            let got = sim.cputime(p).as_secs_f64();
+            let got = sim.proc(p).unwrap().cputime().as_secs_f64();
             prop_assert!(
                 (got - want).abs() < 0.8,
                 "pid {p}: {got:.2}s vs fair {want:.2}s"

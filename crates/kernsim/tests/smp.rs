@@ -19,8 +19,8 @@ fn two_cpus_run_two_processes_concurrently() {
     let b = sim.spawn("b", Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(5));
     // Each gets a whole CPU: no sharing, no idle.
-    assert_eq!(sim.cputime(a), Nanos::from_secs(5));
-    assert_eq!(sim.cputime(b), Nanos::from_secs(5));
+    assert_eq!(sim.proc(a).unwrap().cputime(), Nanos::from_secs(5));
+    assert_eq!(sim.proc(b).unwrap().cputime(), Nanos::from_secs(5));
     assert_eq!(sim.idle_time(), Nanos::ZERO);
 }
 
@@ -29,7 +29,7 @@ fn spare_cpu_idles() {
     let mut sim = smp(4);
     let a = sim.spawn("a", Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(2));
-    assert_eq!(sim.cputime(a), Nanos::from_secs(2));
+    assert_eq!(sim.proc(a).unwrap().cputime(), Nanos::from_secs(2));
     // Three CPUs idle for the whole run.
     assert_eq!(sim.idle_time(), Nanos::from_secs(6));
 }
@@ -42,7 +42,7 @@ fn time_conservation_scales_with_cpu_count() {
         .collect();
     let horizon = Nanos::from_secs(9);
     sim.run_until(horizon);
-    let total: Nanos = pids.iter().map(|&p| sim.cputime(p)).sum();
+    let total: Nanos = pids.iter().map(|&p| sim.proc(p).unwrap().cputime()).sum();
     assert_eq!(total + sim.idle_time(), horizon * 3, "3 CPU-seconds/second");
     assert_eq!(sim.idle_time(), Nanos::ZERO, "7 > 3 procs: no idling");
 }
@@ -56,8 +56,12 @@ fn oversubscribed_smp_is_long_run_fair() {
     sim.run_until(Nanos::from_secs(30));
     // 2 CPUs over 6 equal processes: ~10s each.
     for &p in &pids {
-        let c = sim.cputime(p).as_secs_f64();
-        assert!((c - 10.0).abs() < 1.0, "{}: {c}s", sim.name(p));
+        let c = sim.proc(p).unwrap().cputime().as_secs_f64();
+        assert!(
+            (c - 10.0).abs() < 1.0,
+            "{}: {c}s",
+            sim.proc(p).unwrap().name()
+        );
     }
 }
 
@@ -71,12 +75,12 @@ fn sigstop_on_running_vacates_its_cpu_for_the_queue() {
     // a and b hold the CPUs roughly; stop whichever is running now.
     let victim = sim.running_on(0).unwrap();
     sim.sigstop(victim);
-    let frozen = sim.cputime(victim);
+    let frozen = sim.proc(victim).unwrap().cputime();
     sim.run_until(Nanos::from_secs(4));
-    assert_eq!(sim.cputime(victim), frozen);
+    assert_eq!(sim.proc(victim).unwrap().cputime(), frozen);
     // Remaining two processes share both CPUs fully.
     let others: Vec<_> = [a, b, c].into_iter().filter(|&p| p != victim).collect();
-    let sum: Nanos = others.iter().map(|&p| sim.cputime(p)).sum();
+    let sum: Nanos = others.iter().map(|&p| sim.proc(p).unwrap().cputime()).sum();
     assert!(sum + frozen + sim.idle_time() == Nanos::from_secs(8));
     assert_eq!(sim.idle_time(), Nanos::ZERO);
 }
@@ -110,9 +114,9 @@ fn behavior_can_stop_a_process_running_on_another_cpu() {
         }),
     );
     sim.run_until(Nanos::from_secs(1));
-    assert!(sim.is_stopped(victim));
-    assert!(sim.cputime(victim) < Nanos::from_millis(100));
-    assert!(sim.cputime(cop) > Nanos::from_millis(800));
+    assert!(sim.proc(victim).unwrap().is_stopped());
+    assert!(sim.proc(victim).unwrap().cputime() < Nanos::from_millis(100));
+    assert!(sim.proc(cop).unwrap().cputime() > Nanos::from_millis(800));
 }
 
 #[test]
@@ -130,7 +134,9 @@ fn single_cpu_config_is_unchanged() {
             .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
             .collect();
         sim.run_until(Nanos::from_secs(5));
-        pids.iter().map(|&p| sim.cputime(p).0).collect::<Vec<_>>()
+        pids.iter()
+            .map(|&p| sim.proc(p).unwrap().cputime().0)
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(1), run(1));
 }

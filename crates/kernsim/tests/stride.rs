@@ -20,9 +20,9 @@ fn tickets_apportion_cpu_exactly() {
     let c = sim.spawn_tickets("c", 3, Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(12));
     let (ca, cb, cc) = (
-        sim.cputime(a).as_secs_f64(),
-        sim.cputime(b).as_secs_f64(),
-        sim.cputime(c).as_secs_f64(),
+        sim.proc(a).unwrap().cputime().as_secs_f64(),
+        sim.proc(b).unwrap().cputime().as_secs_f64(),
+        sim.proc(c).unwrap().cputime().as_secs_f64(),
     );
     // In-kernel stride is deterministic: ratios accurate to within one
     // tick per process over the whole run.
@@ -40,8 +40,12 @@ fn equal_tickets_fair_and_work_conserving() {
     sim.run_until(Nanos::from_secs(10));
     assert_eq!(sim.idle_time(), Nanos::ZERO);
     for &p in &pids {
-        let c = sim.cputime(p).as_secs_f64();
-        assert!((c - 2.0).abs() < 0.05, "{}: {c}", sim.name(p));
+        let c = sim.proc(p).unwrap().cputime().as_secs_f64();
+        assert!(
+            (c - 2.0).abs() < 0.05,
+            "{}: {c}",
+            sim.proc(p).unwrap().name()
+        );
     }
 }
 
@@ -67,8 +71,8 @@ fn sleeper_rejoins_at_global_pass_without_hoarding() {
     // The napper slept 5s; if it kept its low pass it would monopolize the
     // CPU afterwards to "catch up". The re-join rule forbids that: from
     // t=5s they split evenly, so spinner ≈ 5+5 = 10s, napper ≈ 5s.
-    let cs = sim.cputime(spinner).as_secs_f64();
-    let cn = sim.cputime(napper).as_secs_f64();
+    let cs = sim.proc(spinner).unwrap().cputime().as_secs_f64();
+    let cn = sim.proc(napper).unwrap().cputime().as_secs_f64();
     assert!((cs - 10.0).abs() < 0.2, "spinner {cs}");
     assert!((cn - 5.0).abs() < 0.2, "napper {cn}");
 }
@@ -81,9 +85,9 @@ fn late_joiner_starts_at_global_pass() {
     let b = sim.spawn_tickets("b", 1, Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(15));
     // b must not replay a's 5s head start: from t=5 they split evenly.
-    let cb = sim.cputime(b).as_secs_f64();
+    let cb = sim.proc(b).unwrap().cputime().as_secs_f64();
     assert!((cb - 5.0).abs() < 0.2, "b {cb}");
-    assert!((sim.cputime(a).as_secs_f64() - 10.0).abs() < 0.2);
+    assert!((sim.proc(a).unwrap().cputime().as_secs_f64() - 10.0).abs() < 0.2);
 }
 
 #[test]
@@ -108,15 +112,15 @@ fn job_control_works_under_stride() {
     let b = sim.spawn_tickets("b", 1, Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(2));
     sim.sigstop(a);
-    let frozen = sim.cputime(a);
+    let frozen = sim.proc(a).unwrap().cputime();
     sim.run_until(Nanos::from_secs(4));
-    assert_eq!(sim.cputime(a), frozen);
+    assert_eq!(sim.proc(a).unwrap().cputime(), frozen);
     sim.sigcont(a);
     sim.run_until(Nanos::from_secs(8));
-    assert!(sim.cputime(a) > frozen);
+    assert!(sim.proc(a).unwrap().cputime() > frozen);
     // Time is still conserved.
     assert_eq!(
-        sim.cputime(a) + sim.cputime(b) + sim.idle_time(),
+        sim.proc(a).unwrap().cputime() + sim.proc(b).unwrap().cputime() + sim.idle_time(),
         Nanos::from_secs(8)
     );
 }
@@ -145,7 +149,7 @@ mod stride_properties {
             let total_tickets: u64 = tickets.iter().sum();
             for (&p, &t) in pids.iter().zip(&tickets) {
                 let want = horizon.as_secs_f64() * t as f64 / total_tickets as f64;
-                let got = sim.cputime(p).as_secs_f64();
+                let got = sim.proc(p).unwrap().cputime().as_secs_f64();
                 prop_assert!(
                     (got - want).abs() < 0.15,
                     "tickets {}: got {:.3}s want {:.3}s",

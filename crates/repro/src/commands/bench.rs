@@ -1,0 +1,81 @@
+//! `repro bench` — render the committed kernsim scalability report.
+//!
+//! Reads `BENCH_kernsim.json` (written by `bench-scalability`, see
+//! EXPERIMENTS.md) and prints the sweep as a table: per-point lifecycle
+//! timings plus the indexed-over-linear wall-clock speedup for each
+//! `(N, lazy)` pair.
+
+use alps_bench::scalability::BenchReport;
+
+use super::table::Table;
+use crate::output::{fmt, heading};
+
+/// Default location of the committed report, relative to the repo root.
+/// Override with the `ALPS_BENCH_REPORT` environment variable.
+pub const REPORT_PATH: &str = "BENCH_kernsim.json";
+
+/// Print the kernsim scalability report.
+pub fn bench() {
+    let path = std::env::var("ALPS_BENCH_REPORT").unwrap_or_else(|_| REPORT_PATH.to_string());
+    heading(&format!("kernsim scalability sweep ({path})"));
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "cannot read {path}: {e}\n\
+                 regenerate it with: cargo run --release -p alps-bench --bin bench-scalability"
+            );
+            return;
+        }
+    };
+    let report = match BenchReport::parse(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return;
+        }
+    };
+    println!(
+        "quantum {} ms, share {} per process{}",
+        report.quantum_ms,
+        report.share,
+        if report.fast { ", FAST (CI smoke)" } else { "" }
+    );
+    let table = Table::new(&[5, -5, -7, 6, 10, 10, 10, 12, 13, 9]);
+    table.header(&[
+        "N",
+        "lazy",
+        "queue",
+        "sim-s",
+        "reg(ms)",
+        "drive(ms)",
+        "tear(ms)",
+        "wall/sim-s",
+        "events/s",
+        "ctxsw",
+    ]);
+    for p in &report.points {
+        table.row(&[
+            p.n.to_string(),
+            p.lazy.to_string(),
+            p.runqueue.clone(),
+            p.sim_seconds.to_string(),
+            fmt(p.register_seconds * 1e3, 3),
+            fmt(p.drive_seconds * 1e3, 3),
+            fmt(p.teardown_seconds * 1e3, 3),
+            fmt(p.wall_per_sim_second, 6),
+            fmt(p.events_per_wall_second, 0),
+            p.context_switches.to_string(),
+        ]);
+    }
+    println!("\nindexed speedup over linear (whole-lifecycle wall clock):");
+    let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
+    ns.dedup();
+    for n in ns {
+        for lazy in [true, false] {
+            if let Some(s) = report.speedup(n, lazy) {
+                println!("  N={n:<5} lazy={lazy:<5} {s:.2}x");
+            }
+        }
+    }
+}

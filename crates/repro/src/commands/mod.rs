@@ -4,12 +4,14 @@
 //! [`workload`] (Table 2, Figs. 4–5, the §3.2 and accounting ablations),
 //! [`io`] (Fig. 6, §2.4), [`multi`] (Fig. 7, Table 3), [`scalability`]
 //! (Figs. 8–9, §4.2, the stride baseline), [`web`] (§5), plus the
-//! [`batch`], [`smp`], and [`verify`] extensions. All commands keep their
+//! [`batch`], [`bench`] (the committed kernsim scalability report),
+//! [`smp`], and [`verify`] extensions. All commands keep their
 //! `commands::<name>()` paths via the re-exports below, so `main.rs` is
 //! oblivious to the file layout. Column alignment is shared in
 //! [`table::Table`].
 
 mod batch;
+mod bench;
 mod costs;
 mod io;
 mod multi;
@@ -21,6 +23,7 @@ mod web;
 mod workload;
 
 pub use batch::batch;
+pub use bench::bench;
 pub use costs::table1;
 pub use io::{fig6, io_policy};
 pub use multi::{fig7, table3};

@@ -15,7 +15,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] <experiment>...\n\
          experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
-                      fig7 table3 fig8 fig9 thresholds websrv smp baseline batch latency verify all\n\
+                      fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench latency verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
          --data <dir>: also write gnuplot-ready .dat files"
     );
@@ -93,6 +93,7 @@ fn main() {
             "smp" => commands::smp(),
             "baseline" => commands::baseline(&scale),
             "batch" => commands::batch(),
+            "bench" => commands::bench(),
             "verify" => commands::verify(),
             "latency" => commands::latency(&scale),
             other => {

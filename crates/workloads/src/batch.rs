@@ -35,13 +35,18 @@ impl Batch {
     pub fn completion_times(&self, sim: &Sim) -> Vec<Option<Nanos>> {
         self.pids
             .iter()
-            .map(|&p| sim.is_exited(p).then(|| sim.cputime(p)))
+            .map(|&p| {
+                sim.proc(p)
+                    .unwrap()
+                    .is_exited()
+                    .then(|| sim.proc(p).unwrap().cputime())
+            })
             .collect()
     }
 
     /// Whether every worker has exited.
     pub fn all_done(&self, sim: &Sim) -> bool {
-        self.pids.iter().all(|&p| sim.is_exited(p))
+        self.pids.iter().all(|&p| sim.proc(p).unwrap().is_exited())
     }
 }
 
@@ -66,7 +71,7 @@ pub fn run_to_completion(sim: &mut Sim, batch: &Batch, cap: Nanos) -> Vec<Nanos>
         let next = sim.now() + Nanos::from_millis(10);
         sim.run_until(next.min(cap));
         for (i, &p) in batch.pids.iter().enumerate() {
-            if done_at[i].is_none() && sim.is_exited(p) {
+            if done_at[i].is_none() && sim.proc(p).unwrap().is_exited() {
                 done_at[i] = Some(sim.now());
             }
         }
@@ -99,7 +104,7 @@ mod tests {
         assert!((last.as_millis_f64() - 600.0).abs() < 50.0, "{last}");
         // Each consumed exactly its work.
         for (pid, job) in batch.pids.iter().zip(&jobs) {
-            assert_eq!(sim.cputime(*pid), job.work);
+            assert_eq!(sim.proc(*pid).unwrap().cputime(), job.work);
         }
     }
 

@@ -121,7 +121,7 @@ mod tests {
                 )),
             );
             sim.run_until(Nanos::from_secs(5));
-            sim.cputime(p)
+            sim.proc(p).unwrap().cputime()
         };
         let a = mk();
         let b = mk();
@@ -136,7 +136,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let p = sim.spawn("j", Box::new(FiniteJob::new(Nanos::from_millis(250))));
         sim.run_until(Nanos::from_secs(1));
-        assert!(sim.is_exited(p));
-        assert_eq!(sim.cputime(p), Nanos::from_millis(250));
+        assert!(sim.proc(p).unwrap().is_exited());
+        assert_eq!(sim.proc(p).unwrap().cputime(), Nanos::from_millis(250));
     }
 }

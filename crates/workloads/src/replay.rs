@@ -149,8 +149,8 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let p = sim.spawn("replay", Box::new(replay));
         sim.run_until(Nanos::from_secs(1));
-        assert!(sim.is_exited(p));
-        assert_eq!(sim.cputime(p), want_cpu);
+        assert!(sim.proc(p).unwrap().is_exited());
+        assert_eq!(sim.proc(p).unwrap().cputime(), want_cpu);
     }
 
     #[test]
@@ -163,7 +163,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let p = sim.spawn("loop", Box::new(TraceReplay::new(segs, OnEnd::Loop)));
         sim.run_until(Nanos::from_secs(4));
-        let frac = sim.cputime(p).as_secs_f64() / 4.0;
+        let frac = sim.proc(p).unwrap().cputime().as_secs_f64() / 4.0;
         assert!((frac - 0.5).abs() < 0.02, "duty {frac}");
     }
 
@@ -179,7 +179,7 @@ mod tests {
         let s = sim.spawn("spin", Box::new(kernsim::ComputeBound));
         alps_sim_spawn(&mut sim, &[(r, 1), (s, 1)]);
         sim.run_until(Nanos::from_secs(20));
-        let fr = sim.cputime(r).as_secs_f64() / 20.0;
+        let fr = sim.proc(r).unwrap().cputime().as_secs_f64() / 20.0;
         assert!(fr < 0.56, "replay got {fr} of the CPU at equal shares");
     }
 

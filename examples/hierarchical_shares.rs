@@ -52,9 +52,12 @@ fn main() {
     sim.run_until(Nanos::from_secs(30));
 
     println!("\nafter 30s:");
-    let total: f64 = pids.iter().map(|&p| sim.cputime(p).as_secs_f64()).sum();
+    let total: f64 = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime().as_secs_f64())
+        .sum();
     for (&(name, _, _), &pid) in users.iter().zip(&pids) {
-        let c = sim.cputime(pid).as_secs_f64();
+        let c = sim.proc(pid).unwrap().cputime().as_secs_f64();
         println!("  {name:<8} {c:>6.2}s = {:>5.1}%", 100.0 * c / total);
     }
     println!("  (targets: eng 16.7/16.7/33.3, res 16.7/16.7)");
@@ -80,13 +83,16 @@ fn main() {
     let cy_pos = flat.iter().position(|&(t, _)| t == 2).expect("cy");
     sim.terminate(pids[cy_pos]);
 
-    let snap: Vec<f64> = pids.iter().map(|&p| sim.cputime(p).as_secs_f64()).collect();
+    let snap: Vec<f64> = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime().as_secs_f64())
+        .collect();
     sim.run_until(Nanos::from_secs(60));
     println!("\nnext 30s (cy gone):");
     let totals: Vec<f64> = pids
         .iter()
         .zip(&snap)
-        .map(|(&p, &s)| sim.cputime(p).as_secs_f64() - s)
+        .map(|(&p, &s)| sim.proc(p).unwrap().cputime().as_secs_f64() - s)
         .collect();
     let total: f64 = totals.iter().sum();
     for ((&(name, _, _), c), i) in users.iter().zip(&totals).zip(0..) {

@@ -33,10 +33,10 @@ fn main() {
         let total: f64 = pids
             .iter()
             .zip(base)
-            .map(|(&p, &b)| (sim.cputime(p) - b).as_secs_f64())
+            .map(|(&p, &b)| (sim.proc(p).unwrap().cputime() - b).as_secs_f64())
             .sum();
         for ((r, &p), &b) in regions.iter().zip(&pids).zip(base) {
-            let c = (sim.cputime(p) - b).as_secs_f64();
+            let c = (sim.proc(p).unwrap().cputime() - b).as_secs_f64();
             println!(
                 "  {r:<6} {c:>6.2}s CPU ({:>5.1}% of phase)",
                 100.0 * c / total
@@ -45,7 +45,10 @@ fn main() {
     };
 
     // Phase 1: uniform mesh.
-    let snap1: Vec<Nanos> = pids.iter().map(|&p| sim.cputime(p)).collect();
+    let snap1: Vec<Nanos> = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime())
+        .collect();
     sim.run_until(Nanos::from_secs(10));
     report(&sim, "phase 1 (uniform mesh, 100 cells each):", &snap1);
 
@@ -53,7 +56,10 @@ fn main() {
     cells[0] = 400;
     println!("\nrefining north region to {} cells...", cells[0]);
     alps.set_share(ids[0], cells[0]).expect("live process");
-    let snap2: Vec<Nanos> = pids.iter().map(|&p| sim.cputime(p)).collect();
+    let snap2: Vec<Nanos> = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime())
+        .collect();
     sim.run_until(Nanos::from_secs(25));
     report(&sim, "phase 2 (north 400 cells => 4/7 of the CPU):", &snap2);
 
@@ -61,7 +67,10 @@ fn main() {
     cells[2] = 10;
     println!("\ncoarsening east region to {} cells...", cells[2]);
     alps.set_share(ids[2], cells[2]).expect("live process");
-    let snap3: Vec<Nanos> = pids.iter().map(|&p| sim.cputime(p)).collect();
+    let snap3: Vec<Nanos> = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime())
+        .collect();
     sim.run_until(Nanos::from_secs(40));
     report(&sim, "phase 3 (east nearly idle):", &snap3);
 
@@ -71,6 +80,6 @@ fn main() {
         .collect();
     println!("\nphase-3 targets: {want:?}");
     println!("ALPS overhead: {:.3}% of the CPU", {
-        100.0 * sim.cputime(alps.pid).as_f64() / sim.now().as_f64()
+        100.0 * sim.proc(alps.pid).unwrap().cputime().as_f64() / sim.now().as_f64()
     });
 }

@@ -85,11 +85,14 @@ fn share_tree_end_to_end_with_trace_replay() {
         &procs,
     );
     sim.run_until(Nanos::from_secs(30));
-    let total: f64 = pids.iter().map(|&p| sim.cputime(p).as_secs_f64()).sum();
+    let total: f64 = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().cputime().as_secs_f64())
+        .sum();
     // heavy dept: 3/4 split over two leaves = 3/8 each; light leaf: 1/4.
     let fr: Vec<f64> = pids
         .iter()
-        .map(|&p| sim.cputime(p).as_secs_f64() / total)
+        .map(|&p| sim.proc(p).unwrap().cputime().as_secs_f64() / total)
         .collect();
     assert!((fr[0] - 0.375).abs() < 0.03, "{fr:?}");
     assert!((fr[1] - 0.375).abs() < 0.03, "{fr:?}");
