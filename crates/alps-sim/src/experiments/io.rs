@@ -158,15 +158,15 @@ pub struct IoPolicyRow {
     pub blocked_split: (f64, f64),
 }
 
-/// The I/O-policy ablation: same experiment, three accounting policies.
+/// The I/O-policy ablation: same experiment, three accounting policies,
+/// one independent sim per policy fanned across the sweep executor.
 pub fn run_io_policy_ablation(base: &IoParams) -> Vec<IoPolicyRow> {
-    [
+    let policies = vec![
         IoPolicy::OneQuantumPenalty,
         IoPolicy::NoPenalty,
         IoPolicy::ForfeitAllowance,
-    ]
-    .into_iter()
-    .map(|policy| {
+    ];
+    alps_sweep::sweep_map(policies, |policy| {
         let mut p = *base;
         p.policy = policy;
         let r = run_io(&p);
@@ -176,7 +176,6 @@ pub fn run_io_policy_ablation(base: &IoParams) -> Vec<IoPolicyRow> {
             blocked_split: r.blocked_split,
         }
     })
-    .collect()
 }
 
 #[cfg(test)]

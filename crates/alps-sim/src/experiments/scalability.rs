@@ -98,12 +98,13 @@ pub struct ScalabilityResult {
     pub observed_threshold: Option<usize>,
 }
 
-/// Run the sweep for one quantum length.
+/// Run the sweep for one quantum length. The per-N points are
+/// independent simulations and fan out across the sweep executor;
+/// results come back in `p.ns` order regardless of thread count.
 pub fn run_scalability(p: &ScalabilityParams) -> ScalabilityResult {
-    let points: Vec<ScalabilityPoint> =
-        p.ns.iter()
-            .map(|&n| run_scalability_point(n, p.quantum, p.duration, p.seed))
-            .collect();
+    let points: Vec<ScalabilityPoint> = alps_sweep::sweep_map(p.ns.clone(), |n| {
+        run_scalability_point(n, p.quantum, p.duration, p.seed)
+    });
     let observed_threshold = points
         .iter()
         .find(|pt| pt.quanta_serviced_frac < 0.90)

@@ -161,16 +161,21 @@ pub fn run_workload(p: &WorkloadParams) -> WorkloadRun {
 }
 
 /// Mean of `runs` over the given seeds (the paper's "mean of 3 tests").
+///
+/// The per-seed runs are independent simulations, so they fan out across
+/// the sweep executor. The result is invariant to both the thread count
+/// (each run is a pure function of its seed) and the *order* of `seeds`:
+/// the floating-point reductions below always sum in ascending-seed
+/// order.
 pub fn run_workload_mean(p: &WorkloadParams, seeds: &[u64]) -> WorkloadRun {
     assert!(!seeds.is_empty());
-    let runs: Vec<WorkloadRun> = seeds
-        .iter()
-        .map(|&s| run_workload(&p.with_seed(s)))
-        .collect();
+    let mut runs: Vec<(u64, WorkloadRun)> =
+        alps_sweep::sweep_map(seeds.to_vec(), |s| (s, run_workload(&p.with_seed(s))));
+    runs.sort_by_key(|&(s, _)| s);
     let k = runs.len() as f64;
-    let mut out = runs[0].clone();
-    out.mean_rms_error_pct = runs.iter().map(|r| r.mean_rms_error_pct).sum::<f64>() / k;
-    out.overhead_pct = runs.iter().map(|r| r.overhead_pct).sum::<f64>() / k;
+    let mut out = runs[0].1.clone();
+    out.mean_rms_error_pct = runs.iter().map(|(_, r)| r.mean_rms_error_pct).sum::<f64>() / k;
+    out.overhead_pct = runs.iter().map(|(_, r)| r.overhead_pct).sum::<f64>() / k;
     out
 }
 
@@ -193,10 +198,13 @@ pub struct AblationRow {
     pub error_unopt_pct: f64,
 }
 
-/// Run the optimized and unoptimized algorithm on the same workload.
+/// Run the optimized and unoptimized algorithm on the same workload
+/// (the two legs are independent sims and run concurrently).
 pub fn run_ablation(p: &WorkloadParams) -> AblationRow {
-    let opt = run_workload(&p.with_lazy(true));
-    let unopt = run_workload(&p.with_lazy(false));
+    let mut legs =
+        alps_sweep::sweep_map(vec![true, false], |lazy| run_workload(&p.with_lazy(lazy)));
+    let unopt = legs.pop().expect("two legs");
+    let opt = legs.pop().expect("two legs");
     AblationRow {
         workload: opt.workload.clone(),
         quantum_ms: opt.quantum_ms,

@@ -32,7 +32,8 @@
 //! let cfg = AlpsConfig::new(Nanos::from_millis(10));
 //! spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &[(a, 1), (b, 3)]);
 //! sim.run_until(Nanos::from_secs(20));
-//! let ratio = sim.cputime(b).as_f64() / sim.cputime(a).as_f64();
+//! let cpu = |pid| sim.proc(pid).unwrap().cputime().as_f64();
+//! let ratio = cpu(b) / cpu(a);
 //! assert!((ratio - 3.0).abs() < 0.2);
 //! ```
 

@@ -2,16 +2,18 @@
 //!
 //! Sweeps the §3.2-shaped workload over N ∈ {10, 100, 1000, 5000}
 //! processes, lazy and unoptimized ALPS, on both the indexed and the seed
-//! linear ready queue, and writes the report JSON. Run with `--release`;
-//! see EXPERIMENTS.md.
+//! linear ready queue, and writes the report JSON. Every run (point ×
+//! repetition) is fanned across the deterministic sweep executor; the
+//! simulation-derived results are identical at any thread count. Run
+//! with `--release`; see EXPERIMENTS.md.
 //!
-//! Usage: `bench-scalability [--fast] [--out <path>]`
-//!   --fast   N ≤ 100 only, 5 simulated seconds per point (CI smoke)
-//!   --out    output path (default `BENCH_kernsim.json`)
+//! Usage: `bench-scalability [--fast] [--threads N] [--out <path>]`
+//!   --fast      N ≤ 100 only, 5 simulated seconds per point (CI smoke)
+//!   --threads   sweep worker threads (1 = serial; default ALPS_THREADS
+//!               or all host cores)
+//!   --out       output path (default `BENCH_kernsim.json`)
 
-use alps_bench::scalability::{
-    run_point, run_point_best_of, sim_secs_for, sweep_ns, BenchReport, QUANTUM_MS, SHARE,
-};
+use alps_bench::scalability::{run_point, run_sweep, sweep_specs, BenchReport, QUANTUM_MS, SHARE};
 use kernsim::RunQueueKind;
 
 /// Repetitions per point; the fastest is kept (the sim is deterministic,
@@ -22,57 +24,88 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     args.retain(|a| a != "--fast");
-    let out = match args.iter().position(|a| a == "--out") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("error: --out needs a path");
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        Some(v)
+    };
+    if let Some(t) = take_value("--threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n >= 1 => alps_sweep::set_threads(Some(n)),
+            _ => {
+                eprintln!("error: --threads wants an integer >= 1, got {t:?}");
                 std::process::exit(2);
             }
-            let p = args[i + 1].clone();
-            args.drain(i..=i + 1);
-            p
         }
-        None => "BENCH_kernsim.json".to_string(),
-    };
+    }
+    let out = take_value("--out").unwrap_or_else(|| "BENCH_kernsim.json".to_string());
     if !args.is_empty() {
-        eprintln!("usage: bench-scalability [--fast] [--out <path>]");
+        eprintln!("usage: bench-scalability [--fast] [--threads N] [--out <path>]");
         std::process::exit(2);
     }
 
-    let mut report = BenchReport {
+    let threads = alps_sweep::threads();
+    eprintln!(
+        "sweep executor: {threads} thread{} ({} host cores)",
+        if threads == 1 { "" } else { "s" },
+        alps_sweep::host_cores()
+    );
+    // Discarded warmup so the first measured points don't pay for page
+    // faults and CPU frequency ramp-up.
+    let _ = run_point(100, true, RunQueueKind::Indexed, 2);
+
+    let specs = sweep_specs(fast);
+    let outcome = run_sweep(&specs, REPS);
+    for p in &outcome.points {
+        eprintln!(
+            "N={:5} lazy={:5} {:7}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx",
+            p.n,
+            p.lazy,
+            p.runqueue,
+            p.register_seconds,
+            p.drive_seconds,
+            p.teardown_seconds,
+            p.wall_per_sim_second,
+            p.events_per_wall_second,
+            p.context_switches
+        );
+    }
+
+    let report = BenchReport {
         name: "kernsim-scalability".into(),
         quantum_ms: QUANTUM_MS,
         share: SHARE,
         fast,
-        points: Vec::new(),
+        threads,
+        host_cores: alps_sweep::host_cores(),
+        sweep_wall_seconds: outcome.sweep_wall_seconds,
+        serial_wall_estimate_seconds: outcome.serial_wall_estimate_seconds,
+        parallel_speedup: outcome.serial_wall_estimate_seconds
+            / outcome.sweep_wall_seconds.max(1e-9),
+        points: outcome.points,
     };
-    // Discarded warmup so the first measured point doesn't pay for page
-    // faults and CPU frequency ramp-up.
-    let _ = run_point(100, true, RunQueueKind::Indexed, 2);
-    for n in sweep_ns(fast) {
-        let secs = sim_secs_for(n, fast);
+    let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
+    ns.dedup();
+    for n in ns {
         for lazy in [true, false] {
-            for kind in [RunQueueKind::Indexed, RunQueueKind::Linear] {
-                let p = run_point_best_of(n, lazy, kind, secs, REPS);
-                eprintln!(
-                    "N={:5} lazy={:5} {:7}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx",
-                    p.n,
-                    p.lazy,
-                    p.runqueue,
-                    p.register_seconds,
-                    p.drive_seconds,
-                    p.teardown_seconds,
-                    p.wall_per_sim_second,
-                    p.events_per_wall_second,
-                    p.context_switches
-                );
-                report.points.push(p);
-            }
             if let Some(s) = report.speedup(n, lazy) {
                 eprintln!("N={n:5} lazy={lazy:5} indexed speedup over linear: {s:.2}x");
             }
         }
     }
+    eprintln!(
+        "sweep wall {:.3}s on {} thread{}; serial estimate {:.3}s ({:.2}x)",
+        report.sweep_wall_seconds,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+        report.serial_wall_estimate_seconds,
+        report.parallel_speedup
+    );
     std::fs::write(&out, report.to_pretty_json()).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);

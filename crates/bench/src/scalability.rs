@@ -60,6 +60,23 @@ pub struct BenchPoint {
     pub context_switches: u64,
 }
 
+impl BenchPoint {
+    /// The simulation-derived fields of the point — everything except
+    /// the wall-clock timings. These are a pure function of the point's
+    /// parameters and seed, so they must be identical at any sweep
+    /// thread count; the determinism tests compare exactly this key.
+    pub fn sim_key(&self) -> (usize, bool, &str, u64, u64, u64) {
+        (
+            self.n,
+            self.lazy,
+            self.runqueue.as_str(),
+            self.sim_seconds,
+            self.events,
+            self.context_switches,
+        )
+    }
+}
+
 /// The committed benchmark report (`BENCH_kernsim.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -71,6 +88,20 @@ pub struct BenchReport {
     pub share: u64,
     /// `true` when produced with `--fast` (CI smoke; N ≤ 100 only).
     pub fast: bool,
+    /// Worker threads the sweep executor ran the grid on.
+    pub threads: usize,
+    /// Hardware threads on the measuring host.
+    pub host_cores: usize,
+    /// Wall-clock seconds for the whole sweep (all points × reps),
+    /// as actually executed on [`BenchReport::threads`] workers.
+    pub sweep_wall_seconds: f64,
+    /// Sum of every individual run's wall clock — what the same sweep
+    /// costs executed serially (measured directly when `threads == 1`;
+    /// an estimate from the parallel runs' own timers otherwise).
+    pub serial_wall_estimate_seconds: f64,
+    /// `serial_wall_estimate_seconds / sweep_wall_seconds` — the
+    /// parallel sweep executor's win on this host.
+    pub parallel_speedup: f64,
     /// The measured points.
     pub points: Vec<BenchPoint>,
 }
@@ -102,6 +133,20 @@ impl BenchReport {
         out.push_str(&format!("  \"quantum_ms\": {},\n", self.quantum_ms));
         out.push_str(&format!("  \"share\": {},\n", self.share));
         out.push_str(&format!("  \"fast\": {},\n", self.fast));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str(&format!(
+            "  \"sweep_wall_seconds\": {},\n",
+            serde_json::to_string(&self.sweep_wall_seconds).expect("f64")
+        ));
+        out.push_str(&format!(
+            "  \"serial_wall_estimate_seconds\": {},\n",
+            serde_json::to_string(&self.serial_wall_estimate_seconds).expect("f64")
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {},\n",
+            serde_json::to_string(&self.parallel_speedup).expect("f64")
+        ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str("    ");
@@ -207,7 +252,8 @@ pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> Ben
 /// Measure [`run_point`] `reps` times and keep the fastest repetition
 /// (by whole-lifecycle wall clock). The simulation is deterministic, so
 /// the repetitions differ only in wall-clock noise — the minimum is the
-/// least-disturbed measurement.
+/// least-disturbed measurement. Repetitions are independent runs and
+/// fan out across the sweep executor.
 pub fn run_point_best_of(
     n: usize,
     lazy: bool,
@@ -215,10 +261,98 @@ pub fn run_point_best_of(
     sim_secs: u64,
     reps: usize,
 ) -> BenchPoint {
-    (0..reps.max(1))
-        .map(|_| run_point(n, lazy, kind, sim_secs))
-        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
-        .expect("reps >= 1")
+    alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
+        run_point(n, lazy, kind, sim_secs)
+    })
+    .into_iter()
+    .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+    .expect("reps >= 1")
+}
+
+/// One cell of the bench grid: the parameters of a [`run_point`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Number of workload processes.
+    pub n: usize,
+    /// §2.3 lazy measurement on/off.
+    pub lazy: bool,
+    /// Ready-queue implementation under test.
+    pub kind: RunQueueKind,
+    /// Simulated seconds of steady-state drive.
+    pub sim_secs: u64,
+}
+
+/// The full grid in its canonical (report) order:
+/// N ∈ [`sweep_ns`] × {lazy, eager} × {indexed, linear}.
+pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
+    let mut specs = Vec::new();
+    for n in sweep_ns(fast) {
+        let sim_secs = sim_secs_for(n, fast);
+        for lazy in [true, false] {
+            for kind in [RunQueueKind::Indexed, RunQueueKind::Linear] {
+                specs.push(SweepSpec {
+                    n,
+                    lazy,
+                    kind,
+                    sim_secs,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// Outcome of [`run_sweep`]: the kept (fastest-rep) points in spec
+/// order, plus the sweep's cost on both axes — actual wall clock as
+/// executed, and the serial-equivalent cost (the sum of every run's own
+/// wall clock).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The fastest repetition of each spec, in `specs` order.
+    pub points: Vec<BenchPoint>,
+    /// Wall-clock seconds for the whole sweep as executed.
+    pub sweep_wall_seconds: f64,
+    /// Sum of all `specs.len() × reps` individual run wall clocks.
+    pub serial_wall_estimate_seconds: f64,
+}
+
+/// Run the whole grid, `reps` repetitions per spec, with every single
+/// run (spec × rep) fanned across the sweep executor as one flat batch —
+/// no nesting, so an expensive N=5000 point never idles the workers that
+/// finished the cheap points. Results are reduced per spec by
+/// fastest-repetition wall clock; the simulation-derived fields
+/// ([`BenchPoint::sim_key`]) are identical at any thread count.
+pub fn run_sweep(specs: &[SweepSpec], reps: usize) -> SweepOutcome {
+    run_sweep_threads(alps_sweep::threads(), specs, reps)
+}
+
+/// [`run_sweep`] at an explicit thread count (determinism tests).
+pub fn run_sweep_threads(threads: usize, specs: &[SweepSpec], reps: usize) -> SweepOutcome {
+    let reps = reps.max(1);
+    let jobs: Vec<SweepSpec> = specs
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, reps))
+        .collect();
+    let t_sweep = std::time::Instant::now();
+    let runs = alps_sweep::sweep_map_threads(threads, jobs, |s| {
+        run_point(s.n, s.lazy, s.kind, s.sim_secs)
+    });
+    let sweep_wall_seconds = t_sweep.elapsed().as_secs_f64();
+    let serial_wall_estimate_seconds = runs.iter().map(|p| p.wall_seconds).sum();
+    let points = runs
+        .chunks(reps)
+        .map(|c| {
+            c.iter()
+                .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+                .expect("reps >= 1")
+                .clone()
+        })
+        .collect();
+    SweepOutcome {
+        points,
+        sweep_wall_seconds,
+        serial_wall_estimate_seconds,
+    }
 }
 
 #[cfg(test)]
@@ -232,10 +366,25 @@ mod tests {
             quantum_ms: QUANTUM_MS,
             share: SHARE,
             fast: true,
+            threads: 4,
+            host_cores: alps_sweep::host_cores(),
+            sweep_wall_seconds: 0.25,
+            serial_wall_estimate_seconds: 1.0,
+            parallel_speedup: 4.0,
             points: vec![run_point(4, true, RunQueueKind::Indexed, 1)],
         };
         let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
         assert_eq!(report, back);
         assert!(report.point(4, true, "indexed").is_some());
+    }
+
+    #[test]
+    fn sweep_specs_cover_the_grid_in_report_order() {
+        let specs = sweep_specs(true);
+        assert_eq!(specs.len(), 2 * 2 * 2); // {10,100} × {lazy,eager} × {indexed,linear}
+        assert_eq!(specs[0].n, 10);
+        assert!(specs[0].lazy && specs[0].kind == RunQueueKind::Indexed);
+        assert!(specs[1].lazy && specs[1].kind == RunQueueKind::Linear);
+        assert!(!specs[3].lazy && specs[3].kind == RunQueueKind::Linear);
     }
 }

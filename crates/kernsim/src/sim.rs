@@ -320,62 +320,6 @@ impl Sim {
         })
     }
 
-    /// Exact cumulative CPU time of a process (simulation ground truth,
-    /// used by instrumentation and assertions). Valid after exit.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::cputime`")]
-    pub fn cputime(&self, pid: Pid) -> Nanos {
-        self.proc(pid).expect("unknown pid").cputime()
-    }
-
-    /// Cumulative CPU time as a *user-level reader* sees it (`getrusage`,
-    /// `/proc`): exact or tick-sampled per [`SimConfig::accounting`].
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::visible_cputime`")]
-    pub fn visible_cputime(&self, pid: Pid) -> Nanos {
-        self.proc(pid).expect("unknown pid").visible_cputime()
-    }
-
-    /// The `/proc`-style one-letter state code.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::state_code`")]
-    pub fn state_code(&self, pid: Pid) -> char {
-        self.proc(pid).expect("unknown pid").state_code()
-    }
-
-    /// Whether the process is blocked on a wait channel (the §2.4 test).
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_blocked`")]
-    pub fn is_blocked(&self, pid: Pid) -> bool {
-        self.proc(pid).expect("unknown pid").is_blocked()
-    }
-
-    /// Whether the process has exited.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_exited`")]
-    pub fn is_exited(&self, pid: Pid) -> bool {
-        self.proc(pid).expect("unknown pid").is_exited()
-    }
-
-    /// Whether the process is stopped by job control.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::is_stopped`")]
-    pub fn is_stopped(&self, pid: Pid) -> bool {
-        self.proc(pid).expect("unknown pid").is_stopped()
-    }
-
-    /// Process name.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::name`")]
-    pub fn name(&self, pid: Pid) -> &str {
-        self.proc(pid).expect("unknown pid").name()
-    }
-
-    /// Times the process was placed on the CPU.
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::dispatches`")]
-    pub fn dispatches(&self, pid: Pid) -> u64 {
-        self.proc(pid).expect("unknown pid").dispatches()
-    }
-
-    /// Current decay-usage priority (lower is better).
-    #[deprecated(note = "use `sim.proc(pid)` and `ProcView::priority`")]
-    pub fn priority(&self, pid: Pid) -> u8 {
-        self.proc(pid).expect("unknown pid").priority()
-    }
-
     /// Advance simulated time to `deadline`, processing every event due on
     /// the way. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: Nanos) -> u64 {

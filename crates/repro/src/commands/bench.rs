@@ -41,6 +41,15 @@ pub fn bench() {
         report.share,
         if report.fast { ", FAST (CI smoke)" } else { "" }
     );
+    println!(
+        "sweep: {:.3}s wall on {} thread{} ({} host cores); serial estimate {:.3}s ({:.2}x speedup)",
+        report.sweep_wall_seconds,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+        report.host_cores,
+        report.serial_wall_estimate_seconds,
+        report.parallel_speedup
+    );
     let table = Table::new(&[5, -5, -7, 6, 10, 10, 10, 12, 13, 9]);
     table.header(&[
         "N",

@@ -88,13 +88,15 @@ pub fn baseline(scale: &Scale) {
         "serviced",
         "stride err(%)",
     ]);
-    for n in [5usize, 10, 20, 40, 60, 90] {
-        let row = run_baseline_row(
+    let rows = alps_sweep::sweep_map(vec![5usize, 10, 20, 40, 60, 90], |n| {
+        run_baseline_row(
             n,
             Nanos::from_millis(10),
             Nanos::from_secs(scale.scal_secs.min(50)),
             1,
-        );
+        )
+    });
+    for row in rows {
         table.row(&[
             row.n.to_string(),
             fmt(row.alps_error_pct, 2),

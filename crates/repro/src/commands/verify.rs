@@ -10,105 +10,119 @@ use workloads::ShareModel;
 use super::table::Table;
 use crate::output::{heading, rule};
 
+/// A claim check: runs its experiment and reports (claim, pass, measured).
+type Claim = Box<dyn FnOnce() -> (&'static str, bool, String) + Send>;
+
+/// Seeds for the Fig. 4 / Fig. 5 means — the paper's "mean of 3 tests".
+const SEEDS: &[u64] = &[1, 2, 3];
+
 /// One-command verification: quick runs of every reproduction target,
-/// checked against the paper's claims with generous tolerances.
+/// checked against the paper's claims. The seven claim blocks are
+/// independent experiments and fan out across the sweep executor; the
+/// table below is printed from the collected results in claim order, so
+/// the output is identical at any thread count.
 pub fn verify() {
     heading("verify: quick pass/fail against the paper's claims");
-    let mut results: Vec<(&str, bool, String)> = Vec::new();
-
-    // Accuracy (Fig. 4): Linear5 under 8% at 10ms.
-    {
-        let mut p = WorkloadParams::new(ShareModel::Linear, 5, Nanos::from_millis(10));
-        p.target_cycles = 40;
-        let r = run_workload_mean(&p, &[1]);
-        results.push((
-            "Fig4: Linear5 error < 8%",
-            r.mean_rms_error_pct < 8.0,
-            format!("{:.2}%", r.mean_rms_error_pct),
-        ));
-    }
-    // Overhead (Fig. 5): Equal20 under 1%.
-    {
-        let mut p = WorkloadParams::new(ShareModel::Equal, 20, Nanos::from_millis(10));
-        p.target_cycles = 30;
-        let r = run_workload_mean(&p, &[1]);
-        results.push((
-            "Fig5: Equal20 overhead < 1%",
-            r.overhead_pct < 1.0,
-            format!("{:.3}%", r.overhead_pct),
-        ));
-    }
-    // Ablation (§3.2): factor above 1.8 for Equal10.
-    {
-        let mut p = WorkloadParams::new(ShareModel::Equal, 10, Nanos::from_millis(10));
-        p.target_cycles = 25;
-        let row = run_ablation(&p);
-        results.push((
-            "§3.2: optimization factor > 1.8x",
-            row.factor > 1.8,
-            format!("{:.2}x", row.factor),
-        ));
-    }
-    // I/O (Fig. 6): blocked split near 25/75.
-    {
-        let p = IoParams {
-            io_start_cycle: 60,
-            end_cycle: 120,
-            ..IoParams::default()
-        };
-        let r = run_io(&p);
-        let ok = (r.blocked_split.0 - 25.0).abs() < 6.0 && (r.blocked_split.1 - 75.0).abs() < 6.0;
-        results.push((
-            "Fig6: blocked split ~25/75",
-            ok,
-            format!("{:.1}/{:.1}", r.blocked_split.0, r.blocked_split.1),
-        ));
-    }
-    // Multi-ALPS (Table 3): mean error < 4%.
-    {
-        let r = run_multi(&MultiParams::default());
-        results.push((
-            "Table3: mean error < 4% (paper 0.93%)",
-            r.mean_rel_err_pct < 4.0,
-            format!("{:.2}%", r.mean_rel_err_pct),
-        ));
-    }
-    // Breakdown (§4.2): control fine at N=20, lost at N=90 (10ms).
-    {
-        use alps_sim::experiments::scalability::run_scalability_point;
-        let fine = run_scalability_point(20, Nanos::from_millis(10), Nanos::from_secs(30), 1);
-        let broken = run_scalability_point(90, Nanos::from_millis(10), Nanos::from_secs(50), 1);
-        results.push((
-            "§4.2: N=20 controlled, N=90 broken",
-            fine.quanta_serviced_frac > 0.95 && broken.quanta_serviced_frac < 0.9,
-            format!(
-                "serviced {:.2} / {:.2}",
-                fine.quanta_serviced_frac, broken.quanta_serviced_frac
-            ),
-        ));
-    }
-    // Web server (§5): ordered throughput, big site ~50%.
-    {
-        let p = WebParams {
-            workers_per_site: 15,
-            active_per_site: 6,
-            duration: Nanos::from_secs(20),
-            warmup: Nanos::from_secs(3),
-            ..WebParams::default()
-        };
-        let r = run_webserver(&p);
-        let ok = r.alps_rps[0] < r.alps_rps[1]
-            && r.alps_rps[1] < r.alps_rps[2]
-            && (r.alps_fractions[2] - 0.5).abs() < 0.07;
-        results.push((
-            "§5: websrv fractions ~1:2:3",
-            ok,
-            format!(
-                "{:.2}/{:.2}/{:.2}",
-                r.alps_fractions[0], r.alps_fractions[1], r.alps_fractions[2]
-            ),
-        ));
-    }
+    let claims: Vec<Claim> = vec![
+        // Accuracy (Fig. 4): Linear5 under 4% at 10ms, mean of 3 seeds
+        // (the single-seed check allowed 8%; the 3-seed mean measures
+        // ~0.15%, so the tolerance tightens with ample margin).
+        Box::new(|| {
+            let mut p = WorkloadParams::new(ShareModel::Linear, 5, Nanos::from_millis(10));
+            p.target_cycles = 40;
+            let r = run_workload_mean(&p, SEEDS);
+            (
+                "Fig4: Linear5 error < 4%",
+                r.mean_rms_error_pct < 4.0,
+                format!("{:.2}%", r.mean_rms_error_pct),
+            )
+        }),
+        // Overhead (Fig. 5): Equal20 under 0.6%, mean of 3 seeds (was
+        // 1% single-seed; the 3-seed mean measures ~0.46%).
+        Box::new(|| {
+            let mut p = WorkloadParams::new(ShareModel::Equal, 20, Nanos::from_millis(10));
+            p.target_cycles = 30;
+            let r = run_workload_mean(&p, SEEDS);
+            (
+                "Fig5: Equal20 overhead < 0.6%",
+                r.overhead_pct < 0.6,
+                format!("{:.3}%", r.overhead_pct),
+            )
+        }),
+        // Ablation (§3.2): factor above 1.8 for Equal10.
+        Box::new(|| {
+            let mut p = WorkloadParams::new(ShareModel::Equal, 10, Nanos::from_millis(10));
+            p.target_cycles = 25;
+            let row = run_ablation(&p);
+            (
+                "§3.2: optimization factor > 1.8x",
+                row.factor > 1.8,
+                format!("{:.2}x", row.factor),
+            )
+        }),
+        // I/O (Fig. 6): blocked split near 25/75.
+        Box::new(|| {
+            let p = IoParams {
+                io_start_cycle: 60,
+                end_cycle: 120,
+                ..IoParams::default()
+            };
+            let r = run_io(&p);
+            let ok =
+                (r.blocked_split.0 - 25.0).abs() < 6.0 && (r.blocked_split.1 - 75.0).abs() < 6.0;
+            (
+                "Fig6: blocked split ~25/75",
+                ok,
+                format!("{:.1}/{:.1}", r.blocked_split.0, r.blocked_split.1),
+            )
+        }),
+        // Multi-ALPS (Table 3): mean error < 4%.
+        Box::new(|| {
+            let r = run_multi(&MultiParams::default());
+            (
+                "Table3: mean error < 4% (paper 0.93%)",
+                r.mean_rel_err_pct < 4.0,
+                format!("{:.2}%", r.mean_rel_err_pct),
+            )
+        }),
+        // Breakdown (§4.2): control fine at N=20, lost at N=90 (10ms).
+        Box::new(|| {
+            use alps_sim::experiments::scalability::run_scalability_point;
+            let fine = run_scalability_point(20, Nanos::from_millis(10), Nanos::from_secs(30), 1);
+            let broken = run_scalability_point(90, Nanos::from_millis(10), Nanos::from_secs(50), 1);
+            (
+                "§4.2: N=20 controlled, N=90 broken",
+                fine.quanta_serviced_frac > 0.95 && broken.quanta_serviced_frac < 0.9,
+                format!(
+                    "serviced {:.2} / {:.2}",
+                    fine.quanta_serviced_frac, broken.quanta_serviced_frac
+                ),
+            )
+        }),
+        // Web server (§5): ordered throughput, big site ~50%.
+        Box::new(|| {
+            let p = WebParams {
+                workers_per_site: 15,
+                active_per_site: 6,
+                duration: Nanos::from_secs(20),
+                warmup: Nanos::from_secs(3),
+                ..WebParams::default()
+            };
+            let r = run_webserver(&p);
+            let ok = r.alps_rps[0] < r.alps_rps[1]
+                && r.alps_rps[1] < r.alps_rps[2]
+                && (r.alps_fractions[2] - 0.5).abs() < 0.07;
+            (
+                "§5: websrv fractions ~1:2:3",
+                ok,
+                format!(
+                    "{:.2}/{:.2}/{:.2}",
+                    r.alps_fractions[0], r.alps_fractions[1], r.alps_fractions[2]
+                ),
+            )
+        }),
+    ];
+    let results = alps_sweep::sweep_run(claims);
 
     let table = Table::new(&[-42, 6, -22]);
     table.header(&["claim", "pass", "measured"]);

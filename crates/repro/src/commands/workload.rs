@@ -41,6 +41,10 @@ pub fn table2() {
 }
 
 /// Figure 4: accuracy (mean RMS relative error) vs quantum length.
+///
+/// The full (workload × quantum) grid fans out across the sweep executor
+/// up front; the table renders from the collected results in grid order,
+/// so the output is identical at any thread count.
 pub fn fig4(scale: &Scale) {
     heading("Figure 4: Accuracy — mean RMS relative error (%) vs quantum length");
     let quanta_ms = [10u64, 15, 20, 25, 30, 35, 40];
@@ -51,14 +55,25 @@ pub fn fig4(scale: &Scale) {
         .chain(quanta_ms.iter().map(|q| format!("{q}ms")))
         .collect();
     table.header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
-        for n in [5usize, 10, 20] {
+    let models = [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal];
+    let ns = [5usize, 10, 20];
+    let grid: Vec<(ShareModel, usize, u64)> = models
+        .iter()
+        .flat_map(|&m| ns.iter().flat_map(move |&n| quanta_ms.map(|q| (m, n, q))))
+        .collect();
+    let seeds = scale.seed_list();
+    let results = alps_sweep::sweep_map(grid, |(model, n, q)| {
+        let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+        p.target_cycles = scale.cycles;
+        run_workload_mean(&p, &seeds)
+    });
+    let mut results = results.into_iter();
+    for model in models {
+        for n in ns {
             let mut cells = vec![model.workload_name(n)];
             let mut rows = Vec::new();
             for q in quanta_ms {
-                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
-                p.target_cycles = scale.cycles;
-                let r = run_workload_mean(&p, &scale.seed_list());
+                let r = results.next().expect("one result per grid cell");
                 cells.push(fmt(r.mean_rms_error_pct, 2));
                 rows.push(vec![q as f64, r.mean_rms_error_pct]);
             }
@@ -79,15 +94,26 @@ pub fn fig5(scale: &Scale) {
     let quanta_ms = [10u64, 20, 40];
     let table = Table::new(&[-8, 4, 10, 10, 10]);
     table.header(&["model", "N", "Q=10ms", "Q=20ms", "Q=40ms"]);
-    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
+    let models = [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal];
+    let ns = [5usize, 10, 20];
+    let grid: Vec<(ShareModel, usize, u64)> = models
+        .iter()
+        .flat_map(|&m| ns.iter().flat_map(move |&n| quanta_ms.map(|q| (m, n, q))))
+        .collect();
+    let seeds = scale.seed_list();
+    let mut results = alps_sweep::sweep_map(grid, |(model, n, q)| {
+        let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+        p.target_cycles = scale.cycles;
+        run_workload_mean(&p, &seeds)
+    })
+    .into_iter();
+    for model in models {
         let mut rows = Vec::new();
-        for n in [5usize, 10, 20] {
+        for n in ns {
             let mut cells = vec![model.to_string(), n.to_string()];
             let mut row = vec![n as f64];
-            for q in quanta_ms {
-                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
-                p.target_cycles = scale.cycles;
-                let r = run_workload_mean(&p, &scale.seed_list());
+            for _q in quanta_ms {
+                let r = results.next().expect("one result per grid cell");
                 cells.push(fmt(r.overhead_pct, 3));
                 row.push(r.overhead_pct);
             }
@@ -116,25 +142,32 @@ pub fn ablation(scale: &Scale) {
         "err opt",
         "err unopt",
     ]);
+    let grid: Vec<(ShareModel, usize, u64)> = ShareModel::ALL
+        .iter()
+        .flat_map(|&m| {
+            [5usize, 10, 20]
+                .iter()
+                .flat_map(move |&n| [10u64, 20, 40].map(|q| (m, n, q)))
+        })
+        .collect();
+    let quanta: Vec<u64> = grid.iter().map(|&(_, _, q)| q).collect();
+    let rows = alps_sweep::sweep_map(grid, |(model, n, q)| {
+        let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
+        p.target_cycles = scale.cycles.min(60);
+        run_ablation(&p)
+    });
     let mut factors = Vec::new();
-    for model in ShareModel::ALL {
-        for n in [5usize, 10, 20] {
-            for q in [10u64, 20, 40] {
-                let mut p = WorkloadParams::new(model, n, Nanos::from_millis(q));
-                p.target_cycles = scale.cycles.min(60);
-                let row = run_ablation(&p);
-                factors.push(row.factor);
-                table.row(&[
-                    row.workload.clone(),
-                    q.to_string(),
-                    fmt(row.overhead_opt_pct, 3),
-                    fmt(row.overhead_unopt_pct, 3),
-                    fmt(row.factor, 2),
-                    fmt(row.error_opt_pct, 2),
-                    fmt(row.error_unopt_pct, 2),
-                ]);
-            }
-        }
+    for (row, q) in rows.iter().zip(quanta) {
+        factors.push(row.factor);
+        table.row(&[
+            row.workload.clone(),
+            q.to_string(),
+            fmt(row.overhead_opt_pct, 3),
+            fmt(row.overhead_unopt_pct, 3),
+            fmt(row.factor, 2),
+            fmt(row.error_opt_pct, 2),
+            fmt(row.error_unopt_pct, 2),
+        ]);
     }
     let (lo, hi) = factors
         .iter()
@@ -159,21 +192,28 @@ pub fn accounting(scale: &Scale) {
         "ovh exact",
         "ovh sampled",
     ]);
-    for model in [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal] {
-        for n in [5usize, 10, 20] {
-            for q in [10u64, 40] {
-                let row =
-                    run_accounting_row(model, n, Nanos::from_millis(q), scale.cycles.min(80), 1);
-                table.row(&[
-                    row.workload.clone(),
-                    q.to_string(),
-                    fmt(row.error_exact_pct, 2),
-                    fmt(row.error_sampled_pct, 2),
-                    fmt(row.overhead_exact_pct, 3),
-                    fmt(row.overhead_sampled_pct, 3),
-                ]);
-            }
-        }
+    let grid: Vec<(ShareModel, usize, u64)> =
+        [ShareModel::Skewed, ShareModel::Linear, ShareModel::Equal]
+            .iter()
+            .flat_map(|&m| {
+                [5usize, 10, 20]
+                    .iter()
+                    .flat_map(move |&n| [10u64, 40].map(|q| (m, n, q)))
+            })
+            .collect();
+    let quanta: Vec<u64> = grid.iter().map(|&(_, _, q)| q).collect();
+    let rows = alps_sweep::sweep_map(grid, |(model, n, q)| {
+        run_accounting_row(model, n, Nanos::from_millis(q), scale.cycles.min(80), 1)
+    });
+    for (row, q) in rows.iter().zip(quanta) {
+        table.row(&[
+            row.workload.clone(),
+            q.to_string(),
+            fmt(row.error_exact_pct, 2),
+            fmt(row.error_sampled_pct, 2),
+            fmt(row.overhead_exact_pct, 3),
+            fmt(row.overhead_sampled_pct, 3),
+        ]);
     }
     println!(
         "

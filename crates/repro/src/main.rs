@@ -13,10 +13,11 @@ use commands::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] <experiment>...\n\
+        "usage: repro [--quick] [--threads N] <experiment>...\n\
          experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
                       fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench latency verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
+         --threads N: sweep worker threads (1 = serial; default ALPS_THREADS or all cores)\n\
          --data <dir>: also write gnuplot-ready .dat files"
     );
     std::process::exit(2);
@@ -37,9 +38,26 @@ fn main() {
         args.drain(i..=i + 1);
     }
     output::set_data_dir(data_dir);
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --threads needs a count");
+            std::process::exit(2);
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(n) if n >= 1 => alps_sweep::set_threads(Some(n)),
+            _ => {
+                eprintln!(
+                    "error: --threads wants an integer >= 1, got {:?}",
+                    args[i + 1]
+                );
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: repro [--quick] [--data <dir>] <experiment>...\n\
+            "usage: repro [--quick] [--threads N] [--data <dir>] <experiment>...\n\
              run `repro all` for every table and figure; see DESIGN.md"
         );
         return;

@@ -1,0 +1,31 @@
+//! Property tests for the determinism contract: a sweep's output is a
+//! pure, order-preserving map of its input, at any thread count.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `sweep_map_threads(t, v, f)` equals the serial `v.map(f)` for any
+    /// input and any thread count.
+    fn sweep_map_is_the_identity_on_order(
+        items in prop::collection::vec(any::<u64>(), 0..80),
+        t in 1usize..=16,
+    ) {
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(3).rotate_left(9)).collect();
+        let got = alps_sweep::sweep_map_threads(t, items, |x| x.wrapping_mul(3).rotate_left(9));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Parallel runs agree with each other, not just with serial: two
+    /// sweeps at different thread counts give identical results.
+    fn thread_count_is_invisible_in_the_results(
+        items in prop::collection::vec(any::<u32>(), 0..60),
+        ta in 2usize..=8,
+        tb in 2usize..=8,
+    ) {
+        let a = alps_sweep::sweep_map_threads(ta, items.clone(), |x| x.wrapping_add(1));
+        let b = alps_sweep::sweep_map_threads(tb, items, |x| x.wrapping_add(1));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -44,7 +44,8 @@
 //! alps::spawn_alps(&mut sim, "alps", AlpsConfig::new(Nanos::from_millis(10)),
 //!                  CostModel::paper(), &[(a, 1), (b, 3)]);
 //! sim.run_until(Nanos::from_secs(10));
-//! assert!(sim.cputime(b) > sim.cputime(a) * 2);
+//! let cpu = |pid| sim.proc(pid).unwrap().cputime();
+//! assert!(cpu(b) > cpu(a) * 2);
 //! ```
 
 #![forbid(unsafe_code)]
