@@ -29,6 +29,31 @@ pub enum IoPolicy {
     ForfeitAllowance,
 }
 
+/// How [`crate::AlpsScheduler`] finds the processes due for measurement at
+/// the start of a quantum.
+///
+/// The §2.3 lazy-measurement optimization already bounds how many processes
+/// are *read* per quantum, but the seed implementation still walked every
+/// occupied slot to discover which ones those are — an O(N) control path
+/// regardless of how few were due. The deadline wheel indexes the `update`
+/// invocation count each slot already carries, so the due set is *popped*
+/// instead of scanned and the whole per-quantum path costs
+/// O(due + transitions). Both implementations are lockstep-identical (see
+/// `crates/alps-core/tests/due_index_lockstep.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DueIndex {
+    /// Bucketed deadline wheel keyed on the invocation count: `due()` pops
+    /// only the slots whose lazy deadline arrived. Ignored (falls back to
+    /// the scan) when [`AlpsConfig::lazy_measurement`] is off, since the
+    /// eager baseline measures every eligible process every quantum anyway.
+    #[default]
+    Wheel,
+    /// The reference implementation: scan every occupied slot each
+    /// quantum. Retained for lockstep testing and the `due_index`
+    /// dimension of `bench-scalability`.
+    Scan,
+}
+
 /// Configuration of one ALPS scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AlpsConfig {
@@ -43,6 +68,10 @@ pub struct AlpsConfig {
     pub lazy_measurement: bool,
     /// Blocked-process accounting policy (§2.4).
     pub io_policy: IoPolicy,
+    /// How the due set is discovered each quantum (wheel vs reference
+    /// scan). Only affects cost, never behavior: the two are
+    /// lockstep-identical.
+    pub due_index: DueIndex,
     /// Record a per-cycle consumption log (the instrumentation the paper
     /// used for its accuracy evaluation, §3.1). Costs one `Vec` push per
     /// process per cycle.
@@ -56,6 +85,7 @@ impl AlpsConfig {
             quantum,
             lazy_measurement: true,
             io_policy: IoPolicy::OneQuantumPenalty,
+            due_index: DueIndex::Wheel,
             record_cycles: false,
         }
     }
@@ -75,6 +105,12 @@ impl AlpsConfig {
     /// Builder-style choice of blocked-process policy.
     pub fn with_io_policy(mut self, policy: IoPolicy) -> Self {
         self.io_policy = policy;
+        self
+    }
+
+    /// Builder-style choice of due-set index.
+    pub fn with_due_index(mut self, index: DueIndex) -> Self {
+        self.due_index = index;
         self
     }
 
@@ -102,6 +138,7 @@ mod tests {
         assert_eq!(cfg.quantum, Nanos::from_millis(10));
         assert!(cfg.lazy_measurement);
         assert_eq!(cfg.io_policy, IoPolicy::OneQuantumPenalty);
+        assert_eq!(cfg.due_index, DueIndex::Wheel);
         assert!(!cfg.record_cycles);
     }
 
@@ -111,10 +148,12 @@ mod tests {
             .with_quantum(Nanos::from_millis(40))
             .with_lazy_measurement(false)
             .with_io_policy(IoPolicy::NoPenalty)
+            .with_due_index(DueIndex::Scan)
             .with_cycle_log(true);
         assert_eq!(cfg.quantum, Nanos::from_millis(40));
         assert!(!cfg.lazy_measurement);
         assert_eq!(cfg.io_policy, IoPolicy::NoPenalty);
+        assert_eq!(cfg.due_index, DueIndex::Scan);
         assert!(cfg.record_cycles);
     }
 }

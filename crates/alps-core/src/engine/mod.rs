@@ -28,7 +28,9 @@ use std::collections::HashMap;
 
 use crate::config::AlpsConfig;
 use crate::cycle::{CycleEntry, CycleRecord};
-use crate::principal::{MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler};
+use crate::principal::{
+    DueList, MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler,
+};
 use crate::sched::{AlpsScheduler, Observation, ProcId, StaleId, Transition};
 use crate::time::Nanos;
 
@@ -116,6 +118,15 @@ pub struct Engine<M: Copy + Ord + Hash + fmt::Debug> {
     instrumentation: Instrumentation,
     auto_reap: bool,
     last_begin: Option<Nanos>,
+    /// Scratch: the due list of the in-flight invocation.
+    due: DueList<M>,
+    /// Scratch: per-member observations, parallel to `due.members()`.
+    readings: Vec<Option<Observation>>,
+    /// Scratch: members found gone during the read phase.
+    gone: Vec<(ProcId, M)>,
+    /// Outcome of the last completed invocation; its buffers are reused,
+    /// so steady-state quanta allocate nothing.
+    outcome: PrincipalOutcome<M>,
 }
 
 impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
@@ -141,6 +152,10 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
             instrumentation,
             auto_reap: false,
             last_begin: None,
+            due: DueList::new(),
+            readings: Vec::new(),
+            gone: Vec::new(),
+            outcome: PrincipalOutcome::default(),
         }
     }
 
@@ -227,13 +242,14 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
     // --- the per-quantum loop ---------------------------------------------
 
     /// Stage 1: enter a quantum. Notes the substrate time (detecting
-    /// overrun/coalesced timers, §4.2) and returns, per due principal, the
-    /// members whose CPU time must be read.
+    /// overrun/coalesced timers, §4.2), refills the internal due list —
+    /// inspect it via [`Engine::due`] — and returns the number of members
+    /// to read.
     pub fn begin_quantum<S>(
         &mut self,
         sub: &mut S,
         sink: &mut dyn EventSink<M>,
-    ) -> Result<Vec<(ProcId, Vec<M>)>, S::Error>
+    ) -> Result<usize, S::Error>
     where
         S: Substrate<Member = M>,
     {
@@ -247,33 +263,40 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         }
         self.last_begin = Some(now);
         self.stats.quanta += 1;
-        let due = self.sched.begin_quantum();
+        self.sched.begin_quantum_into(&mut self.due);
         sink.on_event(&Event::QuantumStart {
             invocation: self.stats.quanta,
             now,
-            due: due.iter().map(|(_, ms)| ms.len()).sum(),
+            due: self.due.members().len(),
         });
-        Ok(due)
+        Ok(self.due.members().len())
+    }
+
+    /// The due list filled by the last [`Engine::begin_quantum`]: which
+    /// principals are measured this quantum, and which members.
+    pub fn due(&self) -> &DueList<M> {
+        &self.due
     }
 
     /// Stage 2: read every due member from the substrate and complete the
     /// scheduler invocation. Members that are gone are skipped without
     /// charge (and reaped, under auto-reap, if they were their principal's
     /// sole member). On a cycle boundary the per-cycle log is extended
-    /// according to the configured [`Instrumentation`].
+    /// according to the configured [`Instrumentation`]. The results are
+    /// held internally — see [`Engine::pending_signals`],
+    /// [`Engine::last_transitions`], [`Engine::last_cycle_completed`] —
+    /// and every buffer involved is reused across invocations.
     pub fn complete_quantum<S>(
         &mut self,
         sub: &mut S,
-        due: &[(ProcId, Vec<M>)],
         sink: &mut dyn EventSink<M>,
-    ) -> Result<PrincipalOutcome<M>, S::Error>
+    ) -> Result<(), S::Error>
     where
         S: Substrate<Member = M>,
     {
-        let mut readings: Vec<(ProcId, Vec<(M, Observation)>)> = Vec::with_capacity(due.len());
-        let mut gone: Vec<(ProcId, M)> = Vec::new();
-        for (id, members) in due {
-            let mut obs = Vec::with_capacity(members.len());
+        self.readings.clear();
+        self.gone.clear();
+        for (id, members) in self.due.iter() {
             for &m in members {
                 match sub.read(m)? {
                     Some(o) => {
@@ -283,19 +306,24 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
                             cpu: o.total_cpu,
                             blocked: o.blocked,
                         });
-                        obs.push((m, o));
+                        self.readings.push(Some(o));
                     }
-                    None => gone.push((*id, m)),
+                    None => {
+                        self.gone.push((id, m));
+                        self.readings.push(None);
+                    }
                 }
             }
-            readings.push((*id, obs));
         }
-        for (id, m) in gone {
+        let mut gone = std::mem::take(&mut self.gone);
+        for (id, m) in gone.drain(..) {
             self.reap(id, m, sink);
         }
+        self.gone = gone;
         let now = sub.now();
-        let outcome = self.sched.complete_quantum(&readings, now);
-        if outcome.cycle_completed {
+        self.sched
+            .complete_quantum_into(&self.due, &self.readings, now, &mut self.outcome);
+        if self.outcome.cycle_completed {
             self.stats.cycles += 1;
             sink.on_event(&Event::CycleEnd {
                 index: self.sched.inner().cycles_completed().saturating_sub(1),
@@ -305,14 +333,30 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
                 match self.instrumentation {
                     Instrumentation::Exact => self.record_exact_cycle(sub, now)?,
                     Instrumentation::Measured => {
-                        if let Some(rec) = &outcome.cycle_record {
-                            self.cycles.push(rec.clone());
+                        if let Some(rec) = self.outcome.cycle_record.take() {
+                            self.cycles.push(rec);
                         }
                     }
                 }
             }
         }
-        Ok(outcome)
+        Ok(())
+    }
+
+    /// Signals produced by the last [`Engine::complete_quantum`], not yet
+    /// (or last) delivered via [`Engine::apply_pending_signals`].
+    pub fn pending_signals(&self) -> &[MemberTransition<M>] {
+        &self.outcome.signals
+    }
+
+    /// Principal-level eligibility transitions of the last invocation.
+    pub fn last_transitions(&self) -> &[Transition] {
+        &self.outcome.transitions
+    }
+
+    /// Whether the last invocation crossed a cycle boundary.
+    pub fn last_cycle_completed(&self) -> bool {
+        self.outcome.cycle_completed
     }
 
     /// Stage 3: deliver stop/continue signals through the substrate. A
@@ -349,6 +393,25 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         Ok(())
     }
 
+    /// Stage 3 for the common case: deliver the signals produced by the
+    /// last [`Engine::complete_quantum`].
+    pub fn apply_pending_signals<S>(
+        &mut self,
+        sub: &mut S,
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<(), S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        // The signal buffer is moved out for the duration of the call (the
+        // borrow checker cannot see that `apply_signals` leaves it alone)
+        // and put back so it keeps being reused.
+        let signals = std::mem::take(&mut self.outcome.signals);
+        let result = self.apply_signals(sub, &signals, sink);
+        self.outcome.signals = signals;
+        result
+    }
+
     /// All three stages back to back — the whole scheduler invocation for
     /// backends with nothing to interleave. Returns the principal-level
     /// eligibility transitions this invocation produced.
@@ -356,14 +419,14 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         &mut self,
         sub: &mut S,
         sink: &mut dyn EventSink<M>,
-    ) -> Result<Vec<Transition>, S::Error>
+    ) -> Result<&[Transition], S::Error>
     where
         S: Substrate<Member = M>,
     {
-        let due = self.begin_quantum(sub, sink)?;
-        let outcome = self.complete_quantum(sub, &due, sink)?;
-        self.apply_signals(sub, &outcome.signals, sink)?;
-        Ok(outcome.transitions)
+        self.begin_quantum(sub, sink)?;
+        self.complete_quantum(sub, sink)?;
+        self.apply_pending_signals(sub, sink)?;
+        Ok(&self.outcome.transitions)
     }
 
     fn reap(&mut self, id: ProcId, m: M, sink: &mut dyn EventSink<M>) {

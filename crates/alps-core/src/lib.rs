@@ -93,13 +93,15 @@ pub mod prelude {
     pub use crate::time::Nanos;
 }
 
-pub use config::{AlpsConfig, IoPolicy};
+pub use config::{AlpsConfig, DueIndex, IoPolicy};
 pub use cycle::{CycleEntry, CycleRecord};
 pub use engine::{
     Engine, EngineFor, EngineStats, Event, EventSink, Instrumentation, NullSink, RecordingSink,
     Signal, Substrate, TraceSink,
 };
 pub use hierarchy::{NodeId, ShareTree};
-pub use principal::{MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler};
+pub use principal::{
+    DueList, MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler,
+};
 pub use sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, StaleId, Transition};
 pub use time::Nanos;

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::config::AlpsConfig;
 use crate::cycle::CycleRecord;
-use crate::sched::{AlpsScheduler, Observation, ProcId, Transition};
+use crate::sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, Transition};
 use crate::time::Nanos;
 
 /// A signal the backend must deliver to one member process.
@@ -54,7 +54,7 @@ pub struct MembershipChange<M> {
 }
 
 /// Outcome of one principal-scheduler invocation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PrincipalOutcome<M> {
     /// Signals to enact, covering every member of every principal whose
     /// eligibility flipped.
@@ -66,6 +66,75 @@ pub struct PrincipalOutcome<M> {
     pub cycle_completed: bool,
     /// Per-cycle record (principal-granularity), if logging is enabled.
     pub cycle_record: Option<CycleRecord>,
+}
+
+impl<M> Default for PrincipalOutcome<M> {
+    fn default() -> Self {
+        PrincipalOutcome {
+            signals: Vec::new(),
+            transitions: Vec::new(),
+            cycle_completed: false,
+            cycle_record: None,
+        }
+    }
+}
+
+/// Reusable due-list buffer filled by
+/// [`PrincipalScheduler::begin_quantum_into`]: the principals due for
+/// measurement this quantum, each with its member set, flattened into two
+/// backing vectors so steady-state refills allocate nothing.
+#[derive(Debug, Clone)]
+pub struct DueList<M> {
+    /// `(principal, start, len)` — the member slice of each due principal
+    /// within `members`.
+    entries: Vec<(ProcId, u32, u32)>,
+    /// All members to read this quantum, in due order. A readings slice
+    /// handed to [`PrincipalScheduler::complete_quantum_into`] must run
+    /// parallel to this.
+    members: Vec<M>,
+}
+
+impl<M> Default for DueList<M> {
+    fn default() -> Self {
+        DueList {
+            entries: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+}
+
+impl<M> DueList<M> {
+    /// An empty due list (buffers grow on first use, then get reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of due principals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no principal is due.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every member to read this quantum, in due order.
+    pub fn members(&self) -> &[M] {
+        &self.members
+    }
+
+    /// Iterate over `(principal, members)` pairs in due order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &[M])> + '_ {
+        self.entries
+            .iter()
+            .map(|&(id, start, len)| (id, &self.members[start as usize..(start + len) as usize]))
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.members.clear();
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -103,6 +172,12 @@ struct Principal<M> {
 pub struct PrincipalScheduler<M: Ord + Copy> {
     inner: AlpsScheduler,
     principals: HashMap<ProcId, Principal<M>>,
+    /// Scratch: due principal ids, refilled each `begin_quantum_into`.
+    due_ids: Vec<ProcId>,
+    /// Scratch: per-principal observations fed to the inner scheduler.
+    obs_scratch: Vec<(ProcId, Observation)>,
+    /// Scratch: the inner scheduler's outcome buffers.
+    inner_out: QuantumOutcome,
 }
 
 impl<M: Ord + Copy> PrincipalScheduler<M> {
@@ -111,6 +186,9 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         PrincipalScheduler {
             inner: AlpsScheduler::new(cfg),
             principals: HashMap::new(),
+            due_ids: Vec::new(),
+            obs_scratch: Vec::new(),
+            inner_out: QuantumOutcome::default(),
         }
     }
 
@@ -233,6 +311,21 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
             .collect()
     }
 
+    /// Allocation-free [`Self::begin_quantum`]: refills `due` with each due
+    /// principal and its members.
+    pub fn begin_quantum_into(&mut self, due: &mut DueList<M>) {
+        due.clear();
+        self.inner.begin_quantum_into(&mut self.due_ids);
+        for &id in &self.due_ids {
+            let start = due.members.len() as u32;
+            if let Some(p) = self.principals.get(&id) {
+                due.members.extend(p.members.keys().copied());
+            }
+            due.entries
+                .push((id, start, due.members.len() as u32 - start));
+        }
+    }
+
     /// Complete the invocation with per-member readings for each due
     /// principal.
     ///
@@ -245,14 +338,61 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         readings: &[(ProcId, Vec<(M, Observation)>)],
         now: Nanos,
     ) -> PrincipalOutcome<M> {
-        let mut observations = Vec::with_capacity(readings.len());
+        let mut due = DueList::default();
+        let mut flat = Vec::new();
         for (id, members) in readings {
-            let Some(p) = self.principals.get_mut(id) else {
+            let start = due.members.len() as u32;
+            for &(m, obs) in members {
+                due.members.push(m);
+                flat.push(Some(obs));
+            }
+            due.entries.push((*id, start, members.len() as u32));
+        }
+        let mut out = PrincipalOutcome::default();
+        self.complete_quantum_into(&due, &flat, now, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::complete_quantum`].
+    ///
+    /// `due` is the list filled by the matching [`Self::begin_quantum_into`]
+    /// and `readings` runs parallel to [`DueList::members`] — `None` marks a
+    /// member the backend could not read (it exited between the two calls),
+    /// which is skipped without charge. The outcome is written into `out`,
+    /// whose buffers are cleared and reused; in steady state the whole
+    /// invocation performs no heap allocation.
+    pub fn complete_quantum_into(
+        &mut self,
+        due: &DueList<M>,
+        readings: &[Option<Observation>],
+        now: Nanos,
+        out: &mut PrincipalOutcome<M>,
+    ) {
+        assert_eq!(
+            readings.len(),
+            due.members.len(),
+            "readings must parallel the due list's members"
+        );
+        out.signals.clear();
+        out.transitions.clear();
+        out.cycle_completed = false;
+        // Hand the caller's previous cycle record to the inner scheduler so
+        // its entry buffer gets recycled.
+        self.inner_out.cycle_record = out.cycle_record.take();
+        self.obs_scratch.clear();
+        for &(id, start, len) in &due.entries {
+            let Some(p) = self.principals.get_mut(&id) else {
                 continue;
             };
-            let mut all_blocked = !members.is_empty();
-            for &(m, obs) in members {
-                if let Some(last) = p.members.get_mut(&m) {
+            let range = start as usize..(start + len) as usize;
+            let mut any_read = false;
+            let mut all_blocked = true;
+            for (m, reading) in due.members[range.clone()].iter().zip(&readings[range]) {
+                let Some(obs) = reading else {
+                    continue;
+                };
+                any_read = true;
+                if let Some(last) = p.members.get_mut(m) {
                     let delta = obs.total_cpu.saturating_sub(*last);
                     *last = obs.total_cpu;
                     p.cumulative += delta;
@@ -261,32 +401,31 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
                     all_blocked = false;
                 }
             }
-            observations.push((
-                *id,
+            self.obs_scratch.push((
+                id,
                 Observation {
                     total_cpu: p.cumulative,
-                    blocked: all_blocked,
+                    blocked: any_read && all_blocked,
                 },
             ));
         }
-        let out = self.inner.complete_quantum(&observations, now);
-        let mut signals = Vec::new();
+        self.inner
+            .complete_quantum_into(&self.obs_scratch, now, &mut self.inner_out);
+        // Move (not copy) the inner buffers out; the cleared ones come back
+        // on the next invocation's `clear()`.
+        std::mem::swap(&mut out.transitions, &mut self.inner_out.transitions);
+        out.cycle_completed = self.inner_out.cycle_completed;
+        out.cycle_record = self.inner_out.cycle_record.take();
         for t in &out.transitions {
             let id = t.proc_id();
             if let Some(p) = self.principals.get(&id) {
                 for &m in p.members.keys() {
-                    signals.push(match t {
+                    out.signals.push(match t {
                         Transition::Resume(_) => MemberTransition::Resume(m),
                         Transition::Suspend(_) => MemberTransition::Suspend(m),
                     });
                 }
             }
-        }
-        PrincipalOutcome {
-            signals,
-            transitions: out.transitions,
-            cycle_completed: out.cycle_completed,
-            cycle_record: out.cycle_record,
         }
     }
 }

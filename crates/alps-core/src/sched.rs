@@ -19,9 +19,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::{AlpsConfig, IoPolicy};
+use crate::config::{AlpsConfig, DueIndex, IoPolicy};
 use crate::cycle::{CycleEntry, CycleRecord};
 use crate::time::Nanos;
+
+/// Number of deadline-wheel buckets (a power of two). Deadlines further
+/// out than this are parked at the horizon bucket and re-bucketed when it
+/// drains, which costs each far-future slot one touch every
+/// `WHEEL_BUCKETS` quanta — amortized O(1/64) per slot per quantum.
+const WHEEL_BUCKETS: u64 = 64;
 
 /// Stable handle to a process registered with an [`AlpsScheduler`].
 ///
@@ -114,6 +120,27 @@ struct Slot {
     /// Whether this slot has an entry in the `occupied` index (either
     /// live, or vacated and awaiting compaction).
     listed: bool,
+    /// Monotonic key minted when the slot was (re-)listed in `occupied`.
+    /// `occupied` is always sorted by it — fresh listings append with a
+    /// fresh maximal key, a reuse of a still-listed slot inherits the old
+    /// position (and key), and compaction preserves relative order — so
+    /// sorting *any* subset of slots by `order_key` reproduces the
+    /// reference scan's iteration order exactly.
+    order_key: u64,
+    /// Nonce for deadline-wheel entries: an entry is live only while its
+    /// recorded key matches. Bumped on every insertion and on removal, so
+    /// superseded entries and entries from a previous tenant of a reused
+    /// slot die lazily when their bucket drains.
+    wheel_key: u64,
+}
+
+/// One deadline-wheel bucket entry: a slot expected to be due for
+/// measurement when the bucket drains (stale unless `key` still matches
+/// the slot's `wheel_key`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct WheelEntry {
+    idx: u32,
+    key: u64,
 }
 
 /// The ALPS proportional-share scheduler core (one instance per application).
@@ -146,12 +173,41 @@ pub struct AlpsScheduler {
     count: u64,
     /// Completed-cycle counter.
     cycles_completed: u64,
+    /// The deadline wheel ([`DueIndex::Wheel`]): bucket `d % WHEEL_BUCKETS`
+    /// holds the entries due at invocation `d`, with deadlines beyond the
+    /// horizon clamped to `count + WHEEL_BUCKETS` and re-bucketed on drain.
+    /// Empty in scan mode.
+    wheel: Vec<Vec<WheelEntry>>,
+    /// Due list saved by the last `begin_quantum` (wheel mode). Popping a
+    /// wheel entry consumes it, so `complete_quantum` must reschedule
+    /// exactly these slots even if the backend supplied no observation for
+    /// some of them.
+    pending: Vec<u32>,
+    /// Slots whose `update` was forced due outside an invocation
+    /// (`add_process`, `set_share`) and that the next repartition must
+    /// therefore examine. The off-boundary repartition walks
+    /// `pending ∪ dirty` instead of every occupied slot.
+    dirty: Vec<u32>,
+    /// Next [`Slot::order_key`] to mint.
+    next_order_key: u64,
+    /// Number of currently eligible processes (the O(1) replacement for
+    /// the liveness valve's full-occupied scan).
+    eligible_count: usize,
+    /// Bucket-drain scratch; empty between invocations.
+    drain: Vec<WheelEntry>,
+    /// Repartition examined-set scratch; empty between invocations.
+    examined: Vec<u32>,
 }
 
 impl AlpsScheduler {
     /// Create a scheduler with no processes.
     pub fn new(cfg: AlpsConfig) -> Self {
         assert!(cfg.quantum > Nanos::ZERO, "quantum must be positive");
+        let wheel = if cfg.due_index == DueIndex::Wheel && cfg.lazy_measurement {
+            vec![Vec::new(); WHEEL_BUCKETS as usize]
+        } else {
+            Vec::new()
+        };
         AlpsScheduler {
             cfg,
             slots: Vec::new(),
@@ -163,7 +219,33 @@ impl AlpsScheduler {
             tc: 0.0,
             count: 0,
             cycles_completed: 0,
+            wheel,
+            pending: Vec::new(),
+            dirty: Vec::new(),
+            next_order_key: 0,
+            eligible_count: 0,
+            drain: Vec::new(),
+            examined: Vec::new(),
         }
+    }
+
+    /// Whether the wheel drives due-set discovery. The wheel indexes lazy
+    /// deadlines, so the eager baseline (every eligible process due every
+    /// quantum) always uses the reference scan.
+    #[inline]
+    fn use_wheel(&self) -> bool {
+        self.cfg.due_index == DueIndex::Wheel && self.cfg.lazy_measurement
+    }
+
+    /// Insert a live wheel entry for `idx`, due at invocation `deadline`
+    /// (which must be `> self.count`), superseding any previous entry.
+    fn wheel_insert(&mut self, idx: u32, deadline: u64) {
+        debug_assert!(deadline > self.count);
+        let slot = &mut self.slots[idx as usize];
+        slot.wheel_key = slot.wheel_key.wrapping_add(1);
+        let key = slot.wheel_key;
+        let clamped = deadline.min(self.count + WHEEL_BUCKETS);
+        self.wheel[(clamped % WHEEL_BUCKETS) as usize].push(WheelEntry { idx, key });
     }
 
     /// The configuration this scheduler runs with.
@@ -238,17 +320,21 @@ impl AlpsScheduler {
         // Reuse the most recently freed slot if available. The free list
         // replaces a full-`Vec` vacancy scan that made registering N
         // processes O(N²) — the dominant cost of large-N sweeps.
-        if let Some(idx) = self.free.pop() {
+        let id = if let Some(idx) = self.free.pop() {
             let idx = idx as usize;
             debug_assert!(self.slots[idx].state.is_none(), "free slot occupied");
+            let order_key = self.next_order_key;
             let slot = &mut self.slots[idx];
             slot.generation = slot.generation.wrapping_add(1);
             slot.state = Some(state);
             if !slot.listed {
                 // The vacated entry was compacted away; list the slot
                 // again. (If it is still listed, the old entry simply
-                // becomes live again at its original position.)
+                // becomes live again at its original position, so it also
+                // keeps the position's order key.)
                 slot.listed = true;
+                slot.order_key = order_key;
+                self.next_order_key += 1;
                 self.occupied.push(idx as u32);
             } else {
                 self.vacated -= 1;
@@ -262,13 +348,24 @@ impl AlpsScheduler {
                 generation: 0,
                 state: Some(state),
                 listed: true,
+                order_key: self.next_order_key,
+                wheel_key: 0,
             });
+            self.next_order_key += 1;
             self.occupied.push((self.slots.len() - 1) as u32);
             ProcId {
                 idx: (self.slots.len() - 1) as u32,
                 generation: 0,
             }
+        };
+        // The new process starts ineligible with `update = 0`: the next
+        // repartition must examine it to emit its initial `Resume`. Under
+        // the wheel that repartition only walks `pending ∪ dirty`, so
+        // record the obligation here.
+        if self.use_wheel() {
+            self.dirty.push(id.idx);
         }
+        id
     }
 
     /// Deregister a process. Returns its share, or `None` for a stale id.
@@ -282,6 +379,12 @@ impl AlpsScheduler {
             return None;
         }
         let state = slot.state.take()?;
+        // Kill any deadline-wheel entry lazily: the bumped nonce makes it
+        // stale, and it is discarded the next time its bucket drains.
+        slot.wheel_key = slot.wheel_key.wrapping_add(1);
+        if state.eligible {
+            self.eligible_count -= 1;
+        }
         self.free.push(id.idx);
         self.vacated += 1;
         if self.vacated * 2 > self.occupied.len() {
@@ -322,9 +425,23 @@ impl AlpsScheduler {
         // Re-measure at the next quantum: a cut allowance can exhaust
         // sooner than the previously scheduled measurement point.
         state.update = 0;
+        let eligible = state.eligible;
         let allowance_delta = state.allowance - old_allowance;
         self.total_shares = self.total_shares - old + share;
         self.tc += allowance_delta * q;
+        if self.use_wheel() {
+            // The forced `update = 0` must surface through the wheel: an
+            // eligible process needs a pop at the very next invocation
+            // (superseding its previously indexed deadline), and the next
+            // repartition must examine the slot even if it runs before any
+            // `begin_quantum` does (complete-without-begin reschedules it
+            // exactly like the reference scan would).
+            self.dirty.push(id.idx);
+            if eligible {
+                let deadline = self.count + 1;
+                self.wheel_insert(id.idx, deadline);
+            }
+        }
         Ok(())
     }
 
@@ -363,24 +480,97 @@ impl AlpsScheduler {
     /// it, every eligible process. The caller must follow up with
     /// [`Self::complete_quantum`] carrying one observation per returned id.
     pub fn begin_quantum(&mut self) -> Vec<ProcId> {
+        let mut due = Vec::new();
+        self.begin_quantum_into(&mut due);
+        due
+    }
+
+    /// Allocation-free [`Self::begin_quantum`]: clears `due` and fills it
+    /// with the processes whose progress must be measured this quantum.
+    ///
+    /// Under [`DueIndex::Wheel`] this pops the invocation's deadline-wheel
+    /// bucket — O(due) plus one amortized touch per far-future slot every
+    /// [`WHEEL_BUCKETS`] quanta — instead of scanning every occupied slot.
+    /// Both paths return the same ids in the same (registration) order.
+    pub fn begin_quantum_into(&mut self, due: &mut Vec<ProcId>) {
+        due.clear();
         self.count += 1;
         let count = self.count;
-        let lazy = self.cfg.lazy_measurement;
-        self.occupied
-            .iter()
-            .filter_map(|&i| {
+        if self.use_wheel() {
+            // Entries popped by an earlier `begin_quantum` whose invocation
+            // was never completed are still due (the scan would keep
+            // returning them, since only `complete_quantum` reschedules);
+            // fold them back in before draining this bucket.
+            if !self.pending.is_empty() {
+                let carry = std::mem::take(&mut self.pending);
+                for idx in carry {
+                    let Some(s) = self.slots[idx as usize].state.as_ref() else {
+                        continue;
+                    };
+                    if !s.eligible {
+                        continue;
+                    }
+                    if s.update > count {
+                        let deadline = s.update;
+                        self.wheel_insert(idx, deadline);
+                    } else {
+                        self.pending.push(idx);
+                    }
+                }
+            }
+            // Drain the bucket for this invocation. An entry is live only
+            // while its key matches the slot's nonce; far-future deadlines
+            // were clamped to the horizon and are re-bucketed here (keeping
+            // their key), which costs each parked slot one touch per
+            // WHEEL_BUCKETS quanta.
+            let bucket = (count % WHEEL_BUCKETS) as usize;
+            std::mem::swap(&mut self.drain, &mut self.wheel[bucket]);
+            let mut k = 0;
+            while k < self.drain.len() {
+                let e = self.drain[k];
+                k += 1;
+                let slot = &self.slots[e.idx as usize];
+                if slot.wheel_key != e.key {
+                    continue; // superseded, or the slot was vacated/reused
+                }
+                let Some(s) = slot.state.as_ref() else {
+                    continue;
+                };
+                if !s.eligible {
+                    continue;
+                }
+                if s.update > count {
+                    let clamped = s.update.min(count + WHEEL_BUCKETS);
+                    self.wheel[(clamped % WHEEL_BUCKETS) as usize].push(e);
+                } else {
+                    self.pending.push(e.idx);
+                }
+            }
+            self.drain.clear();
+            // Reproduce the reference scan's registration-order iteration.
+            let slots = &self.slots;
+            self.pending
+                .sort_unstable_by_key(|&i| slots[i as usize].order_key);
+            self.pending.dedup();
+            due.extend(self.pending.iter().map(|&i| ProcId {
+                idx: i,
+                generation: slots[i as usize].generation,
+            }));
+        } else {
+            let lazy = self.cfg.lazy_measurement;
+            for &i in &self.occupied {
                 let slot = &self.slots[i as usize];
-                let s = slot.state.as_ref()?;
+                let Some(s) = slot.state.as_ref() else {
+                    continue;
+                };
                 if s.eligible && (!lazy || s.update <= count) {
-                    Some(ProcId {
+                    due.push(ProcId {
                         idx: i,
                         generation: slot.generation,
-                    })
-                } else {
-                    None
+                    });
                 }
-            })
-            .collect()
+            }
+        }
     }
 
     /// Complete the invocation started by [`Self::begin_quantum`], applying
@@ -397,6 +587,32 @@ impl AlpsScheduler {
         observations: &[(ProcId, Observation)],
         now: Nanos,
     ) -> QuantumOutcome {
+        let mut out = QuantumOutcome::default();
+        self.complete_quantum_into(observations, now, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::complete_quantum`]: the outcome is written
+    /// into `out`, whose buffers (transition list, cycle-record entries) are
+    /// cleared and reused. In steady state this performs no heap allocation.
+    pub fn complete_quantum_into(
+        &mut self,
+        observations: &[(ProcId, Observation)],
+        now: Nanos,
+        out: &mut QuantumOutcome,
+    ) {
+        out.transitions.clear();
+        out.cycle_completed = false;
+        // Recycle the previous cycle record's entry buffer, if the caller
+        // left one in `out`.
+        let recycled = match out.cycle_record.take() {
+            Some(rec) => {
+                let mut entries = rec.entries;
+                entries.clear();
+                entries
+            }
+            None => Vec::new(),
+        };
         let q = self.cfg.quantum.as_f64();
 
         // Measurement loop. `t_c` adjustments are accumulated locally to
@@ -435,13 +651,13 @@ impl AlpsScheduler {
         // invocation even if t_c went far negative: the overrun shortens the
         // *next* cycle, which is how allocation errors are corrected over
         // subsequent cycles instead of accumulating (§2.2).
-        let mut cycle_record = None;
         let cycle_completed = self.tc <= 0.0 && self.total_shares > 0;
+        out.cycle_completed = cycle_completed;
         if cycle_completed {
             self.tc += self.cycle_len();
             self.cycles_completed += 1;
             if self.cfg.record_cycles {
-                cycle_record = Some(self.take_cycle_record(now));
+                out.cycle_record = Some(self.take_cycle_record_into(now, recycled));
             } else {
                 for k in 0..self.occupied.len() {
                     let i = self.occupied[k] as usize;
@@ -455,37 +671,38 @@ impl AlpsScheduler {
 
         // Repartition loop: credit shares, flip eligibility, schedule the
         // next measurement of every process measured this invocation.
-        let count = self.count;
-        let mut transitions = Vec::new();
-        for k in 0..self.occupied.len() {
-            let i = self.occupied[k] as usize;
-            let slot = &mut self.slots[i];
-            let Some(s) = slot.state.as_mut() else {
-                continue;
-            };
-            if cycle_completed {
-                s.allowance += s.share as f64;
+        if self.use_wheel() && !cycle_completed {
+            // Off-boundary, only the slots measured this invocation
+            // (`pending`) plus those whose `update` was forced due outside
+            // an invocation (`dirty`) can need attention: every other
+            // slot's allowance is unchanged since its last examination, so
+            // its eligibility cannot have flipped and its scheduled
+            // measurement still stands. Walking `pending ∪ dirty` in
+            // registration order therefore emits exactly the transitions
+            // and reschedules the reference scan would.
+            debug_assert!(self.examined.is_empty());
+            std::mem::swap(&mut self.examined, &mut self.pending);
+            self.examined.append(&mut self.dirty);
+            let slots = &self.slots;
+            self.examined
+                .sort_unstable_by_key(|&i| slots[i as usize].order_key);
+            self.examined.dedup();
+            let mut k = 0;
+            while k < self.examined.len() {
+                let i = self.examined[k] as usize;
+                k += 1;
+                self.repartition_slot(i, false, &mut out.transitions);
             }
-            let want_eligible = s.allowance > 0.0;
-            if want_eligible != s.eligible {
-                s.eligible = want_eligible;
-                let id = ProcId {
-                    idx: i as u32,
-                    generation: slot.generation,
-                };
-                transitions.push(if want_eligible {
-                    Transition::Resume(id)
-                } else {
-                    Transition::Suspend(id)
-                });
-            }
-            if s.update <= count {
-                // A process with allowance a cannot become ineligible in
-                // fewer than ⌈a⌉ quanta, so the next measurement can wait
-                // that long (§2.3). Ineligible processes get update ≤ count
-                // and are re-examined as soon as they are eligible again.
-                let wait = s.allowance.ceil().max(0.0) as u64;
-                s.update = count + wait;
+            self.examined.clear();
+        } else {
+            // Cycle boundaries credit every slot's allowance, so the full
+            // walk is inherent (it is O(N) once per cycle, not per
+            // quantum). The reference scan does it every quantum.
+            self.pending.clear();
+            self.dirty.clear();
+            for k in 0..self.occupied.len() {
+                let i = self.occupied[k] as usize;
+                self.repartition_slot(i, cycle_completed, &mut out.transitions);
             }
         }
 
@@ -494,29 +711,77 @@ impl AlpsScheduler {
         // drift (or a backend feeding inconsistent observations) ever broke
         // it, the scheduler would stall with everyone suspended. Collapse
         // the remaining cycle instead, so the next invocation completes it
-        // and re-credits allowances.
-        if self.live > 0
-            && self.tc > 0.0
-            && self.occupied.iter().all(|&i| {
-                self.slots[i as usize]
-                    .state
-                    .as_ref()
-                    .is_none_or(|p| !p.eligible)
-            })
-        {
+        // and re-credits allowances. (`eligible_count` is the incrementally
+        // maintained count of `eligible` flags, replacing a full scan.)
+        if self.live > 0 && self.tc > 0.0 && self.eligible_count == 0 {
             self.tc = 0.0;
-        }
-
-        QuantumOutcome {
-            transitions,
-            cycle_completed,
-            cycle_record,
         }
     }
 
-    /// Snapshot and reset the per-cycle consumption counters.
-    fn take_cycle_record(&mut self, now: Nanos) -> CycleRecord {
-        let mut entries = Vec::with_capacity(self.live);
+    /// The repartition-loop body of Figure 3 for one slot: credit its share
+    /// (at cycle boundaries), flip its eligibility, and schedule its next
+    /// measurement if it was due this invocation.
+    fn repartition_slot(&mut self, i: usize, credit: bool, transitions: &mut Vec<Transition>) {
+        let count = self.count;
+        let use_wheel = self.cfg.due_index == DueIndex::Wheel && self.cfg.lazy_measurement;
+        // Disjoint field borrows: the slot's state is mutated while the
+        // eligibility counter and the wheel buckets are updated alongside.
+        let AlpsScheduler {
+            slots,
+            eligible_count,
+            wheel,
+            ..
+        } = self;
+        let slot = &mut slots[i];
+        let Some(s) = slot.state.as_mut() else {
+            return;
+        };
+        if credit {
+            s.allowance += s.share as f64;
+        }
+        let want_eligible = s.allowance > 0.0;
+        if want_eligible != s.eligible {
+            s.eligible = want_eligible;
+            if want_eligible {
+                *eligible_count += 1;
+            } else {
+                *eligible_count -= 1;
+            }
+            let id = ProcId {
+                idx: i as u32,
+                generation: slot.generation,
+            };
+            transitions.push(if want_eligible {
+                Transition::Resume(id)
+            } else {
+                Transition::Suspend(id)
+            });
+        }
+        if s.update <= count {
+            // A process with allowance a cannot become ineligible in
+            // fewer than ⌈a⌉ quanta, so the next measurement can wait
+            // that long (§2.3). Ineligible processes get update ≤ count
+            // and are re-examined as soon as they are eligible again.
+            let wait = s.allowance.ceil().max(0.0) as u64;
+            s.update = count + wait;
+            if use_wheel && s.eligible {
+                // Index the new deadline (inlined `wheel_insert`; `s`
+                // holds a borrow into `slots`). Eligible implies
+                // allowance > 0, so `wait >= 1` and the deadline is in
+                // the future.
+                slot.wheel_key = slot.wheel_key.wrapping_add(1);
+                let key = slot.wheel_key;
+                let clamped = s.update.min(count + WHEEL_BUCKETS);
+                wheel[(clamped % WHEEL_BUCKETS) as usize].push(WheelEntry { idx: i as u32, key });
+            }
+        }
+    }
+
+    /// Snapshot and reset the per-cycle consumption counters, reusing a
+    /// cleared `entries` buffer.
+    fn take_cycle_record_into(&mut self, now: Nanos, mut entries: Vec<CycleEntry>) -> CycleRecord {
+        debug_assert!(entries.is_empty());
+        entries.reserve(self.live);
         let mut total = Nanos::ZERO;
         for k in 0..self.occupied.len() {
             let i = self.occupied[k] as usize;
@@ -1031,6 +1296,47 @@ mod tests {
             s.vacated,
             s.occupied.len()
         );
+        assert!(
+            s.occupied
+                .windows(2)
+                .all(|w| s.slots[w[0] as usize].order_key < s.slots[w[1] as usize].order_key),
+            "occupied index not sorted by order_key"
+        );
+        let eligible = s
+            .occupied
+            .iter()
+            .filter_map(|&i| s.slots[i as usize].state.as_ref())
+            .filter(|p| p.eligible)
+            .count();
+        assert_eq!(
+            s.eligible_count, eligible,
+            "eligible_count disagrees with a scan"
+        );
+        if s.use_wheel() {
+            // At most one live wheel entry per slot, and every eligible
+            // slot is reachable: indexed in the wheel, or queued for the
+            // next repartition via pending/dirty.
+            for (idx, slot) in s.slots.iter().enumerate() {
+                let live_entries = s
+                    .wheel
+                    .iter()
+                    .flatten()
+                    .filter(|e| e.idx as usize == idx && e.key == slot.wheel_key)
+                    .count();
+                assert!(
+                    live_entries <= 1,
+                    "slot {idx} has {live_entries} live wheel entries"
+                );
+                if slot.state.as_ref().is_some_and(|p| p.eligible) {
+                    assert!(
+                        live_entries == 1
+                            || s.pending.contains(&(idx as u32))
+                            || s.dirty.contains(&(idx as u32)),
+                        "eligible slot {idx} unreachable by the wheel"
+                    );
+                }
+            }
+        }
     }
 
     proptest::proptest! {

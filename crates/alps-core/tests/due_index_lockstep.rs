@@ -1,0 +1,376 @@
+//! Scan-vs-wheel due-index lockstep.
+//!
+//! The deadline wheel ([`alps_core::DueIndex::Wheel`]) is a pure
+//! control-path data structure: for any sequence of registrations,
+//! deregistrations, share changes, and measured quanta it must produce
+//! exactly the behavior of the seed linear scan
+//! ([`alps_core::DueIndex::Scan`]) — identical due lists, transitions,
+//! cycle boundaries, cycle records, allowances, and eligibility. These
+//! tests drive both implementations through the same churn and compare
+//! everything externally observable, at the raw-scheduler level (a
+//! deterministic ≥200-quantum run plus a proptest over random op
+//! sequences) and at the engine level (event traces and `EngineStats`).
+//!
+//! Raw serialized scheduler state is deliberately *not* compared: the
+//! wheel leaves an ineligible slot's internal reschedule deadline stale
+//! where the scan rewrites it on every walk — invisible to any caller,
+//! since ineligible slots are never due.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::convert::Infallible;
+
+use alps_core::{
+    AlpsConfig, AlpsScheduler, DueIndex, Engine, Instrumentation, Nanos, Observation, ProcId,
+    RecordingSink, Signal, Substrate,
+};
+use proptest::prelude::*;
+
+const Q_NS: u64 = 10_000_000; // 10 ms quantum
+
+fn cfg(due: DueIndex) -> AlpsConfig {
+    AlpsConfig::new(Nanos(Q_NS))
+        .with_cycle_log(true)
+        .with_due_index(due)
+}
+
+/// One step of churn applied identically to both schedulers.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Register a process with this share.
+    Add { share: u64 },
+    /// Deregister the `victim % live`-th live process.
+    Remove { victim: usize },
+    /// Re-share the `victim % live`-th live process.
+    SetShare { victim: usize, share: u64 },
+    /// Toggle the blocked flag of the `victim % live`-th live process.
+    ToggleBlocked { victim: usize },
+    /// Run one measured quantum, distributing `busy_permille`/1000 of a
+    /// quantum of CPU among the eligible, unblocked processes.
+    Quantum { busy_permille: u16 },
+}
+
+/// The backend's ground truth for one controlled process. Both
+/// schedulers mint ids from the same slot allocator, so under identical
+/// op sequences the ids must coincide — asserted at every add.
+#[derive(Debug, Clone)]
+struct Proc {
+    id: ProcId,
+    cpu: Nanos,
+    blocked: bool,
+}
+
+/// Drive both schedulers through `ops` in lockstep, asserting identical
+/// externally visible behavior after every operation. Returns the number
+/// of quanta executed.
+fn run_lockstep(ops: &[Op]) -> u64 {
+    let mut scan = AlpsScheduler::new(cfg(DueIndex::Scan));
+    let mut wheel = AlpsScheduler::new(cfg(DueIndex::Wheel));
+    let mut procs: Vec<Proc> = Vec::new();
+    let mut quanta = 0u64;
+    let mut scan_records = Vec::new();
+    let mut wheel_records = Vec::new();
+
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Add { share } => {
+                let now = Nanos(Q_NS * quanta);
+                let a = scan.add_process(share, now);
+                let b = wheel.add_process(share, now);
+                assert_eq!(a, b, "step {step}: id mint diverged");
+                procs.push(Proc {
+                    id: a,
+                    cpu: Nanos::ZERO,
+                    blocked: false,
+                });
+            }
+            Op::Remove { victim } => {
+                if procs.is_empty() {
+                    continue;
+                }
+                let i = victim % procs.len();
+                let p = procs.swap_remove(i);
+                let a = scan.remove_process(p.id);
+                let b = wheel.remove_process(p.id);
+                assert_eq!(a, b, "step {step}: remove diverged");
+            }
+            Op::SetShare { victim, share } => {
+                if procs.is_empty() {
+                    continue;
+                }
+                let i = victim % procs.len();
+                let a = scan.set_share(procs[i].id, share);
+                let b = wheel.set_share(procs[i].id, share);
+                assert_eq!(a, b, "step {step}: set_share diverged");
+            }
+            Op::ToggleBlocked { victim } => {
+                if procs.is_empty() {
+                    continue;
+                }
+                let i = victim % procs.len();
+                procs[i].blocked = !procs[i].blocked;
+            }
+            Op::Quantum { busy_permille } => {
+                quanta += 1;
+                let now = Nanos(Q_NS * quanta);
+                // Charge CPU to eligible, unblocked processes, equal split
+                // (eligibility agreed between the two schedulers last
+                // quantum; use scan's view).
+                let eligible: Vec<usize> = procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.blocked && scan.is_eligible(p.id) == Some(true))
+                    .map(|(i, _)| i)
+                    .collect();
+                if !eligible.is_empty() {
+                    let slice = (Q_NS as f64 * f64::from(busy_permille)
+                        / 1000.0
+                        / eligible.len() as f64) as u64;
+                    for &i in &eligible {
+                        procs[i].cpu += Nanos(slice);
+                    }
+                }
+
+                let due_scan = scan.begin_quantum();
+                let due_wheel = wheel.begin_quantum();
+                assert_eq!(due_scan, due_wheel, "step {step}: due lists diverged");
+
+                let obs: Vec<(ProcId, Observation)> = due_scan
+                    .iter()
+                    .filter_map(|&id| {
+                        procs.iter().find(|p| p.id == id).map(|p| {
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: p.cpu,
+                                    blocked: p.blocked,
+                                },
+                            )
+                        })
+                    })
+                    .collect();
+                let out_scan = scan.complete_quantum(&obs, now);
+                let out_wheel = wheel.complete_quantum(&obs, now);
+                assert_eq!(
+                    out_scan.transitions, out_wheel.transitions,
+                    "step {step}: transitions diverged"
+                );
+                assert_eq!(
+                    out_scan.cycle_completed, out_wheel.cycle_completed,
+                    "step {step}: cycle boundary diverged"
+                );
+                assert_eq!(
+                    out_scan.cycle_record, out_wheel.cycle_record,
+                    "step {step}: cycle record diverged"
+                );
+                if let Some(r) = out_scan.cycle_record {
+                    scan_records.push(r);
+                }
+                if let Some(r) = out_wheel.cycle_record {
+                    wheel_records.push(r);
+                }
+            }
+        }
+        // After every op the schedulers must agree on all per-process
+        // queries and the aggregate counters.
+        assert_eq!(scan.len(), wheel.len(), "step {step}");
+        assert_eq!(scan.total_shares(), wheel.total_shares(), "step {step}");
+        assert_eq!(
+            scan.cycles_completed(),
+            wheel.cycles_completed(),
+            "step {step}"
+        );
+        for p in &procs {
+            assert_eq!(scan.allowance(p.id), wheel.allowance(p.id), "step {step}");
+            assert_eq!(
+                scan.is_eligible(p.id),
+                wheel.is_eligible(p.id),
+                "step {step}"
+            );
+            assert_eq!(scan.share(p.id), wheel.share(p.id), "step {step}");
+        }
+    }
+    assert_eq!(scan_records, wheel_records, "cycle logs diverged");
+    quanta
+}
+
+/// A deterministic churn schedule from a tiny LCG: every few quanta a
+/// process is added, removed, re-shared, or flips its blocked bit, for
+/// well over 200 measured quanta.
+#[test]
+fn deterministic_churn_stays_in_lockstep_for_250_quanta() {
+    let mut rng: u64 = 0x9E3779B97F4A7C15;
+    let mut next = || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) as usize
+    };
+    let mut ops = vec![
+        Op::Add { share: 1 },
+        Op::Add { share: 3 },
+        Op::Add { share: 5 },
+    ];
+    for _ in 0..250 {
+        // Mostly full-busy quanta with occasional idle ones.
+        let busy = if next() % 7 == 0 { 300 } else { 1000 };
+        ops.push(Op::Quantum {
+            busy_permille: busy,
+        });
+        match next() % 11 {
+            0 => ops.push(Op::Add {
+                share: (next() % 8 + 1) as u64,
+            }),
+            1 => ops.push(Op::Remove { victim: next() }),
+            2 => ops.push(Op::SetShare {
+                victim: next(),
+                share: (next() % 8 + 1) as u64,
+            }),
+            3 => ops.push(Op::ToggleBlocked { victim: next() }),
+            _ => {}
+        }
+    }
+    let quanta = run_lockstep(&ops);
+    assert!(quanta >= 250, "ran {quanta} quanta");
+}
+
+/// An adversarial schedule for the wheel's horizon: far deadlines (large
+/// allowances from huge shares) park entries past the wheel's bucket
+/// horizon and must be re-bucketed on drain, repeatedly.
+#[test]
+fn far_deadlines_beyond_the_wheel_horizon_stay_in_lockstep() {
+    let mut ops = vec![
+        Op::Add { share: 200 }, // allowance ≫ 64-bucket horizon
+        Op::Add { share: 1 },
+    ];
+    for _ in 0..400 {
+        ops.push(Op::Quantum {
+            busy_permille: 1000,
+        });
+    }
+    let quanta = run_lockstep(&ops);
+    assert!(quanta >= 400);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleavings of registration, deregistration, share
+    /// changes, blocked toggles, and measured quanta never separate the
+    /// two due-index implementations.
+    #[test]
+    fn random_churn_stays_in_lockstep(
+        seed_shares in proptest::collection::vec(1u64..20, 1..6),
+        raw_ops in proptest::collection::vec((0u8..=15, 1u64..12, 0usize..64, 0u16..=1000), 40..120),
+    ) {
+        let mut ops: Vec<Op> = seed_shares.iter().map(|&share| Op::Add { share }).collect();
+        for &(kind, share, victim, busy) in &raw_ops {
+            ops.push(match kind {
+                0 | 1 => Op::Add { share },
+                2 => Op::Remove { victim },
+                3 | 4 => Op::SetShare { victim, share },
+                5 => Op::ToggleBlocked { victim },
+                // Weight the mix toward measured quanta so cycles complete.
+                _ => Op::Quantum { busy_permille: busy },
+            });
+        }
+        run_lockstep(&ops);
+    }
+}
+
+/// A scripted substrate for the engine-level comparison (the same shape
+/// as the one in `engine.rs`).
+#[derive(Debug, Default)]
+struct MockSubstrate {
+    now: Nanos,
+    cpu: BTreeMap<u32, Nanos>,
+    stopped: BTreeSet<u32>,
+    gone: BTreeSet<u32>,
+}
+
+impl Substrate for MockSubstrate {
+    type Member = u32;
+    type Error = Infallible;
+
+    fn now(&mut self) -> Nanos {
+        self.now
+    }
+
+    fn read(&mut self, m: u32) -> Result<Option<Observation>, Infallible> {
+        if self.gone.contains(&m) {
+            return Ok(None);
+        }
+        Ok(self.cpu.get(&m).map(|&total_cpu| Observation {
+            total_cpu,
+            blocked: false,
+        }))
+    }
+
+    fn deliver(&mut self, m: u32, sig: Signal) -> Result<bool, Infallible> {
+        if self.gone.contains(&m) || !self.cpu.contains_key(&m) {
+            return Ok(false);
+        }
+        match sig {
+            Signal::Stop => self.stopped.insert(m),
+            Signal::Continue => self.stopped.remove(&m),
+        };
+        Ok(true)
+    }
+}
+
+/// Engine-level lockstep over 300 quanta with member churn: the full
+/// externally visible story — the instrumentation event trace, the
+/// aggregate [`alps_core::EngineStats`], and the per-cycle records —
+/// must be byte-identical between scan and wheel.
+#[test]
+fn engines_produce_identical_traces_and_stats() {
+    let run = |due: DueIndex| {
+        let mut engine: Engine<u32> =
+            Engine::new(cfg(due), Instrumentation::Measured).with_auto_reap(true);
+        let mut sub = MockSubstrate::default();
+        let mut sink = RecordingSink::new();
+        let mut next_member: u32 = 0;
+        let mut members: Vec<u32> = Vec::new();
+        for _ in 0..3 {
+            let m = next_member;
+            next_member += 1;
+            sub.cpu.insert(m, Nanos::ZERO);
+            sub.stopped.insert(m);
+            engine.add_member(m, u64::from(m % 5) + 1, Nanos::ZERO);
+            members.push(m);
+        }
+        for k in 0..300u64 {
+            // Deterministic churn: a join every 17 quanta, a death every 23.
+            if k % 17 == 0 {
+                let m = next_member;
+                next_member += 1;
+                sub.cpu.insert(m, Nanos::ZERO);
+                sub.stopped.insert(m);
+                engine.add_member(m, u64::from(m % 5) + 1, sub.now);
+                members.push(m);
+            }
+            if k % 23 == 0 && members.len() > 2 {
+                let m = members.remove(k as usize % members.len());
+                sub.gone.insert(m);
+            }
+            // Advance the clock one quantum, charging runnable members.
+            sub.now += Nanos(Q_NS);
+            let dt = Nanos(Q_NS);
+            for (&m, cpu) in sub.cpu.iter_mut() {
+                if !sub.stopped.contains(&m) && !sub.gone.contains(&m) {
+                    *cpu += dt;
+                }
+            }
+            engine.run_quantum(&mut sub, &mut sink).unwrap();
+        }
+        (sink.events, engine.stats(), engine.cycles().to_vec())
+    };
+    let (ev_scan, stats_scan, cycles_scan) = run(DueIndex::Scan);
+    let (ev_wheel, stats_wheel, cycles_wheel) = run(DueIndex::Wheel);
+    assert_eq!(stats_scan, stats_wheel, "EngineStats diverged");
+    assert_eq!(cycles_scan, cycles_wheel, "cycle logs diverged");
+    assert_eq!(ev_scan.len(), ev_wheel.len(), "trace lengths diverged");
+    for (i, (a, b)) in ev_scan.iter().zip(&ev_wheel).enumerate() {
+        assert_eq!(a, b, "trace diverged at event {i}");
+    }
+    assert!(stats_scan.cycles > 0, "fixture must cross cycle boundaries");
+}

@@ -112,23 +112,32 @@ fn engine_matches_raw_scheduler_in_lockstep() {
         }
 
         sub.now = now;
-        let due = engine.begin_quantum(&mut sub, &mut NullSink).unwrap();
-        let due_ids: Vec<ProcId> = due.iter().map(|&(id, _)| id).collect();
+        engine.begin_quantum(&mut sub, &mut NullSink).unwrap();
+        let due_ids: Vec<ProcId> = engine.due().iter().map(|(id, _)| id).collect();
         assert_eq!(due_ids, due_raw, "due lists diverged at quantum {k}");
-        for (_, members) in &due {
-            for &m in members {
-                sub.cpu.insert(m, Nanos::from_millis(total));
-            }
+        let members: Vec<u32> = engine
+            .due()
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().copied())
+            .collect();
+        for m in members {
+            sub.cpu.insert(m, Nanos::from_millis(total));
         }
-        let out = engine
-            .complete_quantum(&mut sub, &due, &mut NullSink)
-            .unwrap();
+        engine.complete_quantum(&mut sub, &mut NullSink).unwrap();
         engine
-            .apply_signals(&mut sub, &out.signals, &mut NullSink)
+            .apply_pending_signals(&mut sub, &mut NullSink)
             .unwrap();
 
-        assert_eq!(out.transitions, out_raw.transitions, "quantum {k}");
-        assert_eq!(out.cycle_completed, out_raw.cycle_completed, "quantum {k}");
+        assert_eq!(
+            engine.last_transitions(),
+            out_raw.transitions,
+            "quantum {k}"
+        );
+        assert_eq!(
+            engine.last_cycle_completed(),
+            out_raw.cycle_completed,
+            "quantum {k}"
+        );
     }
 
     assert!(

@@ -128,15 +128,17 @@ impl Supervisor {
     }
 
     /// Sleep until the next quantum boundary, then run one scheduler
-    /// invocation. Returns the transitions that were applied.
-    pub fn run_quantum(&mut self) -> Result<Vec<Transition>> {
+    /// invocation. Returns the transitions that were applied (borrowed
+    /// from the engine's reusable buffer, so the steady-state loop
+    /// allocates nothing).
+    pub fn run_quantum(&mut self) -> Result<&[Transition]> {
         self.run_quantum_with(&mut NullSink)
     }
 
     /// [`run_quantum`](Supervisor::run_quantum) with an event sink
     /// observing every measurement, signal, and cycle boundary (the
     /// `--trace` wiring of `alps-cli`).
-    pub fn run_quantum_with(&mut self, sink: &mut dyn EventSink<i32>) -> Result<Vec<Transition>> {
+    pub fn run_quantum_with(&mut self, sink: &mut dyn EventSink<i32>) -> Result<&[Transition]> {
         let q = self.engine.quantum();
         let deadline = match self.next_deadline {
             Some(d) => d,
@@ -155,11 +157,11 @@ impl Supervisor {
             next = deadline + q * (behind + 1);
         }
         self.next_deadline = Some(next);
-        let transitions = self.engine.run_quantum(&mut self.sub, sink)?;
+        self.engine.run_quantum(&mut self.sub, sink)?;
         // Keep the pid table in sync with what the engine auto-reaped.
         let engine = &self.engine;
         self.procs.retain(|&(id, _)| engine.share(id).is_some());
-        Ok(transitions)
+        Ok(self.engine.last_transitions())
     }
 
     /// Run quanta for (at least) the given wall-clock duration.

@@ -12,9 +12,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use alps_core::{
-    AlpsConfig, CycleRecord, Engine, Instrumentation, MemberTransition, Nanos, NullSink, ProcId,
-};
+use alps_core::{AlpsConfig, CycleRecord, Engine, Instrumentation, Nanos, NullSink, ProcId};
 use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
 use crate::cost::CostModel;
@@ -76,8 +74,8 @@ impl PrincipalAlpsHandle {
 enum Phase {
     Init,
     Waiting,
-    Measuring(Vec<(ProcId, Vec<Pid>)>),
-    Signaling(Vec<MemberTransition<Pid>>),
+    Measuring,
+    Signaling,
 }
 
 struct PrincipalAlpsBehavior {
@@ -143,40 +141,40 @@ impl Behavior for PrincipalAlpsBehavior {
                     work += self.refresh_memberships(ctl);
                     self.next_refresh = ctl.now() + self.refresh_period;
                 }
-                let due = {
+                let to_read = {
                     let mut shared = self.shared.borrow_mut();
                     shared
                         .engine
                         .begin_quantum(&mut SimSubstrate::new(ctl), &mut sink)
                         .unwrap()
                 };
-                let to_read: usize = due.iter().map(|(_, m)| m.len()).sum();
                 work += self.cost.measure(to_read);
-                self.phase = Phase::Measuring(due);
+                self.phase = Phase::Measuring;
                 Step::Compute(work.max(Nanos::from_nanos(1)))
             }
-            Phase::Measuring(due) => {
-                let outcome = {
+            Phase::Measuring => {
+                let n_signals = {
                     let mut shared = self.shared.borrow_mut();
                     shared
                         .engine
-                        .complete_quantum(&mut SimSubstrate::new(ctl), &due, &mut sink)
-                        .unwrap()
+                        .complete_quantum(&mut SimSubstrate::new(ctl), &mut sink)
+                        .unwrap();
+                    shared.engine.pending_signals().len()
                 };
-                if outcome.signals.is_empty() {
+                if n_signals == 0 {
                     self.phase = Phase::Waiting;
                     Step::AwaitTimer
                 } else {
-                    let work = self.cost.signals(outcome.signals.len());
-                    self.phase = Phase::Signaling(outcome.signals);
+                    let work = self.cost.signals(n_signals);
+                    self.phase = Phase::Signaling;
                     Step::Compute(work.max(Nanos::from_nanos(1)))
                 }
             }
-            Phase::Signaling(signals) => {
+            Phase::Signaling => {
                 self.shared
                     .borrow_mut()
                     .engine
-                    .apply_signals(&mut SimSubstrate::new(ctl), &signals, &mut sink)
+                    .apply_pending_signals(&mut SimSubstrate::new(ctl), &mut sink)
                     .unwrap();
                 self.phase = Phase::Waiting;
                 Step::AwaitTimer

@@ -15,8 +15,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use alps_core::{
-    AlpsConfig, CycleRecord, Engine, EngineStats, Instrumentation, MemberTransition, Nanos,
-    NullSink, ProcId,
+    AlpsConfig, CycleRecord, Engine, EngineStats, Instrumentation, Nanos, NullSink, ProcId,
 };
 use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
@@ -81,10 +80,10 @@ enum Phase {
     Init,
     /// Blocked on the interval timer.
     Waiting,
-    /// Paying the measurement cost for the listed due members.
-    Measuring(Vec<(ProcId, Vec<Pid>)>),
-    /// Paying the signal cost before delivering the listed signals.
-    Signaling(Vec<MemberTransition<Pid>>),
+    /// Paying the measurement cost for the engine's due list.
+    Measuring,
+    /// Paying the signal cost before delivering the pending signals.
+    Signaling,
 }
 
 struct AlpsBehavior {
@@ -116,44 +115,45 @@ impl Behavior for AlpsBehavior {
                 Step::AwaitTimer
             }
             Phase::Waiting => {
-                // Timer expired: begin an invocation. The due list and its
-                // measurement cost are known before any reads happen.
-                let due = {
+                // Timer expired: begin an invocation. The due list (held in
+                // the engine's reusable buffer) and its measurement cost are
+                // known before any reads happen.
+                let to_read = {
                     let mut shared = self.shared.borrow_mut();
                     shared
                         .engine
                         .begin_quantum(&mut SimSubstrate::new(ctl), &mut sink)
                         .unwrap()
                 };
-                let to_read: usize = due.iter().map(|(_, ms)| ms.len()).sum();
                 let work = self.cost.timer_event + self.cost.measure(to_read);
-                self.phase = Phase::Measuring(due);
+                self.phase = Phase::Measuring;
                 Step::Compute(work.max(Nanos::from_nanos(1)))
             }
-            Phase::Measuring(due) => {
+            Phase::Measuring => {
                 // Measurement cost paid: read the actual values and run the
                 // algorithm.
-                let outcome = {
+                let n_signals = {
                     let mut shared = self.shared.borrow_mut();
                     shared
                         .engine
-                        .complete_quantum(&mut SimSubstrate::new(ctl), &due, &mut sink)
-                        .unwrap()
+                        .complete_quantum(&mut SimSubstrate::new(ctl), &mut sink)
+                        .unwrap();
+                    shared.engine.pending_signals().len()
                 };
-                if outcome.signals.is_empty() {
+                if n_signals == 0 {
                     self.phase = Phase::Waiting;
                     Step::AwaitTimer
                 } else {
-                    let work = self.cost.signals(outcome.signals.len());
-                    self.phase = Phase::Signaling(outcome.signals);
+                    let work = self.cost.signals(n_signals);
+                    self.phase = Phase::Signaling;
                     Step::Compute(work.max(Nanos::from_nanos(1)))
                 }
             }
-            Phase::Signaling(signals) => {
+            Phase::Signaling => {
                 self.shared
                     .borrow_mut()
                     .engine
-                    .apply_signals(&mut SimSubstrate::new(ctl), &signals, &mut sink)
+                    .apply_pending_signals(&mut SimSubstrate::new(ctl), &mut sink)
                     .unwrap();
                 self.phase = Phase::Waiting;
                 Step::AwaitTimer

@@ -2,10 +2,11 @@
 //!
 //! Sweeps the §3.2-shaped workload over N ∈ {10, 100, 1000, 5000}
 //! processes, lazy and unoptimized ALPS, on both the indexed and the seed
-//! linear ready queue, and writes the report JSON. Every run (point ×
-//! repetition) is fanned across the deterministic sweep executor; the
-//! simulation-derived results are identical at any thread count. Run
-//! with `--release`; see EXPERIMENTS.md.
+//! linear ready queue, with both the wheel and the seed scan due index,
+//! and writes the report JSON. Every run (point × repetition) is fanned
+//! across the deterministic sweep executor; the simulation-derived
+//! results are identical at any thread count. Run with `--release`; see
+//! EXPERIMENTS.md.
 //!
 //! Usage: `bench-scalability [--fast] [--threads N] [--out <path>]`
 //!   --fast      N ≤ 100 only, 5 simulated seconds per point (CI smoke)
@@ -14,6 +15,7 @@
 //!   --out       output path (default `BENCH_kernsim.json`)
 
 use alps_bench::scalability::{run_point, run_sweep, sweep_specs, BenchReport, QUANTUM_MS, SHARE};
+use alps_core::DueIndex;
 use kernsim::RunQueueKind;
 
 /// Repetitions per point; the fastest is kept (the sim is deterministic,
@@ -50,29 +52,45 @@ fn main() {
     }
 
     let threads = alps_sweep::threads();
+    let host_cores = alps_sweep::host_cores();
     eprintln!(
-        "sweep executor: {threads} thread{} ({} host cores)",
+        "sweep executor: {threads} thread{} ({host_cores} host cores)",
         if threads == 1 { "" } else { "s" },
-        alps_sweep::host_cores()
     );
+    if host_cores == 1 || threads == 1 {
+        eprintln!(
+            "warning: measuring on {} — the parallel_speedup and absolute \
+             wall-clock numbers in the report reflect a serial sweep; \
+             relative comparisons (lazy/eager, indexed/linear, wheel/scan) \
+             remain valid",
+            if host_cores == 1 {
+                "a single-core host".to_string()
+            } else {
+                format!("{threads} worker thread")
+            }
+        );
+    }
     // Discarded warmup so the first measured points don't pay for page
     // faults and CPU frequency ramp-up.
-    let _ = run_point(100, true, RunQueueKind::Indexed, 2);
+    let _ = run_point(100, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
 
     let specs = sweep_specs(fast);
     let outcome = run_sweep(&specs, REPS);
     for p in &outcome.points {
         eprintln!(
-            "N={:5} lazy={:5} {:7}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx",
+            "N={:5} lazy={:5} {:7} {:5}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx, {:9.1} ns/q/member ({:4.1}% drive)",
             p.n,
             p.lazy,
             p.runqueue,
+            p.due_index,
             p.register_seconds,
             p.drive_seconds,
             p.teardown_seconds,
             p.wall_per_sim_second,
             p.events_per_wall_second,
-            p.context_switches
+            p.context_switches,
+            p.supervisor_ns_per_quantum_per_member,
+            p.drive_fraction * 100.0
         );
     }
 
@@ -91,10 +109,23 @@ fn main() {
     };
     let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
     ns.dedup();
-    for n in ns {
+    for n in &ns {
         for lazy in [true, false] {
-            if let Some(s) = report.speedup(n, lazy) {
-                eprintln!("N={n:5} lazy={lazy:5} indexed speedup over linear: {s:.2}x");
+            for due in ["wheel", "scan"] {
+                if let Some(s) = report.speedup(*n, lazy, due) {
+                    eprintln!(
+                        "N={n:5} lazy={lazy:5} due={due:5} indexed speedup over linear: {s:.2}x"
+                    );
+                }
+            }
+        }
+    }
+    for n in &ns {
+        for lazy in [true, false] {
+            if let Some(r) = report.due_overhead_ratio(*n, lazy) {
+                eprintln!(
+                    "N={n:5} lazy={lazy:5} scan/wheel supervisor overhead (indexed): {r:.2}x"
+                );
             }
         }
     }

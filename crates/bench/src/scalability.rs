@@ -5,13 +5,20 @@
 //! a 10 ms quantum — but measures the *simulator*: wall-clock per
 //! simulated second, events per wall second, and context switches, for
 //! N ∈ {10, 100, 1000, 5000}, each under the lazy (§2.3) and unoptimized
-//! ALPS variants, and each on both ready-queue implementations
-//! ([`RunQueueKind::Indexed`] vs the seed [`RunQueueKind::Linear`]). The
-//! linear points exist to quantify the indexed hot path's speedup; the
-//! two implementations are trace-identical (see
-//! `crates/kernsim/tests/lockstep.rs`).
+//! ALPS variants, each on both ready-queue implementations
+//! ([`RunQueueKind::Indexed`] vs the seed [`RunQueueKind::Linear`]), and
+//! each with both due-index implementations ([`DueIndex::Wheel`] vs the
+//! seed [`DueIndex::Scan`]). The linear and scan points exist to
+//! quantify the optimized hot paths' speedups; each pair is
+//! trace-identical (see `crates/kernsim/tests/lockstep.rs` and
+//! `crates/alps-core/tests/due_index_lockstep.rs`).
+//!
+//! Besides the simulator-throughput numbers, every point reports the
+//! *supervisor overhead*: steady-state drive-phase wall nanoseconds per
+//! ALPS quantum per controlled member — the per-quantum control-path
+//! cost the deadline wheel exists to flatten.
 
-use alps_core::{AlpsConfig, Nanos};
+use alps_core::{AlpsConfig, DueIndex, Nanos};
 use alps_sim::{spawn_alps, CostModel};
 use kernsim::{ComputeBound, Pid, RunQueueKind, Sim, SimConfig};
 use serde::{Deserialize, Serialize};
@@ -35,6 +42,8 @@ pub struct BenchPoint {
     pub lazy: bool,
     /// Ready-queue implementation: `"indexed"` or `"linear"`.
     pub runqueue: String,
+    /// ALPS due-index implementation: `"wheel"` or `"scan"`.
+    pub due_index: String,
     /// Simulated seconds of steady-state drive (excludes the teardown
     /// tail of [`TAIL_SECS`]).
     pub sim_seconds: u64,
@@ -58,6 +67,16 @@ pub struct BenchPoint {
     pub events_per_wall_second: f64,
     /// Context switches the simulated kernel performed.
     pub context_switches: u64,
+    /// ALPS quanta serviced during the steady-state drive.
+    pub drive_quanta: u64,
+    /// Steady-state supervisor overhead: drive-phase wall nanoseconds
+    /// per ALPS quantum per controlled member
+    /// (`drive_seconds · 1e9 / (drive_quanta · n)`).
+    pub supervisor_ns_per_quantum_per_member: f64,
+    /// Share of the point's whole-lifecycle wall clock spent in the
+    /// steady-state drive (`drive_seconds / wall_seconds`) — the sweep
+    /// is tuned so this is the majority phase at every N.
+    pub drive_fraction: f64,
 }
 
 impl BenchPoint {
@@ -65,14 +84,16 @@ impl BenchPoint {
     /// the wall-clock timings. These are a pure function of the point's
     /// parameters and seed, so they must be identical at any sweep
     /// thread count; the determinism tests compare exactly this key.
-    pub fn sim_key(&self) -> (usize, bool, &str, u64, u64, u64) {
+    pub fn sim_key(&self) -> (usize, bool, &str, &str, u64, u64, u64, u64) {
         (
             self.n,
             self.lazy,
             self.runqueue.as_str(),
+            self.due_index.as_str(),
             self.sim_seconds,
             self.events,
             self.context_switches,
+            self.drive_quanta,
         )
     }
 }
@@ -107,19 +128,30 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// The point for `(n, lazy, kind)`, if present.
-    pub fn point(&self, n: usize, lazy: bool, kind: &str) -> Option<&BenchPoint> {
+    /// The point for `(n, lazy, kind, due)`, if present.
+    pub fn point(&self, n: usize, lazy: bool, kind: &str, due: &str) -> Option<&BenchPoint> {
         self.points
             .iter()
-            .find(|p| p.n == n && p.lazy == lazy && p.runqueue == kind)
+            .find(|p| p.n == n && p.lazy == lazy && p.runqueue == kind && p.due_index == due)
     }
 
     /// Wall-clock speedup of the indexed queue over the linear one for
-    /// `(n, lazy)`: `wall(linear) / wall(indexed)` over the whole point.
-    pub fn speedup(&self, n: usize, lazy: bool) -> Option<f64> {
-        let idx = self.point(n, lazy, "indexed")?;
-        let lin = self.point(n, lazy, "linear")?;
+    /// `(n, lazy, due)`: `wall(linear) / wall(indexed)` over the whole
+    /// point.
+    pub fn speedup(&self, n: usize, lazy: bool, due: &str) -> Option<f64> {
+        let idx = self.point(n, lazy, "indexed", due)?;
+        let lin = self.point(n, lazy, "linear", due)?;
         Some(lin.wall_seconds / idx.wall_seconds)
+    }
+
+    /// Supervisor-overhead ratio of the scan due index over the wheel
+    /// for `(n, lazy)` on the indexed queue:
+    /// `overhead(scan) / overhead(wheel)` in drive-phase ns per quantum
+    /// per member.
+    pub fn due_overhead_ratio(&self, n: usize, lazy: bool) -> Option<f64> {
+        let wheel = self.point(n, lazy, "indexed", "wheel")?;
+        let scan = self.point(n, lazy, "indexed", "scan")?;
+        Some(scan.supervisor_ns_per_quantum_per_member / wheel.supervisor_ns_per_quantum_per_member)
     }
 
     /// Render as multi-line JSON, one point per line (stable git diffs).
@@ -167,17 +199,20 @@ impl BenchReport {
     }
 }
 
-/// Simulated seconds to drive for a given N (larger populations amortize
-/// their per-second cost over fewer simulated seconds to keep the sweep's
-/// wall time bounded — the per-sim-second metric normalizes this away).
+/// Simulated seconds to drive for a given N. The steady-state drive is
+/// the phase the per-sim-second and supervisor-overhead metrics are
+/// computed from, so it must dominate each point's wall clock — large
+/// populations drive *longer* (their register/teardown phases grow with
+/// N, and a short drive would leave the measured phase a sliver of the
+/// run).
 pub fn sim_secs_for(n: usize, fast: bool) -> u64 {
     if fast {
         5
     } else {
         match n {
             0..=100 => 20,
-            101..=1000 => 10,
-            _ => 4,
+            101..=1000 => 40,
+            _ => 80,
         }
     }
 }
@@ -201,7 +236,13 @@ pub fn sweep_ns(fast: bool) -> Vec<usize> {
 /// 3. **teardown** — terminate every member and drive [`TAIL_SECS`] more
 ///    simulated seconds, during which the runner discovers the exits and
 ///    reaps all N principals.
-pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> BenchPoint {
+pub fn run_point(
+    n: usize,
+    lazy: bool,
+    kind: RunQueueKind,
+    due: DueIndex,
+    sim_secs: u64,
+) -> BenchPoint {
     let cfg = SimConfig {
         seed: 1,
         spawn_estcpu_jitter: 8.0,
@@ -214,13 +255,16 @@ pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> Ben
     let members: Vec<(Pid, u64)> = (0..n)
         .map(|i| (sim.spawn(format!("w{i}"), Box::new(ComputeBound)), SHARE))
         .collect();
-    let alps_cfg = AlpsConfig::new(Nanos::from_millis(QUANTUM_MS)).with_lazy_measurement(lazy);
+    let alps_cfg = AlpsConfig::new(Nanos::from_millis(QUANTUM_MS))
+        .with_lazy_measurement(lazy)
+        .with_due_index(due);
     let alps = spawn_alps(&mut sim, "alps", alps_cfg, CostModel::paper(), &members);
     let register_seconds = t_register.elapsed().as_secs_f64();
 
     let t_drive = std::time::Instant::now();
     let mut events = sim.run_until(Nanos::from_secs(sim_secs));
     let drive_seconds = t_drive.elapsed().as_secs_f64();
+    let drive_quanta = alps.stats().quanta;
 
     let t_teardown = std::time::Instant::now();
     for &(pid, _) in &members {
@@ -230,6 +274,7 @@ pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> Ben
     let teardown_seconds = t_teardown.elapsed().as_secs_f64();
     debug_assert_eq!(alps.stats().reaped, n as u64, "teardown must reap all");
 
+    let wall_seconds = register_seconds + drive_seconds + teardown_seconds;
     BenchPoint {
         n,
         lazy,
@@ -237,8 +282,12 @@ pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> Ben
             RunQueueKind::Indexed => "indexed".to_string(),
             RunQueueKind::Linear => "linear".to_string(),
         },
+        due_index: match due {
+            DueIndex::Wheel => "wheel".to_string(),
+            DueIndex::Scan => "scan".to_string(),
+        },
         sim_seconds: sim_secs,
-        wall_seconds: register_seconds + drive_seconds + teardown_seconds,
+        wall_seconds,
         register_seconds,
         drive_seconds,
         teardown_seconds,
@@ -246,6 +295,10 @@ pub fn run_point(n: usize, lazy: bool, kind: RunQueueKind, sim_secs: u64) -> Ben
         events,
         events_per_wall_second: events as f64 / (drive_seconds + teardown_seconds).max(1e-9),
         context_switches: sim.context_switches(),
+        drive_quanta,
+        supervisor_ns_per_quantum_per_member: drive_seconds * 1e9
+            / ((drive_quanta.max(1) * n.max(1) as u64) as f64),
+        drive_fraction: drive_seconds / wall_seconds.max(1e-9),
     }
 }
 
@@ -258,11 +311,12 @@ pub fn run_point_best_of(
     n: usize,
     lazy: bool,
     kind: RunQueueKind,
+    due: DueIndex,
     sim_secs: u64,
     reps: usize,
 ) -> BenchPoint {
     alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
-        run_point(n, lazy, kind, sim_secs)
+        run_point(n, lazy, kind, due, sim_secs)
     })
     .into_iter()
     .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
@@ -278,24 +332,29 @@ pub struct SweepSpec {
     pub lazy: bool,
     /// Ready-queue implementation under test.
     pub kind: RunQueueKind,
+    /// ALPS due-index implementation under test.
+    pub due: DueIndex,
     /// Simulated seconds of steady-state drive.
     pub sim_secs: u64,
 }
 
 /// The full grid in its canonical (report) order:
-/// N ∈ [`sweep_ns`] × {lazy, eager} × {indexed, linear}.
+/// N ∈ [`sweep_ns`] × {lazy, eager} × {indexed, linear} × {wheel, scan}.
 pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
     let mut specs = Vec::new();
     for n in sweep_ns(fast) {
         let sim_secs = sim_secs_for(n, fast);
         for lazy in [true, false] {
             for kind in [RunQueueKind::Indexed, RunQueueKind::Linear] {
-                specs.push(SweepSpec {
-                    n,
-                    lazy,
-                    kind,
-                    sim_secs,
-                });
+                for due in [DueIndex::Wheel, DueIndex::Scan] {
+                    specs.push(SweepSpec {
+                        n,
+                        lazy,
+                        kind,
+                        due,
+                        sim_secs,
+                    });
+                }
             }
         }
     }
@@ -335,7 +394,7 @@ pub fn run_sweep_threads(threads: usize, specs: &[SweepSpec], reps: usize) -> Sw
         .collect();
     let t_sweep = std::time::Instant::now();
     let runs = alps_sweep::sweep_map_threads(threads, jobs, |s| {
-        run_point(s.n, s.lazy, s.kind, s.sim_secs)
+        run_point(s.n, s.lazy, s.kind, s.due, s.sim_secs)
     });
     let sweep_wall_seconds = t_sweep.elapsed().as_secs_f64();
     let serial_wall_estimate_seconds = runs.iter().map(|p| p.wall_seconds).sum();
@@ -371,20 +430,44 @@ mod tests {
             sweep_wall_seconds: 0.25,
             serial_wall_estimate_seconds: 1.0,
             parallel_speedup: 4.0,
-            points: vec![run_point(4, true, RunQueueKind::Indexed, 1)],
+            points: vec![run_point(
+                4,
+                true,
+                RunQueueKind::Indexed,
+                DueIndex::Wheel,
+                1,
+            )],
         };
         let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
         assert_eq!(report, back);
-        assert!(report.point(4, true, "indexed").is_some());
+        assert!(report.point(4, true, "indexed", "wheel").is_some());
+        assert!(report.point(4, true, "indexed", "scan").is_none());
     }
 
     #[test]
     fn sweep_specs_cover_the_grid_in_report_order() {
         let specs = sweep_specs(true);
-        assert_eq!(specs.len(), 2 * 2 * 2); // {10,100} × {lazy,eager} × {indexed,linear}
+        // {10,100} × {lazy,eager} × {indexed,linear} × {wheel,scan}
+        assert_eq!(specs.len(), 2 * 2 * 2 * 2);
         assert_eq!(specs[0].n, 10);
         assert!(specs[0].lazy && specs[0].kind == RunQueueKind::Indexed);
-        assert!(specs[1].lazy && specs[1].kind == RunQueueKind::Linear);
-        assert!(!specs[3].lazy && specs[3].kind == RunQueueKind::Linear);
+        assert_eq!(specs[0].due, DueIndex::Wheel);
+        assert_eq!(specs[1].due, DueIndex::Scan);
+        assert!(specs[2].lazy && specs[2].kind == RunQueueKind::Linear);
+        assert!(!specs[7].lazy && specs[7].kind == RunQueueKind::Linear);
+        assert_eq!(specs[7].due, DueIndex::Scan);
+    }
+
+    #[test]
+    fn point_reports_drive_quanta_and_overhead() {
+        let p = run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
+        // A 10 ms quantum over 2 simulated seconds services ~200 quanta.
+        assert!(
+            (150..=250).contains(&p.drive_quanta),
+            "drive_quanta {}",
+            p.drive_quanta
+        );
+        assert!(p.supervisor_ns_per_quantum_per_member > 0.0);
+        assert!(p.drive_fraction > 0.0 && p.drive_fraction <= 1.0);
     }
 }

@@ -4,21 +4,25 @@
 //! any thread count — parallelism may only move the wall-clock numbers.
 
 use alps_bench::scalability::{run_point, run_sweep_threads, SweepSpec};
+use alps_core::DueIndex;
 use kernsim::RunQueueKind;
 
-/// A small grid that still exercises both queue kinds and both ALPS
-/// variants (sim_secs kept tiny so the suite stays fast).
+/// A small grid that still exercises both queue kinds, both due indexes,
+/// and both ALPS variants (sim_secs kept tiny so the suite stays fast).
 fn tiny_grid() -> Vec<SweepSpec> {
     let mut specs = Vec::new();
     for n in [4usize, 16] {
         for lazy in [true, false] {
             for kind in [RunQueueKind::Indexed, RunQueueKind::Linear] {
-                specs.push(SweepSpec {
-                    n,
-                    lazy,
-                    kind,
-                    sim_secs: 1,
-                });
+                for due in [DueIndex::Wheel, DueIndex::Scan] {
+                    specs.push(SweepSpec {
+                        n,
+                        lazy,
+                        kind,
+                        due,
+                        sim_secs: 1,
+                    });
+                }
             }
         }
     }
@@ -42,9 +46,29 @@ fn sweep_results_identical_at_threads_1_and_8() {
 fn repetitions_share_one_sim_trajectory() {
     // Best-of-N only filters wall-clock noise: every repetition of a
     // point runs the exact same simulation.
-    let a = run_point(8, true, RunQueueKind::Indexed, 1);
-    let b = run_point(8, true, RunQueueKind::Indexed, 1);
+    let a = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1);
+    let b = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1);
     assert_eq!(a.sim_key(), b.sim_key());
+}
+
+#[test]
+fn wheel_and_scan_share_one_sim_trajectory() {
+    // The due index is a pure control-path data structure: wheel and
+    // scan points must drive byte-identical simulations (same events,
+    // context switches, and serviced quanta) — only wall clocks differ.
+    let wheel = run_point(16, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
+    let scan = run_point(16, true, RunQueueKind::Indexed, DueIndex::Scan, 2);
+    let strip = |p: &alps_bench::scalability::BenchPoint| {
+        (
+            p.n,
+            p.lazy,
+            p.sim_seconds,
+            p.events,
+            p.context_switches,
+            p.drive_quanta,
+        )
+    };
+    assert_eq!(strip(&wheel), strip(&scan));
 }
 
 #[test]

@@ -188,6 +188,12 @@ pub struct Process {
     pub priority: u8,
     /// Whole seconds spent continuously asleep (for `updatepri`).
     pub slptime: u32,
+    /// The `schedcpu` epoch at which this process was dropped from the
+    /// decay-active set (its first whole second asleep). The wakeup path
+    /// reconstructs the seconds `schedcpu` never counted as
+    /// `current_epoch - sleep_epoch`, so long sleepers cost nothing per
+    /// second while accruing the same `updatepri` credit.
+    pub sleep_epoch: u64,
     /// Total CPU time consumed (event-exact ground truth).
     pub cputime: Nanos,
     /// Tick-sampled CPU time (what classic statclock accounting would

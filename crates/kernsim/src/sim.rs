@@ -131,6 +131,10 @@ pub struct Sim {
     /// The process on each CPU (`running[cpu]`).
     running: Vec<Option<Pid>>,
     loadavg: f64,
+    /// Count of `schedcpu` passes performed; sleepers dropped from the
+    /// decay-active set stamp this into `Process::sleep_epoch` so wakeup
+    /// can reconstruct how many whole seconds they slept through.
+    schedcpu_epoch: u64,
     tick_count: u64,
     idle_time: Nanos,
     ctx_switches: u64,
@@ -167,6 +171,7 @@ impl Sim {
             stride_q: Vec::new(),
             running: vec![None; cfg.cpus],
             loadavg: 0.0,
+            schedcpu_epoch: 0,
             tick_count: 0,
             idle_time: Nanos::ZERO,
             ctx_switches: 0,
@@ -279,6 +284,7 @@ impl Sim {
             estcpu,
             priority: sched::user_priority(estcpu, nice),
             slptime: 0,
+            sleep_epoch: 0,
             cputime: Nanos::ZERO,
             burst_remaining: Some(Nanos::ZERO),
             dispatched_at: self.now,
@@ -619,43 +625,54 @@ impl Sim {
     fn handle_schedcpu(&mut self) {
         self.events
             .schedule(self.now + Nanos::SECOND, EventKind::SchedCpu);
+        self.schedcpu_epoch += 1;
+        let epoch = self.schedcpu_epoch;
         let nrun = self.runnable_count() + self.running.iter().flatten().count();
         self.loadavg = sched::loadavg_step(self.loadavg, nrun);
         let decay = sched::decay_factor(self.loadavg);
-        // Only live processes decay: the dead cost nothing, at any
-        // population. Membership is stable during the walk (nothing here
-        // exits), and with no deaths the live order is spawn order, so the
-        // linear and indexed queues requeue equal-priority processes
-        // identically.
-        for li in 0..self.procs.live_count() {
-            let pid = self.procs.live_at(li);
-            let (skip, was_runnable) = {
-                let p = &mut self.procs[pid];
-                match p.state {
-                    PState::Exited => continue, // unreachable: dead pids are not live
-                    PState::Sleeping { .. } | PState::Stopped { .. } => {
-                        p.slptime = p.slptime.saturating_add(1);
-                        // After one whole second asleep, estcpu decay is
-                        // deferred to updatepri at wakeup (as in BSD).
-                        (p.slptime > 1, false)
+        // Only decay-active processes are visited: the dead cost nothing,
+        // and a sleeper is touched exactly once — its first whole second
+        // asleep decays it, stamps `sleep_epoch`, and drops it from the
+        // set; `updatepri` at wakeup replays the seconds skipped. A pool
+        // of long-idle workers therefore costs O(runnable), not O(live),
+        // per second. Word-wise bitmap iteration visits pids in spawn
+        // order; membership is stable during the walk (nothing here
+        // exits, and the pass only clears bits it has copied out).
+        for wi in 0..self.procs.decay_words() {
+            let mut bits = self.procs.decay_word(wi);
+            while bits != 0 {
+                let pid = Pid(wi as u32 * 64 + bits.trailing_zeros());
+                bits &= bits - 1;
+                let (was_runnable, deactivate) = {
+                    let p = &mut self.procs[pid];
+                    match p.state {
+                        PState::Exited => continue, // unreachable: exit clears the bit
+                        PState::Sleeping { .. } | PState::Stopped { .. } => {
+                            // First whole second asleep: count it, decay
+                            // below, then defer to updatepri at wakeup
+                            // (as in BSD, which skips `slptime > 1`).
+                            p.slptime = p.slptime.saturating_add(1);
+                            p.sleep_epoch = epoch;
+                            (false, true)
+                        }
+                        PState::Runnable => (true, false),
+                        PState::Running => (false, false),
                     }
-                    PState::Runnable => (false, true),
-                    PState::Running => (false, false),
+                };
+                if deactivate {
+                    self.procs.set_decay_active(pid, false);
                 }
-            };
-            if skip {
-                continue;
-            }
-            let p = &mut self.procs[pid];
-            p.estcpu *= decay;
-            let new_prio = sched::user_priority(p.estcpu, p.nice);
-            if new_prio != p.priority {
-                p.priority = new_prio;
-                // Under stride the runnable set lives in stride_q and is
-                // ordered by pass, not priority — nothing to requeue.
-                if was_runnable && self.cfg.policy == KernelPolicy::DecayUsage {
-                    self.runq.remove(pid);
-                    self.runq.push(pid, new_prio);
+                let p = &mut self.procs[pid];
+                p.estcpu *= decay;
+                let new_prio = sched::user_priority(p.estcpu, p.nice);
+                if new_prio != p.priority {
+                    p.priority = new_prio;
+                    // Under stride the runnable set lives in stride_q and is
+                    // ordered by pass, not priority — nothing to requeue.
+                    if was_runnable && self.cfg.policy == KernelPolicy::DecayUsage {
+                        self.runq.remove(pid);
+                        self.runq.push(pid, new_prio);
+                    }
                 }
             }
         }
@@ -806,9 +823,20 @@ impl Sim {
     /// applying the retroactive sleep decay of `updatepri`.
     fn make_runnable(&mut self, pid: Pid) {
         let loadavg = self.loadavg;
+        let epoch = self.schedcpu_epoch;
+        // A sleeper is dropped from the decay-active set on its first
+        // whole second asleep; the `schedcpu` passes it slept through
+        // afterwards are reconstructed here from the epoch counter.
+        let missed = if self.procs.is_decay_active(pid) {
+            0
+        } else {
+            epoch - self.procs[pid].sleep_epoch
+        };
+        self.procs.set_decay_active(pid, true);
         let p = &mut self.procs[pid];
-        if p.slptime > 0 {
-            p.estcpu = sched::updatepri(p.estcpu, loadavg, p.slptime);
+        let slept = p.slptime.saturating_add(missed.min(u32::MAX as u64) as u32);
+        if slept > 0 {
+            p.estcpu = sched::updatepri(p.estcpu, loadavg, slept);
             p.slptime = 0;
         }
         p.priority = sched::user_priority(p.estcpu, p.nice);

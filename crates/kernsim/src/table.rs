@@ -21,6 +21,11 @@ pub struct ProcTable {
     live: Vec<Pid>,
     /// Per-pid position in `live`, or [`DEAD`].
     live_pos: Vec<u32>,
+    /// Pid-indexed bitmap of processes the once-per-second `schedcpu`
+    /// pass must visit: everything live except processes that have been
+    /// asleep for more than one whole second (their decay is deferred to
+    /// `updatepri` at wakeup, so `schedcpu` need not touch them at all).
+    decay_active: Vec<u64>,
 }
 
 impl ProcTable {
@@ -49,7 +54,12 @@ impl ProcTable {
         assert_eq!(p.pid, self.next_pid(), "pids are minted densely");
         self.live_pos.push(self.live.len() as u32);
         self.live.push(p.pid);
+        let idx = p.pid.index();
         self.slots.push(p);
+        if idx / 64 >= self.decay_active.len() {
+            self.decay_active.push(0);
+        }
+        self.decay_active[idx / 64] |= 1 << (idx % 64);
     }
 
     /// Shared access by pid; `None` for a pid this table never minted.
@@ -92,6 +102,39 @@ impl ProcTable {
             self.live_pos[moved.index()] = pos;
         }
         self.live_pos[i] = DEAD;
+        self.set_decay_active(pid, false);
+    }
+
+    /// Mark whether `schedcpu` must visit this process. O(1).
+    pub fn set_decay_active(&mut self, pid: Pid, active: bool) {
+        let i = pid.index();
+        let mask = 1u64 << (i % 64);
+        if active {
+            self.decay_active[i / 64] |= mask;
+        } else {
+            self.decay_active[i / 64] &= !mask;
+        }
+    }
+
+    /// Whether `schedcpu` currently visits this process.
+    pub fn is_decay_active(&self, pid: Pid) -> bool {
+        let i = pid.index();
+        self.decay_active
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of 64-bit words in the decay-active bitmap.
+    pub fn decay_words(&self) -> usize {
+        self.decay_active.len()
+    }
+
+    /// The `wi`-th word of the decay-active bitmap: bit `b` set means pid
+    /// `wi*64 + b` is decay-active. Callers copy the word and iterate its
+    /// set bits (`trailing_zeros` / `bits &= bits - 1`), so a pass that
+    /// deactivates processes as it goes stays sound.
+    pub fn decay_word(&self, wi: usize) -> u64 {
+        self.decay_active[wi]
     }
 
     /// Brute-force check of the live index against the slot states;
@@ -111,6 +154,15 @@ impl ProcTable {
             .filter(|p| self.live_pos[p.pid.index()] != DEAD)
             .count();
         assert_eq!(live_by_scan, self.live.len(), "duplicate live entries");
+        for p in &self.slots {
+            if self.is_decay_active(p.pid) {
+                assert!(
+                    self.live_pos[p.pid.index()] != DEAD,
+                    "{} decay-active but dead",
+                    p.pid
+                );
+            }
+        }
     }
 }
 
@@ -152,6 +204,7 @@ mod tests {
             estcpu: 0.0,
             priority: 50,
             slptime: 0,
+            sleep_epoch: 0,
             cputime: Nanos::ZERO,
             visible_cputime: Nanos::ZERO,
             tickets: 1,

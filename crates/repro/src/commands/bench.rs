@@ -5,7 +5,8 @@
 //! timings plus the indexed-over-linear wall-clock speedup for each
 //! `(N, lazy)` pair.
 
-use alps_bench::scalability::BenchReport;
+use alps_bench::scalability::{run_sweep, sweep_specs, BenchPoint, BenchReport};
+use alps_metrics::regression::linear_fit;
 
 use super::table::Table;
 use crate::output::{fmt, heading};
@@ -14,8 +15,9 @@ use crate::output::{fmt, heading};
 /// Override with the `ALPS_BENCH_REPORT` environment variable.
 pub const REPORT_PATH: &str = "BENCH_kernsim.json";
 
-/// Print the kernsim scalability report.
-pub fn bench() {
+/// Print the kernsim scalability report; with `check`, also run a fresh
+/// fast sweep and compare it against the committed report's trend.
+pub fn bench(check: bool) {
     let path = std::env::var("ALPS_BENCH_REPORT").unwrap_or_else(|_| REPORT_PATH.to_string());
     heading(&format!("kernsim scalability sweep ({path})"));
     let json = match std::fs::read_to_string(&path) {
@@ -50,11 +52,12 @@ pub fn bench() {
         report.serial_wall_estimate_seconds,
         report.parallel_speedup
     );
-    let table = Table::new(&[5, -5, -7, 6, 10, 10, 10, 12, 13, 9]);
+    let table = Table::new(&[5, -5, -7, -5, 6, 10, 10, 10, 12, 13, 9, 11, 7]);
     table.header(&[
         "N",
         "lazy",
         "queue",
+        "due",
         "sim-s",
         "reg(ms)",
         "drive(ms)",
@@ -62,12 +65,15 @@ pub fn bench() {
         "wall/sim-s",
         "events/s",
         "ctxsw",
+        "ns/q/member",
+        "drive%",
     ]);
     for p in &report.points {
         table.row(&[
             p.n.to_string(),
             p.lazy.to_string(),
             p.runqueue.clone(),
+            p.due_index.clone(),
             p.sim_seconds.to_string(),
             fmt(p.register_seconds * 1e3, 3),
             fmt(p.drive_seconds * 1e3, 3),
@@ -75,16 +81,99 @@ pub fn bench() {
             fmt(p.wall_per_sim_second, 6),
             fmt(p.events_per_wall_second, 0),
             p.context_switches.to_string(),
+            fmt(p.supervisor_ns_per_quantum_per_member, 1),
+            fmt(p.drive_fraction * 100.0, 1),
         ]);
     }
-    println!("\nindexed speedup over linear (whole-lifecycle wall clock):");
     let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
     ns.dedup();
-    for n in ns {
+    println!("\nindexed speedup over linear (whole-lifecycle wall clock):");
+    for n in &ns {
         for lazy in [true, false] {
-            if let Some(s) = report.speedup(n, lazy) {
-                println!("  N={n:<5} lazy={lazy:<5} {s:.2}x");
+            for due in ["wheel", "scan"] {
+                if let Some(s) = report.speedup(*n, lazy, due) {
+                    println!("  N={n:<5} lazy={lazy:<5} due={due:<5} {s:.2}x");
+                }
             }
         }
     }
+    println!("\nscan/wheel supervisor overhead on the indexed queue (ns per quantum per member):");
+    for n in &ns {
+        for lazy in [true, false] {
+            if let Some(r) = report.due_overhead_ratio(*n, lazy) {
+                println!("  N={n:<5} lazy={lazy:<5} {r:.2}x");
+            }
+        }
+    }
+
+    if check {
+        check_against_trend(&report, &path);
+    }
+}
+
+/// A checked metric of a [`BenchPoint`]: a name and an extractor.
+type CheckedMetric = (&'static str, fn(&BenchPoint) -> f64);
+
+const CHECKED_METRICS: [CheckedMetric; 2] = [
+    ("wall_per_sim_second", |p| p.wall_per_sim_second),
+    ("supervisor_ns_per_quantum_per_member", |p| {
+        p.supervisor_ns_per_quantum_per_member
+    }),
+];
+
+/// How far a fresh measurement may drift from the committed trend before
+/// a warning is emitted. Wall clocks vary wildly across hosts (CI
+/// machines, laptops, containers), so only order-of-magnitude drift —
+/// the kind an accidental O(N) regression on the control path produces —
+/// is flagged.
+const RATIO_TOLERANCE: f64 = 10.0;
+
+/// Run a fresh `--fast` sweep and compare each point against a linear
+/// fit (over N) of the committed report's same series (lazy × queue ×
+/// due index). Soft gate: warnings are printed as GitHub annotations,
+/// and the process always exits 0 — the committed numbers came from a
+/// different host than CI's, so this can only catch gross regressions.
+fn check_against_trend(committed: &BenchReport, path: &str) {
+    heading("bench --check: fresh fast sweep vs committed trend");
+    let outcome = run_sweep(&sweep_specs(true), 2);
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+    for fresh in &outcome.points {
+        for (metric, get) in CHECKED_METRICS {
+            let series: Vec<(f64, f64)> = committed
+                .points
+                .iter()
+                .filter(|p| {
+                    p.lazy == fresh.lazy
+                        && p.runqueue == fresh.runqueue
+                        && p.due_index == fresh.due_index
+                })
+                .map(|p| (p.n as f64, get(p)))
+                .collect();
+            let Some(fit) = linear_fit(&series) else {
+                continue; // fewer than two committed points in the series
+            };
+            let predicted = fit.at(fresh.n as f64);
+            if predicted <= 0.0 {
+                continue; // extrapolation fell below zero: nothing to judge
+            }
+            let measured = get(fresh);
+            let ratio = measured / predicted;
+            compared += 1;
+            let label = format!(
+                "N={} lazy={} {} {}: {metric} measured {measured:.6} vs trend {predicted:.6} ({ratio:.2}x)",
+                fresh.n, fresh.lazy, fresh.runqueue, fresh.due_index
+            );
+            if !(1.0 / RATIO_TOLERANCE..=RATIO_TOLERANCE).contains(&ratio) {
+                warnings += 1;
+                println!("::warning file={path}::{label}");
+            } else {
+                println!("  ok {label}");
+            }
+        }
+    }
+    println!(
+        "\nbench --check: {compared} comparisons, {warnings} outside {RATIO_TOLERANCE}x \
+         of the committed trend (soft gate; always exits 0)"
+    );
 }

@@ -18,7 +18,10 @@ fn usage() -> ! {
                       fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench latency verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
          --threads N: sweep worker threads (1 = serial; default ALPS_THREADS or all cores)\n\
-         --data <dir>: also write gnuplot-ready .dat files"
+         --data <dir>: also write gnuplot-ready .dat files\n\
+         --check: with `bench`, run a fresh fast sweep and flag points that\n\
+                  drifted more than 10x from the committed report's trend\n\
+                  (always exits 0; prints GitHub warning annotations)"
     );
     std::process::exit(2);
 }
@@ -27,6 +30,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let bench_check = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
     let data_dir = args.iter().position(|a| a == "--data").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("error: --data needs a directory");
@@ -111,7 +116,7 @@ fn main() {
             "smp" => commands::smp(),
             "baseline" => commands::baseline(&scale),
             "batch" => commands::batch(),
-            "bench" => commands::bench(),
+            "bench" => commands::bench(bench_check),
             "verify" => commands::verify(),
             "latency" => commands::latency(&scale),
             other => {
