@@ -86,6 +86,102 @@ fn run_mode_enforces_shares_end_to_end() {
 }
 
 #[test]
+fn trace_mode_emits_well_formed_events() {
+    let out = alps()
+        .args([
+            "run",
+            "-q",
+            "20",
+            "-d",
+            "2",
+            "-t",
+            "1:while :; do :; done",
+            "2:while :; do :; done",
+        ])
+        .output()
+        .expect("run alps");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+
+    // Quantum events: "[   <secs>] quantum #<n>: <due> due" — timestamped,
+    // numbered, and carrying a due count.
+    let quanta: Vec<&str> = err.lines().filter(|l| l.contains("quantum #")).collect();
+    assert!(quanta.len() >= 10, "expected many quantum events:\n{err}");
+    for l in &quanta {
+        assert!(l.starts_with('['), "{l}");
+        assert!(l.contains("] quantum #"), "{l}");
+        assert!(l.trim_end().ends_with("due"), "{l}");
+    }
+    // Quantum numbers are strictly increasing.
+    let numbers: Vec<u64> = quanta
+        .iter()
+        .map(|l| {
+            let after = &l[l.find('#').unwrap() + 1..];
+            after[..after.find(':').unwrap()].parse().unwrap()
+        })
+        .collect();
+    assert!(numbers.windows(2).all(|w| w[0] < w[1]), "{numbers:?}");
+
+    // Signal events name the member and the signal direction.
+    let signals: Vec<&str> = err.lines().filter(|l| l.contains("signal  ")).collect();
+    assert!(!signals.is_empty(), "{err}");
+    for l in &signals {
+        assert!(l.contains(": STOP") || l.contains(": CONT"), "{l}");
+    }
+
+    // Measurements report cpu in milliseconds; cycle completions are
+    // timestamped like quanta.
+    assert!(
+        err.lines()
+            .any(|l| l.contains("measure ") && l.contains("ms")),
+        "{err}"
+    );
+    assert!(
+        err.lines()
+            .any(|l| l.starts_with('[') && l.contains("cycle") && l.contains("complete")),
+        "{err}"
+    );
+    assert!(err.contains("alps: done"), "{err}");
+}
+
+#[test]
+fn bad_share_spec_exits_2_with_usage() {
+    for argv in [
+        vec!["run", "0:sleep 1", "1:sleep 1"],  // zero share
+        vec!["run", "nocolon", "1:sleep 1"],    // no colon
+        vec!["run", "x:sleep 1", "1:sleep 1"],  // non-numeric share
+        vec!["run", "1:sleep 1"],               // only one spec
+        vec!["run", "-q", "0", "1:a", "2:b"],   // zero quantum
+        vec!["run", "-q", "abc", "1:a", "2:b"], // bad quantum
+        vec!["run", "--quantum"],               // missing value
+        vec![],                                 // no subcommand
+    ] {
+        let out = alps().args(&argv).output().expect("run alps");
+        assert_eq!(out.status.code(), Some(2), "argv {argv:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "argv {argv:?}: {err}");
+        assert!(err.contains("USAGE"), "argv {argv:?}: {err}");
+    }
+}
+
+#[test]
+fn runtime_failure_exits_1_without_usage() {
+    // Both pids missing: parse succeeds, execution fails.
+    let out = alps()
+        .args(["attach", "-d", "1", "1:999999999", "1:999999998"])
+        .output()
+        .expect("run alps");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("USAGE"), "{err}");
+}
+
+#[test]
 fn attach_mode_rejects_missing_pid() {
     let out = alps()
         .args(["attach", "-d", "1", "1:999999999", "1:999999998"])

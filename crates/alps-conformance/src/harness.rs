@@ -1,0 +1,526 @@
+//! Differential drivers: oracle and production side by side.
+//!
+//! Each driver takes a configuration and a seed, generates a schedule
+//! ([`crate::schedule::generate`]), and applies every op to both
+//! implementations, asserting byte-identical externally visible state
+//! after each step: minted ids, due lists, transitions, signals, events,
+//! cycle records, aggregate counters, and per-process `f64` allowances
+//! compared by bit pattern. Any divergence panics with the seed, so a
+//! failure is replayable.
+
+use core::convert::Infallible;
+use std::collections::{BTreeMap, HashMap};
+
+use alps_core::{
+    AlpsConfig, AlpsScheduler, Engine, Instrumentation, Nanos, Observation, ProcId, RecordingSink,
+    Signal, Substrate,
+};
+
+use crate::engine::OracleEngine;
+use crate::oracle::OracleScheduler;
+use crate::schedule::{generate, Lcg, Op};
+
+/// What a differential run covered, so suites can assert the schedules
+/// actually reached the interesting regimes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Quanta driven.
+    pub quanta: u64,
+    /// Cycle boundaries crossed.
+    pub cycles: u64,
+    /// Eligibility transitions observed.
+    pub transitions: u64,
+    /// Peak live population.
+    pub peak_live: usize,
+}
+
+/// Drive one schedule against `AlpsScheduler` and [`OracleScheduler`],
+/// asserting lockstep equality after every op. Panics (with `seed` in the
+/// message) on any divergence.
+pub fn run_core_schedule(cfg: AlpsConfig, seed: u64, len: usize) -> DriveReport {
+    let mut prod = AlpsScheduler::new(cfg);
+    let mut oracle = OracleScheduler::new(cfg);
+    let mut workload = Lcg::new(seed ^ 0x00C0_FFEE);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut minted: Vec<ProcId> = Vec::new();
+    let mut cpu: HashMap<ProcId, Nanos> = HashMap::new();
+    let mut now = Nanos::ZERO;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    for op in generate(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let initial = workload.nanos_below(q);
+                let id = prod.add_process(share, initial);
+                let oid = oracle.add_process(share, initial);
+                assert_eq!(id, oid, "minted ids diverge (seed {seed})");
+                live.push(id);
+                minted.push(id);
+                cpu.insert(id, initial);
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                assert_eq!(
+                    prod.remove_process(id),
+                    oracle.remove_process(id),
+                    "remove diverges (seed {seed})"
+                );
+                // A second removal of the same id must be a stale no-op on
+                // both sides.
+                assert_eq!(prod.remove_process(id), None);
+                assert_eq!(oracle.remove_process(id), None);
+            }
+            Op::SetShare { victim, share } => {
+                // Mostly target live processes; sometimes a stale id, which
+                // must error identically.
+                let pool = if workload.chance(1, 5) {
+                    &minted
+                } else {
+                    &live
+                };
+                if pool.is_empty() {
+                    continue;
+                }
+                let id = pool[victim as usize % pool.len()];
+                assert_eq!(
+                    prod.set_share(id, share),
+                    oracle.set_share(id, share),
+                    "set_share diverges (seed {seed})"
+                );
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    now = now.saturating_add(q);
+                    let due = prod.begin_quantum();
+                    let due_o = oracle.begin_quantum();
+                    assert_eq!(due, due_o, "due lists diverge (seed {seed})");
+                    // Occasionally remove a due process between begin and
+                    // complete: its observation becomes stale and both
+                    // sides must skip it without charge.
+                    if !due.is_empty() && workload.chance(1, 8) {
+                        let id = due[workload.below(due.len() as u64) as usize];
+                        live.retain(|&x| x != id);
+                        assert_eq!(prod.remove_process(id), oracle.remove_process(id));
+                    }
+                    let obs: Vec<(ProcId, Observation)> = due
+                        .iter()
+                        .map(|&id| {
+                            let c = cpu.get_mut(&id).expect("due process has a cpu counter");
+                            *c = c.saturating_add(workload.nanos_below(Nanos(q.0 * 3 / 2)));
+                            let blocked = workload.chance(1, 6);
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: *c,
+                                    blocked,
+                                },
+                            )
+                        })
+                        .collect();
+                    let out = prod.complete_quantum(&obs, now);
+                    let out_o = oracle.complete_quantum(&obs, now);
+                    assert_eq!(
+                        out.transitions, out_o.transitions,
+                        "transitions diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        out.cycle_completed, out_o.cycle_completed,
+                        "cycle boundary diverges (seed {seed})"
+                    );
+                    assert_eq!(
+                        out.cycle_record, out_o.cycle_record,
+                        "cycle records diverge (seed {seed})"
+                    );
+                    report.quanta += 1;
+                    report.cycles += u64::from(out.cycle_completed);
+                    report.transitions += out.transitions.len() as u64;
+                }
+            }
+        }
+        check_core_state(&prod, &oracle, &minted, seed);
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
+}
+
+/// Assert every observable aggregate and per-process value matches,
+/// including `f64`s by bit pattern.
+fn check_core_state(prod: &AlpsScheduler, oracle: &OracleScheduler, minted: &[ProcId], seed: u64) {
+    assert_eq!(prod.len(), oracle.len(), "len diverges (seed {seed})");
+    assert_eq!(
+        prod.total_shares(),
+        oracle.total_shares(),
+        "total_shares diverges (seed {seed})"
+    );
+    assert_eq!(
+        prod.cycles_completed(),
+        oracle.cycles_completed(),
+        "cycles_completed diverges (seed {seed})"
+    );
+    assert_eq!(
+        prod.invocations(),
+        oracle.invocations(),
+        "invocations diverge (seed {seed})"
+    );
+    assert_eq!(
+        prod.cycle_time_remaining().to_bits(),
+        oracle.cycle_time_remaining().to_bits(),
+        "t_c diverges (seed {seed}): {} vs {}",
+        prod.cycle_time_remaining(),
+        oracle.cycle_time_remaining()
+    );
+    for &id in minted {
+        assert_eq!(
+            prod.share(id),
+            oracle.share(id),
+            "share diverges (seed {seed})"
+        );
+        assert_eq!(
+            prod.is_eligible(id),
+            oracle.is_eligible(id),
+            "eligibility diverges (seed {seed})"
+        );
+        assert_eq!(
+            prod.allowance(id).map(f64::to_bits),
+            oracle.allowance(id).map(f64::to_bits),
+            "allowance diverges for {id:?} (seed {seed}): {:?} vs {:?}",
+            prod.allowance(id),
+            oracle.allowance(id)
+        );
+    }
+}
+
+/// One mocked process in a [`MockSubstrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MockProc {
+    /// Cumulative CPU time.
+    pub cpu: Nanos,
+    /// Observed-blocked flag (§2.4 input).
+    pub blocked: bool,
+    /// Whether the process has exited (reads return `None`, deliveries
+    /// bounce).
+    pub gone: bool,
+    /// Whether the process is currently stopped (actuation state; the
+    /// workload model does not advance stopped processes).
+    pub stopped: bool,
+}
+
+/// A deterministic in-memory [`Substrate`] driven by the harness.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MockSubstrate {
+    /// The substrate clock.
+    pub now: Nanos,
+    /// Member state by pid.
+    pub procs: BTreeMap<u32, MockProc>,
+}
+
+impl Substrate for MockSubstrate {
+    type Member = u32;
+    type Error = Infallible;
+
+    fn now(&mut self) -> Nanos {
+        self.now
+    }
+
+    fn read(&mut self, member: u32) -> Result<Option<Observation>, Infallible> {
+        Ok(self.procs.get(&member).and_then(|p| {
+            (!p.gone).then_some(Observation {
+                total_cpu: p.cpu,
+                blocked: p.blocked,
+            })
+        }))
+    }
+
+    fn deliver(&mut self, member: u32, signal: Signal) -> Result<bool, Infallible> {
+        match self.procs.get_mut(&member) {
+            Some(p) if !p.gone => {
+                p.stopped = signal == Signal::Stop;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// Whether an engine schedule drives flat single-member principals (the
+/// per-process supervisor shape, auto-reap on) or multi-member principals
+/// with §5 membership refreshes (auto-reap off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One member per principal; exits are auto-reaped.
+    Flat,
+    /// 1–3 members per principal; membership reconciled by refresh ops.
+    Principals,
+}
+
+/// Drive one schedule against `alps_core::Engine` and [`OracleEngine`]
+/// over twin [`MockSubstrate`]s, asserting identical due lists,
+/// transitions, signals, event streams, stats, cycle logs, and substrate
+/// end states after every quantum.
+pub fn run_engine_schedule(
+    cfg: AlpsConfig,
+    instrumentation: Instrumentation,
+    mode: EngineMode,
+    seed: u64,
+    len: usize,
+) -> DriveReport {
+    let auto_reap = mode == EngineMode::Flat;
+    let mut prod: Engine<u32> = Engine::new(cfg, instrumentation).with_auto_reap(auto_reap);
+    let mut oracle: OracleEngine<u32> =
+        OracleEngine::new(cfg, instrumentation).with_auto_reap(auto_reap);
+    let mut sub_p = MockSubstrate::default();
+    let mut sub_o = MockSubstrate::default();
+    let mut sink_p = RecordingSink::new();
+    let mut sink_o = RecordingSink::new();
+    let mut workload = Lcg::new(seed ^ 0x0BAD_CAFE);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut minted: Vec<ProcId> = Vec::new();
+    let mut next_pid: u32 = 100;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    // Spawn a member process in both substrates (identically), initially
+    // stopped — the registration contract says the caller suspends it.
+    let mut spawn = |sub_p: &mut MockSubstrate, sub_o: &mut MockSubstrate, rng: &mut Lcg| {
+        let pid = next_pid;
+        next_pid += 1;
+        let proc = MockProc {
+            cpu: rng.nanos_below(q),
+            blocked: false,
+            gone: false,
+            stopped: true,
+        };
+        sub_p.procs.insert(pid, proc);
+        sub_o.procs.insert(pid, proc);
+        (pid, proc.cpu)
+    };
+
+    for op in generate(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 8 {
+                    continue;
+                }
+                let (pid, initial) = spawn(&mut sub_p, &mut sub_o, &mut workload);
+                let (id, oid) = match mode {
+                    EngineMode::Flat => (
+                        prod.add_member(pid, share, initial),
+                        oracle.add_member(pid, share, initial),
+                    ),
+                    EngineMode::Principals => {
+                        let id = prod.add_principal(share);
+                        let oid = oracle.add_principal(share);
+                        let mut members = vec![(pid, initial)];
+                        for _ in 0..workload.below(3) {
+                            let (extra, extra_cpu) = spawn(&mut sub_p, &mut sub_o, &mut workload);
+                            members.push((extra, extra_cpu));
+                        }
+                        let ch = prod.set_membership(id, &members);
+                        let ch_o = oracle.set_membership(oid, &members);
+                        assert_eq!(ch, ch_o, "membership change diverges (seed {seed})");
+                        (id, oid)
+                    }
+                };
+                assert_eq!(id, oid, "minted principal ids diverge (seed {seed})");
+                live.push(id);
+                minted.push(id);
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                let members = prod.remove_principal(id);
+                let members_o = oracle.remove_principal(id);
+                assert_eq!(members, members_o, "removed members diverge (seed {seed})");
+            }
+            Op::SetShare { victim, share } => {
+                let pool = if workload.chance(1, 5) {
+                    &minted
+                } else {
+                    &live
+                };
+                if pool.is_empty() {
+                    continue;
+                }
+                let id = pool[victim as usize % pool.len()];
+                assert_eq!(
+                    prod.set_share(id, share),
+                    oracle.set_share(id, share),
+                    "set_share diverges (seed {seed})"
+                );
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    // Occasionally arrive late (coalesced timer): both
+                    // engines must record the overrun.
+                    let advance = if workload.chance(1, 10) { q * 3 } else { q };
+                    sub_p.now = sub_p.now.saturating_add(advance);
+                    sub_o.now = sub_o.now.saturating_add(advance);
+
+                    // Advance the workload model identically in both
+                    // substrates: runnable processes burn CPU, some block,
+                    // and occasionally one exits.
+                    let decisions: Vec<(u32, Nanos, bool, bool)> = sub_p
+                        .procs
+                        .iter()
+                        .filter(|(_, p)| !p.gone)
+                        .map(|(&pid, p)| {
+                            let burn = if p.stopped {
+                                Nanos::ZERO
+                            } else {
+                                workload.nanos_below(Nanos(q.0 * 3 / 2))
+                            };
+                            let blocked = workload.chance(1, 6);
+                            let exits = workload.chance(1, 40);
+                            (pid, burn, blocked, exits)
+                        })
+                        .collect();
+                    for sub in [&mut sub_p, &mut sub_o] {
+                        for &(pid, burn, blocked, exits) in &decisions {
+                            let p = sub.procs.get_mut(&pid).expect("decided pid exists");
+                            p.cpu = p.cpu.saturating_add(burn);
+                            p.blocked = blocked;
+                            if exits {
+                                p.gone = true;
+                            }
+                        }
+                    }
+
+                    let n = prod.begin_quantum(&mut sub_p, &mut sink_p).unwrap();
+                    let n_o = oracle.begin_quantum(&mut sub_o, &mut sink_o).unwrap();
+                    assert_eq!(n, n_o, "due member counts diverge (seed {seed})");
+                    let due: Vec<(ProcId, Vec<u32>)> = prod
+                        .due()
+                        .iter()
+                        .map(|(id, ms)| (id, ms.to_vec()))
+                        .collect();
+                    assert_eq!(due, oracle.due(), "due lists diverge (seed {seed})");
+
+                    prod.complete_quantum(&mut sub_p, &mut sink_p).unwrap();
+                    oracle.complete_quantum(&mut sub_o, &mut sink_o).unwrap();
+                    assert_eq!(
+                        prod.last_transitions(),
+                        oracle.last_transitions(),
+                        "transitions diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        prod.pending_signals(),
+                        oracle.pending_signals(),
+                        "signals diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        prod.last_cycle_completed(),
+                        oracle.last_cycle_completed(),
+                        "cycle boundary diverges (seed {seed})"
+                    );
+                    report.quanta += 1;
+                    report.cycles += u64::from(prod.last_cycle_completed());
+                    report.transitions += prod.last_transitions().len() as u64;
+
+                    prod.apply_pending_signals(&mut sub_p, &mut sink_p).unwrap();
+                    oracle
+                        .apply_pending_signals(&mut sub_o, &mut sink_o)
+                        .unwrap();
+
+                    // Auto-reap may have removed principals; forget them.
+                    live.retain(|&id| prod.share(id).is_some());
+                }
+            }
+        }
+
+        // Membership refresh (principals mode): reconcile exits and churn
+        // a member in/out, identically on both engines.
+        if mode == EngineMode::Principals && !live.is_empty() && workload.chance(1, 6) {
+            let id = live[workload.below(live.len() as u64) as usize];
+            let members = prod.members(id).unwrap_or_default();
+            let mut current: Vec<(u32, Nanos)> = members
+                .iter()
+                .filter(|m| sub_p.procs.get(m).is_some_and(|p| !p.gone))
+                .map(|&m| (m, sub_p.procs[&m].cpu))
+                .collect();
+            if workload.chance(1, 2) {
+                let (pid, cpu) = spawn(&mut sub_p, &mut sub_o, &mut workload);
+                current.push((pid, cpu));
+            } else if current.len() > 1 {
+                let k = workload.below(current.len() as u64) as usize;
+                current.remove(k);
+            }
+            let ch = prod.set_membership(id, &current);
+            let ch_o = oracle.set_membership(id, &current);
+            assert_eq!(ch, ch_o, "refresh change diverges (seed {seed})");
+            if let Some(ch) = ch {
+                prod.apply_signals(&mut sub_p, &ch.signals, &mut sink_p)
+                    .unwrap();
+                oracle
+                    .apply_signals(&mut sub_o, &ch.signals, &mut sink_o)
+                    .unwrap();
+            }
+        }
+
+        check_engine_state(&prod, &oracle, &minted, seed);
+        assert_eq!(
+            sink_p.events, sink_o.events,
+            "event streams diverge (seed {seed})"
+        );
+        assert_eq!(sub_p, sub_o, "substrate end states diverge (seed {seed})");
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
+}
+
+fn check_engine_state(
+    prod: &Engine<u32>,
+    oracle: &OracleEngine<u32>,
+    minted: &[ProcId],
+    seed: u64,
+) {
+    assert_eq!(
+        prod.stats(),
+        oracle.stats(),
+        "EngineStats diverge (seed {seed})"
+    );
+    assert_eq!(
+        prod.cycles(),
+        oracle.cycles(),
+        "cycle logs diverge (seed {seed})"
+    );
+    assert_eq!(
+        prod.scheduler().cycle_time_remaining().to_bits(),
+        oracle.scheduler().cycle_time_remaining().to_bits(),
+        "t_c diverges (seed {seed})"
+    );
+    assert_eq!(
+        prod.cycles_completed(),
+        oracle.scheduler().cycles_completed()
+    );
+    for &id in minted {
+        assert_eq!(
+            prod.share(id),
+            oracle.share(id),
+            "share diverges (seed {seed})"
+        );
+        assert_eq!(
+            prod.is_eligible(id),
+            oracle.is_eligible(id),
+            "eligibility diverges (seed {seed})"
+        );
+        assert_eq!(
+            prod.allowance(id).map(f64::to_bits),
+            oracle.allowance(id).map(f64::to_bits),
+            "allowance diverges (seed {seed})"
+        );
+        assert_eq!(
+            prod.members(id),
+            oracle.members(id),
+            "member sets diverge (seed {seed})"
+        );
+    }
+}

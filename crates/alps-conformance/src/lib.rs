@@ -1,0 +1,49 @@
+//! # alps-conformance — a spec oracle for the ALPS algorithm
+//!
+//! PRs 2–4 layered heavy optimizations onto the Figure-3 algorithm: slot
+//! indexes, a deadline wheel, and an allocation-free quantum loop. Until
+//! now the only evidence they preserved semantics was pairwise lockstep
+//! testing between adjacent variants. This crate provides an *independent*
+//! reference: [`OracleScheduler`] is a deliberately naive transcription of
+//! Figure 3 — full O(N) scans every quantum, fresh allocations everywhere,
+//! no due index, no incremental counters — that performs the *arithmetic*
+//! of the spec in exactly the order the production scheduler does, so a
+//! differential harness can demand byte-identical results (f64 allowances
+//! compared by bit pattern, not by tolerance).
+//!
+//! Three layers:
+//!
+//! * [`OracleScheduler`] — flat Figure-3 oracle mirroring
+//!   `alps_core::AlpsScheduler`;
+//! * [`OraclePrincipalScheduler`] — naive §5 principal aggregation
+//!   mirroring `alps_core::PrincipalScheduler`;
+//! * [`OracleEngine`] — a naive replica of the generic engine loop
+//!   (overrun detection, reads, reaping, signals, cycle records,
+//!   [`alps_core::EngineStats`]) driven over the same
+//!   [`alps_core::Substrate`].
+//!
+//! [`harness`] generates randomized schedules (seeded, deterministic) and
+//! drives oracle and production side by side, asserting identical due
+//! lists, transitions, signals, events, cycle records, and stats after
+//! every step. The suites in `tests/` sweep the full configuration matrix
+//! — {wheel, scan} × {lazy, eager} × I/O policies × {flat, principals} —
+//! across well over a thousand generated schedules.
+//!
+//! The one non-naive concession: ids and emission order are part of the
+//! observable contract (transitions carry [`alps_core::ProcId`]s and are
+//! emitted in registration-scan order), so the oracle reproduces the
+//! production id-minting discipline — LIFO slot reuse with generation
+//! bumps and the occupied-list compaction rule — in the simplest possible
+//! form. Everything *per-quantum* is pure scan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod oracle;
+
+pub mod harness;
+pub mod schedule;
+
+pub use engine::OracleEngine;
+pub use oracle::{OraclePrincipalScheduler, OracleScheduler};

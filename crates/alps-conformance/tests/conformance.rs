@@ -1,0 +1,163 @@
+//! Differential conformance matrix: oracle vs production across
+//! {wheel, scan} x {lazy, eager} x I/O policies x {flat, principals},
+//! over well over a thousand generated schedules.
+//!
+//! Each schedule is seeded and deterministic; a failure message carries
+//! the seed, so any divergence replays exactly.
+
+use alps_conformance::harness::{run_core_schedule, run_engine_schedule, DriveReport, EngineMode};
+use alps_core::{AlpsConfig, DueIndex, Instrumentation, IoPolicy, Nanos};
+
+const QUANTUM: Nanos = Nanos(10_000_000);
+
+fn config(due: DueIndex, lazy: bool, io: IoPolicy) -> AlpsConfig {
+    AlpsConfig::default()
+        .with_quantum(QUANTUM)
+        .with_due_index(due)
+        .with_lazy_measurement(lazy)
+        .with_io_policy(io)
+        .with_cycle_log(true)
+}
+
+fn core_matrix() -> Vec<AlpsConfig> {
+    let mut out = Vec::new();
+    for due in [DueIndex::Wheel, DueIndex::Scan] {
+        for lazy in [true, false] {
+            for io in [
+                IoPolicy::OneQuantumPenalty,
+                IoPolicy::NoPenalty,
+                IoPolicy::ForfeitAllowance,
+            ] {
+                out.push(config(due, lazy, io));
+            }
+        }
+    }
+    out
+}
+
+/// The headline suite: 12 core configurations x 100 seeds = 1200
+/// fault-free schedules, every transition and cycle record byte-compared.
+#[test]
+fn core_scheduler_matches_oracle_across_matrix() {
+    let mut total = DriveReport::default();
+    let mut schedules = 0u64;
+    for (c, cfg) in core_matrix().into_iter().enumerate() {
+        for s in 0..100u64 {
+            let seed = (c as u64) << 32 | s;
+            let rep = run_core_schedule(cfg, seed, 60);
+            total.quanta += rep.quanta;
+            total.cycles += rep.cycles;
+            total.transitions += rep.transitions;
+            total.peak_live = total.peak_live.max(rep.peak_live);
+            schedules += 1;
+        }
+    }
+    // The acceptance bar: at least a thousand schedules, and the schedules
+    // actually exercised the interesting regimes (cycles complete,
+    // eligibility flips, populations grow).
+    assert!(schedules >= 1000, "only {schedules} schedules driven");
+    assert!(total.quanta > 50_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 1_000, "too few cycles: {}", total.cycles);
+    assert!(
+        total.transitions > 10_000,
+        "too few transitions: {}",
+        total.transitions
+    );
+    assert!(
+        total.peak_live >= 8,
+        "population never grew: {}",
+        total.peak_live
+    );
+}
+
+/// Engine-level differential: flat single-member principals with exact
+/// instrumentation and auto-reaping, over twin mock substrates.
+#[test]
+fn flat_engine_matches_oracle() {
+    let mut total = DriveReport::default();
+    for (c, cfg) in [
+        config(DueIndex::Wheel, true, IoPolicy::OneQuantumPenalty),
+        config(DueIndex::Scan, true, IoPolicy::OneQuantumPenalty),
+        config(DueIndex::Wheel, false, IoPolicy::NoPenalty),
+        config(DueIndex::Scan, false, IoPolicy::ForfeitAllowance),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for s in 0..50u64 {
+            let seed = 0xF1A7_0000_0000_0000 | (c as u64) << 32 | s;
+            let rep = run_engine_schedule(cfg, Instrumentation::Exact, EngineMode::Flat, seed, 50);
+            total.quanta += rep.quanta;
+            total.cycles += rep.cycles;
+            total.transitions += rep.transitions;
+        }
+    }
+    assert!(total.quanta > 10_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 200, "too few cycles: {}", total.cycles);
+    assert!(
+        total.transitions > 1_000,
+        "too few transitions: {}",
+        total.transitions
+    );
+}
+
+/// Engine-level differential: multi-member principals with measured
+/// instrumentation and membership churn.
+#[test]
+fn principal_engine_matches_oracle() {
+    let mut total = DriveReport::default();
+    for (c, cfg) in [
+        config(DueIndex::Wheel, true, IoPolicy::OneQuantumPenalty),
+        config(DueIndex::Scan, true, IoPolicy::OneQuantumPenalty),
+        config(DueIndex::Wheel, false, IoPolicy::ForfeitAllowance),
+        config(DueIndex::Scan, false, IoPolicy::NoPenalty),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for s in 0..50u64 {
+            let seed = 0x9E1A_0000_0000_0000 | (c as u64) << 32 | s;
+            let rep = run_engine_schedule(
+                cfg,
+                Instrumentation::Measured,
+                EngineMode::Principals,
+                seed,
+                50,
+            );
+            total.quanta += rep.quanta;
+            total.cycles += rep.cycles;
+            total.transitions += rep.transitions;
+        }
+    }
+    assert!(total.quanta > 10_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 200, "too few cycles: {}", total.cycles);
+    assert!(
+        total.transitions > 1_000,
+        "too few transitions: {}",
+        total.transitions
+    );
+}
+
+/// The same seed drives the same schedule to the same report — the whole
+/// suite is replayable from a failure message.
+#[test]
+fn differential_runs_are_deterministic() {
+    let cfg = config(DueIndex::Wheel, true, IoPolicy::OneQuantumPenalty);
+    assert_eq!(run_core_schedule(cfg, 7, 60), run_core_schedule(cfg, 7, 60));
+    assert_eq!(
+        run_engine_schedule(
+            cfg,
+            Instrumentation::Measured,
+            EngineMode::Principals,
+            7,
+            50
+        ),
+        run_engine_schedule(
+            cfg,
+            Instrumentation::Measured,
+            EngineMode::Principals,
+            7,
+            50
+        ),
+    );
+}

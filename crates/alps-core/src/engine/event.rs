@@ -64,6 +64,32 @@ pub enum Event<M> {
         /// The member that disappeared.
         member: M,
     },
+    /// A CPU-time read failed with a substrate error and was tolerated
+    /// (only under hardening; the member goes unmeasured this quantum).
+    ReadFault {
+        /// The member whose read failed.
+        member: M,
+    },
+    /// A signal delivery failed with a substrate error and was tolerated
+    /// (only under hardening; a backed-off retry is scheduled).
+    SignalFault {
+        /// The target member.
+        member: M,
+        /// What failed to send.
+        signal: Signal,
+    },
+    /// A previously failed delivery is being re-attempted after backoff.
+    SignalRetried {
+        /// The target member.
+        member: M,
+        /// What is being re-sent.
+        signal: Signal,
+    },
+    /// A member was quarantined out of scheduling after repeated faults.
+    Quarantined {
+        /// The member removed.
+        member: M,
+    },
 }
 
 /// A consumer of engine [`Event`]s.
@@ -161,6 +187,26 @@ impl<W: io::Write, M: fmt::Debug> EventSink<M> for TraceSink<W> {
             ),
             Event::MemberReaped { member } => {
                 format!("               reaped  {member:?}")
+            }
+            Event::ReadFault { member } => {
+                format!("               fault   {member:?}: read failed")
+            }
+            Event::SignalFault { member, signal } => {
+                let name = match signal {
+                    Signal::Stop => "STOP",
+                    Signal::Continue => "CONT",
+                };
+                format!("               fault   {member:?}: {name} failed")
+            }
+            Event::SignalRetried { member, signal } => {
+                let name = match signal {
+                    Signal::Stop => "STOP",
+                    Signal::Continue => "CONT",
+                };
+                format!("               retry   {member:?}: {name}")
+            }
+            Event::Quarantined { member } => {
+                format!("               quarantine {member:?}")
             }
         };
         let _ = writeln!(self.out, "{line}");

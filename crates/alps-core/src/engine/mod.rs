@@ -55,6 +55,18 @@ pub struct EngineStats {
     pub overruns: u64,
     /// Principals removed because their sole member exited.
     pub reaped: u64,
+    /// CPU-time reads that failed with a substrate error and were
+    /// tolerated (only under [`FaultPolicy::Harden`]).
+    pub read_faults: u64,
+    /// Signal deliveries that failed with a substrate error and were
+    /// tolerated (only under [`FaultPolicy::Harden`]).
+    pub signal_faults: u64,
+    /// Failed deliveries re-attempted after backoff.
+    pub retries: u64,
+    /// Periodic re-assertions of a member's intended run/stop state.
+    pub reasserted: u64,
+    /// Members quarantined out of scheduling after repeated faults.
+    pub quarantined: u64,
 }
 
 /// How the engine fills its per-cycle consumption log (§3.1).
@@ -70,6 +82,73 @@ pub enum Instrumentation {
     /// Keep the inner scheduler's log: consumption at measurement
     /// granularity, exactly what the algorithm itself saw.
     Measured,
+}
+
+/// How the engine responds to substrate faults — errors from CPU-time
+/// reads and signal deliveries.
+///
+/// A lost `SIGSTOP`, a transiently unreadable `/proc` entry, or a delivery
+/// race is routine on a real kernel; a supervisor that propagates every
+/// such error dies with its first hiccup. Hardening keeps the loop alive:
+/// faults are tallied ([`EngineStats::read_faults`],
+/// [`EngineStats::signal_faults`]), failed deliveries are retried with
+/// exponential backoff, intended run/stop states are periodically
+/// re-asserted (which also repairs *silently* lost signals), and a member
+/// that keeps faulting is quarantined out of scheduling so one broken
+/// process cannot wedge the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Return every substrate error to the caller. The default; fault-free
+    /// behavior is byte-identical to the engine before hardening existed.
+    #[default]
+    Propagate,
+    /// Tolerate faults and recover per the given knobs.
+    Harden(HardenConfig),
+}
+
+/// Recovery knobs for [`FaultPolicy::Harden`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardenConfig {
+    /// Consecutive faulting operations on one member before it is
+    /// quarantined (removed from scheduling). Strikes reset on any
+    /// successful read or delivery.
+    pub max_strikes: u32,
+    /// Re-deliver every member's intended stop/continue signal each time
+    /// this many quanta elapse (`0` disables). Signals are idempotent, so
+    /// re-assertion is safe and repairs deliveries that were reported
+    /// successful but silently lost.
+    pub reassert_every: u64,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        HardenConfig {
+            max_strikes: 3,
+            reassert_every: 16,
+        }
+    }
+}
+
+/// Per-member recovery state kept under [`FaultPolicy::Harden`].
+#[derive(Debug, Clone, Copy)]
+struct MemberHealth {
+    /// The stop/continue state the scheduler last asked this member to be
+    /// in — the reconciliation target.
+    desired: Option<Signal>,
+    /// Consecutive faulting operations.
+    strikes: u32,
+    /// Quantum count at which a failed delivery is retried (`0` = none).
+    retry_at: u64,
+}
+
+impl MemberHealth {
+    fn new() -> Self {
+        MemberHealth {
+            desired: None,
+            strikes: 0,
+            retry_at: 0,
+        }
+    }
 }
 
 /// Convenience alias: the engine type driven by a given substrate.
@@ -117,6 +196,10 @@ pub struct Engine<M: Copy + Ord + Hash + fmt::Debug> {
     record_cycles: bool,
     instrumentation: Instrumentation,
     auto_reap: bool,
+    fault_policy: FaultPolicy,
+    /// Per-member recovery state (populated only under
+    /// [`FaultPolicy::Harden`]).
+    health: HashMap<M, MemberHealth>,
     last_begin: Option<Nanos>,
     /// Scratch: the due list of the in-flight invocation.
     due: DueList<M>,
@@ -124,6 +207,8 @@ pub struct Engine<M: Copy + Ord + Hash + fmt::Debug> {
     readings: Vec<Option<Observation>>,
     /// Scratch: members found gone during the read phase.
     gone: Vec<(ProcId, M)>,
+    /// Scratch: members whose read faulted this quantum (hardening only).
+    faulted: Vec<M>,
     /// Outcome of the last completed invocation; its buffers are reused,
     /// so steady-state quanta allocate nothing.
     outcome: PrincipalOutcome<M>,
@@ -151,10 +236,13 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
             record_cycles,
             instrumentation,
             auto_reap: false,
+            fault_policy: FaultPolicy::Propagate,
+            health: HashMap::new(),
             last_begin: None,
             due: DueList::new(),
             readings: Vec::new(),
             gone: Vec::new(),
+            faulted: Vec::new(),
             outcome: PrincipalOutcome::default(),
         }
     }
@@ -166,6 +254,18 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
     pub fn with_auto_reap(mut self, on: bool) -> Self {
         self.auto_reap = on;
         self
+    }
+
+    /// Select how substrate faults are handled. Defaults to
+    /// [`FaultPolicy::Propagate`].
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// The active fault policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
     }
 
     // --- registration -----------------------------------------------------
@@ -263,6 +363,9 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         }
         self.last_begin = Some(now);
         self.stats.quanta += 1;
+        if let FaultPolicy::Harden(h) = self.fault_policy {
+            self.reconcile(sub, h, sink)?;
+        }
         self.sched.begin_quantum_into(&mut self.due);
         sink.on_event(&Event::QuantumStart {
             invocation: self.stats.quanta,
@@ -296,20 +399,39 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
     {
         self.readings.clear();
         self.gone.clear();
+        self.faulted.clear();
+        let hardened = matches!(self.fault_policy, FaultPolicy::Harden(_));
         for (id, members) in self.due.iter() {
             for &m in members {
-                match sub.read(m)? {
-                    Some(o) => {
+                match sub.read(m) {
+                    Ok(Some(o)) => {
                         self.stats.measurements += 1;
                         sink.on_event(&Event::Measured {
                             member: m,
                             cpu: o.total_cpu,
                             blocked: o.blocked,
                         });
+                        if hardened {
+                            if let Some(health) = self.health.get_mut(&m) {
+                                health.strikes = 0;
+                            }
+                        }
                         self.readings.push(Some(o));
                     }
-                    None => {
+                    Ok(None) => {
                         self.gone.push((id, m));
+                        self.readings.push(None);
+                    }
+                    Err(e) => {
+                        if !hardened {
+                            return Err(e);
+                        }
+                        // Tolerated: the member is skipped without charge
+                        // this quantum (like a missed measurement), NOT
+                        // reaped — it may be alive but briefly unreadable.
+                        self.stats.read_faults += 1;
+                        sink.on_event(&Event::ReadFault { member: m });
+                        self.faulted.push(m);
                         self.readings.push(None);
                     }
                 }
@@ -320,6 +442,14 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
             self.reap(id, m, sink);
         }
         self.gone = gone;
+        if let FaultPolicy::Harden(h) = self.fault_policy {
+            let mut faulted = std::mem::take(&mut self.faulted);
+            for &m in &faulted {
+                self.strike(m, h, sink);
+            }
+            faulted.clear();
+            self.faulted = faulted;
+        }
         let now = sub.now();
         self.sched
             .complete_quantum_into(&self.due, &self.readings, now, &mut self.outcome);
@@ -377,6 +507,14 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
                 MemberTransition::Resume(_) => Signal::Continue,
                 MemberTransition::Suspend(_) => Signal::Stop,
             };
+            if let FaultPolicy::Harden(h) = self.fault_policy {
+                self.health
+                    .entry(m)
+                    .or_insert_with(MemberHealth::new)
+                    .desired = Some(sig);
+                self.harden_deliver(sub, m, sig, h, sink)?;
+                continue;
+            }
             let delivered = sub.deliver(m, sig)?;
             self.stats.signals += 1;
             sink.on_event(&Event::SignalSent {
@@ -389,6 +527,139 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
                     self.reap(id, m, sink);
                 }
             }
+        }
+        Ok(())
+    }
+
+    // --- fault hardening --------------------------------------------------
+
+    /// Deliver one signal under [`FaultPolicy::Harden`]: success clears the
+    /// member's strikes, a bounce (member gone) follows the normal reap
+    /// path, and a substrate error is tolerated, counted, and scheduled for
+    /// a backed-off retry.
+    fn harden_deliver<S>(
+        &mut self,
+        sub: &mut S,
+        m: M,
+        sig: Signal,
+        h: HardenConfig,
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<(), S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        match sub.deliver(m, sig) {
+            Ok(delivered) => {
+                self.stats.signals += 1;
+                sink.on_event(&Event::SignalSent {
+                    member: m,
+                    signal: sig,
+                    delivered,
+                });
+                if delivered {
+                    if let Some(health) = self.health.get_mut(&m) {
+                        health.strikes = 0;
+                        health.retry_at = 0;
+                    }
+                } else {
+                    self.health.remove(&m);
+                    if let Some(&id) = self.member_index.get(&m) {
+                        self.reap(id, m, sink);
+                    }
+                }
+            }
+            Err(_) => {
+                self.stats.signal_faults += 1;
+                sink.on_event(&Event::SignalFault {
+                    member: m,
+                    signal: sig,
+                });
+                let health = self.health.entry(m).or_insert_with(MemberHealth::new);
+                health.desired = Some(sig);
+                // Exponential backoff in quanta: 1, 2, 4, ... capped at 32.
+                let backoff = 1u64 << health.strikes.min(5);
+                health.retry_at = self.stats.quanta + backoff;
+                self.strike(m, h, sink);
+            }
+        }
+        Ok(())
+    }
+
+    /// One fault against `m`; quarantines it once it reaches
+    /// [`HardenConfig::max_strikes`].
+    fn strike(&mut self, m: M, h: HardenConfig, sink: &mut dyn EventSink<M>) {
+        let health = self.health.entry(m).or_insert_with(MemberHealth::new);
+        health.strikes += 1;
+        if health.strikes >= h.max_strikes {
+            self.quarantine(m, sink);
+        }
+    }
+
+    /// Remove a persistently faulting member from scheduling: its sole-
+    /// member principal is torn down entirely; in a group, just the member
+    /// leaves (the backend's next refresh may re-admit it if it recovers).
+    fn quarantine(&mut self, m: M, sink: &mut dyn EventSink<M>) {
+        self.health.remove(&m);
+        let Some(&id) = self.member_index.get(&m) else {
+            return;
+        };
+        self.stats.quarantined += 1;
+        sink.on_event(&Event::Quarantined { member: m });
+        let members = self.sched.members(id);
+        if members.as_deref() == Some(&[m]) {
+            self.remove_principal(id);
+            return;
+        }
+        let kept: Vec<(M, Nanos)> = members
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&x| x != m)
+            // Kept members retain their stored readings; the reading here
+            // only seeds *new* members, of which there are none.
+            .map(|x| (x, Nanos::ZERO))
+            .collect();
+        // Reconciliation signals for the evicted member are deliberately
+        // dropped: it is faulting, and intent re-assertion covers the rest.
+        let _ = self.set_membership(id, &kept);
+    }
+
+    /// Start-of-quantum reconciliation under [`FaultPolicy::Harden`]:
+    /// re-attempt failed deliveries whose backoff expired, and periodically
+    /// re-assert every member's intended run/stop state (repairing signals
+    /// that were reported delivered but silently lost).
+    fn reconcile<S>(
+        &mut self,
+        sub: &mut S,
+        h: HardenConfig,
+        sink: &mut dyn EventSink<M>,
+    ) -> Result<(), S::Error>
+    where
+        S: Substrate<Member = M>,
+    {
+        let reassert = h.reassert_every > 0 && self.stats.quanta.is_multiple_of(h.reassert_every);
+        // Sorted so the recovery traffic is deterministic (HashMap order
+        // is not), which seeded fault-injection replays rely on.
+        let mut work: Vec<(M, Signal, bool)> = self
+            .health
+            .iter()
+            .filter_map(|(&m, health)| {
+                let sig = health.desired?;
+                let retry = health.retry_at != 0 && health.retry_at <= self.stats.quanta;
+                (retry || reassert).then_some((m, sig, retry))
+            })
+            .collect();
+        work.sort_unstable_by_key(|&(m, _, _)| m);
+        for (m, sig, retry) in work {
+            if retry {
+                self.stats.retries += 1;
+                sink.on_event(&Event::SignalRetried {
+                    member: m,
+                    signal: sig,
+                });
+            } else {
+                self.stats.reasserted += 1;
+            }
+            self.harden_deliver(sub, m, sig, h, sink)?;
         }
         Ok(())
     }
@@ -439,6 +710,7 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         if self.sched.members(id).as_deref() != Some(&[m]) {
             return;
         }
+        self.health.remove(&m);
         self.remove_principal(id);
         self.stats.reaped += 1;
         sink.on_event(&Event::MemberReaped { member: m });

@@ -96,8 +96,8 @@ pub mod prelude {
 pub use config::{AlpsConfig, DueIndex, IoPolicy};
 pub use cycle::{CycleEntry, CycleRecord};
 pub use engine::{
-    Engine, EngineFor, EngineStats, Event, EventSink, Instrumentation, NullSink, RecordingSink,
-    Signal, Substrate, TraceSink,
+    Engine, EngineFor, EngineStats, Event, EventSink, FaultPolicy, HardenConfig, Instrumentation,
+    NullSink, RecordingSink, Signal, Substrate, TraceSink,
 };
 pub use hierarchy::{NodeId, ShareTree};
 pub use principal::{

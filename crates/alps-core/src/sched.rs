@@ -46,6 +46,27 @@ impl ProcId {
     pub fn index(self) -> usize {
         self.idx as usize
     }
+
+    /// Slot-reuse generation; together with [`ProcId::index`] this is the
+    /// id's complete raw form.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Rebuild an id from its raw parts.
+    ///
+    /// Intended for checkpoint restore and for differential test oracles
+    /// (`alps-conformance`) that must mint exactly the ids the production
+    /// scheduler does. An id that was never issued is harmless: it fails
+    /// every stale-id check.
+    #[inline]
+    pub fn from_raw(index: u32, generation: u32) -> Self {
+        ProcId {
+            idx: index,
+            generation,
+        }
+    }
 }
 
 /// What a backend observed about one process at a measurement point.

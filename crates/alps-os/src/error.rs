@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use alps_core::ProcId;
+
 /// Errors from `/proc` reads, signals, and clocks.
 #[derive(Debug)]
 pub enum OsError {
@@ -23,6 +25,9 @@ pub enum OsError {
     },
     /// The target process no longer exists.
     NoSuchProcess(i32),
+    /// A scheduler handle that no longer refers to a live registration
+    /// (the process was removed or reaped earlier).
+    Stale(ProcId),
 }
 
 impl fmt::Display for OsError {
@@ -34,6 +39,7 @@ impl fmt::Display for OsError {
             }
             OsError::Sys { op, errno } => write!(f, "{op} failed: errno {errno}"),
             OsError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            OsError::Stale(id) => write!(f, "stale scheduler handle: {id:?}"),
         }
     }
 }

@@ -24,12 +24,15 @@
 //! use alps_os::{SpinnerPool, Supervisor};
 //! use std::time::Duration;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Give the second child 3x the CPU of the first.
-//! let pool = SpinnerPool::spawn(2).unwrap();
+//! let pool = SpinnerPool::spawn(2)?;
 //! let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(20)));
-//! sup.add_process(pool.pids()[0], 1).unwrap();
-//! sup.add_process(pool.pids()[1], 3).unwrap();
-//! sup.run_for(Duration::from_secs(10)).unwrap();
+//! sup.add_process(pool.pids()[0], 1)?;
+//! sup.add_process(pool.pids()[1], 3)?;
+//! sup.run_for(Duration::from_secs(10))?;
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]

@@ -81,7 +81,9 @@ pub fn parse_stat(pid: i32, contents: &str, ns_tick: u64) -> Result<ProcStat> {
     Ok(ProcStat {
         pid,
         state,
-        cpu_time: Nanos((utime + stime) * ns_tick),
+        // Saturate: adversarial stat lines can carry u64::MAX tick counts,
+        // which must clamp rather than overflow.
+        cpu_time: Nanos(utime.saturating_add(stime).saturating_mul(ns_tick)),
     })
 }
 

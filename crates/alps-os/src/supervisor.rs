@@ -14,20 +14,23 @@
 //! use alps_os::{Supervisor, SpinnerPool};
 //! use std::time::Duration;
 //!
-//! let pool = SpinnerPool::spawn(2).unwrap();
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pool = SpinnerPool::spawn(2)?;
 //! let cfg = AlpsConfig::new(Nanos::from_millis(20)).with_cycle_log(true);
 //! let mut sup = Supervisor::new(cfg);
-//! sup.add_process(pool.pids()[0], 1).unwrap();
-//! sup.add_process(pool.pids()[1], 3).unwrap();
-//! sup.run_for(Duration::from_secs(5)).unwrap();
+//! sup.add_process(pool.pids()[0], 1)?;
+//! sup.add_process(pool.pids()[1], 3)?;
+//! sup.run_for(Duration::from_secs(5))?;
 //! // pool.pids()[1] received ~3x the CPU of pool.pids()[0].
+//! # Ok(())
+//! # }
 //! ```
 
 use std::time::Duration;
 
 use alps_core::{
-    AlpsConfig, AlpsScheduler, CycleRecord, Engine, EngineStats, EventSink, Instrumentation, Nanos,
-    NullSink, ProcId, Transition,
+    AlpsConfig, AlpsScheduler, CycleRecord, Engine, EngineStats, EventSink, FaultPolicy,
+    HardenConfig, Instrumentation, Nanos, NullSink, ProcId, Transition,
 };
 
 use crate::clock;
@@ -52,6 +55,24 @@ impl Supervisor {
         Supervisor {
             // §3.1 instrumentation re-reads /proc at cycle boundaries.
             engine: Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true),
+            procs: Vec::new(),
+            sub: OsSubstrate::new(),
+            next_deadline: None,
+        }
+    }
+
+    /// Like [`Supervisor::new`], but the per-quantum loop tolerates
+    /// substrate faults instead of aborting on them: transient `/proc`
+    /// read failures are skipped, failed `kill(2)` deliveries are retried
+    /// with backoff, intended run/stop states are periodically
+    /// re-asserted, and a process that keeps faulting is quarantined out
+    /// of scheduling. Recovery activity is visible in
+    /// [`EngineStats`](Supervisor::stats) and on the event sink.
+    pub fn hardened(cfg: AlpsConfig, harden: HardenConfig) -> Self {
+        Supervisor {
+            engine: Engine::new(cfg, Instrumentation::Exact)
+                .with_auto_reap(true)
+                .with_fault_policy(FaultPolicy::Harden(harden)),
             procs: Vec::new(),
             sub: OsSubstrate::new(),
             next_deadline: None,
@@ -92,9 +113,16 @@ impl Supervisor {
     /// application's notion of the process's importance changes, as in the
     /// adaptive-mesh scenario of the paper's introduction).
     pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<()> {
-        self.engine
-            .set_share(id, share)
-            .map_err(|_| OsError::NoSuchProcess(self.pid_of(id).unwrap_or(-1)))
+        match self.engine.set_share(id, share) {
+            Ok(()) => Ok(()),
+            // If the pid table still knows the process, report the real
+            // pid; otherwise the handle itself is stale — never a made-up
+            // pid like the old `unwrap_or(-1)`.
+            Err(_) => Err(match self.pid_of(id) {
+                Some(pid) => OsError::NoSuchProcess(pid),
+                None => OsError::Stale(id),
+            }),
+        }
     }
 
     /// The kernel pid of a controlled process.
@@ -296,9 +324,34 @@ mod tests {
         let cb = (cpu_of(pids[1]) - base[1]).as_secs_f64();
         let ratio = ca / cb.max(1e-9);
         assert!((2.2..=7.0).contains(&ratio), "want ~4.0, got {ratio:.2}");
-        // Stale ids are rejected.
+        // Stale ids are rejected with the handle, not a fabricated pid.
         sup.remove_process(a).unwrap();
-        assert!(sup.set_share(a, 2).is_err());
+        match sup.set_share(a, 2) {
+            Err(OsError::Stale(stale)) => assert_eq!(stale, a),
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hardened_supervisor_survives_children_dying_mid_run() {
+        let pool = SpinnerPool::spawn(3).expect("spawn spinners");
+        let pids = pool.pids();
+        let mut sup = Supervisor::hardened(
+            AlpsConfig::new(Nanos::from_millis(10)),
+            alps_core::HardenConfig::default(),
+        );
+        for &pid in &pids {
+            sup.add_process(pid, 1).unwrap();
+        }
+        // Kill two children at different points; the loop must keep
+        // running and reap them without an error escaping.
+        signal::sigkill(pids[0]).unwrap();
+        sup.run_for(Duration::from_millis(300)).unwrap();
+        signal::sigkill(pids[2]).unwrap();
+        sup.run_for(Duration::from_millis(300)).unwrap();
+        assert_eq!(sup.processes().len(), 1);
+        assert!(sup.stats().reaped >= 2);
+        assert!(sup.stats().quanta > 20);
     }
 
     #[test]

@@ -45,4 +45,66 @@ proptest! {
             prop_assert_eq!(s.pid, 1);
         }
     }
+
+    /// Dropping whole fields from the tail (not just truncating bytes)
+    /// either parses with the fields intact or errors cleanly.
+    #[test]
+    fn missing_fields_fail_cleanly(keep in 0usize..25) {
+        let fields = ["R", "1", "2", "3", "4", "-5", "6", "7", "8", "9", "10",
+                      "11", "12", "0", "0", "20", "0", "1", "0", "0", "0", "0"];
+        let line = format!("7 (x) {}", fields[..keep.min(fields.len())].join(" "));
+        match parse_stat(7, &line, 10_000_000) {
+            // 13 post-comm fields (state through stime) are the minimum.
+            Ok(s) => {
+                prop_assert!(keep >= 13);
+                prop_assert_eq!(s.state, 'R');
+                prop_assert_eq!(s.cpu_time.as_nanos(), 23 * 10_000_000);
+            }
+            Err(_) => prop_assert!(keep < 13),
+        }
+    }
+
+    /// An adversarial comm full of `)`/`(`/spaces — a process really can
+    /// be named `) R 0 0 0` — must not shift the field anchor: the parse
+    /// keys on the *last* closing paren.
+    #[test]
+    fn hostile_comm_never_confuses_fields(
+        comm in "[() RSDZT0-9]{1,48}",
+        utime in 0u64..1_000_000,
+        stime in 0u64..1_000_000,
+    ) {
+        let line = format!(
+            "42 ({comm}) S 1 2 3 4 -5 6 7 8 9 10 {utime} {stime} 0 0 20 0 1 0 0 0 0"
+        );
+        let s = parse_stat(42, &line, 1_000_000).expect("comm is quoted by the last paren");
+        prop_assert_eq!(s.state, 'S');
+        prop_assert_eq!(s.cpu_time.as_nanos(), (utime + stime) * 1_000_000);
+    }
+
+    /// Huge tick counts (up to u64::MAX) saturate instead of overflowing —
+    /// a hostile or corrupt stat line must clamp, not panic.
+    #[test]
+    fn huge_values_saturate(
+        utime in prop::sample::select(vec![0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]),
+        stime in prop::sample::select(vec![0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]),
+        tick in prop::sample::select(vec![1u64, 10_000_000, u64::MAX]),
+    ) {
+        let line = format!(
+            "9 (big) R 1 2 3 4 -5 6 7 8 9 10 {utime} {stime} 0 0 20 0 1 0 0 0 0"
+        );
+        let s = parse_stat(9, &line, tick).expect("huge values still parse");
+        prop_assert_eq!(
+            s.cpu_time.as_nanos(),
+            utime.saturating_add(stime).saturating_mul(tick)
+        );
+    }
+
+    /// Arbitrary token soup after a valid comm never panics.
+    #[test]
+    fn post_comm_garbage_never_panics(
+        tokens in prop::collection::vec("[a-zA-Z0-9()+.-]{1,8}", 0..30),
+    ) {
+        let line = format!("3 (x) {}", tokens.join(" "));
+        let _ = parse_stat(3, &line, 10_000_000);
+    }
 }

@@ -42,11 +42,13 @@
 
 pub mod cost;
 pub mod experiments;
+pub mod fault;
 pub mod principal_runner;
 pub mod runner;
 pub mod substrate;
 
 pub use cost::CostModel;
+pub use fault::{Faulty, FaultySubstrate};
 pub use principal_runner::{spawn_alps_principals, MemberList, PrincipalAlpsHandle};
 pub use runner::{spawn_alps, AlpsHandle};
 pub use substrate::SimSubstrate;

@@ -1,0 +1,286 @@
+//! Deterministic fault injection against the hardened engine.
+//!
+//! These tests drive `alps_core::Engine` under `FaultPolicy::Harden` over
+//! a [`FaultySubstrate`] wrapping a deterministic in-memory substrate,
+//! with every fault class enabled: lost and delayed signals, failed and
+//! stale reads, mid-quantum exits, and tick jitter. The supervisor must
+//! survive all of it without panicking, the recovery machinery must leave
+//! visible fingerprints in `EngineStats`, and the whole run must replay
+//! exactly from its seeds.
+
+use std::collections::BTreeMap;
+
+use alps_core::{
+    AlpsConfig, Engine, EngineStats, FaultPolicy, HardenConfig, Instrumentation, Nanos, NullSink,
+    Observation, Signal, Substrate,
+};
+use alps_sim::fault::{Faulty, FaultySubstrate};
+use kernsim::{FaultPlan, FaultRates};
+
+const Q: Nanos = Nanos(10_000_000);
+
+/// A scripted substrate whose deliveries can also fail with a real error,
+/// so the wrapper's `Faulty::Inner` path and the engine's retry/quarantine
+/// machinery get exercised too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Mock {
+    now: Nanos,
+    procs: BTreeMap<u32, (Nanos, bool)>, // cpu, gone
+    /// Every `fail_every`-th delivery errors (0 = never).
+    fail_every: u64,
+    deliveries: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DeliverErr;
+
+impl Substrate for Mock {
+    type Member = u32;
+    type Error = DeliverErr;
+
+    fn now(&mut self) -> Nanos {
+        self.now
+    }
+
+    fn read(&mut self, m: u32) -> Result<Option<Observation>, DeliverErr> {
+        Ok(self.procs.get(&m).and_then(|&(cpu, gone)| {
+            (!gone).then_some(Observation {
+                total_cpu: cpu,
+                blocked: false,
+            })
+        }))
+    }
+
+    fn deliver(&mut self, m: u32, _signal: Signal) -> Result<bool, DeliverErr> {
+        self.deliveries += 1;
+        if self.fail_every != 0 && self.deliveries.is_multiple_of(self.fail_every) {
+            return Err(DeliverErr);
+        }
+        Ok(self.procs.get(&m).is_some_and(|&(_, gone)| !gone))
+    }
+}
+
+struct Run {
+    stats: EngineStats,
+    log: kernsim::FaultLog,
+    live: usize,
+}
+
+/// Drive `quanta` quanta of a 6-member workload through a hardened engine
+/// over a faulty substrate. Mid-quantum exits come from a second plan
+/// (the harness plays the kernel), everything else from the wrapper.
+fn drive(rates: FaultRates, seed: u64, quanta: u64, fail_every: u64) -> Run {
+    let cfg = AlpsConfig::default().with_quantum(Q);
+    let mut engine: Engine<u32> = Engine::new(cfg, Instrumentation::Measured)
+        .with_auto_reap(true)
+        .with_fault_policy(FaultPolicy::Harden(HardenConfig {
+            max_strikes: 3,
+            reassert_every: 8,
+        }));
+    let mut procs = BTreeMap::new();
+    for pid in 0..6u32 {
+        procs.insert(pid, (Nanos::ZERO, false));
+    }
+    let mut sub = FaultySubstrate::new(
+        Mock {
+            now: Nanos::ZERO,
+            procs,
+            fail_every,
+            deliveries: 0,
+        },
+        FaultPlan::seeded(seed, rates),
+    );
+    let mut exits = FaultPlan::seeded(seed ^ 0x5EED, rates);
+    let ids: Vec<_> = (0..6u32)
+        .map(|pid| engine.add_member(pid, u64::from(pid % 3) + 1, Nanos::ZERO))
+        .collect();
+    let mut sink = NullSink;
+
+    for _ in 0..quanta {
+        {
+            let mock = sub.inner_mut();
+            mock.now = mock.now.saturating_add(Q);
+            for (_, (cpu, gone)) in mock.procs.iter_mut() {
+                if !*gone {
+                    *cpu = cpu.saturating_add(Nanos(Q.0 / 2));
+                }
+            }
+        }
+        engine
+            .begin_quantum(&mut sub, &mut sink)
+            .expect("hardened begin must not propagate");
+        // Mid-quantum exit: the "kernel" (this harness) kills a process
+        // between the due scan and the reads, per the exit plan.
+        if exits.exit_mid_quantum() {
+            let mock = sub.inner_mut();
+            if let Some((_, (cpu, gone))) = mock.procs.iter_mut().find(|(_, (_, g))| !*g) {
+                let _ = cpu;
+                *gone = true;
+            }
+        }
+        engine
+            .complete_quantum(&mut sub, &mut sink)
+            .expect("hardened complete must not propagate");
+        engine
+            .apply_pending_signals(&mut sub, &mut sink)
+            .expect("hardened apply must not propagate");
+    }
+
+    let live = ids.iter().filter(|&&id| engine.share(id).is_some()).count();
+    Run {
+        stats: engine.stats(),
+        log: *sub.plan().log(),
+        live,
+    }
+}
+
+#[test]
+fn hardened_engine_survives_every_fault_class_at_once() {
+    let run = drive(FaultRates::chaotic(), 42, 600, 7);
+    // Every class actually fired...
+    assert!(run.log.lost_signals > 0, "no lost signals: {:?}", run.log);
+    assert!(
+        run.log.delayed_signals > 0,
+        "no delayed signals: {:?}",
+        run.log
+    );
+    assert!(run.log.failed_reads > 0, "no failed reads: {:?}", run.log);
+    assert!(run.log.stale_reads > 0, "no stale reads: {:?}", run.log);
+    assert!(run.log.jittered_ticks > 0, "no jitter: {:?}", run.log);
+    // ...the loop never died...
+    assert_eq!(run.stats.quanta, 600);
+    // ...and recovery left its fingerprints in the stats.
+    assert!(run.stats.read_faults > 0, "stats: {:?}", run.stats);
+    assert!(run.stats.signal_faults > 0, "stats: {:?}", run.stats);
+    assert!(run.stats.retries > 0, "stats: {:?}", run.stats);
+    assert!(run.stats.reasserted > 0, "stats: {:?}", run.stats);
+}
+
+#[test]
+fn each_fault_class_alone_is_survivable() {
+    let one = |f: fn(&mut FaultRates)| {
+        let mut r = FaultRates::none();
+        f(&mut r);
+        r
+    };
+    let classes: Vec<(&str, FaultRates)> = vec![
+        ("lose_signal", one(|r| r.lose_signal = 0.3)),
+        ("delay_signal", one(|r| r.delay_signal = 0.3)),
+        ("fail_read", one(|r| r.fail_read = 0.2)),
+        ("stale_read", one(|r| r.stale_read = 0.4)),
+        ("exit_mid_quantum", one(|r| r.exit_mid_quantum = 0.05)),
+        (
+            "tick_jitter",
+            one(|r| {
+                r.tick_jitter = 0.5;
+                r.max_jitter = Nanos::from_millis(25);
+            }),
+        ),
+    ];
+    for (name, rates) in classes {
+        let run = drive(rates, 7, 300, 0);
+        assert_eq!(run.stats.quanta, 300, "{name}: loop died");
+        if name == "exit_mid_quantum" {
+            assert!(run.live < 6, "{name}: nothing exited");
+            assert!(run.stats.reaped > 0, "{name}: exits not reaped");
+        }
+    }
+}
+
+#[test]
+fn persistent_delivery_failure_quarantines_the_member() {
+    // Every delivery errors: each signaled member strikes out quickly and
+    // must be quarantined rather than wedging the loop forever.
+    let run = drive(FaultRates::none(), 3, 400, 1);
+    assert_eq!(run.stats.quanta, 400);
+    assert!(run.stats.signal_faults > 0);
+    assert!(run.stats.quarantined > 0, "stats: {:?}", run.stats);
+    assert!(run.live < 6, "no member was ever quarantined out");
+}
+
+#[test]
+fn faulty_runs_replay_exactly_from_their_seed() {
+    let a = drive(FaultRates::chaotic(), 99, 500, 7);
+    let b = drive(FaultRates::chaotic(), 99, 500, 7);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.live, b.live);
+    let c = drive(FaultRates::chaotic(), 100, 500, 7);
+    assert!(
+        a.stats != c.stats || a.log != c.log,
+        "different seeds produced identical runs"
+    );
+}
+
+#[test]
+fn fault_free_wrapper_is_transparent() {
+    // With zero rates the wrapper must change nothing: the same schedule
+    // over the bare mock and over the wrapped mock gives identical stats.
+    let cfg = AlpsConfig::default().with_quantum(Q);
+    let build = || {
+        let mut procs = BTreeMap::new();
+        for pid in 0..4u32 {
+            procs.insert(pid, (Nanos::ZERO, false));
+        }
+        Mock {
+            now: Nanos::ZERO,
+            procs,
+            fail_every: 0,
+            deliveries: 0,
+        }
+    };
+    let drive_bare = |mut engine: Engine<u32>, mut sub: Mock| {
+        for pid in 0..4u32 {
+            engine.add_member(pid, 1 + u64::from(pid), Nanos::ZERO);
+        }
+        for _ in 0..200 {
+            sub.now = sub.now.saturating_add(Q);
+            for (_, (cpu, _)) in sub.procs.iter_mut() {
+                *cpu = cpu.saturating_add(Nanos(Q.0 / 3));
+            }
+            engine.run_quantum(&mut sub, &mut NullSink).unwrap();
+        }
+        (engine.stats(), sub)
+    };
+    let drive_wrapped = |mut engine: Engine<u32>, sub: Mock| {
+        let mut sub = FaultySubstrate::new(sub, FaultPlan::seeded(5, FaultRates::none()));
+        for pid in 0..4u32 {
+            engine.add_member(pid, 1 + u64::from(pid), Nanos::ZERO);
+        }
+        for _ in 0..200 {
+            let mock = sub.inner_mut();
+            mock.now = mock.now.saturating_add(Q);
+            for (_, (cpu, _)) in mock.procs.iter_mut() {
+                *cpu = cpu.saturating_add(Nanos(Q.0 / 3));
+            }
+            engine.run_quantum(&mut sub, &mut NullSink).unwrap();
+        }
+        assert_eq!(sub.plan().log().total(), 0);
+        (engine.stats(), sub.inner().clone())
+    };
+    let (s1, m1) = drive_bare(Engine::new(cfg, Instrumentation::Measured), build());
+    let (s2, m2) = drive_wrapped(Engine::new(cfg, Instrumentation::Measured), build());
+    assert_eq!(s1, s2);
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn injected_read_failure_is_distinguishable_from_inner_error() {
+    let mut sub = FaultySubstrate::new(
+        Mock {
+            now: Nanos::ZERO,
+            procs: BTreeMap::new(),
+            fail_every: 1,
+            deliveries: 0,
+        },
+        FaultPlan::seeded(
+            1,
+            FaultRates {
+                fail_read: 1.0,
+                ..FaultRates::none()
+            },
+        ),
+    );
+    assert_eq!(sub.read(0), Err(Faulty::Injected));
+    assert_eq!(sub.deliver(0, Signal::Stop), Err(Faulty::Inner(DeliverErr)));
+}

@@ -1,0 +1,282 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a seeded stream of injection decisions for the
+//! failure modes a user-level scheduler actually meets on a real kernel:
+//! lost or delayed `SIGSTOP`/`SIGCONT`, failed or stale CPU-time reads,
+//! processes exiting mid-quantum, and timer jitter. The plan itself does
+//! not inject anything — callers (the `alps-sim` substrate wrapper, test
+//! drivers) query it at each decision point and act on the answer. Because
+//! the decision stream is a pure function of the seed and the query
+//! sequence, and the drivers are themselves deterministic, every faulty
+//! run replays exactly from its [`FaultPlanSpec`].
+//!
+//! Each decision draws from an xoshiro256** generator seeded via
+//! SplitMix64 (the workspace `rand` stub), and every injected fault is
+//! tallied in a [`FaultLog`] so tests can assert that a fault class
+//! actually fired before claiming the supervisor survived it.
+
+use alps_core::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-decision injection probabilities. All rates are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// A stop/continue signal is silently dropped (the sender still sees
+    /// success — the classic lost-signal race).
+    pub lose_signal: f64,
+    /// A stop/continue signal is deferred until the next quantum boundary
+    /// instead of landing immediately.
+    pub delay_signal: f64,
+    /// A CPU-time read fails outright (`EPERM`/`ESRCH`-style).
+    pub fail_read: f64,
+    /// A CPU-time read returns the previous observation (stale `/proc`
+    /// page, tick-granular counter that has not advanced).
+    pub stale_read: f64,
+    /// A supervised process exits in the middle of a quantum.
+    pub exit_mid_quantum: f64,
+    /// The quantum timer fires late by up to [`FaultRates::max_jitter`].
+    pub tick_jitter: f64,
+    /// Upper bound on injected timer jitter.
+    pub max_jitter: Nanos,
+}
+
+impl FaultRates {
+    /// No faults at all — a plan with these rates is a transparent
+    /// pass-through, which fault-free differential tests rely on.
+    pub fn none() -> Self {
+        FaultRates {
+            lose_signal: 0.0,
+            delay_signal: 0.0,
+            fail_read: 0.0,
+            stale_read: 0.0,
+            exit_mid_quantum: 0.0,
+            tick_jitter: 0.0,
+            max_jitter: Nanos::ZERO,
+        }
+    }
+
+    /// Aggressive rates for survivability tests: every class fires often
+    /// enough that a few hundred quanta exercise all of them.
+    pub fn chaotic() -> Self {
+        FaultRates {
+            lose_signal: 0.10,
+            delay_signal: 0.10,
+            fail_read: 0.10,
+            stale_read: 0.15,
+            exit_mid_quantum: 0.02,
+            tick_jitter: 0.20,
+            max_jitter: Nanos::from_millis(30),
+        }
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::none()
+    }
+}
+
+/// The serializable identity of a plan: seed plus rates. Reconstructing a
+/// plan from its spec replays the identical decision stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanSpec {
+    /// Seed for the decision generator.
+    pub seed: u64,
+    /// Injection probabilities.
+    pub rates: FaultRates,
+}
+
+/// Counts of every fault actually injected, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Signals silently dropped.
+    pub lost_signals: u64,
+    /// Signals deferred to the next boundary.
+    pub delayed_signals: u64,
+    /// Reads that failed outright.
+    pub failed_reads: u64,
+    /// Reads answered with stale data.
+    pub stale_reads: u64,
+    /// Mid-quantum exits triggered.
+    pub mid_quantum_exits: u64,
+    /// Timer fires jittered.
+    pub jittered_ticks: u64,
+}
+
+impl FaultLog {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.lost_signals
+            + self.delayed_signals
+            + self.failed_reads
+            + self.stale_reads
+            + self.mid_quantum_exits
+            + self.jittered_ticks
+    }
+}
+
+/// A seeded, replayable stream of fault decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultPlanSpec,
+    rng: SmallRng,
+    log: FaultLog,
+}
+
+impl FaultPlan {
+    /// Build a plan from its serializable spec.
+    pub fn new(spec: FaultPlanSpec) -> Self {
+        FaultPlan {
+            spec,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Shorthand for [`FaultPlan::new`] with explicit parts.
+    pub fn seeded(seed: u64, rates: FaultRates) -> Self {
+        FaultPlan::new(FaultPlanSpec { seed, rates })
+    }
+
+    /// The spec this plan was built from (save it to replay the run).
+    pub fn spec(&self) -> FaultPlanSpec {
+        self.spec
+    }
+
+    /// What has been injected so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    fn roll(&mut self, p: f64, count: impl FnOnce(&mut FaultLog) -> &mut u64) -> bool {
+        // Always draw, even at rate zero, so enabling one class does not
+        // shift the decision stream of the others.
+        let hit = self.rng.gen_bool(p);
+        if hit {
+            *count(&mut self.log) += 1;
+        }
+        hit
+    }
+
+    /// Should this signal delivery be silently dropped?
+    pub fn lose_signal(&mut self) -> bool {
+        let p = self.spec.rates.lose_signal;
+        self.roll(p, |l| &mut l.lost_signals)
+    }
+
+    /// Should this signal delivery be deferred to the next boundary?
+    pub fn delay_signal(&mut self) -> bool {
+        let p = self.spec.rates.delay_signal;
+        self.roll(p, |l| &mut l.delayed_signals)
+    }
+
+    /// Should this CPU-time read fail?
+    pub fn fail_read(&mut self) -> bool {
+        let p = self.spec.rates.fail_read;
+        self.roll(p, |l| &mut l.failed_reads)
+    }
+
+    /// Should this CPU-time read return stale data?
+    pub fn stale_read(&mut self) -> bool {
+        let p = self.spec.rates.stale_read;
+        self.roll(p, |l| &mut l.stale_reads)
+    }
+
+    /// Should this process exit mid-quantum?
+    pub fn exit_mid_quantum(&mut self) -> bool {
+        let p = self.spec.rates.exit_mid_quantum;
+        self.roll(p, |l| &mut l.mid_quantum_exits)
+    }
+
+    /// How late the current timer fire lands ([`Nanos::ZERO`] when the
+    /// tick is on time).
+    pub fn tick_jitter(&mut self) -> Nanos {
+        let p = self.spec.rates.tick_jitter;
+        let max = self.spec.rates.max_jitter;
+        if self.roll(p, |l| &mut l.jittered_ticks) && max > Nanos::ZERO {
+            Nanos(self.rng.gen_range(1..=max.0))
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &mut FaultPlan, n: usize) -> Vec<(bool, bool, bool, bool, bool, Nanos)> {
+        (0..n)
+            .map(|_| {
+                (
+                    plan.lose_signal(),
+                    plan.delay_signal(),
+                    plan.fail_read(),
+                    plan.stale_read(),
+                    plan.exit_mid_quantum(),
+                    plan.tick_jitter(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let spec = FaultPlanSpec {
+            seed: 42,
+            rates: FaultRates::chaotic(),
+        };
+        let mut a = FaultPlan::new(spec);
+        let mut b = FaultPlan::new(spec);
+        assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
+        assert_eq!(a.log(), b.log());
+        assert!(a.log().total() > 0, "chaotic rates never fired");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let rates = FaultRates::chaotic();
+        let mut a = FaultPlan::seeded(1, rates);
+        let mut b = FaultPlan::seeded(2, rates);
+        assert_ne!(drain(&mut a, 500), drain(&mut b, 500));
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut plan = FaultPlan::seeded(7, FaultRates::none());
+        for row in drain(&mut plan, 200) {
+            assert_eq!(row, (false, false, false, false, false, Nanos::ZERO));
+        }
+        assert_eq!(plan.log().total(), 0);
+    }
+
+    #[test]
+    fn every_chaotic_class_fires() {
+        let mut plan = FaultPlan::seeded(9, FaultRates::chaotic());
+        drain(&mut plan, 2000);
+        let log = *plan.log();
+        assert!(log.lost_signals > 0);
+        assert!(log.delayed_signals > 0);
+        assert!(log.failed_reads > 0);
+        assert!(log.stale_reads > 0);
+        assert!(log.mid_quantum_exits > 0);
+        assert!(log.jittered_ticks > 0);
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let spec = FaultPlanSpec {
+            seed: 0xDEAD_BEEF,
+            rates: FaultRates::chaotic(),
+        };
+        let v = serde::Serialize::to_value(&spec);
+        let back = <FaultPlanSpec as serde::Deserialize>::from_value(&v).expect("round trip");
+        assert_eq!(spec, back);
+        // A rebuilt plan replays the same stream.
+        let mut a = FaultPlan::new(spec);
+        let mut b = FaultPlan::new(back);
+        assert_eq!(drain(&mut a, 100), drain(&mut b, 100));
+    }
+}

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod pid;
 pub mod process;
 pub mod sched;
@@ -68,6 +69,7 @@ pub mod sim;
 pub mod table;
 pub mod trace;
 
+pub use fault::{FaultLog, FaultPlan, FaultPlanSpec, FaultRates};
 pub use pid::Pid;
 pub use process::{Behavior, ComputeBound, ComputeThenSleep, PState, ProcView, Step};
 pub use sched::RunQueueKind;

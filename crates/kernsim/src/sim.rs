@@ -1036,6 +1036,13 @@ impl<'a> SimCtl<'a> {
         self.sim.sigcont(pid);
     }
 
+    /// Terminate another process immediately (`SIGKILL`-style), as fault
+    /// plans do to model a supervised process exiting mid-quantum.
+    pub fn terminate(&mut self, pid: Pid) {
+        assert_ne!(pid, self.me, "a behavior cannot terminate itself mid-step");
+        self.sim.terminate(pid);
+    }
+
     /// Arm (or re-arm) the calling process's interval timer with the given
     /// period; the first fire is one period from now.
     pub fn set_interval_timer(&mut self, period: Nanos) {
@@ -1091,6 +1098,47 @@ mod tests {
         let p = s.spawn("w", Box::new(ComputeBound));
         assert!(s.proc(p).is_some());
         assert!(s.proc(Pid(42)).is_none());
+    }
+
+    #[test]
+    fn ctl_terminate_kills_another_process_mid_run() {
+        use crate::process::{Behavior, Step};
+
+        /// Computes briefly, then terminates its victim (the fault-plan
+        /// "mid-quantum exit" actuation path), then exits.
+        struct Terminator {
+            victim: Pid,
+            fired: bool,
+        }
+
+        impl Behavior for Terminator {
+            fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+                if !self.fired {
+                    self.fired = true;
+                    ctl.terminate(self.victim);
+                    return Step::Compute(Nanos::from_millis(5));
+                }
+                Step::Exit
+            }
+        }
+
+        let mut s = sim();
+        let victim = s.spawn("victim", Box::new(ComputeBound));
+        let killer = s.spawn(
+            "killer",
+            Box::new(Terminator {
+                victim,
+                fired: false,
+            }),
+        );
+        s.run_until(Nanos::from_secs(2));
+        assert!(s.proc(victim).expect("still visible").is_exited());
+        assert!(s.proc(killer).expect("still visible").is_exited());
+        // The victim died early: it cannot have accrued anywhere near the
+        // full two seconds.
+        assert!(cputime(&s, victim) < Nanos::from_secs(1));
+        // With both gone the machine is idle for the remainder.
+        assert!(s.idle_time() > Nanos::from_secs(1));
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! `sample::select`, `Just`, `prop_oneof!`, and `prop_map`.
 //!
 //! Cases are generated from a deterministic per-case seed; there is no
-//! shrinking — a failing case panics with the proptest-style message.
+//! shrinking — a failing case panics with the proptest-style message
+//! (including the seed). `PROPTEST_CASES` overrides the configured case
+//! count, and `cc <hex>` entries in a sibling `.proptest-regressions`
+//! file are replayed before the random sweep (the 64-digit hex seed is
+//! folded to this runner's u64 seed space).
 
 use std::ops::{Range, RangeInclusive};
 
@@ -511,17 +515,30 @@ pub mod sample {
 /// The test-case driver behind the `proptest!` macro.
 pub mod runner {
     use super::{ProptestConfig, TestCaseError, TestRng};
+    use std::path::{Path, PathBuf};
 
-    /// Run `f` until `cfg.cases` successful cases (or panic on failure).
+    /// The case count actually in effect: `PROPTEST_CASES` overrides the
+    /// per-suite configuration, so CI can run long soaks without touching
+    /// source. Unparseable values fall back to the configured count.
+    fn effective_cases(cfg: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(cfg.cases)
+    }
+
+    /// Run `f` until the configured number of successful cases (or panic
+    /// on failure).
     pub fn run<F: FnMut(&mut TestRng) -> Result<(), TestCaseError>>(
         cfg: &ProptestConfig,
         mut f: F,
     ) {
+        let cases = effective_cases(cfg);
         let mut ok = 0u32;
         let mut rejects = 0u32;
-        let max_rejects = cfg.cases.saturating_mul(16).max(1024);
+        let max_rejects = cases.saturating_mul(16).max(1024);
         let mut case = 0u64;
-        while ok < cfg.cases {
+        while ok < cases {
             let mut rng = TestRng::new(case);
             case += 1;
             match f(&mut rng) {
@@ -533,9 +550,109 @@ pub mod runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!("proptest case failed (case #{case}): {msg}");
+                    panic!(
+                        "proptest case failed (case #{case}, seed {seed:#018x}): {msg}",
+                        seed = case - 1
+                    );
                 }
             }
+        }
+    }
+
+    /// Fold one `cc <hex>` token (real-proptest records a 256-bit seed as
+    /// 64 hex digits) down to the u64 seed space this runner draws from:
+    /// rotate-xor four bits at a time, so every digit contributes and a
+    /// plain 16-digit seed folds to itself.
+    fn fold_hex_seed(token: &str) -> Option<u64> {
+        let mut acc = 0u64;
+        let mut digits = 0u32;
+        for c in token.chars() {
+            let d = c.to_digit(16)?;
+            acc = acc.rotate_left(4) ^ u64::from(d);
+            digits += 1;
+        }
+        (digits > 0).then_some(acc)
+    }
+
+    /// Locate `<source minus .rs>.proptest-regressions`. `file!()` paths
+    /// are workspace-relative while test binaries run from the package
+    /// root, so try the path as given and every suffix of it against both
+    /// the working directory and `CARGO_MANIFEST_DIR`.
+    fn regression_file(source_file: &str) -> Option<PathBuf> {
+        let base = source_file.strip_suffix(".rs").unwrap_or(source_file);
+        let rel = PathBuf::from(format!("{base}.proptest-regressions"));
+        if rel.is_file() {
+            return Some(rel);
+        }
+        let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let comps: Vec<_> = rel.components().collect();
+        for skip in 0..comps.len() {
+            let tail: PathBuf = comps[skip..].iter().collect();
+            let cand = Path::new(&manifest_dir).join(tail);
+            if cand.is_file() {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Seeds recorded for this suite, in file order. Lines other than
+    /// `cc <hex> ...` (comments, blanks) are ignored, like real proptest.
+    fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let Some(path) = regression_file(source_file) else {
+            return Vec::new();
+        };
+        let Ok(contents) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        contents
+            .lines()
+            .filter_map(|line| {
+                let mut words = line.split_whitespace();
+                (words.next() == Some("cc"))
+                    .then(|| words.next())
+                    .flatten()
+                    .and_then(fold_hex_seed)
+            })
+            .collect()
+    }
+
+    /// Like [`run`], but first replays every seed recorded in the suite's
+    /// `.proptest-regressions` file (located from `source_file`, normally
+    /// `file!()`). Replayed rejections are skipped; failures panic with
+    /// the offending seed so the record stays actionable.
+    pub fn run_with_source<F: FnMut(&mut TestRng) -> Result<(), TestCaseError>>(
+        cfg: &ProptestConfig,
+        source_file: &str,
+        mut f: F,
+    ) {
+        for seed in regression_seeds(source_file) {
+            let mut rng = TestRng::new(seed);
+            if let Err(TestCaseError::Fail(msg)) = f(&mut rng) {
+                panic!("proptest regression failed (seed {seed:#018x}): {msg}");
+            }
+        }
+        run(cfg, f);
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn plain_seed_folds_to_itself() {
+            assert_eq!(super::fold_hex_seed("00000000deadbeef"), Some(0xdeadbeef));
+        }
+
+        #[test]
+        fn non_hex_is_rejected() {
+            assert_eq!(super::fold_hex_seed("shrinks"), None);
+            assert_eq!(super::fold_hex_seed(""), None);
+        }
+
+        #[test]
+        fn full_width_token_folds_every_digit() {
+            let a = super::fold_hex_seed(&"ab".repeat(32)).unwrap();
+            let b = super::fold_hex_seed(&format!("{}{}", "ab".repeat(31), "ac")).unwrap();
+            assert_ne!(a, b);
         }
     }
 }
@@ -630,7 +747,7 @@ macro_rules! __proptest_impl {
         #[test]
         fn $name() {
             let __cfg = $cfg;
-            $crate::runner::run(&__cfg, |__rng| {
+            $crate::runner::run_with_source(&__cfg, file!(), |__rng| {
                 $(let $pat = $crate::Strategy::sample(&$strat, __rng);)+
                 let __out: $crate::TestCaseResult = (|| {
                     $body
