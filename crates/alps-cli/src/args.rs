@@ -16,6 +16,11 @@ OPTIONS:
     -q, --quantum <ms>     ALPS quantum in milliseconds [default: 20]
     -d, --duration <s>     stop after this many seconds [default: forever]
     -r, --refresh <s>      membership refresh period for `user` [default: 1]
+    -c, --cpus <n>         CPUs of the governed machine [default: 1];
+                           recorded in the config and cycle reports — the
+                           algorithm itself enforces shares on *merged*
+                           per-member CPU totals, so it needs no per-CPU
+                           arithmetic on any machine size
     -v, --verbose          print a status line at each completed cycle
     -t, --trace            trace every engine event to stderr
     -h, --help             show this help
@@ -58,6 +63,9 @@ pub struct Opts {
     pub duration_s: Option<u64>,
     /// Membership refresh period (user mode).
     pub refresh_s: u64,
+    /// CPUs of the governed machine (config annotation; the scheduler
+    /// works on merged totals regardless).
+    pub cpus: usize,
     /// Per-cycle status output.
     pub verbose: bool,
     /// Per-event engine trace on stderr.
@@ -115,6 +123,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
         quantum_ms: 20,
         duration_s: None,
         refresh_s: 1,
+        cpus: 1,
         verbose: false,
         trace: false,
         specs: Vec::new(),
@@ -150,6 +159,15 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
                     .map_err(|_| ParseError(format!("bad refresh {v:?}")))?;
                 if opts.refresh_s == 0 {
                     return err("refresh must be positive");
+                }
+            }
+            "-c" | "--cpus" => {
+                let v = it.next().ok_or(ParseError("--cpus needs a value".into()))?;
+                opts.cpus = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad cpu count {v:?}")))?;
+                if opts.cpus == 0 {
+                    return err("cpu count must be positive");
                 }
             }
             "-v" | "--verbose" => opts.verbose = true,
@@ -218,6 +236,19 @@ mod tests {
             panic!()
         };
         assert!(!o.trace);
+    }
+
+    #[test]
+    fn parses_cpus_flag() {
+        let Cmd::Run(o) = parse(&v(&["run", "--cpus", "4", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.cpus, 4);
+        let Cmd::Run(o) = parse(&v(&["run", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.cpus, 1, "the paper's one-CPU machine is the default");
+        assert!(parse(&v(&["run", "-c", "0", "1:a", "1:b"])).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use alps_core::{
 
 use crate::engine::OracleEngine;
 use crate::oracle::OracleScheduler;
-use crate::schedule::{generate, Lcg, Op};
+use crate::schedule::{generate, generate_smp, Lcg, Op};
 
 /// What a differential run covered, so suites can assert the schedules
 /// actually reached the interesting regimes.
@@ -32,6 +32,17 @@ pub struct DriveReport {
     pub transitions: u64,
     /// Peak live population.
     pub peak_live: usize,
+    /// FNV-style fold of every per-quantum observable (due ids,
+    /// transitions, allowance bit patterns). The SMP drivers fill this in
+    /// so suites can assert that two runs saw *byte-identical* scheduler
+    /// behavior — e.g. that the engine's outputs are invariant in the CPU
+    /// count. The uniprocessor drivers leave it 0.
+    pub fingerprint: u64,
+}
+
+/// Fold one word into a [`DriveReport::fingerprint`].
+fn fold(fp: &mut u64, word: u64) {
+    *fp = fp.wrapping_mul(0x0000_0100_0000_01B3) ^ word;
 }
 
 /// Drive one schedule against `AlpsScheduler` and [`OracleScheduler`],
@@ -143,6 +154,8 @@ pub fn run_core_schedule(cfg: AlpsConfig, seed: u64, len: usize) -> DriveReport 
                     report.transitions += out.transitions.len() as u64;
                 }
             }
+            // Uniprocessor schedules never contain migrations.
+            Op::Migrate { .. } => {}
         }
         check_core_state(&prod, &oracle, &minted, seed);
         report.peak_live = report.peak_live.max(live.len());
@@ -434,6 +447,8 @@ pub fn run_engine_schedule(
                     live.retain(|&id| prod.share(id).is_some());
                 }
             }
+            // Uniprocessor schedules never contain migrations.
+            Op::Migrate { .. } => {}
         }
 
         // Membership refresh (principals mode): reconcile exits and churn
@@ -523,4 +538,568 @@ fn check_engine_state(
             "member sets diverge (seed {seed})"
         );
     }
+}
+
+// ----------------------------------------------------------------------
+// SMP mode
+// ----------------------------------------------------------------------
+
+/// One mocked process on an M-CPU machine: consumption is recorded per
+/// CPU and merged at read time, exactly as a real collector sums per-CPU
+/// cputime for a thread that migrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmpMockProc {
+    /// Per-CPU consumption, indexed by CPU.
+    pub split: Vec<Nanos>,
+    /// The CPU the process currently runs on (where burn is charged).
+    pub on: usize,
+    /// Observed-blocked flag (§2.4 input).
+    pub blocked: bool,
+    /// Whether the process has exited.
+    pub gone: bool,
+    /// Whether the process is currently stopped.
+    pub stopped: bool,
+}
+
+impl SmpMockProc {
+    /// The merged cumulative CPU total: the sum across CPUs.
+    pub fn merged(&self) -> Nanos {
+        self.split.iter().copied().sum()
+    }
+}
+
+/// A deterministic M-CPU [`Substrate`]: `read` reports the *merged*
+/// per-member total regardless of which CPUs ran the member — the only
+/// accounting ALPS ever sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmpMockSubstrate {
+    /// The substrate clock.
+    pub now: Nanos,
+    /// CPU count (M ≥ 1).
+    pub cpus: usize,
+    /// Member state by pid.
+    pub procs: BTreeMap<u32, SmpMockProc>,
+}
+
+impl SmpMockSubstrate {
+    /// An empty M-CPU substrate.
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus >= 1);
+        SmpMockSubstrate {
+            now: Nanos::ZERO,
+            cpus,
+            procs: BTreeMap::new(),
+        }
+    }
+}
+
+impl Substrate for SmpMockSubstrate {
+    type Member = u32;
+    type Error = Infallible;
+
+    fn now(&mut self) -> Nanos {
+        self.now
+    }
+
+    fn read(&mut self, member: u32) -> Result<Option<Observation>, Infallible> {
+        Ok(self.procs.get(&member).and_then(|p| {
+            (!p.gone).then_some(Observation {
+                total_cpu: p.merged(),
+                blocked: p.blocked,
+            })
+        }))
+    }
+
+    fn deliver(&mut self, member: u32, signal: Signal) -> Result<bool, Infallible> {
+        match self.procs.get_mut(&member) {
+            Some(p) if !p.gone => {
+                p.stopped = signal == Signal::Stop;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// Per-process consumption bookkeeping for the core-level SMP drivers: a
+/// per-CPU split, the CPU currently charged, and an independently
+/// maintained scalar total the split must always sum to.
+struct SmpCpuState {
+    split: Vec<Nanos>,
+    on: usize,
+    scalar: Nanos,
+}
+
+impl SmpCpuState {
+    fn new(cpus: usize, initial: Nanos) -> Self {
+        let mut split = vec![Nanos::ZERO; cpus];
+        split[0] = initial;
+        SmpCpuState {
+            split,
+            on: 0,
+            scalar: initial,
+        }
+    }
+
+    /// Charge `burn` on the current CPU; return the merged total after
+    /// asserting it still equals the scalar (conservation).
+    fn burn(&mut self, burn: Nanos, seed: u64) -> Nanos {
+        self.split[self.on] = self.split[self.on].saturating_add(burn);
+        self.scalar = self.scalar.saturating_add(burn);
+        let merged: Nanos = self.split.iter().copied().sum();
+        assert_eq!(
+            merged, self.scalar,
+            "per-CPU split does not sum to the total (seed {seed})"
+        );
+        merged
+    }
+}
+
+/// Fold a quantum's observables (due list, transitions, cycle flag) into
+/// a fingerprint, so suites can compare whole runs for byte-identity.
+fn fold_quantum(fp: &mut u64, due: &[ProcId], out: &alps_core::QuantumOutcome) {
+    for &id in due {
+        fold(fp, (id.index() as u64) << 32 | u64::from(id.generation()));
+    }
+    fold(fp, 0xD0E5_0000 | due.len() as u64);
+    for t in &out.transitions {
+        let (tag, id) = match *t {
+            alps_core::Transition::Resume(id) => (1u64, id),
+            alps_core::Transition::Suspend(id) => (2u64, id),
+        };
+        fold(
+            fp,
+            tag << 62 | (id.index() as u64) << 32 | u64::from(id.generation()),
+        );
+    }
+    fold(fp, u64::from(out.cycle_completed));
+}
+
+/// Drive one SMP schedule ([`generate_smp`]) against `AlpsScheduler` and
+/// [`OracleScheduler`], feeding both the *merged* per-process totals of
+/// an M-CPU consumption model with migration churn; lockstep equality is
+/// asserted after every op and split/total conservation at every charge.
+///
+/// The schedule, the workload draws, and therefore every observation fed
+/// to the schedulers are independent of `cpus` — migrations only move
+/// *where* burn is charged — so the returned [`DriveReport`]
+/// (fingerprint included) is identical for every M. Suites assert
+/// exactly that.
+pub fn run_core_schedule_smp(cfg: AlpsConfig, seed: u64, len: usize, cpus: usize) -> DriveReport {
+    let mut prod = AlpsScheduler::new(cfg);
+    let mut oracle = OracleScheduler::new(cfg);
+    let mut workload = Lcg::new(seed ^ 0x0051_3D0C_7E57_BEEF);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut minted: Vec<ProcId> = Vec::new();
+    let mut cpu: HashMap<ProcId, SmpCpuState> = HashMap::new();
+    let mut now = Nanos::ZERO;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    for op in generate_smp(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let initial = workload.nanos_below(q);
+                let id = prod.add_process(share, initial);
+                let oid = oracle.add_process(share, initial);
+                assert_eq!(id, oid, "minted ids diverge (seed {seed})");
+                live.push(id);
+                minted.push(id);
+                cpu.insert(id, SmpCpuState::new(cpus, initial));
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                assert_eq!(
+                    prod.remove_process(id),
+                    oracle.remove_process(id),
+                    "remove diverges (seed {seed})"
+                );
+            }
+            Op::SetShare { victim, share } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                assert_eq!(
+                    prod.set_share(id, share),
+                    oracle.set_share(id, share),
+                    "set_share diverges (seed {seed})"
+                );
+            }
+            Op::Migrate { victim, cpu: c } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                cpu.get_mut(&id).expect("live process has CPU state").on = c as usize % cpus;
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    now = now.saturating_add(q);
+                    let due = prod.begin_quantum();
+                    let due_o = oracle.begin_quantum();
+                    assert_eq!(due, due_o, "due lists diverge (seed {seed})");
+                    let obs: Vec<(ProcId, Observation)> = due
+                        .iter()
+                        .map(|&id| {
+                            let burn = workload.nanos_below(Nanos(q.0 * 3 / 2));
+                            let merged = cpu
+                                .get_mut(&id)
+                                .expect("due process has CPU state")
+                                .burn(burn, seed);
+                            let blocked = workload.chance(1, 6);
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: merged,
+                                    blocked,
+                                },
+                            )
+                        })
+                        .collect();
+                    let out = prod.complete_quantum(&obs, now);
+                    let out_o = oracle.complete_quantum(&obs, now);
+                    assert_eq!(
+                        out.transitions, out_o.transitions,
+                        "transitions diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        out.cycle_completed, out_o.cycle_completed,
+                        "cycle boundary diverges (seed {seed})"
+                    );
+                    assert_eq!(
+                        out.cycle_record, out_o.cycle_record,
+                        "cycle records diverge (seed {seed})"
+                    );
+                    fold_quantum(&mut report.fingerprint, &due, &out);
+                    report.quanta += 1;
+                    report.cycles += u64::from(out.cycle_completed);
+                    report.transitions += out.transitions.len() as u64;
+                }
+            }
+        }
+        check_core_state(&prod, &oracle, &minted, seed);
+        for &id in &minted {
+            if let Some(a) = prod.allowance(id) {
+                fold(&mut report.fingerprint, a.to_bits());
+            }
+        }
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
+}
+
+/// Drive one SMP schedule against two production `AlpsScheduler`s that
+/// differ only in [`alps_core::DueIndex`] (deadline wheel vs reference
+/// scan), asserting they stay lockstep-identical on merged M-CPU
+/// accounting with migration churn.
+pub fn run_core_due_index_lockstep(
+    cfg: AlpsConfig,
+    seed: u64,
+    len: usize,
+    cpus: usize,
+) -> DriveReport {
+    use alps_core::DueIndex;
+    let mut wheel = AlpsScheduler::new(cfg.with_due_index(DueIndex::Wheel));
+    let mut scan = AlpsScheduler::new(cfg.with_due_index(DueIndex::Scan));
+    let mut workload = Lcg::new(seed ^ 0x0D0E_1D00_5EED_0001);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut minted: Vec<ProcId> = Vec::new();
+    let mut cpu: HashMap<ProcId, SmpCpuState> = HashMap::new();
+    let mut now = Nanos::ZERO;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    for op in generate_smp(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let initial = workload.nanos_below(q);
+                let id = wheel.add_process(share, initial);
+                let sid = scan.add_process(share, initial);
+                assert_eq!(id, sid, "minted ids diverge (seed {seed})");
+                live.push(id);
+                minted.push(id);
+                cpu.insert(id, SmpCpuState::new(cpus, initial));
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                assert_eq!(
+                    wheel.remove_process(id),
+                    scan.remove_process(id),
+                    "remove diverges (seed {seed})"
+                );
+            }
+            Op::SetShare { victim, share } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                assert_eq!(
+                    wheel.set_share(id, share),
+                    scan.set_share(id, share),
+                    "set_share diverges (seed {seed})"
+                );
+            }
+            Op::Migrate { victim, cpu: c } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                cpu.get_mut(&id).expect("live process has CPU state").on = c as usize % cpus;
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    now = now.saturating_add(q);
+                    let due = wheel.begin_quantum();
+                    let due_s = scan.begin_quantum();
+                    assert_eq!(due, due_s, "due lists diverge (seed {seed})");
+                    let obs: Vec<(ProcId, Observation)> = due
+                        .iter()
+                        .map(|&id| {
+                            let burn = workload.nanos_below(Nanos(q.0 * 3 / 2));
+                            let merged = cpu
+                                .get_mut(&id)
+                                .expect("due process has CPU state")
+                                .burn(burn, seed);
+                            let blocked = workload.chance(1, 6);
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: merged,
+                                    blocked,
+                                },
+                            )
+                        })
+                        .collect();
+                    let out = wheel.complete_quantum(&obs, now);
+                    let out_s = scan.complete_quantum(&obs, now);
+                    assert_eq!(
+                        out.transitions, out_s.transitions,
+                        "transitions diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        out.cycle_completed, out_s.cycle_completed,
+                        "cycle boundary diverges (seed {seed})"
+                    );
+                    fold_quantum(&mut report.fingerprint, &due, &out);
+                    report.quanta += 1;
+                    report.cycles += u64::from(out.cycle_completed);
+                    report.transitions += out.transitions.len() as u64;
+                }
+            }
+        }
+        for &id in &minted {
+            assert_eq!(
+                wheel.allowance(id).map(f64::to_bits),
+                scan.allowance(id).map(f64::to_bits),
+                "allowance diverges (seed {seed})"
+            );
+            assert_eq!(
+                wheel.is_eligible(id),
+                scan.is_eligible(id),
+                "eligibility diverges (seed {seed})"
+            );
+        }
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
+}
+
+/// Drive one SMP schedule against `alps_core::Engine` and
+/// [`OracleEngine`] over twin [`SmpMockSubstrate`]s (flat principals,
+/// auto-reap): the engines see only merged per-member totals while the
+/// workload migrates processes between CPUs underneath them.
+///
+/// Like [`run_core_schedule_smp`], everything the engines observe is
+/// independent of `cpus`, so the report (fingerprint included) must be
+/// identical for every M.
+pub fn run_engine_schedule_smp(
+    cfg: AlpsConfig,
+    instrumentation: Instrumentation,
+    seed: u64,
+    len: usize,
+    cpus: usize,
+) -> DriveReport {
+    let mut prod: Engine<u32> = Engine::new(cfg, instrumentation).with_auto_reap(true);
+    let mut oracle: OracleEngine<u32> =
+        OracleEngine::new(cfg, instrumentation).with_auto_reap(true);
+    let mut sub_p = SmpMockSubstrate::new(cpus);
+    let mut sub_o = SmpMockSubstrate::new(cpus);
+    let mut sink_p = RecordingSink::new();
+    let mut sink_o = RecordingSink::new();
+    let mut workload = Lcg::new(seed ^ 0x0BAD_CAFE);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut minted: Vec<ProcId> = Vec::new();
+    let mut next_pid: u32 = 100;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    let mut spawn = |sub_p: &mut SmpMockSubstrate, sub_o: &mut SmpMockSubstrate, rng: &mut Lcg| {
+        let pid = next_pid;
+        next_pid += 1;
+        let mut split = vec![Nanos::ZERO; cpus];
+        split[0] = rng.nanos_below(q);
+        let proc = SmpMockProc {
+            split,
+            on: 0,
+            blocked: false,
+            gone: false,
+            stopped: true,
+        };
+        let initial = proc.merged();
+        sub_p.procs.insert(pid, proc.clone());
+        sub_o.procs.insert(pid, proc);
+        (pid, initial)
+    };
+
+    for op in generate_smp(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 8 {
+                    continue;
+                }
+                let (pid, initial) = spawn(&mut sub_p, &mut sub_o, &mut workload);
+                let id = prod.add_member(pid, share, initial);
+                let oid = oracle.add_member(pid, share, initial);
+                assert_eq!(id, oid, "minted principal ids diverge (seed {seed})");
+                live.push(id);
+                minted.push(id);
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                assert_eq!(
+                    prod.remove_principal(id),
+                    oracle.remove_principal(id),
+                    "removed members diverge (seed {seed})"
+                );
+            }
+            Op::SetShare { victim, share } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                assert_eq!(
+                    prod.set_share(id, share),
+                    oracle.set_share(id, share),
+                    "set_share diverges (seed {seed})"
+                );
+            }
+            Op::Migrate { victim, cpu } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim as usize % live.len()];
+                let target = cpu as usize % cpus;
+                for m in prod.members(id).unwrap_or_default() {
+                    for sub in [&mut sub_p, &mut sub_o] {
+                        if let Some(p) = sub.procs.get_mut(&m) {
+                            p.on = target;
+                        }
+                    }
+                }
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    let advance = if workload.chance(1, 10) { q * 3 } else { q };
+                    sub_p.now = sub_p.now.saturating_add(advance);
+                    sub_o.now = sub_o.now.saturating_add(advance);
+
+                    // Advance the workload model identically in both
+                    // substrates: burn lands on each process's current
+                    // CPU; the engines only ever see the merged sum.
+                    let decisions: Vec<(u32, Nanos, bool, bool)> = sub_p
+                        .procs
+                        .iter()
+                        .filter(|(_, p)| !p.gone)
+                        .map(|(&pid, p)| {
+                            let burn = if p.stopped {
+                                Nanos::ZERO
+                            } else {
+                                workload.nanos_below(Nanos(q.0 * 3 / 2))
+                            };
+                            let blocked = workload.chance(1, 6);
+                            let exits = workload.chance(1, 40);
+                            (pid, burn, blocked, exits)
+                        })
+                        .collect();
+                    for sub in [&mut sub_p, &mut sub_o] {
+                        for &(pid, burn, blocked, exits) in &decisions {
+                            let p = sub.procs.get_mut(&pid).expect("decided pid exists");
+                            let on = p.on;
+                            p.split[on] = p.split[on].saturating_add(burn);
+                            p.blocked = blocked;
+                            if exits {
+                                p.gone = true;
+                            }
+                        }
+                    }
+
+                    let n = prod.begin_quantum(&mut sub_p, &mut sink_p).unwrap();
+                    let n_o = oracle.begin_quantum(&mut sub_o, &mut sink_o).unwrap();
+                    assert_eq!(n, n_o, "due member counts diverge (seed {seed})");
+                    prod.complete_quantum(&mut sub_p, &mut sink_p).unwrap();
+                    oracle.complete_quantum(&mut sub_o, &mut sink_o).unwrap();
+                    assert_eq!(
+                        prod.last_transitions(),
+                        oracle.last_transitions(),
+                        "transitions diverge (seed {seed})"
+                    );
+                    assert_eq!(
+                        prod.pending_signals(),
+                        oracle.pending_signals(),
+                        "signals diverge (seed {seed})"
+                    );
+                    fold(&mut report.fingerprint, n as u64);
+                    for t in prod.last_transitions() {
+                        let (tag, id) = match *t {
+                            alps_core::Transition::Resume(id) => (1u64, id),
+                            alps_core::Transition::Suspend(id) => (2u64, id),
+                        };
+                        fold(
+                            &mut report.fingerprint,
+                            tag << 62 | (id.index() as u64) << 32 | u64::from(id.generation()),
+                        );
+                    }
+                    report.quanta += 1;
+                    report.cycles += u64::from(prod.last_cycle_completed());
+                    report.transitions += prod.last_transitions().len() as u64;
+
+                    prod.apply_pending_signals(&mut sub_p, &mut sink_p).unwrap();
+                    oracle
+                        .apply_pending_signals(&mut sub_o, &mut sink_o)
+                        .unwrap();
+                    live.retain(|&id| prod.share(id).is_some());
+                }
+            }
+        }
+
+        check_engine_state(&prod, &oracle, &minted, seed);
+        assert_eq!(
+            sink_p.events, sink_o.events,
+            "event streams diverge (seed {seed})"
+        );
+        assert_eq!(sub_p, sub_o, "substrate end states diverge (seed {seed})");
+        for &id in &minted {
+            if let Some(a) = prod.allowance(id) {
+                fold(&mut report.fingerprint, a.to_bits());
+            }
+        }
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
 }

@@ -1,5 +1,7 @@
 //! Configuration for an ALPS scheduler instance.
 
+use std::num::NonZeroUsize;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::Nanos;
@@ -76,6 +78,13 @@ pub struct AlpsConfig {
     /// used for its accuracy evaluation, §3.1). Costs one `Vec` push per
     /// process per cycle.
     pub record_cycles: bool,
+    /// Number of CPUs on the machine whose consumption ALPS governs
+    /// (default 1 — the paper's uniprocessor). The algorithm itself is
+    /// CPU-count-agnostic — it observes merged cumulative CPU totals and
+    /// maintains a single global allowance pool — so this knob only
+    /// annotates the run (reports, cycle capacity reasoning); no
+    /// arithmetic branches on it.
+    pub cpus: NonZeroUsize,
 }
 
 impl AlpsConfig {
@@ -87,6 +96,7 @@ impl AlpsConfig {
             io_policy: IoPolicy::OneQuantumPenalty,
             due_index: DueIndex::Wheel,
             record_cycles: false,
+            cpus: NonZeroUsize::MIN,
         }
     }
 
@@ -119,6 +129,12 @@ impl AlpsConfig {
         self.record_cycles = on;
         self
     }
+
+    /// Builder-style choice of machine CPU count.
+    pub fn with_cpus(mut self, cpus: NonZeroUsize) -> Self {
+        self.cpus = cpus;
+        self
+    }
 }
 
 impl Default for AlpsConfig {
@@ -140,6 +156,7 @@ mod tests {
         assert_eq!(cfg.io_policy, IoPolicy::OneQuantumPenalty);
         assert_eq!(cfg.due_index, DueIndex::Wheel);
         assert!(!cfg.record_cycles);
+        assert_eq!(cfg.cpus.get(), 1, "the paper's machine is uniprocessor");
     }
 
     #[test]
@@ -149,11 +166,13 @@ mod tests {
             .with_lazy_measurement(false)
             .with_io_policy(IoPolicy::NoPenalty)
             .with_due_index(DueIndex::Scan)
-            .with_cycle_log(true);
+            .with_cycle_log(true)
+            .with_cpus(NonZeroUsize::new(4).unwrap());
         assert_eq!(cfg.quantum, Nanos::from_millis(40));
         assert!(!cfg.lazy_measurement);
         assert_eq!(cfg.io_policy, IoPolicy::NoPenalty);
         assert_eq!(cfg.due_index, DueIndex::Scan);
         assert!(cfg.record_cycles);
+        assert_eq!(cfg.cpus.get(), 4);
     }
 }

@@ -810,6 +810,11 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         self.sched.inner().quantum()
     }
 
+    /// CPUs on the governed machine ([`crate::AlpsConfig::cpus`]).
+    pub fn cpus(&self) -> usize {
+        self.sched.inner().cpus()
+    }
+
     /// Members of a principal.
     pub fn members(&self, id: ProcId) -> Option<Vec<M>> {
         self.sched.members(id)

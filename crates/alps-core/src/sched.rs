@@ -279,6 +279,11 @@ impl AlpsScheduler {
         self.cfg.quantum
     }
 
+    /// CPUs on the governed machine ([`AlpsConfig::cpus`]).
+    pub fn cpus(&self) -> usize {
+        self.cfg.cpus.get()
+    }
+
     /// Total shares `S` across all registered processes.
     pub fn total_shares(&self) -> u64 {
         self.total_shares

@@ -106,7 +106,7 @@ pub fn feasible_fractions(shares: &[u64], cpus: usize) -> Vec<f64> {
 /// Run ALPS over compute-bound processes on an SMP machine.
 pub fn run_smp(p: &SmpParams) -> SmpResult {
     let mut sim = Sim::new(SimConfig {
-        cpus: p.cpus,
+        cpus: std::num::NonZeroUsize::new(p.cpus).expect("at least one CPU"),
         seed: p.seed,
         spawn_estcpu_jitter: 8.0,
         ..SimConfig::default()

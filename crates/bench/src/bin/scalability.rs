@@ -3,18 +3,23 @@
 //! Sweeps the §3.2-shaped workload over N ∈ {10, 100, 1000, 5000}
 //! processes, lazy and unoptimized ALPS, on both the indexed and the seed
 //! linear ready queue, with both the wheel and the seed scan due index,
-//! and writes the report JSON. Every run (point × repetition) is fanned
-//! across the deterministic sweep executor; the simulation-derived
-//! results are identical at any thread count. Run with `--release`; see
-//! EXPERIMENTS.md.
+//! on the paper's one-CPU machine — plus an SMP series (default config,
+//! 2 and 4 simulated CPUs) per N — and writes the report JSON. Every run
+//! (point × repetition) is fanned across the deterministic sweep
+//! executor; the simulation-derived results are identical at any thread
+//! count. Run with `--release`; see EXPERIMENTS.md.
 //!
-//! Usage: `bench-scalability [--fast] [--threads N] [--out <path>]`
+//! Usage: `bench-scalability [--fast] [--threads N] [--cpus M] [--out <path>]`
 //!   --fast      N ≤ 100 only, 5 simulated seconds per point (CI smoke)
 //!   --threads   sweep worker threads (1 = serial; default ALPS_THREADS
 //!               or all host cores)
+//!   --cpus      sweep the full configuration grid on an M-CPU simulated
+//!               machine instead of the default 1-CPU grid + SMP series
 //!   --out       output path (default `BENCH_kernsim.json`)
 
-use alps_bench::scalability::{run_point, run_sweep, sweep_specs, BenchReport, QUANTUM_MS, SHARE};
+use alps_bench::scalability::{
+    run_point, run_sweep, sweep_specs, sweep_specs_at, BenchReport, QUANTUM_MS, SHARE,
+};
 use alps_core::DueIndex;
 use kernsim::RunQueueKind;
 
@@ -45,9 +50,16 @@ fn main() {
             }
         }
     }
+    let cpus = take_value("--cpus").map(|c| match c.parse::<usize>() {
+        Ok(m) if m >= 1 => m,
+        _ => {
+            eprintln!("error: --cpus wants an integer >= 1, got {c:?}");
+            std::process::exit(2);
+        }
+    });
     let out = take_value("--out").unwrap_or_else(|| "BENCH_kernsim.json".to_string());
     if !args.is_empty() {
-        eprintln!("usage: bench-scalability [--fast] [--threads N] [--out <path>]");
+        eprintln!("usage: bench-scalability [--fast] [--threads N] [--cpus M] [--out <path>]");
         std::process::exit(2);
     }
 
@@ -72,17 +84,21 @@ fn main() {
     }
     // Discarded warmup so the first measured points don't pay for page
     // faults and CPU frequency ramp-up.
-    let _ = run_point(100, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
+    let _ = run_point(100, true, RunQueueKind::Indexed, DueIndex::Wheel, 2, 1);
 
-    let specs = sweep_specs(fast);
+    let specs = match cpus {
+        Some(m) => sweep_specs_at(fast, m),
+        None => sweep_specs(fast),
+    };
     let outcome = run_sweep(&specs, REPS);
     for p in &outcome.points {
         eprintln!(
-            "N={:5} lazy={:5} {:7} {:5}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx, {:9.1} ns/q/member ({:4.1}% drive)",
+            "N={:5} lazy={:5} {:7} {:5} cpus={}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx, {:9.1} ns/q/member ({:4.1}% drive)",
             p.n,
             p.lazy,
             p.runqueue,
             p.due_index,
+            p.sim_cpus,
             p.register_seconds,
             p.drive_seconds,
             p.teardown_seconds,

@@ -44,6 +44,10 @@ pub struct BenchPoint {
     pub runqueue: String,
     /// ALPS due-index implementation: `"wheel"` or `"scan"`.
     pub due_index: String,
+    /// CPUs the simulated machine modeled ([`SimConfig::cpus`]) — the
+    /// *modeled* dimension, distinct from [`BenchReport::host_cores`]
+    /// (the measuring host's hardware threads).
+    pub sim_cpus: usize,
     /// Simulated seconds of steady-state drive (excludes the teardown
     /// tail of [`TAIL_SECS`]).
     pub sim_seconds: u64,
@@ -84,12 +88,13 @@ impl BenchPoint {
     /// the wall-clock timings. These are a pure function of the point's
     /// parameters and seed, so they must be identical at any sweep
     /// thread count; the determinism tests compare exactly this key.
-    pub fn sim_key(&self) -> (usize, bool, &str, &str, u64, u64, u64, u64) {
+    pub fn sim_key(&self) -> (usize, bool, &str, &str, usize, u64, u64, u64, u64) {
         (
             self.n,
             self.lazy,
             self.runqueue.as_str(),
             self.due_index.as_str(),
+            self.sim_cpus,
             self.sim_seconds,
             self.events,
             self.context_switches,
@@ -128,11 +133,30 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// The point for `(n, lazy, kind, due)`, if present.
+    /// The single-CPU point for `(n, lazy, kind, due)`, if present. The
+    /// full configuration grid runs on the paper's one-CPU machine; the
+    /// SMP series is reached via [`BenchReport::point_at`].
     pub fn point(&self, n: usize, lazy: bool, kind: &str, due: &str) -> Option<&BenchPoint> {
-        self.points
-            .iter()
-            .find(|p| p.n == n && p.lazy == lazy && p.runqueue == kind && p.due_index == due)
+        self.point_at(n, lazy, kind, due, 1)
+    }
+
+    /// The point for `(n, lazy, kind, due)` on a `cpus`-CPU simulated
+    /// machine, if present.
+    pub fn point_at(
+        &self,
+        n: usize,
+        lazy: bool,
+        kind: &str,
+        due: &str,
+        cpus: usize,
+    ) -> Option<&BenchPoint> {
+        self.points.iter().find(|p| {
+            p.n == n
+                && p.lazy == lazy
+                && p.runqueue == kind
+                && p.due_index == due
+                && p.sim_cpus == cpus
+        })
     }
 
     /// Wall-clock speedup of the indexed queue over the linear one for
@@ -242,11 +266,13 @@ pub fn run_point(
     kind: RunQueueKind,
     due: DueIndex,
     sim_secs: u64,
+    cpus: usize,
 ) -> BenchPoint {
     let cfg = SimConfig {
         seed: 1,
         spawn_estcpu_jitter: 8.0,
         runqueue: kind,
+        cpus: std::num::NonZeroUsize::new(cpus).expect("at least one CPU"),
         ..SimConfig::default()
     };
     let mut sim = Sim::new(cfg);
@@ -286,6 +312,7 @@ pub fn run_point(
             DueIndex::Wheel => "wheel".to_string(),
             DueIndex::Scan => "scan".to_string(),
         },
+        sim_cpus: cpus,
         sim_seconds: sim_secs,
         wall_seconds,
         register_seconds,
@@ -313,10 +340,11 @@ pub fn run_point_best_of(
     kind: RunQueueKind,
     due: DueIndex,
     sim_secs: u64,
+    cpus: usize,
     reps: usize,
 ) -> BenchPoint {
     alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
-        run_point(n, lazy, kind, due, sim_secs)
+        run_point(n, lazy, kind, due, sim_secs, cpus)
     })
     .into_iter()
     .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
@@ -336,10 +364,19 @@ pub struct SweepSpec {
     pub due: DueIndex,
     /// Simulated seconds of steady-state drive.
     pub sim_secs: u64,
+    /// CPUs the simulated machine models ([`SimConfig::cpus`]).
+    pub cpus: usize,
 }
 
-/// The full grid in its canonical (report) order:
-/// N ∈ [`sweep_ns`] × {lazy, eager} × {indexed, linear} × {wheel, scan}.
+/// CPU counts of the SMP series ([`sweep_specs`] runs the default
+/// configuration at each of these beyond 1).
+pub const SMP_CPUS: [usize; 2] = [2, 4];
+
+/// The full grid in its canonical (report) order. Per N:
+/// {lazy, eager} × {indexed, linear} × {wheel, scan} on one CPU (the
+/// paper's machine), then the default configuration (lazy, indexed,
+/// wheel) on each of [`SMP_CPUS`] — the SMP series measures the CPU
+/// dimension alone, not its cross product with every other axis.
 pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
     let mut specs = Vec::new();
     for n in sweep_ns(fast) {
@@ -353,10 +390,32 @@ pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
                         kind,
                         due,
                         sim_secs,
+                        cpus: 1,
                     });
                 }
             }
         }
+        for cpus in SMP_CPUS {
+            specs.push(SweepSpec {
+                n,
+                lazy: true,
+                kind: RunQueueKind::Indexed,
+                due: DueIndex::Wheel,
+                sim_secs,
+                cpus,
+            });
+        }
+    }
+    specs
+}
+
+/// The full configuration grid at a single, explicit CPU count — what
+/// `bench-scalability --cpus N` sweeps instead of [`sweep_specs`].
+pub fn sweep_specs_at(fast: bool, cpus: usize) -> Vec<SweepSpec> {
+    let mut specs = sweep_specs(fast);
+    specs.retain(|s| s.cpus == 1);
+    for s in &mut specs {
+        s.cpus = cpus;
     }
     specs
 }
@@ -394,7 +453,7 @@ pub fn run_sweep_threads(threads: usize, specs: &[SweepSpec], reps: usize) -> Sw
         .collect();
     let t_sweep = std::time::Instant::now();
     let runs = alps_sweep::sweep_map_threads(threads, jobs, |s| {
-        run_point(s.n, s.lazy, s.kind, s.due, s.sim_secs)
+        run_point(s.n, s.lazy, s.kind, s.due, s.sim_secs, s.cpus)
     });
     let sweep_wall_seconds = t_sweep.elapsed().as_secs_f64();
     let serial_wall_estimate_seconds = runs.iter().map(|p| p.wall_seconds).sum();
@@ -430,25 +489,30 @@ mod tests {
             sweep_wall_seconds: 0.25,
             serial_wall_estimate_seconds: 1.0,
             parallel_speedup: 4.0,
-            points: vec![run_point(
-                4,
-                true,
-                RunQueueKind::Indexed,
-                DueIndex::Wheel,
-                1,
-            )],
+            points: vec![
+                run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 1),
+                run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 2),
+            ],
         };
         let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
         assert_eq!(report, back);
         assert!(report.point(4, true, "indexed", "wheel").is_some());
         assert!(report.point(4, true, "indexed", "scan").is_none());
+        // `point` is the one-CPU lookup; the SMP series needs `point_at`.
+        assert_eq!(
+            report.point(4, true, "indexed", "wheel").unwrap().sim_cpus,
+            1
+        );
+        assert!(report.point_at(4, true, "indexed", "wheel", 2).is_some());
+        assert!(report.point_at(4, true, "indexed", "wheel", 4).is_none());
     }
 
     #[test]
     fn sweep_specs_cover_the_grid_in_report_order() {
         let specs = sweep_specs(true);
-        // {10,100} × {lazy,eager} × {indexed,linear} × {wheel,scan}
-        assert_eq!(specs.len(), 2 * 2 * 2 * 2);
+        // Per N ∈ {10,100}: {lazy,eager} × {indexed,linear} × {wheel,scan}
+        // on one CPU, then the default config at each SMP CPU count.
+        assert_eq!(specs.len(), 2 * (2 * 2 * 2 + SMP_CPUS.len()));
         assert_eq!(specs[0].n, 10);
         assert!(specs[0].lazy && specs[0].kind == RunQueueKind::Indexed);
         assert_eq!(specs[0].due, DueIndex::Wheel);
@@ -456,11 +520,25 @@ mod tests {
         assert!(specs[2].lazy && specs[2].kind == RunQueueKind::Linear);
         assert!(!specs[7].lazy && specs[7].kind == RunQueueKind::Linear);
         assert_eq!(specs[7].due, DueIndex::Scan);
+        assert!(specs[..8].iter().all(|s| s.cpus == 1));
+        // The SMP series rides at the end of each N block, default config.
+        assert_eq!(specs[8].cpus, 2);
+        assert_eq!(specs[9].cpus, 4);
+        assert!(specs[8].lazy && specs[8].kind == RunQueueKind::Indexed);
+        assert_eq!(specs[8].due, DueIndex::Wheel);
+        assert_eq!(specs[10].n, 100);
+    }
+
+    #[test]
+    fn sweep_specs_at_pins_the_cpu_count_over_the_whole_grid() {
+        let specs = sweep_specs_at(true, 2);
+        assert_eq!(specs.len(), 2 * 2 * 2 * 2);
+        assert!(specs.iter().all(|s| s.cpus == 2));
     }
 
     #[test]
     fn point_reports_drive_quanta_and_overhead() {
-        let p = run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
+        let p = run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 2, 1);
         // A 10 ms quantum over 2 simulated seconds services ~200 quanta.
         assert!(
             (150..=250).contains(&p.drive_quanta),

@@ -8,7 +8,8 @@ use alps_core::DueIndex;
 use kernsim::RunQueueKind;
 
 /// A small grid that still exercises both queue kinds, both due indexes,
-/// and both ALPS variants (sim_secs kept tiny so the suite stays fast).
+/// both ALPS variants, and a two-CPU point (sim_secs kept tiny so the
+/// suite stays fast).
 fn tiny_grid() -> Vec<SweepSpec> {
     let mut specs = Vec::new();
     for n in [4usize, 16] {
@@ -21,10 +22,19 @@ fn tiny_grid() -> Vec<SweepSpec> {
                         kind,
                         due,
                         sim_secs: 1,
+                        cpus: 1,
                     });
                 }
             }
         }
+        specs.push(SweepSpec {
+            n,
+            lazy: true,
+            kind: RunQueueKind::Indexed,
+            due: DueIndex::Wheel,
+            sim_secs: 1,
+            cpus: 2,
+        });
     }
     specs
 }
@@ -46,9 +56,13 @@ fn sweep_results_identical_at_threads_1_and_8() {
 fn repetitions_share_one_sim_trajectory() {
     // Best-of-N only filters wall-clock noise: every repetition of a
     // point runs the exact same simulation.
-    let a = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1);
-    let b = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1);
+    let a = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 1);
+    let b = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 1);
     assert_eq!(a.sim_key(), b.sim_key());
+    // The SMP points replay exactly too: work stealing is deterministic.
+    let a2 = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 2);
+    let b2 = run_point(8, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 2);
+    assert_eq!(a2.sim_key(), b2.sim_key());
 }
 
 #[test]
@@ -56,8 +70,8 @@ fn wheel_and_scan_share_one_sim_trajectory() {
     // The due index is a pure control-path data structure: wheel and
     // scan points must drive byte-identical simulations (same events,
     // context switches, and serviced quanta) — only wall clocks differ.
-    let wheel = run_point(16, true, RunQueueKind::Indexed, DueIndex::Wheel, 2);
-    let scan = run_point(16, true, RunQueueKind::Indexed, DueIndex::Scan, 2);
+    let wheel = run_point(16, true, RunQueueKind::Indexed, DueIndex::Wheel, 2, 1);
+    let scan = run_point(16, true, RunQueueKind::Indexed, DueIndex::Scan, 2, 1);
     let strip = |p: &alps_bench::scalability::BenchPoint| {
         (
             p.n,

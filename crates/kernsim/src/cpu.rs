@@ -1,0 +1,45 @@
+//! CPU identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A CPU index on the simulated machine, `0..SimConfig::cpus`.
+///
+/// Threading a newtype (rather than a bare `usize`) through the per-CPU
+/// run queues, the dispatch slots, and the trace keeps the two dense
+/// index spaces of the simulator — pids and CPUs — impossible to confuse
+/// at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpuId(pub u32);
+
+impl CpuId {
+    /// Dense index for per-CPU tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let c = CpuId(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "cpu3");
+    }
+
+    #[test]
+    fn ordering_is_by_number() {
+        assert!(CpuId(0) < CpuId(1));
+    }
+}

@@ -1,12 +1,26 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Sim`] models a uniprocessor machine running a 4.4BSD-style kernel
-//! scheduler (see [`crate::sched`]): processes with pluggable
-//! [`Behavior`]s compete for one CPU under decay-usage priorities, a 100 Hz
-//! clock, a 100 ms round-robin slice, timed sleeps on wait channels,
-//! interval timers with pending-signal coalescing, and `SIGSTOP`/`SIGCONT`
-//! job control. CPU-time accounting is event-exact (nanosecond
-//! granularity).
+//! [`Sim`] models a machine with M CPUs ([`SimConfig::cpus`], default 1 —
+//! the paper's uniprocessor) running a 4.4BSD-style kernel scheduler (see
+//! [`crate::sched`]): processes with pluggable [`Behavior`]s compete for
+//! the CPUs under decay-usage priorities, a 100 Hz clock, a 100 ms
+//! round-robin slice, timed sleeps on wait channels, interval timers with
+//! pending-signal coalescing, and `SIGSTOP`/`SIGCONT` job control.
+//! CPU-time accounting is event-exact (nanosecond granularity), both in
+//! total and per CPU.
+//!
+//! ## SMP model
+//!
+//! Each CPU owns a ready queue and a dispatch slot. A process is *homed*
+//! on one CPU (round-robin at spawn): its queue entry and its `schedcpu`
+//! decay bitmap bit live there. Round-robin rotation is local to the home
+//! queue; a CPU that would otherwise idle — or that must dispatch after
+//! preempting for a strictly better waiter — claims the best-priority
+//! process across all queues, scanning victims in the deterministic order
+//! `cpu, cpu+1, …` (mod M) with ties kept local, and the claimed process
+//! is re-homed to the thief ([`TraceKind::Steal`]). With M=1 the scan
+//! only ever sees the one queue, so every schedule is byte-identical to
+//! the pre-SMP simulator — the lockstep suites pin this down.
 //!
 //! Experiment drivers advance the simulation with [`Sim::run_until`] and
 //! may mutate it (spawn processes, send signals) in between — this is how
@@ -26,10 +40,13 @@
 //! lockstep tests and the bench harness use it to pin trace equivalence
 //! and quantify the speedup.
 
+use std::num::NonZeroUsize;
+
 use alps_core::Nanos;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cpu::CpuId;
 use crate::event::{EventKind, EventQueue};
 use crate::pid::Pid;
 use crate::process::{Behavior, IntervalTimer, PState, ProcView, Process, Step};
@@ -89,10 +106,11 @@ pub struct SimConfig {
     pub spawn_estcpu_jitter: f64,
     /// Granularity of the CPU times user-level readers observe.
     pub accounting: CpuAccounting,
-    /// Number of CPUs. The paper's machine (and every experiment in it) is
-    /// a uniprocessor; values above 1 support the SMP extension study
-    /// (`repro smp`).
-    pub cpus: usize,
+    /// Number of CPUs (M). The paper's machine (and every experiment in
+    /// it) has M=1, the default; values above 1 give each CPU its own
+    /// ready queue and dispatch slot with deterministic work stealing
+    /// (see the module docs and `repro smp`).
+    pub cpus: NonZeroUsize,
     /// In-kernel scheduling policy.
     pub policy: KernelPolicy,
     /// Ready-queue implementation for the decay-usage policy. The default
@@ -111,7 +129,7 @@ impl Default for SimConfig {
             seed: 0,
             spawn_estcpu_jitter: 0.0,
             accounting: CpuAccounting::Exact,
-            cpus: 1,
+            cpus: NonZeroUsize::MIN,
             policy: KernelPolicy::DecayUsage,
             runqueue: RunQueueKind::Indexed,
         }
@@ -125,8 +143,12 @@ pub struct Sim {
     last_account: Nanos,
     events: EventQueue,
     procs: ProcTable,
-    runq: ReadyQueue,
-    /// Runnable set under [`KernelPolicy::Stride`] (min-pass scan).
+    /// One decay-usage ready queue per CPU (`runqs[cpu]`). A process is
+    /// queued only on its home CPU's queue.
+    runqs: Vec<ReadyQueue>,
+    /// Runnable set under [`KernelPolicy::Stride`] (min-pass scan; the
+    /// stride policy keeps a single global pool rather than per-CPU
+    /// queues — pass values are globally comparable).
     stride_q: Vec<Pid>,
     /// The process on each CPU (`running[cpu]`).
     running: Vec<Option<Pid>>,
@@ -138,6 +160,8 @@ pub struct Sim {
     tick_count: u64,
     idle_time: Nanos,
     ctx_switches: u64,
+    /// Cross-queue claims: dispatches of a process homed on another CPU.
+    steals: u64,
     rng: SmallRng,
     trace: Option<Trace>,
 }
@@ -157,7 +181,7 @@ impl Sim {
     /// A fresh machine at time zero.
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.tick > Nanos::ZERO, "tick must be positive");
-        assert!(cfg.cpus >= 1, "need at least one CPU");
+        let cpus = cfg.cpus.get();
         let mut events = EventQueue::with_capacity(64);
         events.schedule(cfg.tick, EventKind::Tick);
         events.schedule(Nanos::SECOND, EventKind::SchedCpu);
@@ -166,15 +190,16 @@ impl Sim {
             now: Nanos::ZERO,
             last_account: Nanos::ZERO,
             events,
-            procs: ProcTable::new(),
-            runq: ReadyQueue::new(cfg.runqueue),
+            procs: ProcTable::new(cpus),
+            runqs: (0..cpus).map(|_| ReadyQueue::new(cfg.runqueue)).collect(),
             stride_q: Vec::new(),
-            running: vec![None; cfg.cpus],
+            running: vec![None; cpus],
             loadavg: 0.0,
             schedcpu_epoch: 0,
             tick_count: 0,
             idle_time: Nanos::ZERO,
             ctx_switches: 0,
+            steals: 0,
             rng: SmallRng::seed_from_u64(cfg.seed),
             trace: None,
         }
@@ -209,12 +234,12 @@ impl Sim {
 
     /// Number of CPUs.
     pub fn cpus(&self) -> usize {
-        self.cfg.cpus
+        self.cfg.cpus.get()
     }
 
     /// The process currently on the given CPU.
-    pub fn running_on(&self, cpu: usize) -> Option<Pid> {
-        self.running[cpu]
+    pub fn running_on(&self, cpu: CpuId) -> Option<Pid> {
+        self.running[cpu.index()]
     }
 
     /// Total CPU-idle time, summed over CPUs (an SMP machine can idle
@@ -226,6 +251,12 @@ impl Sim {
     /// Total context switches performed.
     pub fn context_switches(&self) -> u64 {
         self.ctx_switches
+    }
+
+    /// Total work steals: dispatches that claimed a process off another
+    /// CPU's ready queue. Always zero on a one-CPU machine.
+    pub fn steals(&self) -> u64 {
+        self.steals
     }
 
     /// Current 1-minute load average.
@@ -276,6 +307,9 @@ impl Sim {
         } else {
             0.0
         };
+        // Home CPUs are dealt round-robin in spawn order (always cpu0 on
+        // a one-CPU machine).
+        let home = CpuId((pid.index() % self.cpus()) as u32);
         self.procs.push(Process {
             pid,
             name: name.into(),
@@ -286,6 +320,9 @@ impl Sim {
             slptime: 0,
             sleep_epoch: 0,
             cputime: Nanos::ZERO,
+            cputime_per_cpu: vec![Nanos::ZERO; self.cpus()],
+            home,
+            migrations: 0,
             burst_remaining: Some(Nanos::ZERO),
             dispatched_at: self.now,
             visible_cputime: Nanos::ZERO,
@@ -471,7 +508,17 @@ impl Sim {
                 p.state
             );
             let queued = match self.cfg.policy {
-                KernelPolicy::DecayUsage => self.runq.contains(pid),
+                KernelPolicy::DecayUsage => {
+                    let on_home = self.runqs[p.home.index()].contains(pid);
+                    for (c, q) in self.runqs.iter().enumerate() {
+                        assert!(
+                            c == p.home.index() || !q.contains(pid),
+                            "{pid} queued on cpu{c}, but home is {}",
+                            p.home
+                        );
+                    }
+                    on_home
+                }
                 KernelPolicy::Stride => self.stride_q.contains(&pid),
             };
             match p.state {
@@ -511,6 +558,7 @@ impl Sim {
                 Some(pid) => {
                     let p = &mut self.procs[pid];
                     p.cputime += dt;
+                    p.cputime_per_cpu[cpu] += dt;
                     // Continuous-time estcpu charging: one unit per tick
                     // of CPU.
                     p.estcpu = (p.estcpu + dt.as_f64() / tick).min(sched::ESTCPU_MAX);
@@ -556,11 +604,11 @@ impl Sim {
                 KernelPolicy::DecayUsage => {
                     let p = &self.procs[pid];
                     // roundrobin(): rotate among equal-or-better priorities
-                    // once the slice expires. (A strictly better waiter
-                    // never waits this long — fixup_dispatch preempts for
-                    // it immediately.)
+                    // on the CPU's own queue once the slice expires. (A
+                    // strictly better waiter anywhere never waits this
+                    // long — fixup_dispatch preempts for it immediately.)
                     if self.now - p.dispatched_at >= self.cfg.rr_slice {
-                        if let Some(best) = self.runq.best_priority() {
+                        if let Some(best) = self.runqs[cpu].best_priority() {
                             if best <= p.priority {
                                 self.preempt(cpu);
                             }
@@ -601,7 +649,7 @@ impl Sim {
             return;
         }
         loop {
-            let Some(best) = self.runq.best_priority() else {
+            let Some(best) = self.best_queued_priority() else {
                 return;
             };
             let worst = (0..self.running.len())
@@ -614,10 +662,15 @@ impl Sim {
         }
     }
 
+    /// The best priority queued on any CPU's ready queue.
+    fn best_queued_priority(&self) -> Option<u8> {
+        self.runqs.iter().filter_map(|q| q.best_priority()).min()
+    }
+
     /// Number of queued runnable processes under the active policy.
     fn runnable_count(&self) -> usize {
         match self.cfg.policy {
-            KernelPolicy::DecayUsage => self.runq.len(),
+            KernelPolicy::DecayUsage => self.runqs.iter().map(|q| q.len()).sum(),
             KernelPolicy::Stride => self.stride_q.len(),
         }
     }
@@ -635,43 +688,48 @@ impl Sim {
         // asleep decays it, stamps `sleep_epoch`, and drops it from the
         // set; `updatepri` at wakeup replays the seconds skipped. A pool
         // of long-idle workers therefore costs O(runnable), not O(live),
-        // per second. Word-wise bitmap iteration visits pids in spawn
-        // order; membership is stable during the walk (nothing here
-        // exits, and the pass only clears bits it has copied out).
-        for wi in 0..self.procs.decay_words() {
-            let mut bits = self.procs.decay_word(wi);
-            while bits != 0 {
-                let pid = Pid(wi as u32 * 64 + bits.trailing_zeros());
-                bits &= bits - 1;
-                let (was_runnable, deactivate) = {
-                    let p = &mut self.procs[pid];
-                    match p.state {
-                        PState::Exited => continue, // unreachable: exit clears the bit
-                        PState::Sleeping { .. } | PState::Stopped { .. } => {
-                            // First whole second asleep: count it, decay
-                            // below, then defer to updatepri at wakeup
-                            // (as in BSD, which skips `slptime > 1`).
-                            p.slptime = p.slptime.saturating_add(1);
-                            p.sleep_epoch = epoch;
-                            (false, true)
+        // per second. Each CPU's pass walks its own bitmap — exactly the
+        // processes homed there — word-wise in pid order (with one CPU
+        // that is a single bitmap, the pre-SMP walk). Membership is
+        // stable during the walk (nothing here exits or migrates, and
+        // the pass only clears bits it has copied out).
+        for cpu in 0..self.cpus() {
+            let cid = CpuId(cpu as u32);
+            for wi in 0..self.procs.decay_words(cid) {
+                let mut bits = self.procs.decay_word(cid, wi);
+                while bits != 0 {
+                    let pid = Pid(wi as u32 * 64 + bits.trailing_zeros());
+                    bits &= bits - 1;
+                    let (was_runnable, deactivate) = {
+                        let p = &mut self.procs[pid];
+                        match p.state {
+                            PState::Exited => continue, // unreachable: exit clears the bit
+                            PState::Sleeping { .. } | PState::Stopped { .. } => {
+                                // First whole second asleep: count it, decay
+                                // below, then defer to updatepri at wakeup
+                                // (as in BSD, which skips `slptime > 1`).
+                                p.slptime = p.slptime.saturating_add(1);
+                                p.sleep_epoch = epoch;
+                                (false, true)
+                            }
+                            PState::Runnable => (true, false),
+                            PState::Running => (false, false),
                         }
-                        PState::Runnable => (true, false),
-                        PState::Running => (false, false),
+                    };
+                    if deactivate {
+                        self.procs.set_decay_active(pid, false);
                     }
-                };
-                if deactivate {
-                    self.procs.set_decay_active(pid, false);
-                }
-                let p = &mut self.procs[pid];
-                p.estcpu *= decay;
-                let new_prio = sched::user_priority(p.estcpu, p.nice);
-                if new_prio != p.priority {
-                    p.priority = new_prio;
-                    // Under stride the runnable set lives in stride_q and is
-                    // ordered by pass, not priority — nothing to requeue.
-                    if was_runnable && self.cfg.policy == KernelPolicy::DecayUsage {
-                        self.runq.remove(pid);
-                        self.runq.push(pid, new_prio);
+                    let p = &mut self.procs[pid];
+                    p.estcpu *= decay;
+                    let new_prio = sched::user_priority(p.estcpu, p.nice);
+                    if new_prio != p.priority {
+                        p.priority = new_prio;
+                        // Under stride the runnable set lives in stride_q and is
+                        // ordered by pass, not priority — nothing to requeue.
+                        if was_runnable && self.cfg.policy == KernelPolicy::DecayUsage {
+                            self.runqs[cpu].remove(pid);
+                            self.runqs[cpu].push(pid, new_prio);
+                        }
                     }
                 }
             }
@@ -851,7 +909,10 @@ impl Sim {
             p.priority
         };
         match self.cfg.policy {
-            KernelPolicy::DecayUsage => self.runq.push(pid, prio),
+            KernelPolicy::DecayUsage => {
+                let home = self.procs[pid].home.index();
+                self.runqs[home].push(pid, prio);
+            }
             KernelPolicy::Stride => {
                 // A client rejoining after a sleep must not cash in pass
                 // credit accrued while absent (the stride re-join rule).
@@ -880,10 +941,17 @@ impl Sim {
             p.state = PState::Runnable;
             let prio = p.priority;
             match self.cfg.policy {
-                KernelPolicy::DecayUsage => self.runq.push(pid, prio),
+                // A preempted process stays homed on the CPU it ran on
+                // (its home: dispatch re-homes on steal).
+                KernelPolicy::DecayUsage => self.runqs[cpu].push(pid, prio),
                 KernelPolicy::Stride => self.stride_q.push(pid),
             }
-            self.trace_push(pid, TraceKind::Preempt { cpu });
+            self.trace_push(
+                pid,
+                TraceKind::Preempt {
+                    cpu: CpuId(cpu as u32),
+                },
+            );
         }
         self.context_switch(cpu);
     }
@@ -905,10 +973,48 @@ impl Sim {
         }
     }
 
-    /// Pop the runnable client the active policy would dispatch next.
-    fn pop_best_runnable(&mut self) -> Option<Pid> {
+    /// Pop the runnable client the active policy would dispatch next on
+    /// the given CPU.
+    ///
+    /// Under decay-usage this scans the per-CPU queues in the
+    /// deterministic victim order `cpu, cpu+1, … mod M`, taking the
+    /// strictly best priority found; ties keep the earliest queue
+    /// scanned, so the CPU's own queue wins them (affinity). Taking a
+    /// process off another CPU's queue is a work steal: the process is
+    /// re-homed here and a [`TraceKind::Steal`] is recorded. With one
+    /// CPU the scan degenerates to `runqs[0].pop_best()` and the steal
+    /// path is unreachable.
+    fn pop_best_runnable(&mut self, cpu: usize) -> Option<Pid> {
         match self.cfg.policy {
-            KernelPolicy::DecayUsage => self.runq.pop_best().map(|(pid, _)| pid),
+            KernelPolicy::DecayUsage => {
+                let m = self.runqs.len();
+                let mut best: Option<(u8, usize)> = None;
+                for j in 0..m {
+                    let q = (cpu + j) % m;
+                    if let Some(prio) = self.runqs[q].best_priority() {
+                        if best.is_none_or(|(bp, _)| prio < bp) {
+                            best = Some((prio, q));
+                        }
+                    }
+                }
+                let (_, q) = best?;
+                let pid = self.runqs[q].pop_best().map(|(pid, _)| pid).expect(
+                    "queue reported a best priority a moment ago and nothing ran in between",
+                );
+                if q != cpu {
+                    self.steals += 1;
+                    self.procs[pid].migrations += 1;
+                    self.procs.set_home(pid, CpuId(cpu as u32));
+                    self.trace_push(
+                        pid,
+                        TraceKind::Steal {
+                            from: CpuId(q as u32),
+                            to: CpuId(cpu as u32),
+                        },
+                    );
+                }
+                Some(pid)
+            }
             KernelPolicy::Stride => {
                 let (idx, _) = self.stride_q.iter().enumerate().min_by(|(_, a), (_, b)| {
                     let pa = self.procs[**a].pass;
@@ -924,7 +1030,8 @@ impl Sim {
     fn remove_runnable(&mut self, pid: Pid) {
         match self.cfg.policy {
             KernelPolicy::DecayUsage => {
-                self.runq.remove(pid);
+                let home = self.procs[pid].home.index();
+                self.runqs[home].remove(pid);
             }
             KernelPolicy::Stride => {
                 self.stride_q.retain(|&q| q != pid);
@@ -940,7 +1047,7 @@ impl Sim {
     /// Dispatch the best runnable process onto the given (idle) CPU.
     fn context_switch(&mut self, cpu: usize) {
         debug_assert!(self.running[cpu].is_none());
-        let Some(pid) = self.pop_best_runnable() else {
+        let Some(pid) = self.pop_best_runnable(cpu) else {
             return;
         };
         let now = self.now;
@@ -957,7 +1064,12 @@ impl Sim {
                 .schedule(now + r, EventKind::BurstDone { pid, token });
         }
         self.running[cpu] = Some(pid);
-        self.trace_push(pid, TraceKind::Dispatch { cpu });
+        self.trace_push(
+            pid,
+            TraceKind::Dispatch {
+                cpu: CpuId(cpu as u32),
+            },
+        );
     }
 
     fn resetpriority(&mut self, pid: Pid) {

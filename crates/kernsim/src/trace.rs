@@ -9,6 +9,7 @@
 use alps_core::Nanos;
 use serde::{Deserialize, Serialize};
 
+use crate::cpu::CpuId;
 use crate::pid::Pid;
 
 /// One scheduling event.
@@ -17,12 +18,22 @@ pub enum TraceKind {
     /// The process was placed on the given CPU.
     Dispatch {
         /// CPU index.
-        cpu: usize,
+        cpu: CpuId,
     },
     /// The process was taken off the given CPU (still runnable).
     Preempt {
         /// CPU index.
-        cpu: usize,
+        cpu: CpuId,
+    },
+    /// The process was claimed off another CPU's run queue (idle-time
+    /// work stealing or a cross-CPU preemption dispatch); a
+    /// [`TraceKind::Dispatch`] on `to` follows at the same instant.
+    /// Never emitted on a one-CPU machine.
+    Steal {
+        /// The CPU whose queue held the process.
+        from: CpuId,
+        /// The CPU that claimed it (its new home).
+        to: CpuId,
     },
     /// The process blocked on a wait channel.
     Block,
@@ -182,11 +193,11 @@ mod tests {
     #[test]
     fn busy_intervals_pair_dispatch_with_offcpu() {
         let mut t = Trace::new(100);
-        t.push(Nanos(10), Pid(1), TraceKind::Dispatch { cpu: 0 });
-        t.push(Nanos(30), Pid(1), TraceKind::Preempt { cpu: 0 });
-        t.push(Nanos(30), Pid(2), TraceKind::Dispatch { cpu: 0 });
+        t.push(Nanos(10), Pid(1), TraceKind::Dispatch { cpu: CpuId(0) });
+        t.push(Nanos(30), Pid(1), TraceKind::Preempt { cpu: CpuId(0) });
+        t.push(Nanos(30), Pid(2), TraceKind::Dispatch { cpu: CpuId(0) });
         t.push(Nanos(60), Pid(2), TraceKind::Block);
-        t.push(Nanos(60), Pid(1), TraceKind::Dispatch { cpu: 0 });
+        t.push(Nanos(60), Pid(1), TraceKind::Dispatch { cpu: CpuId(0) });
         let iv = t.busy_intervals(Nanos(100));
         assert_eq!(iv.len(), 3);
         assert!(iv.contains(&(Pid(1), Nanos(10), Nanos(30))));
@@ -197,9 +208,9 @@ mod tests {
     #[test]
     fn ascii_rendering_marks_busy_columns() {
         let mut t = Trace::new(100);
-        t.push(Nanos(0), Pid(0), TraceKind::Dispatch { cpu: 0 });
+        t.push(Nanos(0), Pid(0), TraceKind::Dispatch { cpu: CpuId(0) });
         t.push(Nanos(50), Pid(0), TraceKind::Block);
-        t.push(Nanos(50), Pid(1), TraceKind::Dispatch { cpu: 0 });
+        t.push(Nanos(50), Pid(1), TraceKind::Dispatch { cpu: CpuId(0) });
         let s = t.render_ascii(
             &[(Pid(0), "a"), (Pid(1), "b")],
             Nanos(0),

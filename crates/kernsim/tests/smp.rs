@@ -2,12 +2,14 @@
 //! policy. (Every experiment in the paper is uniprocessor; these tests
 //! pin down the substrate the `repro smp` extension study runs on.)
 
+use std::num::NonZeroUsize;
+
 use alps_core::Nanos;
-use kernsim::{Behavior, ComputeBound, Sim, SimConfig, SimCtl, Step};
+use kernsim::{Behavior, ComputeBound, CpuId, Sim, SimConfig, SimCtl, Step};
 
 fn smp(cpus: usize) -> Sim {
     Sim::new(SimConfig {
-        cpus,
+        cpus: NonZeroUsize::new(cpus).unwrap(),
         ..SimConfig::default()
     })
 }
@@ -73,7 +75,7 @@ fn sigstop_on_running_vacates_its_cpu_for_the_queue() {
     let c = sim.spawn("c", Box::new(ComputeBound));
     sim.run_until(Nanos::from_secs(1));
     // a and b hold the CPUs roughly; stop whichever is running now.
-    let victim = sim.running_on(0).unwrap();
+    let victim = sim.running_on(CpuId(0)).unwrap();
     sim.sigstop(victim);
     let frozen = sim.proc(victim).unwrap().cputime();
     sim.run_until(Nanos::from_secs(4));
@@ -120,12 +122,65 @@ fn behavior_can_stop_a_process_running_on_another_cpu() {
 }
 
 #[test]
+fn idle_cpu_steals_from_a_loaded_one() {
+    // Both workers spawn homed on cpu0 and cpu1 round-robin; a third is
+    // homed on cpu0 again. With 2 CPUs and 3 compute-bound processes the
+    // round-robin rotation forces cross-queue claims sooner or later.
+    let mut sim = smp(2);
+    sim.enable_trace(10_000);
+    let pids: Vec<_> = (0..3)
+        .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+        .collect();
+    sim.run_until(Nanos::from_secs(10));
+    assert!(sim.steals() > 0, "3 procs on 2 CPUs must steal eventually");
+    let per_proc: u64 = pids
+        .iter()
+        .map(|&p| sim.proc(p).unwrap().migrations())
+        .sum();
+    assert_eq!(per_proc, sim.steals(), "per-proc migrations sum to steals");
+    let traced = sim
+        .trace()
+        .unwrap()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, kernsim::TraceKind::Steal { .. }))
+        .count() as u64;
+    assert_eq!(traced, sim.steals(), "every steal is traced");
+    sim.assert_index_consistent();
+}
+
+#[test]
+fn no_steals_on_one_cpu() {
+    let mut sim = smp(1);
+    for i in 0..4 {
+        sim.spawn(format!("w{i}"), Box::new(ComputeBound));
+    }
+    sim.run_until(Nanos::from_secs(10));
+    assert_eq!(sim.steals(), 0);
+}
+
+#[test]
+fn per_cpu_cputime_sums_to_the_total() {
+    let mut sim = smp(3);
+    let pids: Vec<_> = (0..5)
+        .map(|i| sim.spawn(format!("w{i}"), Box::new(ComputeBound)))
+        .collect();
+    sim.run_until(Nanos::from_secs(12));
+    for &p in &pids {
+        let v = sim.proc(p).unwrap();
+        let split: Nanos = v.cputime_per_cpu().iter().copied().sum();
+        assert_eq!(split, v.cputime(), "{}: per-CPU split must sum", v.name());
+        assert_eq!(v.cputime_per_cpu().len(), 3);
+    }
+}
+
+#[test]
 fn single_cpu_config_is_unchanged() {
     // The SMP generalization must not disturb the uniprocessor paper runs:
     // same seed, same trace as a 1-CPU machine.
     let run = |cpus: usize| {
         let mut sim = Sim::new(SimConfig {
-            cpus,
+            cpus: NonZeroUsize::new(cpus).unwrap(),
             seed: 7,
             spawn_estcpu_jitter: 8.0,
             ..SimConfig::default()

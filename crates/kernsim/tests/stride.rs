@@ -94,7 +94,7 @@ fn late_joiner_starts_at_global_pass() {
 fn stride_on_smp_is_work_conserving() {
     let mut sim = Sim::new(SimConfig {
         policy: KernelPolicy::Stride,
-        cpus: 2,
+        cpus: std::num::NonZeroUsize::new(2).unwrap(),
         ..SimConfig::default()
     });
     let _a = sim.spawn_tickets("a", 1, Box::new(ComputeBound));

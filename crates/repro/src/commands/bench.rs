@@ -17,7 +17,10 @@ pub const REPORT_PATH: &str = "BENCH_kernsim.json";
 
 /// Print the kernsim scalability report; with `check`, also run a fresh
 /// fast sweep and compare it against the committed report's trend.
-pub fn bench(check: bool) {
+/// `strict` turns the soft gate hard: any point outside tolerance exits
+/// nonzero (the default remains exit 0 — the committed numbers came
+/// from a different host than the checker's).
+pub fn bench(check: bool, strict: bool) {
     let path = std::env::var("ALPS_BENCH_REPORT").unwrap_or_else(|_| REPORT_PATH.to_string());
     heading(&format!("kernsim scalability sweep ({path})"));
     let json = match std::fs::read_to_string(&path) {
@@ -52,12 +55,13 @@ pub fn bench(check: bool) {
         report.serial_wall_estimate_seconds,
         report.parallel_speedup
     );
-    let table = Table::new(&[5, -5, -7, -5, 6, 10, 10, 10, 12, 13, 9, 11, 7]);
+    let table = Table::new(&[5, -5, -7, -5, 5, 6, 10, 10, 10, 12, 13, 9, 11, 7]);
     table.header(&[
         "N",
         "lazy",
         "queue",
         "due",
+        "cpus",
         "sim-s",
         "reg(ms)",
         "drive(ms)",
@@ -74,6 +78,7 @@ pub fn bench(check: bool) {
             p.lazy.to_string(),
             p.runqueue.clone(),
             p.due_index.clone(),
+            p.sim_cpus.to_string(),
             p.sim_seconds.to_string(),
             fmt(p.register_seconds * 1e3, 3),
             fmt(p.drive_seconds * 1e3, 3),
@@ -106,8 +111,29 @@ pub fn bench(check: bool) {
         }
     }
 
+    let smp: Vec<&BenchPoint> = report.points.iter().filter(|p| p.sim_cpus > 1).collect();
+    if !smp.is_empty() {
+        println!("\nSMP series (default config; modeled-CPU dimension, same workload per N):");
+        for p in &smp {
+            if let Some(uni) = report.point(p.n, p.lazy, &p.runqueue, &p.due_index) {
+                println!(
+                    "  N={:<5} cpus={} wall/sim-s {:.6} ({:.2}x the 1-CPU point), ctxsw {}",
+                    p.n,
+                    p.sim_cpus,
+                    p.wall_per_sim_second,
+                    p.wall_per_sim_second / uni.wall_per_sim_second.max(1e-12),
+                    p.context_switches,
+                );
+            }
+        }
+    }
+
     if check {
-        check_against_trend(&report, &path);
+        let warnings = check_against_trend(&report, &path);
+        if strict && warnings > 0 {
+            eprintln!("bench --check --strict: failing on {warnings} out-of-tolerance point(s)");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -130,10 +156,12 @@ const RATIO_TOLERANCE: f64 = 10.0;
 
 /// Run a fresh `--fast` sweep and compare each point against a linear
 /// fit (over N) of the committed report's same series (lazy × queue ×
-/// due index). Soft gate: warnings are printed as GitHub annotations,
-/// and the process always exits 0 — the committed numbers came from a
-/// different host than CI's, so this can only catch gross regressions.
-fn check_against_trend(committed: &BenchReport, path: &str) {
+/// due index × modeled CPUs). Soft gate by default: warnings are printed
+/// as GitHub annotations and the exit stays 0 — the committed numbers
+/// came from a different host than CI's, so this can only catch gross
+/// regressions. Returns the number of out-of-tolerance points so
+/// `--strict` can turn them into a failing exit.
+fn check_against_trend(committed: &BenchReport, path: &str) -> usize {
     heading("bench --check: fresh fast sweep vs committed trend");
     let outcome = run_sweep(&sweep_specs(true), 2);
     let mut warnings = 0usize;
@@ -147,6 +175,7 @@ fn check_against_trend(committed: &BenchReport, path: &str) {
                     p.lazy == fresh.lazy
                         && p.runqueue == fresh.runqueue
                         && p.due_index == fresh.due_index
+                        && p.sim_cpus == fresh.sim_cpus
                 })
                 .map(|p| (p.n as f64, get(p)))
                 .collect();
@@ -161,8 +190,8 @@ fn check_against_trend(committed: &BenchReport, path: &str) {
             let ratio = measured / predicted;
             compared += 1;
             let label = format!(
-                "N={} lazy={} {} {}: {metric} measured {measured:.6} vs trend {predicted:.6} ({ratio:.2}x)",
-                fresh.n, fresh.lazy, fresh.runqueue, fresh.due_index
+                "N={} lazy={} {} {} cpus={}: {metric} measured {measured:.6} vs trend {predicted:.6} ({ratio:.2}x)",
+                fresh.n, fresh.lazy, fresh.runqueue, fresh.due_index, fresh.sim_cpus
             );
             if !(1.0 / RATIO_TOLERANCE..=RATIO_TOLERANCE).contains(&ratio) {
                 warnings += 1;
@@ -174,6 +203,7 @@ fn check_against_trend(committed: &BenchReport, path: &str) {
     }
     println!(
         "\nbench --check: {compared} comparisons, {warnings} outside {RATIO_TOLERANCE}x \
-         of the committed trend (soft gate; always exits 0)"
+         of the committed trend (soft gate unless --strict)"
     );
+    warnings
 }

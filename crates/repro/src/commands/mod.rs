@@ -5,13 +5,15 @@
 //! [`io`] (Fig. 6, §2.4), [`multi`] (Fig. 7, Table 3), [`scalability`]
 //! (Figs. 8–9, §4.2, the stride baseline), [`web`] (§5), plus the
 //! [`batch`], [`bench`] (the committed kernsim scalability report),
-//! [`smp`], and [`verify`] extensions. All commands keep their
+//! [`conformance`] (the spec-oracle differential, SMP-aware), [`smp`],
+//! and [`verify`] extensions. All commands keep their
 //! `commands::<name>()` paths via the re-exports below, so `main.rs` is
 //! oblivious to the file layout. Column alignment is shared in
 //! [`table::Table`].
 
 mod batch;
 mod bench;
+mod conformance;
 mod costs;
 mod io;
 mod multi;
@@ -24,6 +26,7 @@ mod workload;
 
 pub use batch::batch;
 pub use bench::bench;
+pub use conformance::conformance;
 pub use costs::table1;
 pub use io::{fig6, io_policy};
 pub use multi::{fig7, table3};

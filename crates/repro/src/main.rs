@@ -15,13 +15,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--threads N] <experiment>...\n\
          experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
-                      fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench latency verify all\n\
+                      fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench\n\
+                      conformance latency verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
          --threads N: sweep worker threads (1 = serial; default ALPS_THREADS or all cores)\n\
+         --cpus M: with `conformance`, drive the differential on an M-CPU\n\
+                   accounting substrate (default 1; M > 1 also byte-checks\n\
+                   every run against its 1-CPU baseline)\n\
          --data <dir>: also write gnuplot-ready .dat files\n\
          --check: with `bench`, run a fresh fast sweep and flag points that\n\
                   drifted more than 10x from the committed report's trend\n\
-                  (always exits 0; prints GitHub warning annotations)"
+                  (exits 0 unless --strict; prints GitHub warning annotations)\n\
+         --strict: make `bench --check` exit 1 when any point is outside\n\
+                   tolerance (the default stays a soft gate)"
     );
     std::process::exit(2);
 }
@@ -32,6 +38,23 @@ fn main() {
     args.retain(|a| a != "--quick");
     let bench_check = args.iter().any(|a| a == "--check");
     args.retain(|a| a != "--check");
+    let bench_strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
+    let mut cpus = 1usize;
+    if let Some(i) = args.iter().position(|a| a == "--cpus") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --cpus needs a count");
+            std::process::exit(2);
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(m) if m >= 1 => cpus = m,
+            _ => {
+                eprintln!("error: --cpus wants an integer >= 1, got {:?}", args[i + 1]);
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let data_dir = args.iter().position(|a| a == "--data").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("error: --data needs a directory");
@@ -116,7 +139,8 @@ fn main() {
             "smp" => commands::smp(),
             "baseline" => commands::baseline(&scale),
             "batch" => commands::batch(),
-            "bench" => commands::bench(bench_check),
+            "bench" => commands::bench(bench_check, bench_strict),
+            "conformance" => commands::conformance(quick, cpus),
             "verify" => commands::verify(),
             "latency" => commands::latency(&scale),
             other => {

@@ -150,6 +150,26 @@ macro_rules! ser_int {
 ser_uint!(u8, u16, u32, u64, usize);
 ser_int!(i8, i16, i32, i64, isize);
 
+macro_rules! ser_nonzero {
+    ($($nz:ty => $t:ty),*) => {$(
+        impl Serialize for $nz {
+            fn to_value(&self) -> Value { Value::U64(self.get() as u64) }
+        }
+        impl Deserialize for $nz {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = <$t>::from_value(v)?;
+                <$nz>::new(n).ok_or_else(|| Error::custom("expected nonzero integer"))
+            }
+        }
+    )*};
+}
+
+ser_nonzero!(
+    std::num::NonZeroU32 => u32,
+    std::num::NonZeroU64 => u64,
+    std::num::NonZeroUsize => usize
+);
+
 macro_rules! ser_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
