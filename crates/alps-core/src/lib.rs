@@ -57,6 +57,8 @@
 //! * [`hierarchy`] — share *trees* (users → apps → processes), flattened
 //!   into the per-process shares ALPS consumes (a §6 related-work
 //!   extension).
+//! * [`slo`] — the latency-feedback controller: observe per-tenant tail
+//!   latency, nudge shares to meet per-tenant SLO targets.
 //! * [`cycle`] — per-cycle consumption records for accuracy analysis.
 //! * [`config`] — quantum length, the §2.3 lazy-measurement switch, and
 //!   §2.4 I/O policies.
@@ -71,6 +73,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod principal;
 pub mod sched;
+pub mod slo;
 pub mod time;
 
 /// The types every ALPS driver imports.
@@ -104,4 +107,5 @@ pub use principal::{
     DueList, MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler,
 };
 pub use sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, StaleId, Transition};
+pub use slo::{ShareAdjustment, SloConfig, SloController, SloTarget};
 pub use time::Nanos;

@@ -1,0 +1,244 @@
+//! SLO-driven share feedback: close the loop from observed tail latency
+//! back to ALPS shares.
+//!
+//! ALPS apportions CPU *time*; services care about *latency*. The paper's
+//! motivating web-hosting scenario (§5) assigns static shares per user,
+//! which guarantees a CPU fraction but not a response-time target. The
+//! [`SloController`] bridges that gap at the application level, in the
+//! same spirit as ALPS itself — no kernel help, just observation and
+//! feedback: each control period it compares every tenant's observed p95
+//! latency against its SLO target and nudges the tenant's share
+//! multiplicatively toward the target.
+//!
+//! The law is deliberately simple (proportional, multiplicative,
+//! clamped):
+//!
+//! ```text
+//! error  = (p95 - target) / target          // >0 ⇒ missing the SLO
+//! factor = clamp(1 + gain·error, 1/max_step, max_step)
+//! share' = clamp(round(share · factor), min_share, max_share)
+//! ```
+//!
+//! with a *deadband*: errors within `±deadband` produce no change, so the
+//! controller is quiet at equilibrium (hysteresis against share
+//! oscillation, and — with the controller disabled or converged — the
+//! engine's event stream stays byte-identical). A tenant with no samples
+//! in the window (starved into silence) is treated as infinitely late and
+//! pushed up by the full `max_step`.
+//!
+//! The controller is pure: it computes [`ShareAdjustment`]s from
+//! observations; the caller applies them via
+//! [`Engine::adjust_share`](crate::engine::Engine::adjust_share), which
+//! counts them and emits [`Event::ShareChanged`](crate::engine::Event)
+//! for observability.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sched::ProcId;
+
+/// Per-tenant controller registration: which principal, what target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// The principal whose share the controller may move.
+    pub id: ProcId,
+    /// The p95 latency target, in milliseconds.
+    pub p95_target_ms: f64,
+}
+
+/// One share change the controller wants applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareAdjustment {
+    /// The principal to adjust.
+    pub id: ProcId,
+    /// The new share.
+    pub share: u64,
+}
+
+/// Tuning knobs for [`SloController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Proportional gain on the relative error. Higher converges faster
+    /// but overshoots; 0.5 is a sane default for per-second control
+    /// periods.
+    pub gain: f64,
+    /// Relative errors within `±deadband` produce no adjustment
+    /// (hysteresis). Must be `>= 0`.
+    pub deadband: f64,
+    /// Largest multiplicative change per period (`factor` is clamped to
+    /// `[1/max_step, max_step]`). Must be `> 1`.
+    pub max_step: f64,
+    /// Shares never drop below this (a tenant must keep *some* CPU or it
+    /// can never generate the samples that would raise it back).
+    pub min_share: u64,
+    /// Shares never exceed this (bounds one tenant's ability to squeeze
+    /// the rest).
+    pub max_share: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            gain: 0.5,
+            deadband: 0.1,
+            max_step: 2.0,
+            min_share: 1,
+            max_share: 64,
+        }
+    }
+}
+
+/// The proportional SLO controller (see module docs).
+#[derive(Debug, Clone)]
+pub struct SloController {
+    cfg: SloConfig,
+    targets: Vec<SloTarget>,
+}
+
+impl SloController {
+    /// A controller over the given tenants.
+    pub fn new(cfg: SloConfig, targets: Vec<SloTarget>) -> Self {
+        assert!(cfg.gain > 0.0, "gain must be positive");
+        assert!(cfg.deadband >= 0.0, "deadband must be non-negative");
+        assert!(cfg.max_step > 1.0, "max_step must exceed 1");
+        assert!(cfg.min_share >= 1, "min_share must be at least 1");
+        assert!(cfg.max_share >= cfg.min_share, "max_share < min_share");
+        SloController { cfg, targets }
+    }
+
+    /// The registered targets.
+    pub fn targets(&self) -> &[SloTarget] {
+        &self.targets
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    /// One control period: fold each tenant's observed window p95 (in
+    /// milliseconds; `None` = no samples, treated as unboundedly late)
+    /// and current share into the adjustments to apply. Observations are
+    /// matched to targets by [`ProcId`]; tenants without an observation
+    /// entry are left alone. Returns only *actual* changes — an empty
+    /// vector means the controller is in its deadband everywhere.
+    pub fn control(&self, observed: &[(ProcId, Option<f64>, u64)]) -> Vec<ShareAdjustment> {
+        let mut out = Vec::new();
+        for t in &self.targets {
+            let Some(&(_, p95_ms, share)) = observed.iter().find(|&&(id, _, _)| id == t.id) else {
+                continue;
+            };
+            let factor = match p95_ms {
+                // Starved into silence: no completions at all this
+                // window. Push up as hard as allowed.
+                None => self.cfg.max_step,
+                Some(p95) => {
+                    let error = (p95 - t.p95_target_ms) / t.p95_target_ms;
+                    if error.abs() <= self.cfg.deadband {
+                        continue;
+                    }
+                    (1.0 + self.cfg.gain * error).clamp(1.0 / self.cfg.max_step, self.cfg.max_step)
+                }
+            };
+            let raw = (share as f64 * factor).round() as u64;
+            let new = raw.clamp(self.cfg.min_share, self.cfg.max_share);
+            if new != share {
+                out.push(ShareAdjustment {
+                    id: t.id,
+                    share: new,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(sched: &mut crate::AlpsScheduler, share: u64) -> ProcId {
+        sched.add_process(share, crate::Nanos::ZERO)
+    }
+
+    fn two_tenants() -> (ProcId, ProcId, SloController) {
+        let mut s =
+            crate::AlpsScheduler::new(crate::AlpsConfig::new(crate::Nanos::from_millis(10)));
+        let a = id(&mut s, 4);
+        let b = id(&mut s, 4);
+        let ctl = SloController::new(
+            SloConfig::default(),
+            vec![
+                SloTarget {
+                    id: a,
+                    p95_target_ms: 100.0,
+                },
+                SloTarget {
+                    id: b,
+                    p95_target_ms: 100.0,
+                },
+            ],
+        );
+        (a, b, ctl)
+    }
+
+    #[test]
+    fn within_deadband_is_quiet() {
+        let (a, b, ctl) = two_tenants();
+        let adj = ctl.control(&[(a, Some(105.0), 4), (b, Some(95.0), 4)]);
+        assert!(adj.is_empty(), "±10% deadband, got {adj:?}");
+    }
+
+    #[test]
+    fn missing_the_slo_raises_the_share() {
+        let (a, b, ctl) = two_tenants();
+        // 100% over target with gain 0.5: factor 1.5, share 4 -> 6.
+        let adj = ctl.control(&[(a, Some(200.0), 4), (b, Some(100.0), 4)]);
+        assert_eq!(
+            adj,
+            vec![ShareAdjustment { id: a, share: 6 }],
+            "only the violator moves"
+        );
+    }
+
+    #[test]
+    fn beating_the_slo_lowers_the_share() {
+        let (a, _, ctl) = two_tenants();
+        // 60% under target: factor 1 - 0.3 = 0.7, share 10 -> 7.
+        let adj = ctl.control(&[(a, Some(40.0), 10)]);
+        assert_eq!(adj, vec![ShareAdjustment { id: a, share: 7 }]);
+    }
+
+    #[test]
+    fn step_and_range_clamps_hold() {
+        let (a, _, ctl) = two_tenants();
+        // Error 100x over: raw factor 1 + 0.5*99 huge, clamped to
+        // max_step 2.0; share 40 -> 64 (max_share), not 80.
+        let adj = ctl.control(&[(a, Some(10_000.0), 40)]);
+        assert_eq!(adj, vec![ShareAdjustment { id: a, share: 64 }]);
+        // Far under target at the floor: clamped to min_share.
+        let adj = ctl.control(&[(a, Some(0.001), 2)]);
+        assert_eq!(adj, vec![ShareAdjustment { id: a, share: 1 }]);
+    }
+
+    #[test]
+    fn starved_tenant_is_pushed_up_hard() {
+        let (a, _, ctl) = two_tenants();
+        let adj = ctl.control(&[(a, None, 3)]);
+        assert_eq!(adj, vec![ShareAdjustment { id: a, share: 6 }]);
+    }
+
+    #[test]
+    fn unobserved_tenants_are_left_alone() {
+        let (a, _, ctl) = two_tenants();
+        let adj = ctl.control(&[(a, Some(100.0), 4)]);
+        assert!(adj.is_empty());
+    }
+
+    #[test]
+    fn no_op_adjustments_are_suppressed() {
+        let (a, _, ctl) = two_tenants();
+        // Just outside the deadband but rounding lands on the same share.
+        let adj = ctl.control(&[(a, Some(112.0), 1)]);
+        assert!(adj.is_empty(), "rounded back to 1: {adj:?}");
+    }
+}

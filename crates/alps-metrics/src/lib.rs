@@ -8,17 +8,23 @@
 //!   lines);
 //! * [`threshold`] — the `U_Q(N*) = 100/(N*+1)` breakdown-threshold model
 //!   of §4.2;
-//! * [`summary`] — mean/stddev/RMS helpers.
+//! * [`summary`] — the [`Summary`] scalar-statistics block (and the
+//!   historical mean/stddev/RMS free functions it consolidates);
+//! * [`latency`] — fixed-bin latency histograms and the
+//!   [`LatencySummary`] tail/stretch/yield block the traffic engine and
+//!   SLO controller consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod latency;
 pub mod regression;
 pub mod summary;
 pub mod threshold;
 
 pub use accuracy::{cumulative_cpu_series, mean_rms_relative_error_pct, share_percent_series};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use regression::{linear_fit, LinearFit};
-pub use summary::jain_index;
+pub use summary::{jain_index, mean, rms, stddev, Summary};
 pub use threshold::{analyze_overhead_curve, breakdown_threshold, ThresholdAnalysis};

@@ -1,0 +1,109 @@
+//! Property tests for the fixed-bin latency histogram's percentile
+//! estimator (ISSUE 7 satellite): monotone in rank, bounded by min/max,
+//! exact on single-bin inputs, order-independent, and merge-consistent.
+
+use alps_metrics::latency::{LatencyHistogram, SUB_BITS};
+use proptest::prelude::*;
+
+fn build(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v, v.max(1));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Percentiles never decrease as the rank grows.
+    #[test]
+    fn percentile_is_monotone_in_rank(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let h = build(&samples);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut last = None;
+        for q in qs {
+            let p = h.percentile_ns(q).expect("non-empty");
+            if let Some(prev) = last {
+                prop_assert!(p >= prev, "pct({q}) = {p} < {prev}");
+            }
+            last = Some(p);
+        }
+    }
+
+    /// Every percentile is within the recorded [min, max].
+    #[test]
+    fn percentile_is_bounded_by_min_max(
+        samples in proptest::collection::vec(0u64..u64::MAX / 4, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = build(&samples);
+        let p = h.percentile_ns(q).expect("non-empty");
+        prop_assert!(p >= h.min_ns().unwrap());
+        prop_assert!(p <= h.max_ns().unwrap());
+    }
+
+    /// All samples equal (the degenerate single-bin input): every
+    /// percentile is exactly that value.
+    #[test]
+    fn percentile_is_exact_on_constant_input(
+        v in 0u64..10_000_000_000,
+        n in 1usize..100,
+        q in 0.0f64..=1.0,
+    ) {
+        let h = build(&vec![v; n]);
+        prop_assert_eq!(h.percentile_ns(q), Some(v));
+    }
+
+    /// The estimator's relative error against the true order statistic
+    /// is bounded by the bin width (2^-SUB_BITS) at any magnitude.
+    #[test]
+    fn percentile_relative_error_is_bounded(
+        mut samples in proptest::collection::vec(1u64..10_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = build(&samples);
+        let got = h.percentile_ns(q).expect("non-empty") as f64;
+        samples.sort_unstable();
+        let rank = (q * (samples.len() - 1) as f64).round() as usize;
+        let exact = samples[rank] as f64;
+        let tol = exact / (1u64 << SUB_BITS) as f64 + 1.0;
+        prop_assert!((got - exact).abs() <= tol,
+            "pct({q}) = {got}, exact order statistic {exact}");
+    }
+
+    /// Recording order never matters.
+    #[test]
+    fn histogram_is_order_independent(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 2..100),
+        seed in any::<u64>(),
+    ) {
+        let fwd = build(&samples);
+        let mut shuffled = samples.clone();
+        let n = shuffled.len();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(fwd, build(&shuffled));
+    }
+
+    /// Merging split halves equals recording everything into one.
+    #[test]
+    fn merge_is_consistent(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 2..100),
+        split in 0usize..100,
+    ) {
+        let at = split % samples.len();
+        let mut a = build(&samples[..at]);
+        let b = build(&samples[at..]);
+        a.merge(&b);
+        prop_assert_eq!(a, build(&samples));
+    }
+}

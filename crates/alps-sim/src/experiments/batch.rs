@@ -11,7 +11,8 @@
 use alps_core::{AlpsConfig, Nanos};
 use kernsim::{Sim, SimConfig};
 use serde::{Deserialize, Serialize};
-use workloads::batch::{run_to_completion, spawn_batch, BatchJob};
+use workloads::batch::{run_pids_to_completion, BatchJob, BatchStage};
+use workloads::Workload;
 
 use crate::cost::CostModel;
 use crate::runner::spawn_alps;
@@ -86,8 +87,12 @@ pub fn run_batch(p: &BatchParams) -> BatchResult {
         spawn_estcpu_jitter: 4.0,
         ..SimConfig::default()
     });
-    let batch = spawn_batch(&mut sim, "stage", &jobs);
-    let kernel = outcome(&run_to_completion(&mut sim, &batch, cap));
+    let stage = BatchStage {
+        name: "stage".into(),
+        jobs: jobs.clone(),
+    };
+    let tenant = stage.spawn(&mut sim);
+    let kernel = outcome(&run_pids_to_completion(&mut sim, &tenant.members, cap));
 
     // ALPS, shares proportional to work (in units of the smallest job).
     let unit = *p.work_ms.iter().min().expect("non-empty batch");
@@ -96,16 +101,16 @@ pub fn run_batch(p: &BatchParams) -> BatchResult {
         spawn_estcpu_jitter: 4.0,
         ..SimConfig::default()
     });
-    let batch = spawn_batch(&mut sim, "stage", &jobs);
-    let procs: Vec<_> = batch
-        .pids
+    let tenant = stage.spawn(&mut sim);
+    let procs: Vec<_> = tenant
+        .members
         .iter()
         .zip(&p.work_ms)
         .map(|(&pid, &ms)| (pid, ms.div_ceil(unit)))
         .collect();
     let cfg = AlpsConfig::new(p.quantum);
     let _alps = spawn_alps(&mut sim, "alps", cfg, CostModel::paper(), &procs);
-    let alps = outcome(&run_to_completion(&mut sim, &batch, cap));
+    let alps = outcome(&run_pids_to_completion(&mut sim, &tenant.members, cap));
 
     BatchResult { kernel, alps }
 }

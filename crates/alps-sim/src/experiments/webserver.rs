@@ -11,7 +11,7 @@ use std::rc::Rc;
 use alps_core::{AlpsConfig, Nanos};
 use kernsim::{Sim, SimConfig};
 use serde::{Deserialize, Serialize};
-use workloads::{spawn_site, Site, SiteSpec};
+use workloads::{Site, Tenant, Workload};
 
 use crate::cost::CostModel;
 use crate::principal_runner::{spawn_alps_principals, MemberList};
@@ -82,8 +82,10 @@ pub struct WebResult {
     pub alps_p95_ms: [f64; 3],
 }
 
-fn site_specs(p: &WebParams) -> [SiteSpec; 3] {
-    [0u64, 1, 2].map(|i| SiteSpec {
+fn site_specs(p: &WebParams) -> [Site; 3] {
+    let names = ["siteA", "siteB", "siteC"];
+    [0u64, 1, 2].map(|i| Site {
+        name: names[i as usize].into(),
         workers: p.workers_per_site,
         active: p.active_per_site.min(p.workers_per_site),
         cpu_per_request: p.cpu_per_request,
@@ -93,20 +95,19 @@ fn site_specs(p: &WebParams) -> [SiteSpec; 3] {
     })
 }
 
-fn measure_throughput(sim: &mut Sim, sites: &[Site; 3], p: &WebParams) -> [f64; 3] {
+fn measure_throughput(sim: &mut Sim, sites: &[Tenant; 3], p: &WebParams) -> [f64; 3] {
     sim.run_until(sim.now() + p.warmup);
     let base: Vec<u64> = sites.iter().map(|s| s.completed()).collect();
     sim.run_until(sim.now() + p.duration);
     let mut out = [0.0; 3];
     for (i, s) in sites.iter().enumerate() {
-        out[i] = Site::throughput_rps(s.completed() - base[i], p.duration);
+        out[i] = Tenant::throughput_rps(s.completed() - base[i], p.duration);
     }
     out
 }
 
 /// Run both configurations.
 pub fn run_webserver(p: &WebParams) -> WebResult {
-    let names = ["siteA", "siteB", "siteC"];
     let specs = site_specs(p);
 
     // Baseline: the kernel scheduler alone.
@@ -115,7 +116,7 @@ pub fn run_webserver(p: &WebParams) -> WebResult {
         spawn_estcpu_jitter: 4.0,
         ..SimConfig::default()
     });
-    let sites: [Site; 3] = std::array::from_fn(|i| spawn_site(&mut sim, names[i], &specs[i]));
+    let sites: [Tenant; 3] = std::array::from_fn(|i| specs[i].spawn(&mut sim));
     let baseline_rps = measure_throughput(&mut sim, &sites, p);
     let warm = 50usize;
     let baseline_p50_ms = std::array::from_fn(|i| {
@@ -130,12 +131,12 @@ pub fn run_webserver(p: &WebParams) -> WebResult {
         spawn_estcpu_jitter: 4.0,
         ..SimConfig::default()
     });
-    let sites: [Site; 3] = std::array::from_fn(|i| spawn_site(&mut sim, names[i], &specs[i]));
+    let sites: [Tenant; 3] = std::array::from_fn(|i| specs[i].spawn(&mut sim));
     let groups: Vec<(u64, MemberList)> = sites
         .iter()
         .zip(p.shares)
         .map(|(site, share)| {
-            let members: MemberList = Rc::new(std::cell::RefCell::new(site.workers.clone()));
+            let members: MemberList = Rc::new(std::cell::RefCell::new(site.members.clone()));
             (share, members)
         })
         .collect();

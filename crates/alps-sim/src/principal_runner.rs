@@ -12,7 +12,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use alps_core::{AlpsConfig, CycleRecord, Engine, Instrumentation, Nanos, NullSink, ProcId};
+use alps_core::{
+    AlpsConfig, CycleRecord, Engine, EngineStats, Instrumentation, Nanos, NullSink, ProcId, StaleId,
+};
 use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
 use crate::cost::CostModel;
@@ -68,6 +70,26 @@ impl PrincipalAlpsHandle {
     /// Scheduler invocations serviced.
     pub fn quanta_serviced(&self) -> u64 {
         self.shared.borrow().engine.stats().quanta
+    }
+
+    /// A principal's current share.
+    pub fn share(&self, id: ProcId) -> Option<u64> {
+        self.shared.borrow().engine.share(id)
+    }
+
+    /// Change a principal's share mid-run — the SLO controller's actuator.
+    /// Takes effect from the next cycle boundary; a no-op (same share)
+    /// leaves the engine's event stream and counters untouched.
+    pub fn adjust_share(&self, id: ProcId, share: u64) -> Result<(), StaleId> {
+        self.shared
+            .borrow_mut()
+            .engine
+            .adjust_share(id, share, &mut NullSink)
+    }
+
+    /// Engine counter snapshot (quanta, measurements, share adjustments…).
+    pub fn stats(&self) -> EngineStats {
+        self.shared.borrow().engine.stats()
     }
 }
 

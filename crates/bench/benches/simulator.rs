@@ -54,11 +54,12 @@ fn bench_webserver_sim(c: &mut Criterion) {
     c.bench_function("simulator/webserver_one_second", |b| {
         b.iter(|| {
             let mut sim = Sim::new(SimConfig::default());
-            let spec = workloads::SiteSpec {
+            let spec = workloads::Site {
+                name: "s".into(),
                 workers: 20,
-                ..workloads::SiteSpec::default()
+                ..workloads::Site::default()
             };
-            let site = workloads::spawn_site(&mut sim, "s", &spec);
+            let site = workloads::Workload::spawn(&spec, &mut sim);
             sim.run_until(Nanos::from_secs(1));
             black_box(site.completed());
         })

@@ -7,6 +7,7 @@
 
 use alps_bench::scalability::{run_sweep, sweep_specs, BenchPoint, BenchReport};
 use alps_metrics::regression::linear_fit;
+use alps_metrics::Summary;
 
 use super::table::Table;
 use crate::output::{fmt, heading};
@@ -107,6 +108,29 @@ pub fn bench(check: bool, strict: bool) {
         for lazy in [true, false] {
             if let Some(r) = report.due_overhead_ratio(*n, lazy) {
                 println!("  N={n:<5} lazy={lazy:<5} {r:.2}x");
+            }
+        }
+    }
+
+    println!("\nsupervisor overhead by implementation pair (ns per quantum per member, across N):");
+    for queue in ["indexed", "linear"] {
+        for due in ["wheel", "scan"] {
+            let xs: Vec<f64> = report
+                .points
+                .iter()
+                .filter(|p| p.runqueue == queue && p.due_index == due)
+                .map(|p| p.supervisor_ns_per_quantum_per_member)
+                .collect();
+            let s = Summary::from_samples(&xs);
+            if s.count > 0 {
+                println!(
+                    "  {queue:<8} {due:<6} n={:<3} mean {:>9} stddev {:>9} min {:>8} max {:>9}",
+                    s.count,
+                    fmt(s.mean, 1),
+                    fmt(s.stddev, 1),
+                    fmt(s.min, 1),
+                    fmt(s.max, 1)
+                );
             }
         }
     }

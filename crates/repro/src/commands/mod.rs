@@ -6,7 +6,8 @@
 //! (Figs. 8–9, §4.2, the stride baseline), [`web`] (§5), plus the
 //! [`batch`], [`bench`] (the committed kernsim scalability report),
 //! [`conformance`] (the spec-oracle differential, SMP-aware), [`smp`],
-//! and [`verify`] extensions. All commands keep their
+//! [`slo`] (SLO-driven share feedback under open-loop overload), and
+//! [`verify`] extensions. All commands keep their
 //! `commands::<name>()` paths via the re-exports below, so `main.rs` is
 //! oblivious to the file layout. Column alignment is shared in
 //! [`table::Table`].
@@ -18,6 +19,7 @@ mod costs;
 mod io;
 mod multi;
 mod scalability;
+mod slo;
 mod smp;
 mod table;
 mod verify;
@@ -31,6 +33,7 @@ pub use costs::table1;
 pub use io::{fig6, io_policy};
 pub use multi::{fig7, table3};
 pub use scalability::{baseline, scalability};
+pub use slo::{overload, slo};
 pub use smp::smp;
 pub use verify::verify;
 pub use web::{latency, websrv};
@@ -47,6 +50,8 @@ pub struct Scale {
     pub scal_secs: u64,
     /// Seconds of measured web-server throughput.
     pub web_secs: u64,
+    /// Whether this is the `--quick` smoke scale.
+    pub quick: bool,
 }
 
 impl Scale {
@@ -57,6 +62,7 @@ impl Scale {
             seeds: 3,
             scal_secs: 80,
             web_secs: 60,
+            quick: false,
         }
     }
 
@@ -67,6 +73,7 @@ impl Scale {
             seeds: 1,
             scal_secs: 30,
             web_secs: 20,
+            quick: true,
         }
     }
 

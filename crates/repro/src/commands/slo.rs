@@ -1,0 +1,159 @@
+//! `repro slo` / `repro overload` — the SLO-feedback extension study.
+//!
+//! `slo` runs the default two-tenant overload scenario across the
+//! scale's seeds (fanned through `alps-sweep`), prints one tenant table
+//! per seed plus a cross-seed [`Summary`] of the relative SLO errors,
+//! and **exits nonzero** if any seed failed to converge every tenant's
+//! p95 to within tolerance of its target — this is the CI convergence
+//! gate. `overload` runs the flash-crowd scenario with static shares and
+//! with feedback side by side, and gates on feedback actually helping.
+
+use alps_metrics::Summary;
+use alps_sim::experiments::slo::{
+    overload_params, run_overload, run_slo_sweep, SloParams, SloResult,
+};
+
+use super::table::Table;
+use super::Scale;
+use crate::output::{fmt, heading, write_data};
+
+fn scaled_params(base: SloParams, scale: &Scale) -> SloParams {
+    if scale.quick {
+        base.quick()
+    } else {
+        base
+    }
+}
+
+fn tenant_table(r: &SloResult) {
+    let table = Table::new(&[-8, 9, 9, 8, 11, 8, 8, 8, 8]);
+    table.header(&[
+        "tenant", "target", "p95 ms", "err %", "share", "rps", "done", "dropped", "stretch",
+    ]);
+    for t in &r.tenants {
+        table.row(&[
+            t.name.clone(),
+            fmt(t.target_p95_ms, 0),
+            t.final_p95_ms.map_or("-".into(), |v| fmt(v, 0)),
+            t.rel_error.map_or("-".into(), |e| fmt(e * 100.0, 1)),
+            format!("{}->{}", t.initial_share, t.final_share),
+            fmt(t.throughput_rps, 1),
+            t.completed.to_string(),
+            t.dropped.to_string(),
+            fmt(t.mean_stretch, 1),
+        ]);
+    }
+    println!(
+        "  best-effort share {} (fixed); {} share adjustments; ALPS overhead {}%",
+        r.hog_share,
+        r.share_adjustments,
+        fmt(r.overhead_pct, 2)
+    );
+}
+
+/// The SLO-feedback scenario: converge each tenant's p95 to its target.
+pub fn slo(scale: &Scale) {
+    heading("extension: SLO-driven share feedback (open-loop overload)");
+    let p = scaled_params(SloParams::default(), scale);
+    println!(
+        "{} tenants + best-effort hog, quantum {} ms, control period {} ms, {}s run ({}s settle)",
+        p.tenants.len(),
+        p.quantum.as_millis_f64(),
+        p.control_period.as_millis_f64(),
+        p.duration.as_secs_f64(),
+        p.settle.as_secs_f64(),
+    );
+    let runs = run_slo_sweep(&p, &scale.seed_list());
+    let mut rel_errors = Vec::new();
+    let mut failures = 0usize;
+    for (seed, r) in &runs {
+        println!("\nseed {seed}:");
+        tenant_table(r);
+        for t in &r.tenants {
+            if let Some(e) = t.rel_error {
+                rel_errors.push(e * 100.0);
+            }
+        }
+        if !r.converged {
+            failures += 1;
+            println!(
+                "  NOT CONVERGED (tolerance {}%)",
+                fmt(p.tolerance * 100.0, 0)
+            );
+        }
+    }
+    // Share trajectories of the first seed, for plotting.
+    if let Some((_, first)) = runs.first() {
+        let periods = first
+            .tenants
+            .iter()
+            .map(|t| t.share_trajectory.len())
+            .max()
+            .unwrap_or(0);
+        let rows: Vec<Vec<f64>> = (0..periods)
+            .map(|k| {
+                let mut row = vec![k as f64];
+                for t in &first.tenants {
+                    row.push(*t.share_trajectory.get(k).unwrap_or(&t.final_share) as f64);
+                }
+                row
+            })
+            .collect();
+        write_data("slo_shares.dat", "period gold_share silver_share", &rows);
+    }
+    let s = Summary::from_samples(&rel_errors);
+    println!(
+        "\nrelative SLO error across {} tenant-seeds: mean {}% (stddev {}, range {}%..{}%)",
+        s.count,
+        fmt(s.mean, 1),
+        fmt(s.stddev, 1),
+        fmt(s.min, 1),
+        fmt(s.max, 1)
+    );
+    if failures > 0 {
+        eprintln!(
+            "repro slo: {failures}/{} seed(s) failed to converge",
+            runs.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "all seeds converged within {}% of every tenant's target",
+        fmt(p.tolerance * 100.0, 0)
+    );
+}
+
+/// The flash-crowd comparison: static shares vs feedback.
+pub fn overload(scale: &Scale) {
+    heading("extension: flash-crowd overload — static shares vs SLO feedback");
+    let p = scaled_params(overload_params(), scale);
+    let r = run_overload(&p);
+    println!("static shares (controller off):");
+    tenant_table(&r.without);
+    println!("\nSLO feedback on:");
+    tenant_table(&r.with_controller);
+    let gold_off = &r.without.tenants[0];
+    let gold_on = &r.with_controller.tenants[0];
+    let (p95_off, p95_on) = match (gold_off.final_p95_ms, gold_on.final_p95_ms) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            eprintln!("repro overload: gold tenant recorded no settle-window completions");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\ngold p95 under flash crowds: {} ms static vs {} ms with feedback (target {} ms)",
+        fmt(p95_off, 0),
+        fmt(p95_on, 0),
+        fmt(gold_off.target_p95_ms, 0)
+    );
+    if r.without.share_adjustments != 0 {
+        eprintln!("repro overload: controller-off run adjusted shares — determinism bug");
+        std::process::exit(1);
+    }
+    if p95_on >= p95_off || r.with_controller.share_adjustments == 0 {
+        eprintln!("repro overload: feedback failed to improve the violating tenant");
+        std::process::exit(1);
+    }
+    println!("feedback cut the violator's tail while the static run shed its SLO");
+}

@@ -16,7 +16,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--threads N] <experiment>...\n\
          experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
                       fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench\n\
-                      conformance latency verify all\n\
+                      conformance latency slo overload verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
          --threads N: sweep worker threads (1 = serial; default ALPS_THREADS or all cores)\n\
          --cpus M: with `conformance`, drive the differential on an M-CPU\n\
@@ -113,6 +113,8 @@ fn main() {
         "baseline",
         "batch",
         "latency",
+        "slo",
+        "overload",
         "verify",
     ];
     let selected: Vec<String> = if args.iter().any(|a| a == "all") {
@@ -143,6 +145,8 @@ fn main() {
             "conformance" => commands::conformance(quick, cpus),
             "verify" => commands::verify(),
             "latency" => commands::latency(&scale),
+            "slo" => commands::slo(&scale),
+            "overload" => commands::overload(&scale),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();

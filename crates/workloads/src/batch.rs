@@ -10,8 +10,9 @@
 //! steal CPU needed elsewhere) while the largest region drags the join.
 
 use alps_core::Nanos;
-use kernsim::{Pid, Sim};
+use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
 
+use crate::workload::{LatencyProbe, Tenant, Workload};
 use crate::FiniteJob;
 
 /// One worker of a fork-join stage.
@@ -50,6 +51,69 @@ impl Batch {
     }
 }
 
+/// A fork-join stage as a [`Workload`] spec: one worker per job, each
+/// recording its completion latency (spawn to exit) against its work as
+/// the service demand — so a stage's probe summary directly reports
+/// stretch (1.0 = ran as if alone; the co-completion ideal keeps every
+/// worker's stretch equal).
+#[derive(Debug, Clone)]
+pub struct BatchStage {
+    /// Stage name.
+    pub name: String,
+    /// One worker per job.
+    pub jobs: Vec<BatchJob>,
+}
+
+impl Workload for BatchStage {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        assert!(!self.jobs.is_empty(), "a stage needs jobs");
+        let probe = LatencyProbe::new();
+        let members = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                sim.spawn(
+                    format!("{}-j{i}", self.name),
+                    Box::new(ProbedJob {
+                        work: job.work,
+                        probe: probe.clone(),
+                        started: None,
+                    }),
+                )
+            })
+            .collect();
+        Tenant::new(self.name.clone(), members, Vec::new(), probe)
+    }
+}
+
+/// A [`FiniteJob`] that records its wall-clock completion latency.
+struct ProbedJob {
+    work: Nanos,
+    probe: LatencyProbe,
+    started: Option<Nanos>,
+}
+
+impl Behavior for ProbedJob {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        match self.started {
+            None => {
+                self.started = Some(ctl.now());
+                Step::Compute(self.work)
+            }
+            Some(started) => {
+                self.probe
+                    .record((ctl.now() - started).as_nanos(), self.work.as_nanos());
+                Step::Exit
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "batch-job"
+    }
+}
+
 /// Spawn one worker per job.
 pub fn spawn_batch(sim: &mut Sim, name: &str, jobs: &[BatchJob]) -> Batch {
     let pids = jobs
@@ -66,11 +130,17 @@ pub fn spawn_batch(sim: &mut Sim, name: &str, jobs: &[BatchJob]) -> Batch {
 /// Run the simulation until the whole batch has exited (bounded by `cap`),
 /// returning each worker's completion wall-clock time.
 pub fn run_to_completion(sim: &mut Sim, batch: &Batch, cap: Nanos) -> Vec<Nanos> {
-    let mut done_at: Vec<Option<Nanos>> = vec![None; batch.pids.len()];
+    run_pids_to_completion(sim, &batch.pids, cap)
+}
+
+/// [`run_to_completion`] over a bare pid list — e.g. a
+/// [`Tenant::members`] slice from a spawned [`BatchStage`].
+pub fn run_pids_to_completion(sim: &mut Sim, pids: &[Pid], cap: Nanos) -> Vec<Nanos> {
+    let mut done_at: Vec<Option<Nanos>> = vec![None; pids.len()];
     while sim.now() < cap {
         let next = sim.now() + Nanos::from_millis(10);
         sim.run_until(next.min(cap));
-        for (i, &p) in batch.pids.iter().enumerate() {
+        for (i, &p) in pids.iter().enumerate() {
             if done_at[i].is_none() && sim.proc(p).unwrap().is_exited() {
                 done_at[i] = Some(sim.now());
             }
@@ -106,6 +176,29 @@ mod tests {
         for (pid, job) in batch.pids.iter().zip(&jobs) {
             assert_eq!(sim.proc(*pid).unwrap().cputime(), job.work);
         }
+    }
+
+    #[test]
+    fn batch_stage_records_stretch_per_worker() {
+        let mut sim = Sim::new(SimConfig::default());
+        let stage = BatchStage {
+            name: "mesh".into(),
+            jobs: [100u64, 200, 300]
+                .iter()
+                .map(|&ms| BatchJob {
+                    work: Nanos::from_millis(ms),
+                })
+                .collect(),
+        };
+        let t = stage.spawn(&mut sim);
+        assert_eq!(t.members.len(), 3);
+        sim.run_until(Nanos::from_secs(5));
+        assert_eq!(t.completed(), 3);
+        let s = t.latency_summary(0);
+        // Three jobs sharing one CPU: each waits on the others, so every
+        // stretch is > 1 and the max is bounded by total/min work = 6.
+        assert!(s.mean_stretch > 1.0, "got {}", s.mean_stretch);
+        assert!(s.max_stretch <= 6.5, "got {}", s.max_stretch);
     }
 
     #[test]

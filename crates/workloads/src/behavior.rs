@@ -2,9 +2,11 @@
 //! `kernsim` ([`kernsim::ComputeBound`], [`kernsim::ComputeThenSleep`]).
 
 use alps_core::Nanos;
-use kernsim::{Behavior, SimCtl, Step};
+use kernsim::{Behavior, Sim, SimCtl, Step};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::workload::{stream, LatencyProbe, Tenant, Workload};
 
 /// Randomized on/off behavior: computes for a uniformly random burst, then
 /// sleeps for a uniformly random interval. Used in robustness tests to
@@ -65,6 +67,37 @@ impl Behavior for RandomOnOff {
 
     fn name(&self) -> &str {
         "random-onoff"
+    }
+}
+
+/// A pool of [`RandomOnOff`] processes as a [`Workload`] spec — the
+/// irregular-I/O tenant of the robustness experiments. Each member's RNG
+/// is seeded from an indexed stream off the tenant seed (the crate's
+/// stream-splitting rule), so pools never share advance order.
+#[derive(Debug, Clone)]
+pub struct OnOffPool {
+    /// Tenant name.
+    pub name: String,
+    /// Number of on/off processes.
+    pub procs: usize,
+    /// Burst range (min, max).
+    pub burst: (Nanos, Nanos),
+    /// Sleep range (min, max).
+    pub sleep: (Nanos, Nanos),
+    /// Tenant seed.
+    pub seed: u64,
+}
+
+impl Workload for OnOffPool {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        assert!(self.procs >= 1, "a pool needs processes");
+        let members = (0..self.procs)
+            .map(|i| {
+                let b = RandomOnOff::new(self.burst, self.sleep, stream(self.seed, 0x4F, i as u64));
+                sim.spawn(format!("{}-p{i}", self.name), Box::new(b))
+            })
+            .collect();
+        Tenant::new(self.name.clone(), members, Vec::new(), LatencyProbe::new())
     }
 }
 

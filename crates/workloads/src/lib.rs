@@ -1,6 +1,10 @@
 //! # workloads — workload generators for the ALPS evaluation
 //!
-//! Everything the paper runs *under* ALPS:
+//! Everything the paper runs *under* ALPS, behind one interface: a
+//! [`Workload`] spec spawns into a simulation and hands back a uniform
+//! [`Tenant`] handle (member pids for membership scans, auxiliary pids
+//! ALPS must never signal, and a [`LatencyProbe`] feeding
+//! per-request latency into `alps_metrics`):
 //!
 //! * [`shares`] — the Table-2 share distributions (linear/equal/skewed for
 //!   5/10/20 processes);
@@ -11,7 +15,14 @@
 //! * [`batch`] — fork-join stages with heterogeneous work (the intro's
 //!   scientific application);
 //! * [`replay`] — trace-driven workloads (replay recorded burst/sleep
-//!   schedules).
+//!   schedules);
+//! * [`traffic`] — open-loop arrival processes (Poisson, flash crowds)
+//!   whose offered load is independent of scheduling — the tail-latency
+//!   and SLO experiments' traffic engine.
+//!
+//! All workload randomness follows the stream-splitting rule documented
+//! in [`workload`]: stateless indexed draws, never shared-RNG advance
+//! order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,9 +31,16 @@ pub mod batch;
 pub mod behavior;
 pub mod replay;
 pub mod shares;
+pub mod traffic;
 pub mod webserver;
+pub mod workload;
 
-pub use behavior::{FiniteJob, RandomOnOff};
-pub use replay::{parse_trace, OnEnd, Segment, TraceReplay};
+pub use batch::BatchStage;
+pub use behavior::{FiniteJob, OnOffPool, RandomOnOff};
+pub use replay::{parse_trace, OnEnd, Replay, Segment, TraceReplay};
 pub use shares::ShareModel;
-pub use webserver::{spawn_site, Site, SiteSpec};
+pub use traffic::{Arrivals, BestEffort, OpenLoop, STREAM_ARRIVAL, STREAM_CPU, STREAM_DB};
+pub use webserver::Site;
+#[allow(deprecated)]
+pub use webserver::{spawn_site, SiteSpec};
+pub use workload::{jitter_factor, splitmix64, stream, unit_f64, LatencyProbe, Tenant, Workload};

@@ -7,7 +7,9 @@
 //! form (one `burst_us sleep_us` pair per line, `#` comments).
 
 use alps_core::Nanos;
-use kernsim::{Behavior, SimCtl, Step};
+use kernsim::{Behavior, Sim, SimCtl, Step};
+
+use crate::workload::{LatencyProbe, Tenant, Workload};
 
 /// One segment of recorded behavior.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +36,8 @@ pub struct TraceReplay {
     on_end: OnEnd,
     at: usize,
     mid_segment: bool,
+    probe: Option<LatencyProbe>,
+    pass_started: Option<Nanos>,
 }
 
 impl TraceReplay {
@@ -45,7 +49,17 @@ impl TraceReplay {
             on_end,
             at: 0,
             mid_segment: false,
+            probe: None,
+            pass_started: None,
         }
+    }
+
+    /// Record each completed pass on `probe`: latency is the pass's
+    /// wall-clock time, service demand its total CPU — so the probe's
+    /// stretch reports the slowdown the scheduler inflicted.
+    pub fn with_probe(mut self, probe: LatencyProbe) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// Total CPU one pass of the trace consumes.
@@ -55,13 +69,24 @@ impl TraceReplay {
 }
 
 impl Behavior for TraceReplay {
-    fn on_ready(&mut self, _ctl: &mut SimCtl<'_>) -> Step {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
         loop {
             if self.at >= self.segments.len() {
+                if let (Some(probe), Some(start)) = (&self.probe, self.pass_started.take()) {
+                    let demand = self
+                        .segments
+                        .iter()
+                        .map(|s| s.burst + s.sleep)
+                        .sum::<Nanos>();
+                    probe.record((ctl.now() - start).as_nanos(), demand.as_nanos());
+                }
                 match self.on_end {
                     OnEnd::Loop => self.at = 0,
                     OnEnd::Exit => return Step::Exit,
                 }
+            }
+            if self.at == 0 && !self.mid_segment && self.pass_started.is_none() {
+                self.pass_started = Some(ctl.now());
             }
             let seg = self.segments[self.at];
             if !self.mid_segment {
@@ -81,6 +106,35 @@ impl Behavior for TraceReplay {
 
     fn name(&self) -> &str {
         "trace-replay"
+    }
+}
+
+/// A trace-driven tenant as a [`Workload`] spec: `instances` copies of
+/// the same trace, each recording completed passes on the shared probe.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Tenant name.
+    pub name: String,
+    /// The trace every instance replays.
+    pub segments: Vec<Segment>,
+    /// What happens when the trace ends.
+    pub on_end: OnEnd,
+    /// Number of replaying processes.
+    pub instances: usize,
+}
+
+impl Workload for Replay {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        assert!(self.instances >= 1, "a replay tenant needs instances");
+        let probe = LatencyProbe::new();
+        let members = (0..self.instances)
+            .map(|i| {
+                let replay =
+                    TraceReplay::new(self.segments.clone(), self.on_end).with_probe(probe.clone());
+                sim.spawn(format!("{}-r{i}", self.name), Box::new(replay))
+            })
+            .collect();
+        Tenant::new(self.name.clone(), members, Vec::new(), probe)
     }
 }
 
@@ -165,6 +219,31 @@ mod tests {
         sim.run_until(Nanos::from_secs(4));
         let frac = sim.proc(p).unwrap().cputime().as_secs_f64() / 4.0;
         assert!((frac - 0.5).abs() < 0.02, "duty {frac}");
+    }
+
+    #[test]
+    fn replay_tenant_records_pass_stretch() {
+        // Alone, each 20ms pass (10ms burst + 10ms sleep) completes on
+        // schedule: stretch ~1.
+        let mut sim = Sim::new(SimConfig::default());
+        let t = Replay {
+            name: "trace".into(),
+            segments: vec![Segment {
+                burst: Nanos::from_millis(10),
+                sleep: Nanos::from_millis(10),
+            }],
+            on_end: OnEnd::Loop,
+            instances: 1,
+        }
+        .spawn(&mut sim);
+        sim.run_until(Nanos::from_secs(4));
+        assert!(t.completed() >= 190, "got {}", t.completed());
+        let s = t.latency_summary(0);
+        assert!(
+            (s.mean_stretch - 1.0).abs() < 0.05,
+            "uncontended stretch ~1, got {}",
+            s.mean_stretch
+        );
     }
 
     #[test]

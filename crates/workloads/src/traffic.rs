@@ -1,0 +1,427 @@
+//! Open-loop traffic: arrival processes decoupled from service capacity.
+//!
+//! The §5 web model is *closed-loop* — a fixed worker pool always has a
+//! next request, so offered load adapts to whatever the scheduler grants.
+//! Closed loops cannot exhibit the queueing collapse that makes tail
+//! latency interesting: for that, arrivals must keep coming whether or
+//! not the tenant is being scheduled. [`OpenLoop`] models exactly that —
+//! an arrival process ([`Arrivals`]: periodic, Poisson, or flash-crowd)
+//! enqueues requests on its own clock while a fixed server pool drains
+//! the queue; per-request latency (queue wait + service, including every
+//! SIGSTOP the scheduler inflicts) lands in the tenant's
+//! [`LatencyProbe`].
+//!
+//! Two determinism rules keep open-loop traffic byte-reproducible:
+//!
+//! 1. **The arrival generator is an aux process.** It lives in
+//!    [`Tenant::aux`], not [`Tenant::members`], so ALPS never signals
+//!    it; it sleeps between arrivals and consumes no CPU, so arrival
+//!    times are a pure function of the spec — independent of shares,
+//!    controller activity, and co-tenants.
+//! 2. **Every random draw is an indexed stream** (the crate's
+//!    stream-splitting rule): request *k*'s interarrival gap and service
+//!    cost come from `stream(seed, STREAM_*, k)`, so traces are
+//!    identical across thread counts and seed orders under `alps-sweep`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use alps_core::Nanos;
+use kernsim::{Behavior, Sim, SimCtl, Step};
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{jitter_factor, stream, unit_f64, LatencyProbe, Tenant, Workload};
+
+/// Stream id for interarrival gaps.
+pub const STREAM_ARRIVAL: u64 = 0x41;
+/// Stream id for request CPU costs.
+pub const STREAM_CPU: u64 = 0x42;
+/// Stream id for request blocking (I/O) costs.
+pub const STREAM_DB: u64 = 0x43;
+
+/// An open-loop arrival process. All variants are indexed: request *k*'s
+/// gap is a pure function of `(seed, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arrivals {
+    /// Fixed interarrival time.
+    Periodic {
+        /// Gap between consecutive arrivals.
+        interarrival: Nanos,
+    },
+    /// Poisson process: exponentially distributed gaps.
+    Poisson {
+        /// Mean interarrival time (1/λ).
+        mean_interarrival: Nanos,
+    },
+    /// Flash crowd: a Poisson base rate with periodic burst episodes at
+    /// a higher rate, cycling by request index.
+    FlashCrowd {
+        /// Mean gap outside bursts.
+        base: Nanos,
+        /// Mean gap inside bursts (smaller = more intense).
+        burst: Nanos,
+        /// Requests per cycle at the base rate.
+        normal_len: u64,
+        /// Requests per cycle at the burst rate.
+        burst_len: u64,
+    },
+}
+
+impl Arrivals {
+    /// The gap after arrival `k`, for a tenant seeded `seed`.
+    pub fn gap(&self, seed: u64, k: u64) -> Nanos {
+        match *self {
+            Arrivals::Periodic { interarrival } => interarrival,
+            Arrivals::Poisson { mean_interarrival } => exp_gap(mean_interarrival, seed, k),
+            Arrivals::FlashCrowd {
+                base,
+                burst,
+                normal_len,
+                burst_len,
+            } => {
+                let cycle = (normal_len + burst_len).max(1);
+                let mean = if k % cycle < normal_len { base } else { burst };
+                exp_gap(mean, seed, k)
+            }
+        }
+    }
+
+    /// The first `n` arrival times (cumulative gaps from t=0, with an
+    /// arrival at t=0) — the trace fingerprint determinism tests compare.
+    pub fn trace(&self, seed: u64, n: usize) -> Vec<Nanos> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = Nanos::ZERO;
+        for k in 0..n as u64 {
+            out.push(t);
+            t += self.gap(seed, k);
+        }
+        out
+    }
+}
+
+/// Exponential gap with the given mean, from indexed stream draw `k`.
+fn exp_gap(mean: Nanos, seed: u64, k: u64) -> Nanos {
+    // u in (0, 1]: complement of [0,1) so ln never sees zero.
+    let u = 1.0 - unit_f64(stream(seed, STREAM_ARRIVAL, k));
+    let gap = -(u.ln()) * mean.as_nanos() as f64;
+    // Clamp to [1us, 100x mean]: keeps event counts bounded and gaps
+    // representable without changing the distribution materially.
+    let capped = gap.min(mean.as_nanos() as f64 * 100.0).max(1_000.0);
+    Nanos(capped as u64)
+}
+
+/// One enqueued request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrived: Nanos,
+    cpu: Nanos,
+}
+
+type Queue = Rc<RefCell<VecDeque<Request>>>;
+
+/// An open-loop tenant: an arrival process feeding a bounded queue
+/// drained by a pool of server processes.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    /// Tenant name.
+    pub name: String,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Server processes draining the queue (the ALPS members).
+    pub servers: usize,
+    /// Mean CPU cost per request.
+    pub cpu_per_request: Nanos,
+    /// Multiplicative service-cost jitter in `[1-j, 1+j]`.
+    pub jitter: f64,
+    /// Queue slots; arrivals beyond this are dropped (and counted on the
+    /// probe).
+    pub queue_cap: usize,
+    /// Idle-server re-poll interval.
+    pub poll: Nanos,
+    /// Tenant seed (arrival and cost streams split from it).
+    pub seed: u64,
+    /// Stop generating after this many arrivals (`None` = unbounded).
+    pub total_requests: Option<u64>,
+}
+
+impl Default for OpenLoop {
+    fn default() -> Self {
+        OpenLoop {
+            name: "openloop".into(),
+            arrivals: Arrivals::Poisson {
+                mean_interarrival: Nanos::from_millis(20),
+            },
+            servers: 4,
+            cpu_per_request: Nanos::from_millis(10),
+            jitter: 0.3,
+            queue_cap: 512,
+            poll: Nanos::from_millis(1),
+            seed: 1,
+            total_requests: None,
+        }
+    }
+}
+
+impl Workload for OpenLoop {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        assert!(self.servers >= 1, "an open-loop tenant needs servers");
+        assert!(self.queue_cap >= 1, "queue_cap must be at least 1");
+        let probe = LatencyProbe::new();
+        let queue: Queue = Rc::new(RefCell::new(VecDeque::new()));
+        let gen = ArrivalGen {
+            arrivals: self.arrivals,
+            seed: self.seed,
+            k: 0,
+            limit: self.total_requests,
+            cpu: self.cpu_per_request,
+            jitter: self.jitter,
+            cap: self.queue_cap,
+            queue: Rc::clone(&queue),
+            probe: probe.clone(),
+        };
+        let aux = vec![sim.spawn(format!("{}-arrivals", self.name), Box::new(gen))];
+        let members = (0..self.servers)
+            .map(|i| {
+                let server = OpenServer {
+                    queue: Rc::clone(&queue),
+                    probe: probe.clone(),
+                    poll: self.poll,
+                    current: None,
+                };
+                sim.spawn(format!("{}-srv{i}", self.name), Box::new(server))
+            })
+            .collect();
+        Tenant::new(self.name.clone(), members, aux, probe)
+    }
+}
+
+/// The arrival process: pushes a request, sleeps the indexed gap,
+/// repeats. Sleep-only — it must never be an ALPS member (see module
+/// docs).
+struct ArrivalGen {
+    arrivals: Arrivals,
+    seed: u64,
+    k: u64,
+    limit: Option<u64>,
+    cpu: Nanos,
+    jitter: f64,
+    cap: usize,
+    queue: Queue,
+    probe: LatencyProbe,
+}
+
+impl Behavior for ArrivalGen {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        if let Some(limit) = self.limit {
+            if self.k >= limit {
+                return Step::Exit;
+            }
+        }
+        let k = self.k;
+        self.k += 1;
+        let cost = self
+            .cpu
+            .mul_f64(jitter_factor(stream(self.seed, STREAM_CPU, k), self.jitter))
+            .max(Nanos::from_micros(10));
+        let mut q = self.queue.borrow_mut();
+        if q.len() >= self.cap {
+            self.probe.record_drop();
+        } else {
+            q.push_back(Request {
+                arrived: ctl.now(),
+                cpu: cost,
+            });
+        }
+        drop(q);
+        Step::Sleep(self.arrivals.gap(self.seed, k).max(Nanos(1)))
+    }
+
+    fn name(&self) -> &str {
+        "openloop-arrivals"
+    }
+}
+
+/// A server: pops a request, computes its cost, records its latency,
+/// repeats; polls when the queue is empty.
+struct OpenServer {
+    queue: Queue,
+    probe: LatencyProbe,
+    poll: Nanos,
+    current: Option<Request>,
+}
+
+impl Behavior for OpenServer {
+    fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
+        if let Some(req) = self.current.take() {
+            let latency = (ctl.now() - req.arrived).as_nanos();
+            self.probe.record(latency, req.cpu.as_nanos());
+        }
+        let next = self.queue.borrow_mut().pop_front();
+        match next {
+            Some(req) => {
+                let cost = req.cpu;
+                self.current = Some(req);
+                Step::Compute(cost)
+            }
+            None => Step::Sleep(self.poll),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "openloop-server"
+    }
+}
+
+/// A best-effort tenant: `procs` compute-bound spinners and nothing
+/// else. The overload experiments use one to keep the machine saturated
+/// while latency-sensitive tenants' SLOs stay feasible.
+#[derive(Debug, Clone)]
+pub struct BestEffort {
+    /// Tenant name.
+    pub name: String,
+    /// Number of compute-bound processes.
+    pub procs: usize,
+}
+
+impl Workload for BestEffort {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        let members = (0..self.procs)
+            .map(|i| {
+                sim.spawn(
+                    format!("{}-spin{i}", self.name),
+                    Box::new(kernsim::ComputeBound),
+                )
+            })
+            .collect();
+        Tenant::new(self.name.clone(), members, Vec::new(), LatencyProbe::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernsim::SimConfig;
+
+    #[test]
+    fn arrival_traces_are_pure_functions_of_the_spec() {
+        let a = Arrivals::Poisson {
+            mean_interarrival: Nanos::from_millis(10),
+        };
+        assert_eq!(a.trace(42, 100), a.trace(42, 100));
+        assert_ne!(a.trace(42, 100), a.trace(43, 100));
+        // Mean gap tracks the spec within sampling noise.
+        let t = a.trace(42, 2_000);
+        let mean = t.last().unwrap().as_nanos() as f64 / 1_999.0;
+        let want = Nanos::from_millis(10).as_nanos() as f64;
+        assert!((mean - want).abs() / want < 0.15, "mean gap {mean}");
+    }
+
+    #[test]
+    fn flash_crowd_bursts_are_denser() {
+        let a = Arrivals::FlashCrowd {
+            base: Nanos::from_millis(20),
+            burst: Nanos::from_millis(2),
+            normal_len: 50,
+            burst_len: 50,
+        };
+        let gaps: Vec<u64> = (0..100).map(|k| a.gap(5, k).as_nanos()).collect();
+        let normal: u64 = gaps[..50].iter().sum();
+        let burst: u64 = gaps[50..].iter().sum();
+        assert!(
+            normal > burst * 3,
+            "base phase ({normal}) much slower than burst ({burst})"
+        );
+    }
+
+    #[test]
+    fn underloaded_open_loop_completes_all_arrivals_quickly() {
+        // 10ms mean service vs 50ms mean interarrival: ~20% utilization,
+        // so latency ~ service and nothing is dropped.
+        let mut sim = Sim::new(SimConfig::default());
+        let t = OpenLoop {
+            name: "light".into(),
+            arrivals: Arrivals::Poisson {
+                mean_interarrival: Nanos::from_millis(50),
+            },
+            servers: 2,
+            cpu_per_request: Nanos::from_millis(10),
+            jitter: 0.2,
+            seed: 11,
+            ..OpenLoop::default()
+        }
+        .spawn(&mut sim);
+        sim.run_until(Nanos::from_secs(20));
+        let done = t.completed();
+        assert!(done > 300, "~400 arrivals in 20s, got {done}");
+        assert_eq!(t.probe().dropped(), 0);
+        let s = t.latency_summary(10);
+        assert!(
+            s.p95_ms < 40.0,
+            "lightly loaded p95 near service time, got {}",
+            s.p95_ms
+        );
+        assert!(s.mean_stretch < 3.0, "stretch ~1, got {}", s.mean_stretch);
+    }
+
+    #[test]
+    fn overloaded_open_loop_drops_and_stretches() {
+        // Offered load 2x capacity with a tiny queue: drops happen and
+        // survivors queue.
+        let mut sim = Sim::new(SimConfig::default());
+        let t = OpenLoop {
+            name: "heavy".into(),
+            arrivals: Arrivals::Periodic {
+                interarrival: Nanos::from_millis(5),
+            },
+            servers: 1,
+            cpu_per_request: Nanos::from_millis(10),
+            jitter: 0.0,
+            queue_cap: 16,
+            seed: 3,
+            ..OpenLoop::default()
+        }
+        .spawn(&mut sim);
+        sim.run_until(Nanos::from_secs(10));
+        assert!(t.probe().dropped() > 100, "got {}", t.probe().dropped());
+        let s = t.latency_summary(20);
+        assert!(s.p95_ms > 100.0, "queue of 16 x 10ms, got p95 {}", s.p95_ms);
+    }
+
+    #[test]
+    fn arrivals_are_independent_of_scheduling() {
+        // The same spec spawned next to a CPU hog sees identical arrival
+        // counts (completions differ; the *offered* trace does not).
+        let spec = OpenLoop {
+            name: "probe".into(),
+            arrivals: Arrivals::Poisson {
+                mean_interarrival: Nanos::from_millis(8),
+            },
+            servers: 1,
+            cpu_per_request: Nanos::from_millis(4),
+            jitter: 0.1,
+            seed: 21,
+            total_requests: Some(500),
+            ..OpenLoop::default()
+        };
+        let count_arrivals = |with_hog: bool| {
+            let mut sim = Sim::new(SimConfig::default());
+            let t = spec.spawn(&mut sim);
+            if with_hog {
+                BestEffort {
+                    name: "hog".into(),
+                    procs: 4,
+                }
+                .spawn(&mut sim);
+            }
+            // Long enough for the server to drain the backlog even at a
+            // 1-in-5 CPU share next to the hog's four spinners.
+            sim.run_until(Nanos::from_secs(60));
+            t.completed() + t.probe().dropped()
+        };
+        // All 500 offered requests eventually arrive and get served in
+        // both runs — the hog slows service, not arrivals.
+        assert_eq!(count_arrivals(false), 500);
+        assert_eq!(count_arrivals(true), 500);
+    }
+}

@@ -12,20 +12,29 @@
 //! a next request — the closed-loop clients need not be simulated
 //! individually.
 //!
-//! Throughput (requests/second) is counted per site at the moment a
-//! request's database wait completes.
+//! [`Site`] is the spec; [`Site::spawn`] (the [`Workload`] impl) hands
+//! back a [`Tenant`] whose probe counts completions and records
+//! per-request latency. Request costs follow the crate's
+//! stream-splitting rule: request *k* of a site draws its CPU and DB
+//! jitter from `stream(seed, STREAM_CPU|STREAM_DB, k)` against a
+//! site-wide request counter — never from a per-worker RNG advanced in
+//! service order, which would make costs depend on scheduling and on
+//! which co-tenants exist.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::rc::Rc;
 
 use alps_core::Nanos;
-use kernsim::{Behavior, Pid, Sim, SimCtl, Step};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use kernsim::{Behavior, Sim, SimCtl, Step};
 
-/// Parameters of one hosted site.
-#[derive(Debug, Clone, Copy)]
-pub struct SiteSpec {
+use crate::traffic::{STREAM_CPU, STREAM_DB};
+use crate::workload::{jitter_factor, stream, LatencyProbe, Tenant, Workload};
+
+/// One hosted site: the spec the §5 experiments spawn per user.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site name (e.g. the user account it runs as).
+    pub name: String,
     /// Worker processes in the pool (the paper's Apache `prefork` limit
     /// was 50 per site). All of them exist and are visible to ALPS's
     /// membership scans.
@@ -43,13 +52,14 @@ pub struct SiteSpec {
     pub db_wait: Nanos,
     /// Multiplicative jitter applied to each cost, in `[1-j, 1+j]`.
     pub jitter: f64,
-    /// RNG seed for this site's request cost jitter.
+    /// RNG seed for this site's request cost streams.
     pub seed: u64,
 }
 
-impl Default for SiteSpec {
+impl Default for Site {
     fn default() -> Self {
-        SiteSpec {
+        Site {
+            name: "site".into(),
             workers: 50,
             active: 8,
             cpu_per_request: Nanos::from_millis(10),
@@ -60,49 +70,94 @@ impl Default for SiteSpec {
     }
 }
 
-/// A spawned site: its worker pids and its completed-request counter.
-#[derive(Debug, Clone)]
-pub struct Site {
-    /// Site name (e.g. the user account it runs as).
-    pub name: String,
-    /// Pids of the worker processes.
-    pub workers: Vec<Pid>,
-    /// Requests completed so far (shared with the worker behaviors).
-    completed: Rc<Cell<u64>>,
-    /// Wall-clock latency of each completed request, in nanoseconds.
-    latencies: Rc<RefCell<Vec<u64>>>,
+impl Workload for Site {
+    fn spawn(&self, sim: &mut Sim) -> Tenant {
+        assert!(self.workers >= 1, "a site needs at least one worker");
+        assert!(
+            (1..=self.workers).contains(&self.active),
+            "active must be in 1..=workers"
+        );
+        let probe = LatencyProbe::new();
+        let next_request = Rc::new(Cell::new(0u64));
+        let mut members = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let pid = if w < self.active {
+                let behavior = Worker {
+                    cpu: self.cpu_per_request,
+                    db: self.db_wait,
+                    jitter: self.jitter,
+                    seed: self.seed,
+                    next_request: Rc::clone(&next_request),
+                    probe: probe.clone(),
+                    phase: WorkerPhase::Cpu,
+                    request_started: Nanos::ZERO,
+                    request_index: 0,
+                };
+                sim.spawn(format!("{}-w{w}", self.name), Box::new(behavior))
+            } else {
+                sim.spawn(format!("{}-idle{w}", self.name), Box::new(IdleWorker))
+            };
+            members.push(pid);
+        }
+        Tenant::new(self.name.clone(), members, Vec::new(), probe)
+    }
 }
 
-impl Site {
-    /// Requests completed since spawn.
-    pub fn completed(&self) -> u64 {
-        self.completed.get()
-    }
+/// Deprecated alias for the nameless spec form; convert with
+/// [`SiteSpec::named`] or spawn via [`spawn_site`].
+#[deprecated(note = "use `Site` (a named spec implementing `Workload`) instead")]
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSpec {
+    /// See [`Site::workers`].
+    pub workers: usize,
+    /// See [`Site::active`].
+    pub active: usize,
+    /// See [`Site::cpu_per_request`].
+    pub cpu_per_request: Nanos,
+    /// See [`Site::db_wait`].
+    pub db_wait: Nanos,
+    /// See [`Site::jitter`].
+    pub jitter: f64,
+    /// See [`Site::seed`].
+    pub seed: u64,
+}
 
-    /// Wall-clock latencies (request start to completion) of all completed
-    /// requests, in order of completion.
-    pub fn latencies_ns(&self) -> Vec<u64> {
-        self.latencies.borrow().clone()
-    }
-
-    /// A latency percentile (0.0–1.0) over completions after `skip`
-    /// warm-up requests, in milliseconds. `None` if no samples.
-    pub fn latency_percentile_ms(&self, pct: f64, skip: usize) -> Option<f64> {
-        let lat = self.latencies.borrow();
-        let mut xs: Vec<u64> = lat.iter().skip(skip).copied().collect();
-        if xs.is_empty() {
-            return None;
+#[allow(deprecated)]
+impl Default for SiteSpec {
+    fn default() -> Self {
+        let s = Site::default();
+        SiteSpec {
+            workers: s.workers,
+            active: s.active,
+            cpu_per_request: s.cpu_per_request,
+            db_wait: s.db_wait,
+            jitter: s.jitter,
+            seed: s.seed,
         }
-        xs.sort_unstable();
-        let idx = ((xs.len() - 1) as f64 * pct.clamp(0.0, 1.0)).round() as usize;
-        Some(xs[idx] as f64 / 1e6)
     }
+}
 
-    /// Throughput over a window, given completion counts sampled at the
-    /// window's edges.
-    pub fn throughput_rps(completed_delta: u64, window: Nanos) -> f64 {
-        completed_delta as f64 / window.as_secs_f64()
+#[allow(deprecated)]
+impl SiteSpec {
+    /// Attach a name, producing the [`Workload`]-implementing [`Site`].
+    pub fn named(&self, name: &str) -> Site {
+        Site {
+            name: name.to_string(),
+            workers: self.workers,
+            active: self.active,
+            cpu_per_request: self.cpu_per_request,
+            db_wait: self.db_wait,
+            jitter: self.jitter,
+            seed: self.seed,
+        }
     }
+}
+
+/// Deprecated shim: spawn one site's worker pool into the simulation.
+#[deprecated(note = "use `Site { name, .. }.spawn(sim)` via the `Workload` trait")]
+#[allow(deprecated)]
+pub fn spawn_site(sim: &mut Sim, name: &str, spec: &SiteSpec) -> Tenant {
+    spec.named(name).spawn(sim)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,19 +174,27 @@ struct Worker {
     cpu: Nanos,
     db: Nanos,
     jitter: f64,
-    rng: SmallRng,
-    completed: Rc<Cell<u64>>,
-    latencies: Rc<RefCell<Vec<u64>>>,
+    seed: u64,
+    /// Site-wide request counter: each request claims the next index and
+    /// draws its costs from the indexed streams (stream-splitting rule).
+    next_request: Rc<Cell<u64>>,
+    probe: LatencyProbe,
     phase: WorkerPhase,
     request_started: Nanos,
+    request_index: u64,
 }
 
 impl Worker {
-    fn jittered(&mut self, base: Nanos) -> Nanos {
-        if self.jitter <= 0.0 {
-            return base;
-        }
-        let k = self.rng.gen_range(1.0 - self.jitter..=1.0 + self.jitter);
+    fn claim_request(&mut self) {
+        self.request_index = self.next_request.get();
+        self.next_request.set(self.request_index + 1);
+    }
+
+    fn jittered(&self, base: Nanos, stream_id: u64) -> Nanos {
+        let k = jitter_factor(
+            stream(self.seed, stream_id, self.request_index),
+            self.jitter,
+        );
         base.mul_f64(k).max(Nanos::from_micros(10))
     }
 }
@@ -140,24 +203,26 @@ impl Behavior for Worker {
     fn on_ready(&mut self, ctl: &mut SimCtl<'_>) -> Step {
         match self.phase {
             WorkerPhase::Cpu => {
+                self.claim_request();
                 self.request_started = ctl.now();
                 self.phase = WorkerPhase::Db;
-                let d = self.jittered(self.cpu);
-                Step::Compute(d)
+                Step::Compute(self.jittered(self.cpu, STREAM_CPU))
             }
             WorkerPhase::Db => {
                 self.phase = WorkerPhase::Done;
-                let d = self.jittered(self.db);
-                Step::Sleep(d)
+                Step::Sleep(self.jittered(self.db, STREAM_DB))
             }
             WorkerPhase::Done => {
-                self.completed.set(self.completed.get() + 1);
                 let latency = (ctl.now() - self.request_started).as_nanos();
-                self.latencies.borrow_mut().push(latency);
+                // Intrinsic demand: the request's own CPU + DB time.
+                let service = (self.jittered(self.cpu, STREAM_CPU)
+                    + self.jittered(self.db, STREAM_DB))
+                .as_nanos();
+                self.probe.record(latency, service);
+                self.claim_request();
                 self.request_started = ctl.now();
                 self.phase = WorkerPhase::Db;
-                let d = self.jittered(self.cpu);
-                Step::Compute(d)
+                Step::Compute(self.jittered(self.cpu, STREAM_CPU))
             }
         }
     }
@@ -182,44 +247,6 @@ impl Behavior for IdleWorker {
     }
 }
 
-/// Spawn one site's worker pool into the simulation.
-pub fn spawn_site(sim: &mut Sim, name: &str, spec: &SiteSpec) -> Site {
-    assert!(spec.workers >= 1, "a site needs at least one worker");
-    assert!(
-        (1..=spec.workers).contains(&spec.active),
-        "active must be in 1..=workers"
-    );
-    let completed = Rc::new(Cell::new(0));
-    let latencies = Rc::new(RefCell::new(Vec::new()));
-    let mut workers = Vec::with_capacity(spec.workers);
-    for w in 0..spec.workers {
-        let pid = if w < spec.active {
-            let behavior = Worker {
-                cpu: spec.cpu_per_request,
-                db: spec.db_wait,
-                jitter: spec.jitter,
-                rng: SmallRng::seed_from_u64(
-                    spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(w as u64),
-                ),
-                completed: Rc::clone(&completed),
-                latencies: Rc::clone(&latencies),
-                phase: WorkerPhase::Cpu,
-                request_started: Nanos::ZERO,
-            };
-            sim.spawn(format!("{name}-w{w}"), Box::new(behavior))
-        } else {
-            sim.spawn(format!("{name}-idle{w}"), Box::new(IdleWorker))
-        };
-        workers.push(pid);
-    }
-    Site {
-        name: name.to_string(),
-        workers,
-        completed,
-        latencies,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,15 +256,16 @@ mod tests {
     fn saturated_site_throughput_tracks_cpu_cost() {
         // One site alone: CPU-bound at ~1/cpu_per_request requests/s.
         let mut sim = Sim::new(SimConfig::default());
-        let spec = SiteSpec {
+        let site = Site {
+            name: "solo".into(),
             workers: 20,
             active: 20,
             cpu_per_request: Nanos::from_millis(10),
             db_wait: Nanos::from_millis(40),
             jitter: 0.0,
             seed: 7,
-        };
-        let site = spawn_site(&mut sim, "solo", &spec);
+        }
+        .spawn(&mut sim);
         sim.run_until(Nanos::from_secs(20));
         let rps = site.completed() as f64 / 20.0;
         // 20 workers × 10ms CPU per request with 40ms waits: the CPU is the
@@ -251,13 +279,14 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let mut sites = Vec::new();
         for (i, name) in ["alice", "bob", "carol"].iter().enumerate() {
-            let spec = SiteSpec {
+            let site = Site {
+                name: name.to_string(),
                 workers: 10,
                 active: 8,
                 seed: i as u64 + 1,
-                ..SiteSpec::default()
+                ..Site::default()
             };
-            sites.push(spawn_site(&mut sim, name, &spec));
+            sites.push(site.spawn(&mut sim));
         }
         sim.run_until(Nanos::from_secs(30));
         let counts: Vec<f64> = sites.iter().map(|s| s.completed() as f64).collect();
@@ -276,19 +305,65 @@ mod tests {
     fn underloaded_worker_pool_leaves_idle_cpu() {
         // One worker with long DB waits cannot saturate the CPU.
         let mut sim = Sim::new(SimConfig::default());
-        let spec = SiteSpec {
+        let site = Site {
+            name: "tiny".into(),
             workers: 1,
             active: 1,
             cpu_per_request: Nanos::from_millis(5),
             db_wait: Nanos::from_millis(95),
             jitter: 0.0,
             seed: 3,
-        };
-        let site = spawn_site(&mut sim, "tiny", &spec);
+        }
+        .spawn(&mut sim);
         sim.run_until(Nanos::from_secs(10));
         // 5ms CPU per 100ms round trip → ~10 req/s, ~95% idle.
         let rps = site.completed() as f64 / 10.0;
         assert!((rps - 10.0).abs() < 1.0, "got {rps}");
         assert!(sim.idle_time() > Nanos::from_secs(9));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_site_shim_matches_new_api() {
+        let run = |via_shim: bool| {
+            let mut sim = Sim::new(SimConfig::default());
+            let spec = SiteSpec {
+                workers: 8,
+                active: 6,
+                seed: 9,
+                ..SiteSpec::default()
+            };
+            let t = if via_shim {
+                spawn_site(&mut sim, "compat", &spec)
+            } else {
+                spec.named("compat").spawn(&mut sim)
+            };
+            sim.run_until(Nanos::from_secs(5));
+            (t.completed(), t.latencies_ns())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn request_costs_are_pure_functions_of_the_spec() {
+        // The stream-splitting rule: request k's CPU and DB costs for a
+        // site seeded s are stateless indexed draws. Interleaving any
+        // number of draws for other sites (the old shared-SmallRng
+        // design's failure mode) cannot perturb them.
+        let cost = |seed: u64, k: u64| (stream(seed, STREAM_CPU, k), stream(seed, STREAM_DB, k));
+        let alone: Vec<_> = (0..200).map(|k| cost(31, k)).collect();
+        let mut interleaved = Vec::new();
+        for k in 0..200 {
+            // Another site (different seed) drawing in between.
+            let _ = cost(77, k * 3);
+            let _ = cost(77, k * 3 + 1);
+            interleaved.push(cost(31, k));
+        }
+        assert_eq!(alone, interleaved);
+        // And the jitter factors they induce are within spec bounds.
+        for &(c, d) in &alone {
+            assert!((0.6..=1.4).contains(&jitter_factor(c, 0.4)));
+            assert!((0.6..=1.4).contains(&jitter_factor(d, 0.4)));
+        }
     }
 }
