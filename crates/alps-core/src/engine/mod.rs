@@ -212,6 +212,12 @@ pub struct Engine<M: Copy + Ord + Hash + fmt::Debug> {
     gone: Vec<(ProcId, M)>,
     /// Scratch: members whose read faulted this quantum (hardening only).
     faulted: Vec<M>,
+    /// Scratch: the signal batch handed to [`Substrate::apply_batch`]
+    /// (propagate policy only; hardening delivers one-by-one to
+    /// interleave retries and health bookkeeping).
+    sig_batch: Vec<(M, Signal)>,
+    /// Scratch: per-signal delivery outcomes, parallel to `sig_batch`.
+    delivered: Vec<bool>,
     /// Outcome of the last completed invocation; its buffers are reused,
     /// so steady-state quanta allocate nothing.
     outcome: PrincipalOutcome<M>,
@@ -246,6 +252,8 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
             readings: Vec::new(),
             gone: Vec::new(),
             faulted: Vec::new(),
+            sig_batch: Vec::new(),
+            delivered: Vec::new(),
             outcome: PrincipalOutcome::default(),
         }
     }
@@ -430,38 +438,65 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
         self.gone.clear();
         self.faulted.clear();
         let hardened = matches!(self.fault_policy, FaultPolicy::Harden(_));
-        for (id, members) in self.due.iter() {
-            for &m in members {
-                match sub.read(m) {
-                    Ok(Some(o)) => {
-                        self.stats.measurements += 1;
-                        sink.on_event(&Event::Measured {
-                            member: m,
-                            cpu: o.total_cpu,
-                            blocked: o.blocked,
-                        });
-                        if hardened {
+        if !hardened {
+            // Propagate: one batched read over the whole due list, then
+            // bookkeeping over the readings. `read_batch` is fail-fast
+            // with the successful prefix in `readings`, so the events
+            // emitted and the state left behind on a fault are exactly
+            // the per-member loop's. Hardening keeps the loop below: it
+            // must interleave per-member fault tolerance.
+            let res = sub.read_batch(self.due.members(), &mut self.readings);
+            let mut i = 0;
+            'recorded: for (id, members) in self.due.iter() {
+                for &m in members {
+                    if i >= self.readings.len() {
+                        break 'recorded;
+                    }
+                    match self.readings[i] {
+                        Some(o) => {
+                            self.stats.measurements += 1;
+                            sink.on_event(&Event::Measured {
+                                member: m,
+                                cpu: o.total_cpu,
+                                blocked: o.blocked,
+                            });
+                        }
+                        None => self.gone.push((id, m)),
+                    }
+                    i += 1;
+                }
+            }
+            res?;
+        } else {
+            for (id, members) in self.due.iter() {
+                for &m in members {
+                    match sub.read(m) {
+                        Ok(Some(o)) => {
+                            self.stats.measurements += 1;
+                            sink.on_event(&Event::Measured {
+                                member: m,
+                                cpu: o.total_cpu,
+                                blocked: o.blocked,
+                            });
                             if let Some(health) = self.health.get_mut(&m) {
                                 health.strikes = 0;
                             }
+                            self.readings.push(Some(o));
                         }
-                        self.readings.push(Some(o));
-                    }
-                    Ok(None) => {
-                        self.gone.push((id, m));
-                        self.readings.push(None);
-                    }
-                    Err(e) => {
-                        if !hardened {
-                            return Err(e);
+                        Ok(None) => {
+                            self.gone.push((id, m));
+                            self.readings.push(None);
                         }
-                        // Tolerated: the member is skipped without charge
-                        // this quantum (like a missed measurement), NOT
-                        // reaped — it may be alive but briefly unreadable.
-                        self.stats.read_faults += 1;
-                        sink.on_event(&Event::ReadFault { member: m });
-                        self.faulted.push(m);
-                        self.readings.push(None);
+                        Err(_) => {
+                            // Tolerated: the member is skipped without
+                            // charge this quantum (like a missed
+                            // measurement), NOT reaped — it may be alive
+                            // but briefly unreadable.
+                            self.stats.read_faults += 1;
+                            sink.on_event(&Event::ReadFault { member: m });
+                            self.faulted.push(m);
+                            self.readings.push(None);
+                        }
                     }
                 }
             }
@@ -530,21 +565,39 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
     where
         S: Substrate<Member = M>,
     {
-        for t in signals {
-            let m = t.member();
-            let sig = match t {
-                MemberTransition::Resume(_) => Signal::Continue,
-                MemberTransition::Suspend(_) => Signal::Stop,
-            };
-            if let FaultPolicy::Harden(h) = self.fault_policy {
+        if let FaultPolicy::Harden(h) = self.fault_policy {
+            for t in signals {
+                let m = t.member();
+                let sig = match t {
+                    MemberTransition::Resume(_) => Signal::Continue,
+                    MemberTransition::Suspend(_) => Signal::Stop,
+                };
                 self.health
                     .entry(m)
                     .or_insert_with(MemberHealth::new)
                     .desired = Some(sig);
                 self.harden_deliver(sub, m, sig, h, sink)?;
-                continue;
             }
-            let delivered = sub.deliver(m, sig)?;
+            return Ok(());
+        }
+        // Propagate: one batched delivery, then bookkeeping in batch
+        // order. `apply_batch` is fail-fast with the successful prefix's
+        // outcomes in `delivered`, and `reap` never touches the
+        // substrate, so the events emitted and the reaps performed match
+        // the per-signal loop exactly.
+        self.sig_batch.clear();
+        self.delivered.clear();
+        for t in signals {
+            let sig = match t {
+                MemberTransition::Resume(_) => Signal::Continue,
+                MemberTransition::Suspend(_) => Signal::Stop,
+            };
+            self.sig_batch.push((t.member(), sig));
+        }
+        let res = sub.apply_batch(&self.sig_batch, &mut self.delivered);
+        for i in 0..self.delivered.len() {
+            let (m, sig) = self.sig_batch[i];
+            let delivered = self.delivered[i];
             self.stats.signals += 1;
             sink.on_event(&Event::SignalSent {
                 member: m,
@@ -557,7 +610,7 @@ impl<M: Copy + Ord + Hash + fmt::Debug> Engine<M> {
                 }
             }
         }
-        Ok(())
+        res
     }
 
     // --- fault hardening --------------------------------------------------

@@ -5,8 +5,11 @@
 //! `/proc`, or a scripted mock in tests. The engine owns the per-quantum
 //! control loop; the substrate owns *observation* (cumulative CPU time,
 //! blocked state) and *actuation* (stop/continue delivery). Everything the
-//! paper's ALPS process does to the outside world passes through these four
-//! methods.
+//! paper's ALPS process does to the outside world passes through these
+//! methods. The batched entry points ([`Substrate::read_batch`],
+//! [`Substrate::apply_batch`]) let a backend amortize per-call overhead
+//! across a whole quantum's worth of members; their defaults delegate to
+//! the per-member methods, so implementing only those stays correct.
 
 use core::fmt;
 use core::hash::Hash;
@@ -48,6 +51,28 @@ pub trait Substrate {
     /// Returns `Ok(None)` if the member no longer exists.
     fn read(&mut self, member: Self::Member) -> Result<Option<Observation>, Self::Error>;
 
+    /// Read every member of `members`, in order, appending one entry per
+    /// member to `out` (`None` for a member that no longer exists).
+    ///
+    /// Fail-fast: a backend fault aborts the batch, with `out` holding
+    /// the readings of the members processed before the fault — exactly
+    /// the state a caller looping over [`Substrate::read`] would hold.
+    /// The default does just that; backends with per-call overhead worth
+    /// amortizing (syscall buffers, path formatting) override it. The
+    /// engine drives this on the hot measurement path, so overrides
+    /// should not allocate per call.
+    fn read_batch(
+        &mut self,
+        members: &[Self::Member],
+        out: &mut Vec<Option<Observation>>,
+    ) -> Result<(), Self::Error> {
+        for &m in members {
+            let o = self.read(m)?;
+            out.push(o);
+        }
+        Ok(())
+    }
+
     /// Read a member's cumulative CPU time with the best precision the
     /// backend has, for cycle-boundary instrumentation (§3.1). Defaults to
     /// the visible reading from [`Substrate::read`]; the simulator
@@ -60,4 +85,26 @@ pub trait Substrate {
     /// Deliver a stop/continue signal. Returns `Ok(false)` if the member
     /// no longer exists.
     fn deliver(&mut self, member: Self::Member, signal: Signal) -> Result<bool, Self::Error>;
+
+    /// Deliver a batch of signals, in order, appending one delivery
+    /// outcome per signal to `delivered` (`false` = member gone).
+    ///
+    /// Fail-fast: a backend fault aborts the batch with `delivered`
+    /// holding the outcomes of the signals sent before the fault — the
+    /// state a caller looping over [`Substrate::deliver`] would hold.
+    /// Backends may reorder *work* internally (e.g. group same-signal
+    /// deliveries) only if the observable outcome per member is the same
+    /// as in-order delivery; the outcomes in `delivered` always follow
+    /// `batch` order.
+    fn apply_batch(
+        &mut self,
+        batch: &[(Self::Member, Signal)],
+        delivered: &mut Vec<bool>,
+    ) -> Result<(), Self::Error> {
+        for &(m, sig) in batch {
+            let d = self.deliver(m, sig)?;
+            delivered.push(d);
+        }
+        Ok(())
+    }
 }

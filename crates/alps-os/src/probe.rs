@@ -46,14 +46,19 @@ pub fn probe_table1(iters: u32) -> Result<Table1Probe> {
         clock::sleep_until(clock::now().saturating_sub(Nanos::from_secs(1)));
     });
 
-    // Measure: one /proc/<pid>/stat read per process.
+    // Measure: one /proc/<pid>/stat read per process, through the same
+    // reusable buffers the supervisor's batched read path uses.
+    let mut path_buf = String::new();
+    let mut stat_buf = String::new();
     let read_one_us = time_per_iter(iters, || {
-        let _ = proc::read_stat(me, tick);
+        let _ = proc::read_stat_into(me, tick, &mut path_buf, &mut stat_buf);
     });
     // Batch of 8 reads to split fixed vs per-proc cost by a 2-point fit.
+    let mut path_buf = String::new();
+    let mut stat_buf = String::new();
     let read_eight_us = time_per_iter(iters / 4, || {
         for _ in 0..8 {
-            let _ = proc::read_stat(me, tick);
+            let _ = proc::read_stat_into(me, tick, &mut path_buf, &mut stat_buf);
         }
     });
     let measure_per_proc_us = ((read_eight_us - read_one_us) / 7.0).max(0.0);

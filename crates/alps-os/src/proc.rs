@@ -8,7 +8,9 @@
 //! channel" test maps to state `S` (interruptible sleep) or `D`
 //! (uninterruptible I/O wait).
 
+use std::fmt::Write as _;
 use std::fs;
+use std::io::Read as _;
 
 use alps_core::Nanos;
 
@@ -57,26 +59,36 @@ pub fn parse_stat(pid: i32, contents: &str, ns_tick: u64) -> Result<ProcStat> {
         reason: "no closing paren around comm".into(),
     })?;
     let rest = contents[close + 1..].trim_start();
-    let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
     // After comm: field 3 is state; utime and stime are fields 14 and 15 of
-    // the full line, i.e. indices 11 and 12 of `rest`.
-    if fields.len() < 13 {
-        return Err(OsError::Parse {
+    // the full line, i.e. indices 0, 11 and 12 of `rest`. Walked with the
+    // split iterator (no per-parse field vector — this runs once per
+    // member per quantum on the supervisor hot path).
+    let mut fields = rest.split_ascii_whitespace();
+    let too_short = |pid| OsError::Parse {
+        pid,
+        reason: format!(
+            "only {} fields after comm",
+            rest.split_ascii_whitespace().count()
+        ),
+    };
+    let state = fields
+        .next()
+        .ok_or_else(|| too_short(pid))?
+        .chars()
+        .next()
+        .ok_or_else(|| OsError::Parse {
             pid,
-            reason: format!("only {} fields after comm", fields.len()),
-        });
-    }
-    let state = fields[0].chars().next().ok_or_else(|| OsError::Parse {
+            reason: "empty state field".into(),
+        })?;
+    let utime_field = fields.nth(10).ok_or_else(|| too_short(pid))?;
+    let stime_field = fields.next().ok_or_else(|| too_short(pid))?;
+    let utime: u64 = utime_field.parse().map_err(|_| OsError::Parse {
         pid,
-        reason: "empty state field".into(),
+        reason: format!("bad utime {utime_field:?}"),
     })?;
-    let utime: u64 = fields[11].parse().map_err(|_| OsError::Parse {
+    let stime: u64 = stime_field.parse().map_err(|_| OsError::Parse {
         pid,
-        reason: format!("bad utime {:?}", fields[11]),
-    })?;
-    let stime: u64 = fields[12].parse().map_err(|_| OsError::Parse {
-        pid,
-        reason: format!("bad stime {:?}", fields[12]),
+        reason: format!("bad stime {stime_field:?}"),
     })?;
     Ok(ProcStat {
         pid,
@@ -89,9 +101,27 @@ pub fn parse_stat(pid: i32, contents: &str, ns_tick: u64) -> Result<ProcStat> {
 
 /// Read and parse `/proc/<pid>/stat`.
 pub fn read_stat(pid: i32, ns_tick: u64) -> Result<ProcStat> {
-    let path = format!("/proc/{pid}/stat");
-    match fs::read_to_string(&path) {
-        Ok(contents) => parse_stat(pid, &contents, ns_tick),
+    read_stat_into(pid, ns_tick, &mut String::new(), &mut String::new())
+}
+
+/// [`read_stat`] through caller-owned buffers: `path_buf` receives the
+/// formatted `/proc/<pid>/stat` path and `contents` the file body, both
+/// cleared first. A supervisor reading N members per quantum reuses the
+/// same two buffers for every read, so the steady state allocates
+/// nothing (the buffers grow to the longest stat line seen and stay
+/// there).
+pub fn read_stat_into(
+    pid: i32,
+    ns_tick: u64,
+    path_buf: &mut String,
+    contents: &mut String,
+) -> Result<ProcStat> {
+    path_buf.clear();
+    let _ = write!(path_buf, "/proc/{pid}/stat");
+    contents.clear();
+    let read = fs::File::open(path_buf.as_str()).and_then(|mut f| f.read_to_string(contents));
+    match read {
+        Ok(_) => parse_stat(pid, contents, ns_tick),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(OsError::NoSuchProcess(pid)),
         Err(e) => Err(e.into()),
     }

@@ -19,6 +19,11 @@ use crate::signal;
 #[derive(Debug, Clone)]
 pub struct OsSubstrate {
     ns_tick: u64,
+    /// Reusable `/proc/<pid>/stat` path buffer (cleared per read).
+    path_buf: String,
+    /// Reusable stat-line buffer (cleared per read). With these two, a
+    /// steady-state measurement pass over N members allocates nothing.
+    stat_buf: String,
 }
 
 impl OsSubstrate {
@@ -27,6 +32,8 @@ impl OsSubstrate {
     pub fn new() -> Self {
         OsSubstrate {
             ns_tick: proc::ns_per_tick(),
+            path_buf: String::new(),
+            stat_buf: String::new(),
         }
     }
 }
@@ -46,7 +53,7 @@ impl Substrate for OsSubstrate {
     }
 
     fn read(&mut self, pid: i32) -> Result<Option<Observation>, OsError> {
-        match proc::read_stat(pid, self.ns_tick) {
+        match proc::read_stat_into(pid, self.ns_tick, &mut self.path_buf, &mut self.stat_buf) {
             Ok(stat) if !stat.dead() => Ok(Some(Observation {
                 total_cpu: stat.cpu_time,
                 blocked: stat.blocked(),
@@ -66,5 +73,42 @@ impl Substrate for OsSubstrate {
             Err(OsError::NoSuchProcess(_)) => Ok(false),
             Err(e) => Err(e),
         }
+    }
+
+    /// Grouped delivery: all `SIGSTOP`s, then all `SIGCONT`s. The engine
+    /// hands each member at most one transition per quantum, so grouping
+    /// same-signal deliveries is outcome-equivalent to in-order delivery
+    /// — and stopping before continuing means the batch never has more
+    /// members runnable than both the old and the new eligible sets
+    /// allow, so a slow batch can't transiently overcommit the CPU.
+    ///
+    /// On a `kill(2)` fault mid-batch the quantum aborts with the error
+    /// and `delivered` reports nothing: with grouped passes the set of
+    /// signals already sent is not a prefix of `batch`, so partial
+    /// outcomes would misreport. Members whose signal did land are
+    /// re-observed (and bounced members reaped) on the next quantum's
+    /// read pass.
+    fn apply_batch(
+        &mut self,
+        batch: &[(i32, Signal)],
+        delivered: &mut Vec<bool>,
+    ) -> Result<(), OsError> {
+        let base = delivered.len();
+        delivered.resize(base + batch.len(), false);
+        for pass in [Signal::Stop, Signal::Continue] {
+            for (i, &(pid, sig)) in batch.iter().enumerate() {
+                if sig != pass {
+                    continue;
+                }
+                match self.deliver(pid, sig) {
+                    Ok(d) => delivered[base + i] = d,
+                    Err(e) => {
+                        delivered.truncate(base);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -92,8 +92,11 @@ impl<S: Substrate> Substrate for FaultySubstrate<S> {
             // cannot fail, and the engine's reconciliation re-asserts
             // intent anyway.
         }
-        let jitter = self.plan.tick_jitter();
-        self.inner.now().saturating_add(jitter)
+        // Monotonic by construction: the plan clamps each jittered
+        // reading to its watermark, so a delayed fire re-mints the clock
+        // forward instead of handing out a timestamp behind an earlier
+        // one (which event consumers would otherwise have to reorder).
+        self.plan.jittered_now(self.inner.now())
     }
 
     fn read(&mut self, m: S::Member) -> Result<Option<Observation>, Faulty<S::Error>> {

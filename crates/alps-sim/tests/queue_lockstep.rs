@@ -1,15 +1,19 @@
-//! The indexed simulator must be invisible to ALPS.
+//! The indexed simulator and the timing-wheel event queue must be
+//! invisible to ALPS.
 //!
-//! An ALPS runner driven on a kernel with the indexed run queue must
-//! produce *identical* per-cycle consumption records and `EngineStats` to
-//! one driven on the seed linear queue — over 300 quanta (≥ 200), with
+//! An ALPS runner driven on a kernel with the indexed run queue (or the
+//! timing-wheel event queue) must produce *identical* per-cycle
+//! consumption records and `EngineStats` to one driven on the seed linear
+//! queue (or the seed binary heap) — over 300 quanta (≥ 200), with
 //! `SIGSTOP`/`SIGCONT`-based suspension happening every quantum (that is
 //! ALPS's own mechanism) plus driver-initiated stop/cont and terminate
 //! churn, for both the lazy (§2.3) and the unoptimized variants.
 
+use std::num::NonZeroUsize;
+
 use alps_core::{AlpsConfig, CycleRecord, EngineStats, Nanos};
 use alps_sim::{spawn_alps, CostModel};
-use kernsim::{ComputeBound, ComputeThenSleep, Pid, RunQueueKind, Sim, SimConfig};
+use kernsim::{ComputeBound, ComputeThenSleep, EventQueueKind, Pid, RunQueueKind, Sim, SimConfig};
 
 #[derive(Debug, PartialEq)]
 struct Outcome {
@@ -20,10 +24,16 @@ struct Outcome {
 }
 
 fn run(kind: RunQueueKind, lazy: bool) -> Outcome {
+    run_on(kind, EventQueueKind::default(), 1, lazy)
+}
+
+fn run_on(kind: RunQueueKind, event_queue: EventQueueKind, cpus: usize, lazy: bool) -> Outcome {
     let cfg = SimConfig {
         seed: 5,
         spawn_estcpu_jitter: 8.0,
         runqueue: kind,
+        event_queue,
+        cpus: NonZeroUsize::new(cpus).unwrap(),
         ..SimConfig::default()
     };
     let mut sim = Sim::new(cfg);
@@ -93,4 +103,43 @@ fn alps_cycles_and_stats_identical_across_queue_kinds_eager() {
     assert!(indexed.invocations >= 200);
     assert!(!indexed.cycles.is_empty());
     assert_eq!(indexed, linear);
+}
+
+/// The event-queue analogue of the run-queue tests above: an ALPS run on
+/// the timing wheel must be indistinguishable — cycle records, stats,
+/// member CPU times, invocation count — from one on the binary heap, at
+/// every supported machine width.
+fn assert_event_queue_invisible(cpus: usize, lazy: bool) {
+    let wheel = run_on(RunQueueKind::Indexed, EventQueueKind::Wheel, cpus, lazy);
+    let heap = run_on(RunQueueKind::Indexed, EventQueueKind::Heap, cpus, lazy);
+    assert!(
+        wheel.invocations >= 200,
+        "need ≥200 quanta, got {} (M = {cpus})",
+        wheel.invocations
+    );
+    assert!(
+        !wheel.cycles.is_empty(),
+        "the fixture must cross cycle boundaries (M = {cpus})"
+    );
+    assert_eq!(
+        wheel, heap,
+        "ALPS outcome diverges across event queues (M = {cpus})"
+    );
+}
+
+#[test]
+fn alps_outcome_identical_across_event_queues_lazy() {
+    assert_event_queue_invisible(1, true);
+}
+
+#[test]
+fn alps_outcome_identical_across_event_queues_eager() {
+    assert_event_queue_invisible(1, false);
+}
+
+#[test]
+fn alps_outcome_identical_across_event_queues_smp() {
+    for cpus in [2, 4] {
+        assert_event_queue_invisible(cpus, true);
+    }
 }

@@ -3,8 +3,11 @@
 //! Sweeps the §3.2-shaped workload over N ∈ {10, 100, 1000, 5000}
 //! processes, lazy and unoptimized ALPS, on both the indexed and the seed
 //! linear ready queue, with both the wheel and the seed scan due index,
-//! on the paper's one-CPU machine — plus an SMP series (default config,
-//! 2 and 4 simulated CPUs) per N — and writes the report JSON. Every run
+//! on the paper's one-CPU machine — plus, per N, a binary-heap
+//! event-queue comparison point and an SMP series (default config, 2 and
+//! 4 simulated CPUs) — then an event-core series (kernel-only sleepers
+//! holding N pending wakeups, wheel vs heap) — and writes the report
+//! JSON. Every run
 //! (point × repetition) is fanned across the deterministic sweep
 //! executor; the simulation-derived results are identical at any thread
 //! count. Run with `--release`; see EXPERIMENTS.md.
@@ -18,10 +21,11 @@
 //!   --out       output path (default `BENCH_kernsim.json`)
 
 use alps_bench::scalability::{
-    run_point, run_sweep, sweep_specs, sweep_specs_at, BenchReport, QUANTUM_MS, SHARE,
+    event_core_ns, event_core_sim_secs, run_event_core_best_of, run_point, run_sweep, sweep_specs,
+    sweep_specs_at, BenchReport, QUANTUM_MS, SHARE,
 };
 use alps_core::DueIndex;
-use kernsim::RunQueueKind;
+use kernsim::{EventQueueKind, RunQueueKind};
 
 /// Repetitions per point; the fastest is kept (the sim is deterministic,
 /// so repetitions differ only in wall-clock noise).
@@ -84,7 +88,15 @@ fn main() {
     }
     // Discarded warmup so the first measured points don't pay for page
     // faults and CPU frequency ramp-up.
-    let _ = run_point(100, true, RunQueueKind::Indexed, DueIndex::Wheel, 2, 1);
+    let _ = run_point(
+        100,
+        true,
+        RunQueueKind::Indexed,
+        EventQueueKind::Wheel,
+        DueIndex::Wheel,
+        2,
+        1,
+    );
 
     let specs = match cpus {
         Some(m) => sweep_specs_at(fast, m),
@@ -93,10 +105,11 @@ fn main() {
     let outcome = run_sweep(&specs, REPS);
     for p in &outcome.points {
         eprintln!(
-            "N={:5} lazy={:5} {:7} {:5} cpus={}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx, {:9.1} ns/q/member ({:4.1}% drive)",
+            "N={:5} lazy={:5} {:7} eq={:5} {:5} cpus={}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:8.5} wall-s/sim-s, {:10.0} events/s, {:8} ctx, {:9.1} ns/q/member ({:4.1}% drive)",
             p.n,
             p.lazy,
             p.runqueue,
+            p.event_queue,
             p.due_index,
             p.sim_cpus,
             p.register_seconds,
@@ -108,6 +121,24 @@ fn main() {
             p.supervisor_ns_per_quantum_per_member,
             p.drive_fraction * 100.0
         );
+    }
+
+    // The event-core series: kernel-only sleepers holding N pending
+    // wakeups — the event-dense regime the supervised grid never enters
+    // (ALPS keeps all but the on-deck member stopped, so that grid holds
+    // only a handful of pending events at any N).
+    let ec_secs = event_core_sim_secs(fast);
+    let mut event_core = Vec::new();
+    for n in event_core_ns(fast) {
+        for eq in [EventQueueKind::Wheel, EventQueueKind::Heap] {
+            let p = run_event_core_best_of(n, eq, ec_secs, REPS);
+            eprintln!(
+                "event-core N={:6} eq={:5}: {:9} events in {:8.5}s wall ({:10.0} events/s, {:6} pending)",
+                p.n, p.event_queue, p.events, p.wall_seconds, p.events_per_wall_second,
+                p.pending_events
+            );
+            event_core.push(p);
+        }
     }
 
     let report = BenchReport {
@@ -122,6 +153,7 @@ fn main() {
         parallel_speedup: outcome.serial_wall_estimate_seconds
             / outcome.sweep_wall_seconds.max(1e-9),
         points: outcome.points,
+        event_core,
     };
     let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
     ns.dedup();
@@ -143,6 +175,18 @@ fn main() {
                     "N={n:5} lazy={lazy:5} scan/wheel supervisor overhead (indexed): {r:.2}x"
                 );
             }
+        }
+    }
+    for n in &ns {
+        if let Some(s) = report.event_queue_speedup(*n) {
+            eprintln!("N={n:5} wheel event-queue speedup over heap (events/s): {s:.2}x");
+        }
+    }
+    let mut ec_ns: Vec<usize> = report.event_core.iter().map(|p| p.n).collect();
+    ec_ns.dedup();
+    for n in &ec_ns {
+        if let Some(s) = report.event_core_speedup(*n) {
+            eprintln!("event-core N={n:6} wheel speedup over heap (events/s): {s:.2}x");
         }
     }
     eprintln!(

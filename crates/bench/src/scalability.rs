@@ -8,9 +8,14 @@
 //! ALPS variants, each on both ready-queue implementations
 //! ([`RunQueueKind::Indexed`] vs the seed [`RunQueueKind::Linear`]), and
 //! each with both due-index implementations ([`DueIndex::Wheel`] vs the
-//! seed [`DueIndex::Scan`]). The linear and scan points exist to
-//! quantify the optimized hot paths' speedups; each pair is
-//! trace-identical (see `crates/kernsim/tests/lockstep.rs` and
+//! seed [`DueIndex::Scan`]). A per-N event-queue comparison series rides
+//! along: the default configuration rerun on the seed binary-heap event
+//! queue ([`EventQueueKind::Heap`]) against the timing-wheel default,
+//! which is what [`BenchReport::event_queue_speedup`] reports. The
+//! linear, scan, and heap points exist to quantify the optimized hot
+//! paths' speedups; each pair is trace-identical (see
+//! `crates/kernsim/tests/lockstep.rs`,
+//! `crates/kernsim/tests/event_queue_lockstep.rs`, and
 //! `crates/alps-core/tests/due_index_lockstep.rs`).
 //!
 //! Besides the simulator-throughput numbers, every point reports the
@@ -20,7 +25,7 @@
 
 use alps_core::{AlpsConfig, DueIndex, Nanos};
 use alps_sim::{spawn_alps, CostModel};
-use kernsim::{ComputeBound, Pid, RunQueueKind, Sim, SimConfig};
+use kernsim::{ComputeBound, ComputeThenSleep, EventQueueKind, Pid, RunQueueKind, Sim, SimConfig};
 use serde::{Deserialize, Serialize};
 
 /// Equal share per process, as in §3.2.
@@ -33,6 +38,74 @@ pub const QUANTUM_MS: u64 = 10;
 /// the ALPS runner discovers the exits and reaps every principal).
 pub const TAIL_SECS: u64 = 5;
 
+/// CPU burst of one event-core workload process ([`run_event_core_point`]).
+pub const EVENT_CORE_BURST: Nanos = Nanos::from_micros(1);
+
+/// Sleep between bursts of one event-core workload process. Together with
+/// [`EVENT_CORE_BURST`] it keeps the simulated CPU unsaturated up to
+/// N = 100 000, so all N sleepers stay pending in the event queue at once.
+pub const EVENT_CORE_SLEEP: Nanos = Nanos::from_millis(100);
+
+/// Population sizes of the event-core series. The §3.2 supervised grid is
+/// event-*sparse* (a handful of pending events regardless of N, since ALPS
+/// keeps all but the on-deck member stopped), so it cannot separate the
+/// event-queue implementations; this series holds N wakeups pending at
+/// once — the population the queue swap targets.
+pub fn event_core_ns(fast: bool) -> Vec<usize> {
+    if fast {
+        vec![1000]
+    } else {
+        vec![1000, 5000, 20000, 80000]
+    }
+}
+
+/// Simulated seconds per event-core point.
+pub fn event_core_sim_secs(fast: bool) -> u64 {
+    if fast {
+        2
+    } else {
+        10
+    }
+}
+
+/// One measured point of the event-core series: N kernel-only sleepers
+/// (no ALPS supervisor), each holding a pending wakeup, so the event
+/// queue itself dominates the run. See [`run_event_core_point`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventCorePoint {
+    /// Number of sleeper processes — and, at steady state, the pending
+    /// event population.
+    pub n: usize,
+    /// Simulator event-queue implementation: `"wheel"` or `"heap"`.
+    pub event_queue: String,
+    /// Simulated seconds driven.
+    pub sim_seconds: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Events still pending when the drive ended — the steady-state
+    /// queue population the point exercised (≈ N while the simulated
+    /// CPU is unsaturated).
+    pub pending_events: usize,
+    /// Wall-clock seconds for the drive.
+    pub wall_seconds: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_wall_second: f64,
+}
+
+impl EventCorePoint {
+    /// The simulation-derived fields — a pure function of the point's
+    /// parameters and seed, identical at any sweep thread count.
+    pub fn sim_key(&self) -> (usize, &str, u64, u64, usize) {
+        (
+            self.n,
+            self.event_queue.as_str(),
+            self.sim_seconds,
+            self.events,
+            self.pending_events,
+        )
+    }
+}
+
 /// One measured point of the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchPoint {
@@ -42,6 +115,9 @@ pub struct BenchPoint {
     pub lazy: bool,
     /// Ready-queue implementation: `"indexed"` or `"linear"`.
     pub runqueue: String,
+    /// Simulator event-queue implementation: `"wheel"` (the timing-wheel
+    /// default) or `"heap"` (the seed binary heap).
+    pub event_queue: String,
     /// ALPS due-index implementation: `"wheel"` or `"scan"`.
     pub due_index: String,
     /// CPUs the simulated machine modeled ([`SimConfig::cpus`]) — the
@@ -88,11 +164,12 @@ impl BenchPoint {
     /// the wall-clock timings. These are a pure function of the point's
     /// parameters and seed, so they must be identical at any sweep
     /// thread count; the determinism tests compare exactly this key.
-    pub fn sim_key(&self) -> (usize, bool, &str, &str, usize, u64, u64, u64, u64) {
+    pub fn sim_key(&self) -> (usize, bool, &str, &str, &str, usize, u64, u64, u64, u64) {
         (
             self.n,
             self.lazy,
             self.runqueue.as_str(),
+            self.event_queue.as_str(),
             self.due_index.as_str(),
             self.sim_cpus,
             self.sim_seconds,
@@ -130,6 +207,10 @@ pub struct BenchReport {
     pub parallel_speedup: f64,
     /// The measured points.
     pub points: Vec<BenchPoint>,
+    /// The event-core series: wheel-vs-heap throughput with N pending
+    /// events, the population the §3.2 supervised grid never builds.
+    #[serde(default)]
+    pub event_core: Vec<EventCorePoint>,
 }
 
 impl BenchReport {
@@ -141,7 +222,9 @@ impl BenchReport {
     }
 
     /// The point for `(n, lazy, kind, due)` on a `cpus`-CPU simulated
-    /// machine, if present.
+    /// machine, if present. Always the timing-wheel event queue — the
+    /// configuration grid runs on the default; the binary-heap
+    /// comparison series is reached via [`BenchReport::heap_point`].
     pub fn point_at(
         &self,
         n: usize,
@@ -154,9 +237,50 @@ impl BenchReport {
             p.n == n
                 && p.lazy == lazy
                 && p.runqueue == kind
+                && p.event_queue == "wheel"
                 && p.due_index == due
                 && p.sim_cpus == cpus
         })
+    }
+
+    /// The binary-heap event-queue comparison point for `n` (the default
+    /// configuration otherwise: lazy, indexed run queue, wheel due
+    /// index, one CPU), if present.
+    pub fn heap_point(&self, n: usize) -> Option<&BenchPoint> {
+        self.points.iter().find(|p| {
+            p.n == n
+                && p.lazy
+                && p.runqueue == "indexed"
+                && p.event_queue == "heap"
+                && p.due_index == "wheel"
+                && p.sim_cpus == 1
+        })
+    }
+
+    /// Event-throughput speedup of the timing-wheel event queue over the
+    /// seed binary heap at the default configuration for `n`:
+    /// `events_per_wall_second(wheel) / events_per_wall_second(heap)`.
+    pub fn event_queue_speedup(&self, n: usize) -> Option<f64> {
+        let wheel = self.point(n, true, "indexed", "wheel")?;
+        let heap = self.heap_point(n)?;
+        Some(wheel.events_per_wall_second / heap.events_per_wall_second.max(1e-12))
+    }
+
+    /// The event-core point for `(n, kind)` (`"wheel"` or `"heap"`), if
+    /// present.
+    pub fn event_core_point(&self, n: usize, kind: &str) -> Option<&EventCorePoint> {
+        self.event_core
+            .iter()
+            .find(|p| p.n == n && p.event_queue == kind)
+    }
+
+    /// Event-throughput speedup of the timing-wheel event queue over the
+    /// seed binary heap on the event-core workload at `n`:
+    /// `events_per_wall_second(wheel) / events_per_wall_second(heap)`.
+    pub fn event_core_speedup(&self, n: usize) -> Option<f64> {
+        let wheel = self.event_core_point(n, "wheel")?;
+        let heap = self.event_core_point(n, "heap")?;
+        Some(wheel.events_per_wall_second / heap.events_per_wall_second.max(1e-12))
     }
 
     /// Wall-clock speedup of the indexed queue over the linear one for
@@ -213,6 +337,17 @@ impl BenchReport {
                 "\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"event_core\": [\n");
+        for (i, p) in self.event_core.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&serde_json::to_string(p).expect("event-core point"));
+            out.push_str(if i + 1 < self.event_core.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -264,6 +399,7 @@ pub fn run_point(
     n: usize,
     lazy: bool,
     kind: RunQueueKind,
+    eventq: EventQueueKind,
     due: DueIndex,
     sim_secs: u64,
     cpus: usize,
@@ -272,6 +408,10 @@ pub fn run_point(
         seed: 1,
         spawn_estcpu_jitter: 8.0,
         runqueue: kind,
+        event_queue: eventq,
+        // Size the event queue for the population: at steady state every
+        // member holds a wakeup/burst event, plus the ALPS timer.
+        event_capacity: n + 8,
         cpus: std::num::NonZeroUsize::new(cpus).expect("at least one CPU"),
         ..SimConfig::default()
     };
@@ -308,6 +448,10 @@ pub fn run_point(
             RunQueueKind::Indexed => "indexed".to_string(),
             RunQueueKind::Linear => "linear".to_string(),
         },
+        event_queue: match eventq {
+            EventQueueKind::Wheel => "wheel".to_string(),
+            EventQueueKind::Heap => "heap".to_string(),
+        },
         due_index: match due {
             DueIndex::Wheel => "wheel".to_string(),
             DueIndex::Scan => "scan".to_string(),
@@ -334,17 +478,79 @@ pub fn run_point(
 /// the repetitions differ only in wall-clock noise — the minimum is the
 /// least-disturbed measurement. Repetitions are independent runs and
 /// fan out across the sweep executor.
+#[allow(clippy::too_many_arguments)] // mirrors run_point's parameter list
 pub fn run_point_best_of(
     n: usize,
     lazy: bool,
     kind: RunQueueKind,
+    eventq: EventQueueKind,
     due: DueIndex,
     sim_secs: u64,
     cpus: usize,
     reps: usize,
 ) -> BenchPoint {
     alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
-        run_point(n, lazy, kind, due, sim_secs, cpus)
+        run_point(n, lazy, kind, eventq, due, sim_secs, cpus)
+    })
+    .into_iter()
+    .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+    .expect("reps >= 1")
+}
+
+/// Measure one event-core point: N kernel-only sleepers, each running
+/// [`EVENT_CORE_BURST`] then sleeping [`EVENT_CORE_SLEEP`], driven for
+/// `sim_secs` simulated seconds with no ALPS supervisor. Every sleeper
+/// holds a pending wakeup, so the queue carries ~N events throughout —
+/// the regime where the heap pays O(log N) comparisons plus cache misses
+/// per operation and the wheel stays flat.
+pub fn run_event_core_point(n: usize, eventq: EventQueueKind, sim_secs: u64) -> EventCorePoint {
+    let cfg = SimConfig {
+        seed: 1,
+        spawn_estcpu_jitter: 8.0,
+        runqueue: RunQueueKind::Indexed,
+        event_queue: eventq,
+        event_capacity: n + 8,
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+    for i in 0..n {
+        sim.spawn(
+            format!("s{i}"),
+            Box::new(ComputeThenSleep::new(
+                EVENT_CORE_BURST,
+                EVENT_CORE_SLEEP,
+                Nanos::ZERO,
+            )),
+        );
+    }
+    let t = std::time::Instant::now();
+    let events = sim.run_until(Nanos::from_secs(sim_secs));
+    let wall_seconds = t.elapsed().as_secs_f64();
+    EventCorePoint {
+        n,
+        event_queue: match eventq {
+            EventQueueKind::Wheel => "wheel".to_string(),
+            EventQueueKind::Heap => "heap".to_string(),
+        },
+        sim_seconds: sim_secs,
+        events,
+        pending_events: sim.pending_events(),
+        wall_seconds,
+        events_per_wall_second: events as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// Measure [`run_event_core_point`] `reps` times and keep the fastest
+/// repetition, fanned across the sweep executor like
+/// [`run_point_best_of`].
+pub fn run_event_core_best_of(
+    n: usize,
+    eventq: EventQueueKind,
+    sim_secs: u64,
+    reps: usize,
+) -> EventCorePoint {
+    alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
+        run_event_core_point(n, eventq, sim_secs)
     })
     .into_iter()
     .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
@@ -360,6 +566,8 @@ pub struct SweepSpec {
     pub lazy: bool,
     /// Ready-queue implementation under test.
     pub kind: RunQueueKind,
+    /// Simulator event-queue implementation under test.
+    pub eventq: EventQueueKind,
     /// ALPS due-index implementation under test.
     pub due: DueIndex,
     /// Simulated seconds of steady-state drive.
@@ -374,8 +582,10 @@ pub const SMP_CPUS: [usize; 2] = [2, 4];
 
 /// The full grid in its canonical (report) order. Per N:
 /// {lazy, eager} × {indexed, linear} × {wheel, scan} on one CPU (the
-/// paper's machine), then the default configuration (lazy, indexed,
-/// wheel) on each of [`SMP_CPUS`] — the SMP series measures the CPU
+/// paper's machine) on the timing-wheel event queue, then the default
+/// configuration rerun on the seed binary-heap event queue (the
+/// event-queue comparison series), then the default configuration on
+/// each of [`SMP_CPUS`] — the heap and SMP series measure their one
 /// dimension alone, not its cross product with every other axis.
 pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
     let mut specs = Vec::new();
@@ -388,6 +598,7 @@ pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
                         n,
                         lazy,
                         kind,
+                        eventq: EventQueueKind::Wheel,
                         due,
                         sim_secs,
                         cpus: 1,
@@ -395,11 +606,21 @@ pub fn sweep_specs(fast: bool) -> Vec<SweepSpec> {
                 }
             }
         }
+        specs.push(SweepSpec {
+            n,
+            lazy: true,
+            kind: RunQueueKind::Indexed,
+            eventq: EventQueueKind::Heap,
+            due: DueIndex::Wheel,
+            sim_secs,
+            cpus: 1,
+        });
         for cpus in SMP_CPUS {
             specs.push(SweepSpec {
                 n,
                 lazy: true,
                 kind: RunQueueKind::Indexed,
+                eventq: EventQueueKind::Wheel,
                 due: DueIndex::Wheel,
                 sim_secs,
                 cpus,
@@ -453,7 +674,7 @@ pub fn run_sweep_threads(threads: usize, specs: &[SweepSpec], reps: usize) -> Sw
         .collect();
     let t_sweep = std::time::Instant::now();
     let runs = alps_sweep::sweep_map_threads(threads, jobs, |s| {
-        run_point(s.n, s.lazy, s.kind, s.due, s.sim_secs, s.cpus)
+        run_point(s.n, s.lazy, s.kind, s.eventq, s.due, s.sim_secs, s.cpus)
     });
     let sweep_wall_seconds = t_sweep.elapsed().as_secs_f64();
     let serial_wall_estimate_seconds = runs.iter().map(|p| p.wall_seconds).sum();
@@ -490,8 +711,37 @@ mod tests {
             serial_wall_estimate_seconds: 1.0,
             parallel_speedup: 4.0,
             points: vec![
-                run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 1),
-                run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 1, 2),
+                run_point(
+                    4,
+                    true,
+                    RunQueueKind::Indexed,
+                    EventQueueKind::Wheel,
+                    DueIndex::Wheel,
+                    1,
+                    1,
+                ),
+                run_point(
+                    4,
+                    true,
+                    RunQueueKind::Indexed,
+                    EventQueueKind::Wheel,
+                    DueIndex::Wheel,
+                    1,
+                    2,
+                ),
+                run_point(
+                    4,
+                    true,
+                    RunQueueKind::Indexed,
+                    EventQueueKind::Heap,
+                    DueIndex::Wheel,
+                    1,
+                    1,
+                ),
+            ],
+            event_core: vec![
+                run_event_core_point(8, EventQueueKind::Wheel, 1),
+                run_event_core_point(8, EventQueueKind::Heap, 1),
             ],
         };
         let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
@@ -505,14 +755,46 @@ mod tests {
         );
         assert!(report.point_at(4, true, "indexed", "wheel", 2).is_some());
         assert!(report.point_at(4, true, "indexed", "wheel", 4).is_none());
+        // The grid lookups never answer with the heap comparison point...
+        assert_eq!(
+            report
+                .point(4, true, "indexed", "wheel")
+                .unwrap()
+                .event_queue,
+            "wheel"
+        );
+        // ...which has its own accessor, and a throughput ratio on top.
+        assert_eq!(report.heap_point(4).unwrap().event_queue, "heap");
+        assert!(report.heap_point(5).is_none());
+        assert!(report.event_queue_speedup(4).unwrap() > 0.0);
+        assert!(report.event_queue_speedup(5).is_none());
+        // The event-core series has its own lookups and ratio.
+        assert_eq!(
+            report.event_core_point(8, "wheel").unwrap().event_queue,
+            "wheel"
+        );
+        assert!(report.event_core_point(9, "wheel").is_none());
+        assert!(report.event_core_speedup(8).unwrap() > 0.0);
+        assert!(report.event_core_speedup(9).is_none());
+        // Reports written before the series existed (no "event_core"
+        // key) still parse, to an empty series.
+        let rendered = report.to_pretty_json();
+        let (head, _tail) = rendered
+            .split_once("  \"event_core\": [")
+            .expect("series rendered");
+        let legacy = format!("{}\n}}\n", head.trim_end().trim_end_matches(','));
+        let back = BenchReport::parse(&legacy).expect("legacy parse");
+        assert!(back.event_core.is_empty());
+        assert_eq!(back.points, report.points);
     }
 
     #[test]
     fn sweep_specs_cover_the_grid_in_report_order() {
         let specs = sweep_specs(true);
         // Per N ∈ {10,100}: {lazy,eager} × {indexed,linear} × {wheel,scan}
-        // on one CPU, then the default config at each SMP CPU count.
-        assert_eq!(specs.len(), 2 * (2 * 2 * 2 + SMP_CPUS.len()));
+        // on one CPU, then the heap event-queue comparison point, then
+        // the default config at each SMP CPU count.
+        assert_eq!(specs.len(), 2 * (2 * 2 * 2 + 1 + SMP_CPUS.len()));
         assert_eq!(specs[0].n, 10);
         assert!(specs[0].lazy && specs[0].kind == RunQueueKind::Indexed);
         assert_eq!(specs[0].due, DueIndex::Wheel);
@@ -521,24 +803,60 @@ mod tests {
         assert!(!specs[7].lazy && specs[7].kind == RunQueueKind::Linear);
         assert_eq!(specs[7].due, DueIndex::Scan);
         assert!(specs[..8].iter().all(|s| s.cpus == 1));
-        // The SMP series rides at the end of each N block, default config.
-        assert_eq!(specs[8].cpus, 2);
-        assert_eq!(specs[9].cpus, 4);
+        // The configuration grid runs on the wheel (the default)...
+        assert!(specs[..8].iter().all(|s| s.eventq == EventQueueKind::Wheel));
+        // ...then the heap comparison point at the default config...
+        assert_eq!(specs[8].eventq, EventQueueKind::Heap);
         assert!(specs[8].lazy && specs[8].kind == RunQueueKind::Indexed);
         assert_eq!(specs[8].due, DueIndex::Wheel);
-        assert_eq!(specs[10].n, 100);
+        assert_eq!(specs[8].cpus, 1);
+        // ...then the SMP series at the end of each N block.
+        assert_eq!(specs[9].cpus, 2);
+        assert_eq!(specs[10].cpus, 4);
+        assert!(specs[9].lazy && specs[9].kind == RunQueueKind::Indexed);
+        assert_eq!(specs[9].eventq, EventQueueKind::Wheel);
+        assert_eq!(specs[9].due, DueIndex::Wheel);
+        assert_eq!(specs[11].n, 100);
     }
 
     #[test]
     fn sweep_specs_at_pins_the_cpu_count_over_the_whole_grid() {
         let specs = sweep_specs_at(true, 2);
-        assert_eq!(specs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(specs.len(), 2 * (2 * 2 * 2 + 1));
         assert!(specs.iter().all(|s| s.cpus == 2));
     }
 
     #[test]
+    fn event_core_point_is_queue_invariant_and_event_dense() {
+        let wheel = run_event_core_point(16, EventQueueKind::Wheel, 1);
+        let heap = run_event_core_point(16, EventQueueKind::Heap, 1);
+        // The two implementations must agree on everything but wall time.
+        assert_eq!(wheel.sim_key().0, heap.sim_key().0);
+        assert_eq!(wheel.events, heap.events);
+        assert_eq!(wheel.pending_events, heap.pending_events);
+        // Nearly every sleeper holds a pending wakeup when the drive
+        // ends (a couple may be awake mid-burst at the boundary).
+        assert!(
+            wheel.pending_events >= 14,
+            "pending {}",
+            wheel.pending_events
+        );
+        // ~10 wake/burst-done pairs per sleeper per simulated second.
+        assert!(wheel.events >= 16 * 10, "events {}", wheel.events);
+        assert!(wheel.events_per_wall_second > 0.0);
+    }
+
+    #[test]
     fn point_reports_drive_quanta_and_overhead() {
-        let p = run_point(4, true, RunQueueKind::Indexed, DueIndex::Wheel, 2, 1);
+        let p = run_point(
+            4,
+            true,
+            RunQueueKind::Indexed,
+            EventQueueKind::Wheel,
+            DueIndex::Wheel,
+            2,
+            1,
+        );
         // A 10 ms quantum over 2 simulated seconds services ~200 quanta.
         assert!(
             (150..=250).contains(&p.drive_quanta),

@@ -123,6 +123,9 @@ pub struct FaultPlan {
     spec: FaultPlanSpec,
     rng: SmallRng,
     log: FaultLog,
+    /// Highest clock value handed out by [`FaultPlan::jittered_now`],
+    /// enforcing that the jittered clock stays monotonic.
+    jitter_watermark: Nanos,
 }
 
 impl FaultPlan {
@@ -132,6 +135,7 @@ impl FaultPlan {
             spec,
             rng: SmallRng::seed_from_u64(spec.seed),
             log: FaultLog::default(),
+            jitter_watermark: Nanos::ZERO,
         }
     }
 
@@ -201,6 +205,19 @@ impl FaultPlan {
             Nanos::ZERO
         }
     }
+
+    /// Apply this fire's jitter to a raw clock reading, keeping the
+    /// reported clock *monotonic*: a jittered reading never goes behind
+    /// an earlier one. A raw `now + jitter` can run backwards between
+    /// consecutive fires (big jitter, then none), and a time source must
+    /// not — consumers mint state from each reported timestamp rather
+    /// than relying on anything downstream to reorder. Always draws from
+    /// the jitter stream (even when clamped), so replays stay aligned.
+    pub fn jittered_now(&mut self, raw: Nanos) -> Nanos {
+        let jittered = raw.saturating_add(self.tick_jitter());
+        self.jitter_watermark = self.jitter_watermark.max(jittered);
+        self.jitter_watermark
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +280,46 @@ mod tests {
         assert!(log.stale_reads > 0);
         assert!(log.mid_quantum_exits > 0);
         assert!(log.jittered_ticks > 0);
+    }
+
+    #[test]
+    fn jittered_clock_is_monotonic_and_replayable() {
+        let rates = FaultRates {
+            tick_jitter: 0.8,
+            max_jitter: Nanos::from_millis(50),
+            ..FaultRates::none()
+        };
+        // 1 ms raw steps under up-to-50 ms jitter: the raw `now + jitter`
+        // sequence regresses constantly, the minted one must not.
+        let mut raw_regressed = false;
+        let mut check = FaultPlan::seeded(3, rates);
+        let mut prev_raw = Nanos::ZERO;
+        for i in 0..500u64 {
+            let raw = Nanos::from_millis(i).saturating_add(check.tick_jitter());
+            raw_regressed |= raw < prev_raw;
+            prev_raw = raw;
+        }
+        assert!(raw_regressed, "fixture never regressed; nothing to clamp");
+
+        let mut plan = FaultPlan::seeded(3, rates);
+        let mut prev = Nanos::ZERO;
+        let minted: Vec<Nanos> = (0..500u64)
+            .map(|i| {
+                let raw = Nanos::from_millis(i);
+                let now = plan.jittered_now(raw);
+                assert!(now >= raw, "minted clock behind the raw clock");
+                assert!(now >= prev, "minted clock regressed");
+                prev = now;
+                now
+            })
+            .collect();
+        assert!(plan.log().jittered_ticks > 0);
+        // Same seed, same minted stream — clamping draws nothing extra.
+        let mut replay = FaultPlan::seeded(3, rates);
+        let again: Vec<Nanos> = (0..500u64)
+            .map(|i| replay.jittered_now(Nanos::from_millis(i)))
+            .collect();
+        assert_eq!(minted, again);
     }
 
     #[test]

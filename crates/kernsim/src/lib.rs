@@ -74,6 +74,7 @@ pub mod table;
 pub mod trace;
 
 pub use cpu::CpuId;
+pub use event::EventQueueKind;
 pub use fault::{FaultLog, FaultPlan, FaultPlanSpec, FaultRates};
 pub use pid::Pid;
 pub use process::{Behavior, ComputeBound, ComputeThenSleep, PState, ProcView, Step};

@@ -34,11 +34,12 @@
 //! keeps a live-process index so the once-per-second `schedcpu` pass walks
 //! only live processes; the decay-usage ready queue
 //! ([`crate::sched::RunQueue`]) supports O(1) insert/remove/pop; and the
-//! timer/burst/wakeup machinery is a binary-heap event queue, so quiescent
-//! processes cost nothing per tick. Set [`SimConfig::runqueue`] to
-//! [`RunQueueKind::Linear`] to run the pre-index ready queue instead — the
-//! lockstep tests and the bench harness use it to pin trace equivalence
-//! and quantify the speedup.
+//! timer/burst/wakeup machinery is a hierarchical timing-wheel event
+//! queue with O(1) schedule/pop, so quiescent processes cost nothing per
+//! tick. Set [`SimConfig::runqueue`] to [`RunQueueKind::Linear`] (or
+//! [`SimConfig::event_queue`] to [`EventQueueKind::Heap`]) to run the
+//! seed implementations instead — the lockstep tests and the bench
+//! harness use them to pin trace equivalence and quantify the speedups.
 
 use std::num::NonZeroUsize;
 
@@ -47,7 +48,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cpu::CpuId;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, EventQueueKind};
 use crate::pid::Pid;
 use crate::process::{Behavior, IntervalTimer, PState, ProcView, Process, Step};
 use crate::sched::{self, ReadyQueue, RunQueueKind};
@@ -118,6 +119,17 @@ pub struct SimConfig {
     /// the pre-index linear-scan queue for lockstep comparison and
     /// benchmarking. Both produce identical schedules.
     pub runqueue: RunQueueKind,
+    /// Event-queue implementation for the timer/burst/wakeup machinery.
+    /// The default timing wheel is O(1) per schedule/pop;
+    /// [`EventQueueKind::Heap`] keeps the seed binary heap for lockstep
+    /// comparison and benchmarking. Both fire identical event streams.
+    pub event_queue: EventQueueKind,
+    /// Pre-allocation hint for the event queue: the expected number of
+    /// simultaneously pending events. Large populations keep roughly one
+    /// timer/burst/wakeup event per process pending, so drivers that know
+    /// N should set this to at least N — regrowth is pure overhead on the
+    /// hot path. Purely a capacity hint: it never affects behavior.
+    pub event_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -132,6 +144,8 @@ impl Default for SimConfig {
             cpus: NonZeroUsize::MIN,
             policy: KernelPolicy::DecayUsage,
             runqueue: RunQueueKind::Indexed,
+            event_queue: EventQueueKind::Wheel,
+            event_capacity: 64,
         }
     }
 }
@@ -182,7 +196,7 @@ impl Sim {
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.tick > Nanos::ZERO, "tick must be positive");
         let cpus = cfg.cpus.get();
-        let mut events = EventQueue::with_capacity(64);
+        let mut events = EventQueue::with_kind(cfg.event_queue, cfg.event_capacity);
         events.schedule(cfg.tick, EventKind::Tick);
         events.schedule(Nanos::SECOND, EventKind::SchedCpu);
         Sim {
@@ -262,6 +276,13 @@ impl Sim {
     /// Current 1-minute load average.
     pub fn loadavg(&self) -> f64 {
         self.loadavg
+    }
+
+    /// Events currently pending in the event queue (including parked
+    /// far-future events and not-yet-reaped stale-token entries). Useful
+    /// for sizing [`SimConfig::event_capacity`] against a real workload.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     /// Number of processes ever spawned (including exited ones).
@@ -369,11 +390,7 @@ impl Sim {
         assert!(deadline >= self.now, "cannot run backwards");
         self.fixup_dispatch();
         let mut handled = 0;
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let ev = self.events.pop().expect("peeked");
+        while let Some(ev) = self.events.pop_due(deadline) {
             debug_assert!(ev.at >= self.now, "event from the past");
             self.advance_to(ev.at);
             self.now = ev.at;
@@ -553,6 +570,9 @@ impl Sim {
             return;
         }
         let tick = self.cfg.tick.as_f64();
+        // `pass` is only ever read by the stride policy; skip the float
+        // work on the decay-usage hot path.
+        let stride = self.cfg.policy == KernelPolicy::Stride;
         for cpu in 0..self.running.len() {
             match self.running[cpu] {
                 Some(pid) => {
@@ -562,7 +582,9 @@ impl Sim {
                     // Continuous-time estcpu charging: one unit per tick
                     // of CPU.
                     p.estcpu = (p.estcpu + dt.as_f64() / tick).min(sched::ESTCPU_MAX);
-                    p.pass += sched::stride_advance(p.tickets, dt.as_f64());
+                    if stride {
+                        p.pass += sched::stride_advance(p.tickets, dt.as_f64());
+                    }
                     if let Some(r) = p.burst_remaining.as_mut() {
                         *r = r.saturating_sub(dt);
                     }

@@ -1,0 +1,329 @@
+//! Lockstep equivalence of the timing-wheel and binary-heap event queues.
+//!
+//! [`SimConfig::event_queue`] selects a pure data structure: both kinds
+//! must dequeue events in identical `(time, seq)` order, so switching the
+//! queue must not change a single scheduling decision. This drives pairs
+//! of simulations — one per queue kind — through an identical script of
+//! workloads and `SIGSTOP`/`SIGCONT`/terminate churn on M ∈ {1, 2, 4}
+//! CPUs, and demands byte-identical traces, accounting, event counts, and
+//! conformance-style run fingerprints.
+
+use std::num::NonZeroUsize;
+
+use alps_core::Nanos;
+use kernsim::trace::TraceKind;
+use kernsim::{
+    ComputeBound, ComputeThenSleep, EventQueueKind, FaultLog, FaultPlan, FaultRates, Pid,
+    RunQueueKind, Sim, SimConfig,
+};
+
+/// Deterministic churn driver shared by both runs (split-mix style; the
+/// sequence must not depend on the simulation being driven).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Everything observable about a finished run. `PartialEq` on the whole
+/// struct is the lockstep assertion; `fingerprint` folds the same data
+/// into one word, mirroring the conformance suite's `DriveReport`
+/// fingerprints, so failures can be triaged to "which run diverged"
+/// before diffing multi-thousand-event traces.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    trace: Vec<(Nanos, Pid, TraceKind)>,
+    per_proc: Vec<(Nanos, Nanos, u64, char)>,
+    ctx_switches: u64,
+    idle: Nanos,
+    events_handled: u64,
+    live: usize,
+    fingerprint: u64,
+}
+
+/// Fold one word into an FNV-style fingerprint (the same fold the
+/// conformance harness uses for `DriveReport::fingerprint`).
+fn fold(fp: &mut u64, word: u64) {
+    *fp = fp.wrapping_mul(0x0000_0100_0000_01B3) ^ word;
+}
+
+/// Fold a [`TraceKind`] — discriminant tag plus CPU payload — so that
+/// kinds differing only in which CPU they name still fingerprint apart.
+fn fold_kind(fp: &mut u64, kind: TraceKind) {
+    let (tag, a, b) = match kind {
+        TraceKind::Dispatch { cpu } => (0, cpu.0, 0),
+        TraceKind::Preempt { cpu } => (1, cpu.0, 0),
+        TraceKind::Steal { from, to } => (2, from.0, to.0),
+        TraceKind::Block => (3, 0, 0),
+        TraceKind::Wake => (4, 0, 0),
+        TraceKind::Stop => (5, 0, 0),
+        TraceKind::Continue => (6, 0, 0),
+        TraceKind::Exit => (7, 0, 0),
+    };
+    fold(fp, tag);
+    fold(fp, a as u64);
+    fold(fp, b as u64);
+}
+
+impl Snapshot {
+    fn fingerprint(&mut self) {
+        let mut fp = 0u64;
+        for &(at, pid, kind) in &self.trace {
+            fold(&mut fp, at.0);
+            fold(&mut fp, pid.0 as u64);
+            fold_kind(&mut fp, kind);
+        }
+        for &(cpu, vis, disp, code) in &self.per_proc {
+            fold(&mut fp, cpu.0);
+            fold(&mut fp, vis.0);
+            fold(&mut fp, disp);
+            fold(&mut fp, code as u64);
+        }
+        fold(&mut fp, self.ctx_switches);
+        fold(&mut fp, self.idle.0);
+        fold(&mut fp, self.events_handled);
+        fold(&mut fp, self.live as u64);
+        self.fingerprint = fp;
+    }
+}
+
+fn run(queue: EventQueueKind, cpus: usize) -> Snapshot {
+    let cfg = SimConfig {
+        seed: 23,
+        spawn_estcpu_jitter: 8.0,
+        runqueue: RunQueueKind::Indexed,
+        event_queue: queue,
+        cpus: NonZeroUsize::new(cpus).unwrap(),
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+    sim.enable_trace(1 << 20);
+    let mut pids = Vec::new();
+    for i in 0..10 {
+        pids.push(sim.spawn(format!("cpu{i}"), Box::new(ComputeBound)));
+    }
+    for i in 0..4 {
+        // The §3.3 I/O shape: 80 ms of CPU, 240 ms blocked.
+        pids.push(sim.spawn(
+            format!("io{i}"),
+            Box::new(ComputeThenSleep::new(
+                Nanos::from_millis(80),
+                Nanos::from_millis(240),
+                Nanos::ZERO,
+            )),
+        ));
+    }
+    // One sleeper whose wakeup lands beyond the wheel's ~68.7 s span, so
+    // the churn run schedules (and later drains) a horizon-parked event.
+    pids.push(sim.spawn(
+        "far".to_string(),
+        Box::new(ComputeThenSleep::new(
+            Nanos::from_millis(5),
+            Nanos::from_secs(90),
+            Nanos::ZERO,
+        )),
+    ));
+
+    let mut rng = Lcg(0x5EED_0E41);
+    let mut events_handled = 0;
+    // 300 slices of 100 ms = 30 simulated seconds, churning in between.
+    for slice in 1..=300u64 {
+        events_handled += sim.run_until(Nanos::from_millis(100 * slice));
+        let pid = pids[(rng.next() as usize) % pids.len()];
+        match rng.next() % 4 {
+            0 => sim.sigstop(pid),
+            1 => sim.sigcont(pid),
+            // Terminate sparingly so the machine stays busy.
+            2 if slice % 37 == 0 => sim.terminate(pid),
+            _ => {}
+        }
+        sim.assert_index_consistent();
+    }
+    // Leave no one stopped, then run past the parked wakeup so the far
+    // sleeper's horizon event is actually popped, not just scheduled.
+    for &p in &pids {
+        sim.sigcont(p);
+    }
+    events_handled += sim.run_until(Nanos::from_secs(100));
+    sim.assert_index_consistent();
+
+    let mut snap = Snapshot {
+        trace: sim
+            .trace()
+            .expect("enabled")
+            .events()
+            .iter()
+            .map(|e| (e.at, e.pid, e.kind))
+            .collect(),
+        per_proc: pids
+            .iter()
+            .map(|&p| {
+                let v = sim.proc(p).expect("spawned");
+                (
+                    v.cputime(),
+                    v.visible_cputime(),
+                    v.dispatches(),
+                    v.state_code(),
+                )
+            })
+            .collect(),
+        ctx_switches: sim.context_switches(),
+        idle: sim.idle_time(),
+        events_handled,
+        live: sim.live_count(),
+        fingerprint: 0,
+    };
+    snap.fingerprint();
+    snap
+}
+
+fn assert_lockstep(cpus: usize) {
+    let wheel = run(EventQueueKind::Wheel, cpus);
+    let heap = run(EventQueueKind::Heap, cpus);
+    assert!(
+        wheel.trace.len() > 1000,
+        "the fixture must exercise a real schedule, got {} trace events (M = {cpus})",
+        wheel.trace.len()
+    );
+    assert!(
+        wheel
+            .trace
+            .iter()
+            .any(|&(_, _, k)| matches!(k, TraceKind::Exit)),
+        "churn must include terminations (M = {cpus})"
+    );
+    assert!(wheel.fingerprint != 0, "fingerprint never folded");
+    assert_eq!(
+        wheel.fingerprint, heap.fingerprint,
+        "run fingerprints diverge between queue kinds (M = {cpus})"
+    );
+    assert_eq!(wheel, heap, "wheel and heap runs diverge (M = {cpus})");
+}
+
+#[test]
+fn wheel_is_trace_identical_to_heap_on_one_cpu() {
+    assert_lockstep(1);
+}
+
+#[test]
+fn wheel_is_trace_identical_to_heap_on_two_cpus() {
+    assert_lockstep(2);
+}
+
+#[test]
+fn wheel_is_trace_identical_to_heap_on_four_cpus() {
+    assert_lockstep(4);
+}
+
+/// Drive churn from a chaotic [`FaultPlan`] instead of a plain LCG: slice
+/// deadlines come from the plan's monotonic jittered clock and stop/cont/
+/// terminate decisions from its fault draws. The plan must consume the
+/// identical decision stream on both queue kinds (equal [`FaultLog`]s)
+/// and the runs must stay byte-identical — the regression guard for
+/// injected delays re-minting the clock forward rather than leaning on
+/// the heap to reorder a backwards timestamp.
+fn run_faulty(queue: EventQueueKind) -> (Snapshot, FaultLog) {
+    let cfg = SimConfig {
+        seed: 31,
+        spawn_estcpu_jitter: 8.0,
+        event_queue: queue,
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+    sim.enable_trace(1 << 20);
+    let mut pids = Vec::new();
+    for i in 0..8 {
+        pids.push(sim.spawn(format!("cpu{i}"), Box::new(ComputeBound)));
+    }
+    for i in 0..3 {
+        pids.push(sim.spawn(
+            format!("io{i}"),
+            Box::new(ComputeThenSleep::new(
+                Nanos::from_millis(80),
+                Nanos::from_millis(240),
+                Nanos::ZERO,
+            )),
+        ));
+    }
+
+    let mut plan = FaultPlan::seeded(0xFA57, FaultRates::chaotic());
+    let mut rng = Lcg(0x0DD5_EED5);
+    let mut deadline = Nanos::ZERO;
+    let mut events_handled = 0;
+    for slice in 1..=200u64 {
+        // Jittered slice deadline. Monotonicity is load-bearing: a raw
+        // `now + jitter` can regress between fires, and a regressed
+        // deadline would silently skip the slice.
+        let next = plan.jittered_now(Nanos::from_millis(100 * slice));
+        assert!(next >= deadline, "jittered deadline regressed");
+        deadline = next;
+        events_handled += sim.run_until(deadline);
+        let pid = pids[(rng.next() as usize) % pids.len()];
+        if plan.lose_signal() {
+            sim.sigstop(pid);
+        }
+        if plan.delay_signal() {
+            sim.sigcont(pid);
+        }
+        if plan.exit_mid_quantum() {
+            sim.terminate(pid);
+        }
+        sim.assert_index_consistent();
+    }
+    for &p in &pids {
+        sim.sigcont(p);
+    }
+    events_handled += sim.run_until(deadline + Nanos::from_secs(1));
+    sim.assert_index_consistent();
+
+    let mut snap = Snapshot {
+        trace: sim
+            .trace()
+            .expect("enabled")
+            .events()
+            .iter()
+            .map(|e| (e.at, e.pid, e.kind))
+            .collect(),
+        per_proc: pids
+            .iter()
+            .map(|&p| {
+                let v = sim.proc(p).expect("spawned");
+                (
+                    v.cputime(),
+                    v.visible_cputime(),
+                    v.dispatches(),
+                    v.state_code(),
+                )
+            })
+            .collect(),
+        ctx_switches: sim.context_switches(),
+        idle: sim.idle_time(),
+        events_handled,
+        live: sim.live_count(),
+        fingerprint: 0,
+    };
+    snap.fingerprint();
+    (snap, *plan.log())
+}
+
+#[test]
+fn fault_plans_replay_byte_identically_on_both_queue_kinds() {
+    let (wheel, wheel_log) = run_faulty(EventQueueKind::Wheel);
+    let (heap, heap_log) = run_faulty(EventQueueKind::Heap);
+    assert!(wheel_log.total() > 0, "chaotic plan never fired");
+    assert!(
+        wheel_log.jittered_ticks > 0,
+        "no deadline was ever jittered"
+    );
+    assert_eq!(
+        wheel_log, heap_log,
+        "fault decision streams diverge between queue kinds"
+    );
+    assert_eq!(wheel, heap, "faulty runs diverge between queue kinds");
+}

@@ -5,7 +5,8 @@
 use std::num::NonZeroUsize;
 
 use alps_core::Nanos;
-use kernsim::{Behavior, ComputeBound, Sim, SimConfig, SimCtl, Step};
+use kernsim::event::{EventKind, EventQueue};
+use kernsim::{Behavior, ComputeBound, EventQueueKind, Sim, SimConfig, SimCtl, Step};
 use proptest::prelude::*;
 
 /// A behavior exercising every step type from a scripted list.
@@ -233,5 +234,66 @@ proptest! {
                 "pid {p}: {got:.2}s vs fair {want:.2}s"
             );
         }
+    }
+
+    /// The timing wheel and the binary heap pop any legal schedule in the
+    /// identical `(time, seq)` order. Offsets mix zero (simultaneous
+    /// events, including inserts at the just-consumed time), slot-dense,
+    /// level-crossing, and beyond-span values (horizon parking), and pops
+    /// interleave with schedules so the wheel cursor keeps moving.
+    #[test]
+    fn event_queues_pop_any_legal_schedule_identically(
+        ops in proptest::collection::vec(
+            (
+                prop_oneof![
+                    0u64..4,                        // dense + simultaneous
+                    0u64..10_000,                   // level 0–2 spans
+                    0u64..(1u64 << 30),             // mid-level crossings
+                    (1u64 << 36)..(1u64 << 38),     // beyond span: parks
+                ],
+                0usize..4,                          // pops after this schedule
+            ),
+            1..250,
+        ),
+    ) {
+        let mut wheel = EventQueue::with_kind(EventQueueKind::Wheel, 0);
+        let mut heap = EventQueue::with_kind(EventQueueKind::Heap, 0);
+        // Schedules never land before the last popped time — the same
+        // contract the simulator honors (its clock never outruns the
+        // queue), and the wheel cursor requires.
+        let mut floor = 0u64;
+        let mut last: Option<(Nanos, u64)> = None;
+        let mut popped = 0usize;
+        let total = ops.len();
+        for (off, pops) in ops {
+            let at = Nanos(floor.saturating_add(off));
+            wheel.schedule(at, EventKind::Tick);
+            heap.schedule(at, EventKind::Tick);
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.len(), heap.len());
+            for _ in 0..pops {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                let Some(e) = a else { break };
+                if let Some(prev) = last {
+                    prop_assert!((e.at, e.seq) > prev, "pop order regressed");
+                }
+                last = Some((e.at, e.seq));
+                floor = e.at.0;
+                popped += 1;
+            }
+        }
+        // Drain both to empty; order must stay identical to the end.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            let Some(e) = a else { break };
+            if let Some(prev) = last {
+                prop_assert!((e.at, e.seq) > prev, "drain order regressed");
+            }
+            last = Some((e.at, e.seq));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, total, "every scheduled event must pop exactly once");
     }
 }

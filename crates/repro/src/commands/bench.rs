@@ -2,8 +2,10 @@
 //!
 //! Reads `BENCH_kernsim.json` (written by `bench-scalability`, see
 //! EXPERIMENTS.md) and prints the sweep as a table: per-point lifecycle
-//! timings plus the indexed-over-linear wall-clock speedup for each
-//! `(N, lazy)` pair.
+//! timings, the indexed-over-linear wall-clock speedup for each
+//! `(N, lazy)` pair, the timing-wheel event queue's throughput speedup
+//! over the seed binary heap per N, and the event-core series (the
+//! event-dense kernel-only workload where the wheel's advantage shows).
 
 use alps_bench::scalability::{run_sweep, sweep_specs, BenchPoint, BenchReport};
 use alps_metrics::regression::linear_fit;
@@ -56,11 +58,12 @@ pub fn bench(check: bool, strict: bool) {
         report.serial_wall_estimate_seconds,
         report.parallel_speedup
     );
-    let table = Table::new(&[5, -5, -7, -5, 5, 6, 10, 10, 10, 12, 13, 9, 11, 7]);
+    let table = Table::new(&[5, -5, -7, -6, -5, 5, 6, 10, 10, 10, 12, 13, 9, 11, 7]);
     table.header(&[
         "N",
         "lazy",
         "queue",
+        "eventq",
         "due",
         "cpus",
         "sim-s",
@@ -78,6 +81,7 @@ pub fn bench(check: bool, strict: bool) {
             p.n.to_string(),
             p.lazy.to_string(),
             p.runqueue.clone(),
+            p.event_queue.clone(),
             p.due_index.clone(),
             p.sim_cpus.to_string(),
             p.sim_seconds.to_string(),
@@ -108,6 +112,53 @@ pub fn bench(check: bool, strict: bool) {
         for lazy in [true, false] {
             if let Some(r) = report.due_overhead_ratio(*n, lazy) {
                 println!("  N={n:<5} lazy={lazy:<5} {r:.2}x");
+            }
+        }
+    }
+
+    println!(
+        "\nwheel event-queue speedup over the seed heap (events per wall second, default config):"
+    );
+    for n in &ns {
+        if let (Some(s), Some(wheel), Some(heap)) = (
+            report.event_queue_speedup(*n),
+            report.point(*n, true, "indexed", "wheel"),
+            report.heap_point(*n),
+        ) {
+            println!(
+                "  N={n:<5} wheel {:>12}/s heap {:>12}/s  {s:.2}x",
+                fmt(wheel.events_per_wall_second, 0),
+                fmt(heap.events_per_wall_second, 0),
+            );
+        }
+    }
+
+    if !report.event_core.is_empty() {
+        println!(
+            "\nevent-core series (kernel-only sleepers, ~N events pending; \
+             the supervised grid above is event-sparse):"
+        );
+        let ec = Table::new(&[6, -6, 6, 10, 8, 10, 12]);
+        ec.header(&[
+            "N", "eventq", "sim-s", "events", "pending", "wall(ms)", "events/s",
+        ]);
+        for p in &report.event_core {
+            ec.row(&[
+                p.n.to_string(),
+                p.event_queue.clone(),
+                p.sim_seconds.to_string(),
+                p.events.to_string(),
+                p.pending_events.to_string(),
+                fmt(p.wall_seconds * 1e3, 3),
+                fmt(p.events_per_wall_second, 0),
+            ]);
+        }
+        let mut ec_ns: Vec<usize> = report.event_core.iter().map(|p| p.n).collect();
+        ec_ns.dedup();
+        println!("\nevent-core wheel speedup over the seed heap (events per wall second):");
+        for n in &ec_ns {
+            if let Some(s) = report.event_core_speedup(*n) {
+                println!("  N={n:<6} {s:.2}x");
             }
         }
     }
@@ -198,6 +249,7 @@ fn check_against_trend(committed: &BenchReport, path: &str) -> usize {
                 .filter(|p| {
                     p.lazy == fresh.lazy
                         && p.runqueue == fresh.runqueue
+                        && p.event_queue == fresh.event_queue
                         && p.due_index == fresh.due_index
                         && p.sim_cpus == fresh.sim_cpus
                 })
@@ -214,8 +266,9 @@ fn check_against_trend(committed: &BenchReport, path: &str) -> usize {
             let ratio = measured / predicted;
             compared += 1;
             let label = format!(
-                "N={} lazy={} {} {} cpus={}: {metric} measured {measured:.6} vs trend {predicted:.6} ({ratio:.2}x)",
-                fresh.n, fresh.lazy, fresh.runqueue, fresh.due_index, fresh.sim_cpus
+                "N={} lazy={} {} eq={} {} cpus={}: {metric} measured {measured:.6} vs trend {predicted:.6} ({ratio:.2}x)",
+                fresh.n, fresh.lazy, fresh.runqueue, fresh.event_queue, fresh.due_index,
+                fresh.sim_cpus
             );
             if !(1.0 / RATIO_TOLERANCE..=RATIO_TOLERANCE).contains(&ratio) {
                 warnings += 1;

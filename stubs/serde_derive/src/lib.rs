@@ -5,7 +5,8 @@
 //! emits `to_value`/`from_value` impls against `serde::Value`. Supports
 //! the shapes this workspace uses: named structs, tuple structs, unit
 //! structs, and enums with unit / tuple / struct variants; the
-//! `#[serde(skip)]` and `#[serde(transparent)]` attributes; no generics.
+//! `#[serde(skip)]`, `#[serde(default)]` (on named fields), and
+//! `#[serde(transparent)]` attributes; no generics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -26,6 +27,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String, // field name, or index for tuple fields
     skip: bool,
+    // `#[serde(default)]`: a missing key deserializes to
+    // `Default::default()` instead of erroring (named fields only).
+    default: bool,
 }
 
 enum Shape {
@@ -131,6 +135,7 @@ fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
             Field {
                 name,
                 skip: attrs.iter().any(|w| w == "skip"),
+                default: attrs.iter().any(|w| w == "default"),
             }
         })
         .collect()
@@ -147,6 +152,7 @@ fn parse_tuple_fields(g: &proc_macro::Group) -> Vec<Field> {
             Field {
                 name: idx.to_string(),
                 skip: attrs.iter().any(|w| w == "skip"),
+                default: attrs.iter().any(|w| w == "default"),
             }
         })
         .collect()
@@ -286,6 +292,7 @@ fn gen_serialize(item: &Item) -> String {
                                     .map(|f| Field {
                                         name: f.name.clone(),
                                         skip: f.skip,
+                                        default: f.default,
                                     })
                                     .collect::<Vec<_>>(),
                                 "",
@@ -313,6 +320,14 @@ fn de_named(ty: &str, fields: &[Field], ctor: &str) -> String {
     for f in fields {
         if f.skip {
             s.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if f.default {
+            s.push_str(&format!(
+                "{n}: match ::serde::map_get(__m, \"{n}\") {{ \
+                   Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   None => ::core::default::Default::default(), \
+                 }},",
+                n = f.name,
+            ));
         } else {
             s.push_str(&format!(
                 "{n}: match ::serde::map_get(__m, \"{n}\") {{ \
