@@ -12,8 +12,8 @@ use core::convert::Infallible;
 use std::collections::{BTreeMap, HashMap};
 
 use alps_core::{
-    AlpsConfig, AlpsScheduler, Engine, Instrumentation, Nanos, Observation, ProcId, RecordingSink,
-    Signal, Substrate,
+    AlpsConfig, AlpsScheduler, Engine, Instrumentation, Nanos, NodeId, Observation, ProcId,
+    RecordingSink, Signal, Substrate, TreeShares,
 };
 
 use crate::engine::OracleEngine;
@@ -538,6 +538,290 @@ fn check_engine_state(
             "member sets diverge (seed {seed})"
         );
     }
+}
+
+/// Drive one schedule against an [`AlpsScheduler`] whose shares come from
+/// a live 3-level [`TreeShares`] (root → departments → apps → members)
+/// under full churn — binds, unbinds, and group-weight changes — holding
+/// the *cached* incremental-entitlement path against a from-scratch tree
+/// walk ([`TreeShares::share_naive`]) at every bind and every due-member
+/// refresh. Any stale epoch cache, broken liveness aggregate, or wrong
+/// invalidation diverges and panics with the seed.
+///
+/// The returned [`DriveReport::fingerprint`] folds every quantum's due
+/// list, transitions, and allowance bit patterns. The schedule and every
+/// derived share are independent of [`alps_core::DueIndex`] and
+/// [`alps_core::MemberStore`], so suites assert the report is
+/// byte-identical across {wheel, scan} × {chunked, contiguous}.
+pub fn run_tree_schedule(cfg: AlpsConfig, seed: u64, len: usize) -> DriveReport {
+    let mut sched = AlpsScheduler::new(cfg);
+    // A small quantization scale keeps total shares — and with them the
+    // cycle length S·Q — in the regime where short schedules actually
+    // cross cycle boundaries, and exercises the `max(1, …)` rounding the
+    // production scale never hits.
+    let mut ts = TreeShares::new(24);
+    // The static grouping skeleton: 2 departments × 3 apps.
+    let mut groups: Vec<NodeId> = Vec::new();
+    let mut apps: Vec<NodeId> = Vec::new();
+    for _ in 0..2 {
+        let d = ts.tree_mut().add_group(None, 1);
+        groups.push(d);
+        for _ in 0..3 {
+            let a = ts.tree_mut().add_group(Some(d), 1);
+            groups.push(a);
+            apps.push(a);
+        }
+    }
+    let mut workload = Lcg::new(seed ^ 0x7EE5_7AE5_0000_0001);
+    let mut live: Vec<ProcId> = Vec::new();
+    let mut cpu: HashMap<ProcId, Nanos> = HashMap::new();
+    let mut now = Nanos::ZERO;
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    for op in generate(seed, len) {
+        match op {
+            Op::Add { share } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let initial = workload.nanos_below(q);
+                let id = sched.add_process(1, initial);
+                let app = apps[share as usize % apps.len()];
+                let weight = 1 + share % 4;
+                let s = ts.bind(id, Some(app), weight);
+                assert_eq!(
+                    ts.share_naive(id),
+                    Some(s),
+                    "bind-time share diverges from the naive walk (seed {seed})"
+                );
+                sched.set_share(id, s).expect("freshly minted id");
+                live.push(id);
+                cpu.insert(id, initial);
+            }
+            Op::Remove { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(victim as usize % live.len());
+                assert!(
+                    ts.unbind(id).is_some(),
+                    "live member is bound (seed {seed})"
+                );
+                assert!(ts.unbind(id).is_none(), "double unbind is a no-op");
+                sched.remove_process(id).expect("live member is registered");
+            }
+            Op::SetShare { victim, share } => {
+                // Reinterpreted as a group-weight change: the tree is the
+                // only share authority in this driver.
+                let g = groups[victim as usize % groups.len()];
+                assert!(
+                    ts.tree_mut().set_share(g, 1 + share % 5),
+                    "skeleton groups are never removed (seed {seed})"
+                );
+            }
+            Op::Quantum { repeat } => {
+                for _ in 0..repeat {
+                    now = now.saturating_add(q);
+                    let due = sched.begin_quantum();
+                    let obs: Vec<(ProcId, Observation)> = due
+                        .iter()
+                        .map(|&id| {
+                            let c = cpu.get_mut(&id).expect("due member has a cpu counter");
+                            *c = c.saturating_add(workload.nanos_below(Nanos(q.0 * 3 / 2)));
+                            (
+                                id,
+                                Observation {
+                                    total_cpu: *c,
+                                    blocked: workload.chance(1, 6),
+                                },
+                            )
+                        })
+                        .collect();
+                    let out = sched.complete_quantum(&obs, now);
+                    // Lazy refresh, exactly as the engine does it: due
+                    // members only, between quanta. The cached answer must
+                    // match a from-scratch walk every single time.
+                    for &id in &due {
+                        let naive = ts.share_naive(id);
+                        match ts.refresh(id) {
+                            Some(new) => {
+                                assert_eq!(
+                                    naive,
+                                    Some(new),
+                                    "cached refresh diverges from the naive walk (seed {seed})"
+                                );
+                                sched.set_share(id, new).expect("due member is live");
+                            }
+                            None => {
+                                if naive.is_some() {
+                                    assert_eq!(
+                                        naive,
+                                        sched.share(id),
+                                        "in-sync binding disagrees with the naive walk (seed {seed})"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    fold_quantum(&mut report.fingerprint, &due, &out);
+                    report.quanta += 1;
+                    report.cycles += u64::from(out.cycle_completed);
+                    report.transitions += out.transitions.len() as u64;
+                }
+            }
+            // Uniprocessor schedules never contain migrations.
+            Op::Migrate { .. } => {}
+        }
+        for &id in &live {
+            if let Some(a) = sched.allowance(id) {
+                fold(&mut report.fingerprint, a.to_bits());
+            }
+        }
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
+}
+
+/// Drive identical quantum schedules against a scheduler whose shares come
+/// from a *static, fully balanced* 3-level tree (2 departments × 3 apps ×
+/// 2 members, all weights equal) and a flat scheduler given the same
+/// integer shares directly, asserting byte-identical due lists,
+/// transitions, cycle boundaries, and allowance bit patterns every
+/// quantum — the hierarchy layer must be a semantic no-op when
+/// entitlements are static.
+///
+/// Balanced churn keeps the tree epoch moving: members are periodically
+/// replaced by an equal-weight twin under the same app, so the cached
+/// entitlement path re-derives shares (cache invalidated) and must land
+/// on the same quantized value (refresh returns `None`); the flat side
+/// mirrors the remove/add with the same constant share.
+pub fn run_tree_flat_equivalence(cfg: AlpsConfig, seed: u64, len: usize) -> DriveReport {
+    let mut tree_s = AlpsScheduler::new(cfg);
+    let mut flat_s = AlpsScheduler::new(cfg);
+    // Small scale for short cycles (see `run_tree_schedule`); 24 divides
+    // evenly by the 12-member balanced population, so every member's
+    // quantized share is exactly 2.
+    let mut ts = TreeShares::new(24);
+    let mut apps: Vec<NodeId> = Vec::new();
+    for _ in 0..2 {
+        let d = ts.tree_mut().add_group(None, 1);
+        for _ in 0..3 {
+            apps.push(ts.tree_mut().add_group(Some(d), 1));
+        }
+    }
+    let mut workload = Lcg::new(seed ^ 0x7EE5_F1A7_0000_0002);
+    let q = cfg.quantum;
+    let mut report = DriveReport::default();
+
+    // Build the full population, mirroring every call: the tree side
+    // registers with the bind-time share, the flat side with the same
+    // value. Earlier members' bind-time shares are stale by the time the
+    // population is complete, so a settle pass re-derives them — applying
+    // the identical correction to both sides.
+    let mut live: Vec<(ProcId, ProcId, Nanos)> = Vec::new();
+    for k in 0..12 {
+        let initial = workload.nanos_below(q);
+        let id = tree_s.add_process(1, initial);
+        let s = ts.bind(id, Some(apps[k % apps.len()]), 1);
+        tree_s.set_share(id, s).expect("fresh id");
+        let fid = flat_s.add_process(1, initial);
+        flat_s.set_share(fid, s).expect("fresh id");
+        assert_eq!(id, fid, "minted ids diverge (seed {seed})");
+        live.push((id, fid, initial));
+    }
+    let balanced = ts.share_naive(live[0].0).expect("bound");
+    for &(id, fid, _) in &live {
+        if let Some(new) = ts.refresh(id) {
+            tree_s.set_share(id, new).expect("live");
+            flat_s.set_share(fid, new).expect("live");
+        }
+        // A fully balanced tree gives every member the same entitlement.
+        assert_eq!(ts.share_naive(id), Some(balanced), "balanced (seed {seed})");
+        assert_eq!(tree_s.share(id), Some(balanced), "settled (seed {seed})");
+    }
+
+    let mut now = Nanos::ZERO;
+    for step in 0..len {
+        // Balanced churn: replace one member with an equal twin under the
+        // same app. Entitlements are unchanged, but the tree epoch moves,
+        // so the cached path must re-derive — and land exactly where the
+        // flat side's constant share already is.
+        if workload.chance(1, 4) {
+            let k = workload.below(live.len() as u64) as usize;
+            let (id, fid, _) = live[k];
+            let app = apps[k % apps.len()];
+            ts.unbind(id).expect("live member is bound");
+            tree_s.remove_process(id).expect("live");
+            flat_s.remove_process(fid).expect("live");
+            let initial = workload.nanos_below(q);
+            let nid = tree_s.add_process(1, initial);
+            let s = ts.bind(nid, Some(app), 1);
+            assert_eq!(
+                s, balanced,
+                "full-population bind lands on the balanced share (seed {seed}, step {step})"
+            );
+            tree_s.set_share(nid, s).expect("fresh id");
+            let nfid = flat_s.add_process(1, initial);
+            flat_s.set_share(nfid, s).expect("fresh id");
+            assert_eq!(nid, nfid, "minted ids diverge (seed {seed})");
+            live[k] = (nid, nfid, initial);
+        }
+        now = now.saturating_add(q);
+        let due_t = tree_s.begin_quantum();
+        let due_f = flat_s.begin_quantum();
+        assert_eq!(due_t, due_f, "due lists diverge (seed {seed}, step {step})");
+        let obs: Vec<(ProcId, Observation)> = due_t
+            .iter()
+            .map(|&id| {
+                let c = &mut live
+                    .iter_mut()
+                    .find(|(t, _, _)| *t == id)
+                    .expect("due member is live")
+                    .2;
+                *c = c.saturating_add(workload.nanos_below(Nanos(q.0 * 3 / 2)));
+                (
+                    id,
+                    Observation {
+                        total_cpu: *c,
+                        blocked: workload.chance(1, 6),
+                    },
+                )
+            })
+            .collect();
+        let out_t = tree_s.complete_quantum(&obs, now);
+        let out_f = flat_s.complete_quantum(&obs, now);
+        assert_eq!(
+            out_t.transitions, out_f.transitions,
+            "transitions diverge (seed {seed}, step {step})"
+        );
+        assert_eq!(
+            out_t.cycle_completed, out_f.cycle_completed,
+            "cycle boundary diverges (seed {seed}, step {step})"
+        );
+        // The tree layer is quiescent: every refresh re-derives the same
+        // balanced share, so nothing ever feeds back into the scheduler.
+        for &id in &due_t {
+            assert_eq!(
+                ts.refresh(id),
+                None,
+                "static balanced tree changed a share (seed {seed}, step {step})"
+            );
+        }
+        for &(id, fid, _) in &live {
+            assert_eq!(
+                tree_s.allowance(id).map(f64::to_bits),
+                flat_s.allowance(fid).map(f64::to_bits),
+                "allowance diverges (seed {seed}, step {step})"
+            );
+        }
+        fold_quantum(&mut report.fingerprint, &due_t, &out_t);
+        report.quanta += 1;
+        report.cycles += u64::from(out_t.cycle_completed);
+        report.transitions += out_t.transitions.len() as u64;
+        report.peak_live = report.peak_live.max(live.len());
+    }
+    report
 }
 
 // ----------------------------------------------------------------------

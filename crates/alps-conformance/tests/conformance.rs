@@ -5,8 +5,11 @@
 //! Each schedule is seeded and deterministic; a failure message carries
 //! the seed, so any divergence replays exactly.
 
-use alps_conformance::harness::{run_core_schedule, run_engine_schedule, DriveReport, EngineMode};
-use alps_core::{AlpsConfig, DueIndex, Instrumentation, IoPolicy, Nanos};
+use alps_conformance::harness::{
+    run_core_schedule, run_engine_schedule, run_tree_flat_equivalence, run_tree_schedule,
+    DriveReport, EngineMode,
+};
+use alps_core::{AlpsConfig, DueIndex, Instrumentation, IoPolicy, MemberStore, Nanos};
 
 const QUANTUM: Nanos = Nanos(10_000_000);
 
@@ -136,6 +139,127 @@ fn principal_engine_matches_oracle() {
         "too few transitions: {}",
         total.transitions
     );
+}
+
+/// The arena member store is observation-equivalent to the seed
+/// contiguous `Vec`: the full core matrix re-run against the oracle with
+/// [`MemberStore::Contiguous`] (the headline suite covers the chunked
+/// default), byte-compared as always.
+#[test]
+fn core_scheduler_matches_oracle_with_contiguous_store() {
+    let mut total = DriveReport::default();
+    for (c, cfg) in core_matrix().into_iter().enumerate() {
+        let cfg = cfg.with_member_store(MemberStore::Contiguous);
+        for s in 0..25u64 {
+            let seed = 0xC0_0000_0000 | (c as u64) << 24 | s;
+            let rep = run_core_schedule(cfg, seed, 60);
+            total.quanta += rep.quanta;
+            total.cycles += rep.cycles;
+            total.transitions += rep.transitions;
+        }
+    }
+    assert!(total.quanta > 10_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 250, "too few cycles: {}", total.cycles);
+    assert!(
+        total.transitions > 2_500,
+        "too few transitions: {}",
+        total.transitions
+    );
+}
+
+/// The engine stack (dense principal store included) against the oracle
+/// on the contiguous member store, both flat and multi-member modes.
+#[test]
+fn engine_matches_oracle_with_contiguous_store() {
+    let mut total = DriveReport::default();
+    for (m, mode) in [EngineMode::Flat, EngineMode::Principals]
+        .into_iter()
+        .enumerate()
+    {
+        for (c, cfg) in [
+            config(DueIndex::Wheel, true, IoPolicy::OneQuantumPenalty),
+            config(DueIndex::Scan, false, IoPolicy::NoPenalty),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = cfg.with_member_store(MemberStore::Contiguous);
+            for s in 0..15u64 {
+                let seed = 0xA2E4_0000_0000_0000 | (m as u64) << 40 | (c as u64) << 32 | s;
+                let rep = run_engine_schedule(cfg, Instrumentation::Exact, mode, seed, 50);
+                total.quanta += rep.quanta;
+                total.cycles += rep.cycles;
+                total.transitions += rep.transitions;
+            }
+        }
+    }
+    assert!(total.quanta > 2_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 50, "too few cycles: {}", total.cycles);
+}
+
+/// Live share tree under full churn: the cached incremental-entitlement
+/// path is held against a from-scratch tree walk at every bind and every
+/// due-member refresh (inside the driver), and the whole run's observable
+/// fingerprint must be byte-identical across
+/// {wheel, scan} × {chunked, contiguous}.
+#[test]
+fn tree_schedule_cache_matches_naive_walk_and_is_config_invariant() {
+    let mut total = DriveReport::default();
+    for s in 0..40u64 {
+        let seed = 0x73EE_0000_0000_0000 | s;
+        let mut reports = Vec::new();
+        for due in [DueIndex::Wheel, DueIndex::Scan] {
+            for store in [MemberStore::Chunked, MemberStore::Contiguous] {
+                let cfg = config(due, true, IoPolicy::OneQuantumPenalty).with_member_store(store);
+                reports.push(run_tree_schedule(cfg, seed, 60));
+            }
+        }
+        for r in &reports[1..] {
+            assert_eq!(
+                *r, reports[0],
+                "tree run diverges across due-index/store configs (seed {seed})"
+            );
+        }
+        total.quanta += reports[0].quanta;
+        total.cycles += reports[0].cycles;
+        total.transitions += reports[0].transitions;
+        total.peak_live = total.peak_live.max(reports[0].peak_live);
+    }
+    assert!(total.quanta > 2_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles >= 25, "too few cycles: {}", total.cycles);
+    assert!(
+        total.transitions > 500,
+        "too few transitions: {}",
+        total.transitions
+    );
+    assert!(
+        total.peak_live >= 8,
+        "population never grew: {}",
+        total.peak_live
+    );
+}
+
+/// A static, fully balanced 3-level tree schedules byte-identically to a
+/// flat scheduler given the same integer shares — across the due-index
+/// and member-store matrix, with balanced churn keeping the entitlement
+/// cache honest (every re-derivation must be a no-op).
+#[test]
+fn static_balanced_tree_matches_flat_scheduler() {
+    let mut total = DriveReport::default();
+    for due in [DueIndex::Wheel, DueIndex::Scan] {
+        for store in [MemberStore::Chunked, MemberStore::Contiguous] {
+            let cfg = config(due, true, IoPolicy::OneQuantumPenalty).with_member_store(store);
+            for s in 0..25u64 {
+                let seed = 0xF1A7_7EE0_0000_0000 | s;
+                let rep = run_tree_flat_equivalence(cfg, seed, 80);
+                total.quanta += rep.quanta;
+                total.cycles += rep.cycles;
+                total.transitions += rep.transitions;
+            }
+        }
+    }
+    assert!(total.quanta > 5_000, "too few quanta: {}", total.quanta);
+    assert!(total.cycles > 100, "too few cycles: {}", total.cycles);
 }
 
 /// The same seed drives the same schedule to the same report — the whole

@@ -1,0 +1,217 @@
+//! Chunked slot arena — stable storage for million-member populations.
+//!
+//! [`ChunkedVec`] is the storage behind [`AlpsScheduler`](crate::AlpsScheduler)
+//! slots and the principal table: a vector whose elements are grouped into
+//! fixed-size chunks so that growth allocates one new chunk instead of
+//! doubling-and-copying the whole population. At 10⁶ registered members the
+//! contiguous layout's regrowth copies every slot several times over (and
+//! each copy is a latency spike on the registration path); the chunked
+//! layout never moves an element once placed.
+//!
+//! The chunk size is a constructor parameter expressed as a shift, and a
+//! shift wider than any realistic population degenerates to a single
+//! growing chunk — exactly the seed `Vec` layout. Both
+//! [`crate::config::MemberStore`] modes therefore share one code path, and
+//! the conformance suites drive them in lockstep (storage must never be
+//! observable).
+//!
+//! Handles into the arena are *generation-checked* by the callers: the
+//! scheduler's [`crate::ProcId`] carries `{index, generation}` and every
+//! access revalidates the generation against the slot, so a handle from a
+//! previous tenant of a reused slot is rejected rather than silently
+//! addressing the new one (the classic ABA hazard of index reuse).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::config::MemberStore;
+
+/// Chunk shift for [`MemberStore::Chunked`]: 4096 elements per chunk.
+/// Small enough that an idle scheduler costs little, large enough that a
+/// 10⁶-member population needs only ~244 chunk allocations.
+pub(crate) const CHUNK_SHIFT_CHUNKED: u32 = 12;
+
+/// Chunk shift for [`MemberStore::Contiguous`]: one chunk spans the whole
+/// 32-bit index space, reproducing the seed single-`Vec` layout (including
+/// its double-and-copy growth) for lockstep comparison.
+pub(crate) const CHUNK_SHIFT_CONTIGUOUS: u32 = 31;
+
+/// A growable vector stored as fixed-size chunks (see the module docs).
+///
+/// Supports exactly the operations the scheduler's slot table needs:
+/// `push` (slots are never popped — vacancy is a free-list concern of the
+/// caller), indexed access, and in-order iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChunkedVec<T> {
+    /// log2 of the chunk capacity.
+    chunk_shift: u32,
+    chunks: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T> ChunkedVec<T> {
+    /// An empty arena with the given chunk shift.
+    pub(crate) fn with_shift(chunk_shift: u32) -> Self {
+        assert!((1..=31).contains(&chunk_shift), "unreasonable chunk shift");
+        ChunkedVec {
+            chunk_shift,
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty arena laid out per the configuration knob.
+    pub(crate) fn for_store(store: MemberStore) -> Self {
+        match store {
+            MemberStore::Chunked => Self::with_shift(CHUNK_SHIFT_CHUNKED),
+            MemberStore::Contiguous => Self::with_shift(CHUNK_SHIFT_CONTIGUOUS),
+        }
+    }
+
+    /// Number of elements.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        (1usize << self.chunk_shift) - 1
+    }
+
+    /// Append an element; its index is `len()` before the call. Allocates
+    /// at most one new chunk and never moves existing elements (except in
+    /// the single-chunk contiguous mode, whose chunk grows like a `Vec`).
+    pub(crate) fn push(&mut self, value: T) {
+        let chunk = self.len >> self.chunk_shift;
+        if chunk == self.chunks.len() {
+            // Pre-size real chunks so pushes within one never reallocate;
+            // the contiguous mode's single jumbo chunk grows organically.
+            let cap = if self.chunk_shift <= CHUNK_SHIFT_CHUNKED {
+                1 << self.chunk_shift
+            } else {
+                0
+            };
+            self.chunks.push(Vec::with_capacity(cap));
+        }
+        self.chunks[chunk].push(value);
+        self.len += 1;
+    }
+
+    /// Element at `i`, if in bounds.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<&T> {
+        self.chunks.get(i >> self.chunk_shift)?.get(i & self.mask())
+    }
+
+    /// Mutable element at `i`, if in bounds.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        let mask = self.mask();
+        self.chunks
+            .get_mut(i >> self.chunk_shift)?
+            .get_mut(i & mask)
+    }
+
+    /// In-order iteration over all elements.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.chunks.iter().flatten()
+    }
+}
+
+impl<T> std::ops::Index<usize> for ChunkedVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.chunks[i >> self.chunk_shift][i & self.mask()]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for ChunkedVec<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        let mask = self.mask();
+        &mut self.chunks[i >> self.chunk_shift][i & mask]
+    }
+}
+
+// Serialized as `{chunk_shift, elements}` with the elements flattened:
+// the chunk layout is reconstructed on restore, so checkpoints are
+// independent of the chunk geometry that wrote them.
+impl<T: Serialize> Serialize for ChunkedVec<T> {
+    fn to_value(&self) -> Value {
+        let elements: Vec<Value> = self.iter().map(|e| e.to_value()).collect();
+        Value::Map(vec![
+            (
+                "chunk_shift".to_string(),
+                Value::U64(self.chunk_shift as u64),
+            ),
+            ("elements".to_string(), Value::Seq(elements)),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for ChunkedVec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| Error::custom("ChunkedVec: expected map"))?;
+        let shift = match serde::map_get(entries, "chunk_shift") {
+            Some(Value::U64(s)) => *s as u32,
+            _ => return Err(Error::custom("ChunkedVec: missing chunk_shift")),
+        };
+        let elements = serde::map_get(entries, "elements")
+            .and_then(|e| e.as_seq())
+            .ok_or_else(|| Error::custom("ChunkedVec: missing elements"))?;
+        let mut out = ChunkedVec::with_shift(shift);
+        for e in elements {
+            out.push(T::from_value(e)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iter_roundtrip() {
+        for shift in [1, 2, CHUNK_SHIFT_CHUNKED, CHUNK_SHIFT_CONTIGUOUS] {
+            let mut v: ChunkedVec<u64> = ChunkedVec::with_shift(shift);
+            for i in 0..100u64 {
+                v.push(i * 3);
+            }
+            assert_eq!(v.len(), 100);
+            for i in 0..100usize {
+                assert_eq!(v[i], i as u64 * 3);
+                assert_eq!(v.get(i), Some(&(i as u64 * 3)));
+            }
+            assert!(v.get(100).is_none());
+            let collected: Vec<u64> = v.iter().copied().collect();
+            assert_eq!(collected, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            v[7] = 99;
+            assert_eq!(*v.get_mut(7).unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn chunked_mode_never_moves_elements() {
+        let mut v: ChunkedVec<u64> = ChunkedVec::for_store(MemberStore::Chunked);
+        v.push(42);
+        let p0 = &v[0] as *const u64;
+        for i in 1..(3 << CHUNK_SHIFT_CHUNKED) as u64 {
+            v.push(i);
+        }
+        assert_eq!(&v[0] as *const u64, p0, "element 0 moved during growth");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_contents_and_geometry() {
+        let mut v: ChunkedVec<u32> = ChunkedVec::with_shift(2);
+        for i in 0..11 {
+            v.push(i);
+        }
+        let json = serde_json::to_string(&v).unwrap();
+        let back: ChunkedVec<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

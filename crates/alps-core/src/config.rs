@@ -56,6 +56,27 @@ pub enum DueIndex {
     Scan,
 }
 
+/// How [`crate::AlpsScheduler`] lays out its per-process slot storage.
+///
+/// Purely a representation choice: both layouts hold identical slot
+/// contents behind identical generation-checked [`crate::ProcId`] handles,
+/// and the conformance suites drive them in lockstep. The difference is
+/// allocation behavior at scale: the contiguous layout doubles-and-copies
+/// as the population grows (a 10⁶-member registration storm pays for
+/// every intermediate copy), while the chunked arena allocates fixed-size
+/// chunks and never moves a slot once placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MemberStore {
+    /// Chunked slab arena: fixed 4096-slot chunks, O(1) worst-case
+    /// registration, slots never move. The default.
+    #[default]
+    Chunked,
+    /// The seed layout: one contiguous growable vector. Retained for
+    /// lockstep testing and the `member_store` dimension of
+    /// `bench-scalability`.
+    Contiguous,
+}
+
 /// Configuration of one ALPS scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AlpsConfig {
@@ -85,6 +106,12 @@ pub struct AlpsConfig {
     /// annotates the run (reports, cycle capacity reasoning); no
     /// arithmetic branches on it.
     pub cpus: NonZeroUsize,
+    /// Slot-storage layout (chunked arena vs the seed contiguous vector).
+    /// Only affects allocation cost, never behavior: the two are
+    /// lockstep-identical. Defaults when absent from serialized configs
+    /// (pre-arena checkpoints).
+    #[serde(default)]
+    pub member_store: MemberStore,
 }
 
 impl AlpsConfig {
@@ -97,6 +124,7 @@ impl AlpsConfig {
             due_index: DueIndex::Wheel,
             record_cycles: false,
             cpus: NonZeroUsize::MIN,
+            member_store: MemberStore::Chunked,
         }
     }
 
@@ -135,6 +163,12 @@ impl AlpsConfig {
         self.cpus = cpus;
         self
     }
+
+    /// Builder-style choice of slot-storage layout.
+    pub fn with_member_store(mut self, store: MemberStore) -> Self {
+        self.member_store = store;
+        self
+    }
 }
 
 impl Default for AlpsConfig {
@@ -157,6 +191,7 @@ mod tests {
         assert_eq!(cfg.due_index, DueIndex::Wheel);
         assert!(!cfg.record_cycles);
         assert_eq!(cfg.cpus.get(), 1, "the paper's machine is uniprocessor");
+        assert_eq!(cfg.member_store, MemberStore::Chunked);
     }
 
     #[test]
@@ -167,12 +202,14 @@ mod tests {
             .with_io_policy(IoPolicy::NoPenalty)
             .with_due_index(DueIndex::Scan)
             .with_cycle_log(true)
-            .with_cpus(NonZeroUsize::new(4).unwrap());
+            .with_cpus(NonZeroUsize::new(4).unwrap())
+            .with_member_store(MemberStore::Contiguous);
         assert_eq!(cfg.quantum, Nanos::from_millis(40));
         assert!(!cfg.lazy_measurement);
         assert_eq!(cfg.io_policy, IoPolicy::NoPenalty);
         assert_eq!(cfg.due_index, DueIndex::Scan);
         assert!(cfg.record_cycles);
         assert_eq!(cfg.cpus.get(), 4);
+        assert_eq!(cfg.member_store, MemberStore::Contiguous);
     }
 }

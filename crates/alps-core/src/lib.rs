@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 pub mod config;
 pub mod cycle;
 pub mod engine;
@@ -96,13 +97,13 @@ pub mod prelude {
     pub use crate::time::Nanos;
 }
 
-pub use config::{AlpsConfig, DueIndex, IoPolicy};
+pub use config::{AlpsConfig, DueIndex, IoPolicy, MemberStore};
 pub use cycle::{CycleEntry, CycleRecord};
 pub use engine::{
     Engine, EngineFor, EngineStats, Event, EventSink, FaultPolicy, HardenConfig, Instrumentation,
     NullSink, RecordingSink, Signal, Substrate, TraceSink,
 };
-pub use hierarchy::{NodeId, ShareTree};
+pub use hierarchy::{NodeId, ShareTree, TreeShares, DEFAULT_TREE_SCALE};
 pub use principal::{
     DueList, MemberTransition, MembershipChange, PrincipalOutcome, PrincipalScheduler,
 };

@@ -13,8 +13,9 @@
 //! table once per second with `kvm_getprocs`); see
 //! [`PrincipalScheduler::set_membership`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
+use crate::arena::ChunkedVec;
 use crate::config::AlpsConfig;
 use crate::cycle::CycleRecord;
 use crate::sched::{AlpsScheduler, Observation, ProcId, QuantumOutcome, Transition};
@@ -171,7 +172,15 @@ struct Principal<M> {
 #[derive(Debug, Clone)]
 pub struct PrincipalScheduler<M: Ord + Copy> {
     inner: AlpsScheduler,
-    principals: HashMap<ProcId, Principal<M>>,
+    /// Dense principal table indexed by [`ProcId::index`], each entry
+    /// generation-checked against the handle on access (a stale id from a
+    /// reused slot misses instead of addressing the new tenant). Stored on
+    /// the same chunked arena layout as the inner scheduler's slots, so
+    /// the per-quantum lookups are O(1) without hashing and registration
+    /// never moves existing principals.
+    principals: ChunkedVec<Option<(u32, Principal<M>)>>,
+    /// Live principal count (occupied entries in `principals`).
+    live: usize,
     /// Scratch: due principal ids, refilled each `begin_quantum_into`.
     due_ids: Vec<ProcId>,
     /// Scratch: per-principal observations fed to the inner scheduler.
@@ -184,11 +193,30 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
     /// Create an empty principal scheduler.
     pub fn new(cfg: AlpsConfig) -> Self {
         PrincipalScheduler {
+            principals: ChunkedVec::for_store(cfg.member_store),
             inner: AlpsScheduler::new(cfg),
-            principals: HashMap::new(),
+            live: 0,
             due_ids: Vec::new(),
             obs_scratch: Vec::new(),
             inner_out: QuantumOutcome::default(),
+        }
+    }
+
+    /// The principal for a handle, if the handle is current.
+    #[inline]
+    fn principal(&self, id: ProcId) -> Option<&Principal<M>> {
+        match self.principals.get(id.index()) {
+            Some(Some((generation, p))) if *generation == id.generation() => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Mutable [`Self::principal`].
+    #[inline]
+    fn principal_mut(&mut self, id: ProcId) -> Option<&mut Principal<M>> {
+        match self.principals.get_mut(id.index()) {
+            Some(Some((generation, p))) if *generation == id.generation() => Some(p),
+            _ => None,
         }
     }
 
@@ -201,37 +229,52 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
     /// Per §2.2 it starts ineligible and becomes eligible next quantum.
     pub fn add_principal(&mut self, share: u64) -> ProcId {
         let id = self.inner.add_process(share, Nanos::ZERO);
-        self.principals.insert(
-            id,
+        let idx = id.index();
+        while self.principals.len() <= idx {
+            self.principals.push(None);
+        }
+        self.principals[idx] = Some((
+            id.generation(),
             Principal {
                 cumulative: Nanos::ZERO,
                 members: BTreeMap::new(),
             },
-        );
+        ));
+        self.live += 1;
         id
     }
 
     /// Deregister a principal, returning its members (which the backend
     /// should resume if the principal was ineligible).
     pub fn remove_principal(&mut self, id: ProcId) -> Option<Vec<M>> {
-        let p = self.principals.remove(&id)?;
+        let entry = self.principals.get_mut(id.index())?;
+        match entry {
+            Some((generation, _)) if *generation == id.generation() => {}
+            _ => return None,
+        }
+        let (_, p) = entry.take().expect("entry matched above");
         self.inner.remove_process(id);
+        self.live -= 1;
         Some(p.members.into_keys().collect())
     }
 
     /// Number of principals.
     pub fn len(&self) -> usize {
-        self.principals.len()
+        self.live
     }
 
     /// True if there are no principals.
     pub fn is_empty(&self) -> bool {
-        self.principals.is_empty()
+        self.live == 0
     }
 
     /// Total members across all principals.
     pub fn member_count(&self) -> usize {
-        self.principals.values().map(|p| p.members.len()).sum()
+        self.principals
+            .iter()
+            .flatten()
+            .map(|(_, p)| p.members.len())
+            .sum()
     }
 
     /// Whether a principal is currently eligible.
@@ -247,8 +290,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
 
     /// Members of a principal, in key order.
     pub fn members(&self, id: ProcId) -> Option<Vec<M>> {
-        self.principals
-            .get(&id)
+        self.principal(id)
             .map(|p| p.members.keys().copied().collect())
     }
 
@@ -267,7 +309,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         current: &[(M, Nanos)],
     ) -> Option<MembershipChange<M>> {
         let eligible = self.inner.is_eligible(id)?;
-        let p = self.principals.get_mut(&id)?;
+        let p = self.principal_mut(id)?;
         let mut new_members = BTreeMap::new();
         let mut added = Vec::new();
         for &(m, cpu) in current {
@@ -302,8 +344,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         due.into_iter()
             .map(|id| {
                 let members = self
-                    .principals
-                    .get(&id)
+                    .principal(id)
                     .map(|p| p.members.keys().copied().collect())
                     .unwrap_or_default();
                 (id, members)
@@ -316,9 +357,10 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
     pub fn begin_quantum_into(&mut self, due: &mut DueList<M>) {
         due.clear();
         self.inner.begin_quantum_into(&mut self.due_ids);
-        for &id in &self.due_ids {
+        for i in 0..self.due_ids.len() {
+            let id = self.due_ids[i];
             let start = due.members.len() as u32;
-            if let Some(p) = self.principals.get(&id) {
+            if let Some(p) = self.principal(id) {
                 due.members.extend(p.members.keys().copied());
             }
             due.entries
@@ -381,8 +423,11 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         self.inner_out.cycle_record = out.cycle_record.take();
         self.obs_scratch.clear();
         for &(id, start, len) in &due.entries {
-            let Some(p) = self.principals.get_mut(&id) else {
-                continue;
+            // Field-level lookup (not the `principal_mut` helper) so the
+            // borrow stays on `principals` while `obs_scratch` grows.
+            let p = match self.principals.get_mut(id.index()) {
+                Some(Some((generation, p))) if *generation == id.generation() => p,
+                _ => continue,
             };
             let range = start as usize..(start + len) as usize;
             let mut any_read = false;
@@ -418,7 +463,7 @@ impl<M: Ord + Copy> PrincipalScheduler<M> {
         out.cycle_record = self.inner_out.cycle_record.take();
         for t in &out.transitions {
             let id = t.proc_id();
-            if let Some(p) = self.principals.get(&id) {
+            if let Some(p) = self.principal(id) {
                 for &m in p.members.keys() {
                     out.signals.push(match t {
                         Transition::Resume(_) => MemberTransition::Resume(m),

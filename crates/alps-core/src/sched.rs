@@ -19,15 +19,27 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ChunkedVec;
 use crate::config::{AlpsConfig, DueIndex, IoPolicy};
 use crate::cycle::{CycleEntry, CycleRecord};
 use crate::time::Nanos;
 
-/// Number of deadline-wheel buckets (a power of two). Deadlines further
-/// out than this are parked at the horizon bucket and re-bucketed when it
-/// drains, which costs each far-future slot one touch every
-/// `WHEEL_BUCKETS` quanta — amortized O(1/64) per slot per quantum.
-const WHEEL_BUCKETS: u64 = 64;
+/// Bits of the deadline consumed per deadline-wheel level.
+const WHEEL_BITS: u32 = 6;
+/// Slots per deadline-wheel level (`2^WHEEL_BITS`).
+const WHEEL_SLOTS: u64 = 1 << WHEEL_BITS;
+/// Deadline-wheel levels. The single-level seed wheel parked every
+/// far-future member in one horizon bucket and re-touched each of them
+/// every 64 quanta — an O(N/64) per-quantum tax once most of a large
+/// population is far from its next deadline. Four levels span
+/// `64⁴ ≈ 16.7M` invocations, so a parked member is touched only when a
+/// level boundary passes it: at most [`WHEEL_LEVELS`] touches per actual
+/// deadline, independent of how long the deadline is.
+const WHEEL_LEVELS: usize = 4;
+/// Deadline bits covered by the wheel (level-0 slot = 1 invocation).
+const WHEEL_SPAN_BITS: u32 = WHEEL_BITS * WHEEL_LEVELS as u32;
+/// Invocations covered by the wheel from any counter position.
+const WHEEL_SPAN: u64 = 1 << WHEEL_SPAN_BITS;
 
 /// Stable handle to a process registered with an [`AlpsScheduler`].
 ///
@@ -173,7 +185,11 @@ struct WheelEntry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AlpsScheduler {
     cfg: AlpsConfig,
-    slots: Vec<Slot>,
+    /// Slot storage: a chunked arena (or, per
+    /// [`crate::config::MemberStore::Contiguous`], a single growing chunk
+    /// reproducing the seed `Vec` layout). Indexed by [`ProcId::index`];
+    /// every access generation-checks the handle against the slot.
+    slots: ChunkedVec<Slot>,
     /// Vacant slot indices (LIFO). Popping here replaces the historical
     /// full-`Vec` vacancy scan, making registration and removal O(1)
     /// regardless of population size.
@@ -194,10 +210,16 @@ pub struct AlpsScheduler {
     count: u64,
     /// Completed-cycle counter.
     cycles_completed: u64,
-    /// The deadline wheel ([`DueIndex::Wheel`]): bucket `d % WHEEL_BUCKETS`
-    /// holds the entries due at invocation `d`, with deadlines beyond the
-    /// horizon clamped to `count + WHEEL_BUCKETS` and re-bucketed on drain.
-    /// Empty in scan mode.
+    /// The hierarchical deadline wheel ([`DueIndex::Wheel`]):
+    /// `WHEEL_LEVELS × WHEEL_SLOTS` buckets, level-major
+    /// (`wheel[level * WHEEL_SLOTS + slot]`). An entry due at invocation
+    /// `d` lives at the level of the highest bit where `d` and the
+    /// invocation counter differ (XOR leveling, the idiom of kernsim's
+    /// event wheel), in slot `(d >> WHEEL_BITS·level) & (WHEEL_SLOTS-1)`.
+    /// Advancing the counter only ever lowers an entry's level, so upper
+    /// slots cascade toward level 0 as their window opens; deadlines
+    /// beyond the whole span park at the top of the current window and
+    /// are re-filed when reached. Empty in scan mode.
     wheel: Vec<Vec<WheelEntry>>,
     /// Due list saved by the last `begin_quantum` (wheel mode). Popping a
     /// wheel entry consumes it, so `complete_quantum` must reschedule
@@ -225,13 +247,13 @@ impl AlpsScheduler {
     pub fn new(cfg: AlpsConfig) -> Self {
         assert!(cfg.quantum > Nanos::ZERO, "quantum must be positive");
         let wheel = if cfg.due_index == DueIndex::Wheel && cfg.lazy_measurement {
-            vec![Vec::new(); WHEEL_BUCKETS as usize]
+            vec![Vec::new(); WHEEL_LEVELS * WHEEL_SLOTS as usize]
         } else {
             Vec::new()
         };
         AlpsScheduler {
+            slots: ChunkedVec::for_store(cfg.member_store),
             cfg,
-            slots: Vec::new(),
             free: Vec::new(),
             occupied: Vec::new(),
             vacated: 0,
@@ -258,6 +280,28 @@ impl AlpsScheduler {
         self.cfg.due_index == DueIndex::Wheel && self.cfg.lazy_measurement
     }
 
+    /// Bucket index for an entry due at invocation `deadline`, relative to
+    /// counter position `count`: the level of the highest differing bit
+    /// (so the entry cascades down exactly when its window opens), at that
+    /// level's slot of the deadline. Deadlines beyond the wheel's span are
+    /// clamped to the top of the current window (the drain re-files them,
+    /// keeping their key, as the window advances — at most one touch per
+    /// level per [`WHEEL_SPAN`] invocations, instead of the seed wheel's
+    /// one re-bucket per rotation). Deadlines at or before `count` map to
+    /// the bucket this invocation drains.
+    #[inline]
+    fn wheel_bucket(count: u64, deadline: u64) -> usize {
+        let d = deadline.clamp(count, count | (WHEEL_SPAN - 1));
+        let x = d ^ count;
+        let level = if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / WHEEL_BITS) as usize
+        };
+        let slot = ((d >> (WHEEL_BITS * level as u32)) & (WHEEL_SLOTS - 1)) as usize;
+        level * WHEEL_SLOTS as usize + slot
+    }
+
     /// Insert a live wheel entry for `idx`, due at invocation `deadline`
     /// (which must be `> self.count`), superseding any previous entry.
     fn wheel_insert(&mut self, idx: u32, deadline: u64) {
@@ -265,8 +309,7 @@ impl AlpsScheduler {
         let slot = &mut self.slots[idx as usize];
         slot.wheel_key = slot.wheel_key.wrapping_add(1);
         let key = slot.wheel_key;
-        let clamped = deadline.min(self.count + WHEEL_BUCKETS);
-        self.wheel[(clamped % WHEEL_BUCKETS) as usize].push(WheelEntry { idx, key });
+        self.wheel[Self::wheel_bucket(self.count, deadline)].push(WheelEntry { idx, key });
     }
 
     /// The configuration this scheduler runs with.
@@ -514,10 +557,12 @@ impl AlpsScheduler {
     /// Allocation-free [`Self::begin_quantum`]: clears `due` and fills it
     /// with the processes whose progress must be measured this quantum.
     ///
-    /// Under [`DueIndex::Wheel`] this pops the invocation's deadline-wheel
-    /// bucket — O(due) plus one amortized touch per far-future slot every
-    /// [`WHEEL_BUCKETS`] quanta — instead of scanning every occupied slot.
-    /// Both paths return the same ids in the same (registration) order.
+    /// Under [`DueIndex::Wheel`] this pops the invocation's level-0
+    /// deadline-wheel slot (after cascading any upper-level slot whose
+    /// window just opened) — O(due) plus at most [`WHEEL_LEVELS`] touches
+    /// per parked slot over its whole wait — instead of scanning every
+    /// occupied slot. Both paths return the same ids in the same
+    /// (registration) order.
     pub fn begin_quantum_into(&mut self, due: &mut Vec<ProcId>) {
         due.clear();
         self.count += 1;
@@ -544,12 +589,43 @@ impl AlpsScheduler {
                     }
                 }
             }
-            // Drain the bucket for this invocation. An entry is live only
-            // while its key matches the slot's nonce; far-future deadlines
-            // were clamped to the horizon and are re-bucketed here (keeping
-            // their key), which costs each parked slot one touch per
-            // WHEEL_BUCKETS quanta.
-            let bucket = (count % WHEEL_BUCKETS) as usize;
+            // Cascade: whenever the counter crosses a level-`l` window
+            // boundary (its low `6·l` bits are zero), the upper-level slot
+            // covering the next window spills downward — each entry refiles
+            // (keeping its key) at the exact level the XOR rule now assigns
+            // it. Ascending order is safe: a live refiled entry has
+            // `deadline > count`, and with `count` aligned its target slot
+            // at any lower level is strictly above the index-0 slot those
+            // levels cascade from, so nothing lands in an already-drained
+            // bucket.
+            let mut level = 1;
+            while level < WHEEL_LEVELS && count & ((1u64 << (WHEEL_BITS * level as u32)) - 1) == 0 {
+                let slot = ((count >> (WHEEL_BITS * level as u32)) & (WHEEL_SLOTS - 1)) as usize;
+                let from = level * WHEEL_SLOTS as usize + slot;
+                if !self.wheel[from].is_empty() {
+                    std::mem::swap(&mut self.drain, &mut self.wheel[from]);
+                    for e in &self.drain {
+                        let slot = &self.slots[e.idx as usize];
+                        if slot.wheel_key != e.key {
+                            continue; // superseded, or the slot was vacated/reused
+                        }
+                        let Some(s) = slot.state.as_ref() else {
+                            continue;
+                        };
+                        if !s.eligible {
+                            continue;
+                        }
+                        self.wheel[Self::wheel_bucket(count, s.update)].push(*e);
+                    }
+                    self.drain.clear();
+                }
+                level += 1;
+            }
+            // Drain the level-0 slot for this invocation. An entry is live
+            // only while its key matches the slot's nonce; deadlines beyond
+            // the wheel's span were clamped to the top of the window and
+            // are re-filed here (keeping their key) as the window advances.
+            let bucket = (count & (WHEEL_SLOTS - 1)) as usize;
             std::mem::swap(&mut self.drain, &mut self.wheel[bucket]);
             let mut k = 0;
             while k < self.drain.len() {
@@ -566,8 +642,7 @@ impl AlpsScheduler {
                     continue;
                 }
                 if s.update > count {
-                    let clamped = s.update.min(count + WHEEL_BUCKETS);
-                    self.wheel[(clamped % WHEEL_BUCKETS) as usize].push(e);
+                    self.wheel[Self::wheel_bucket(count, s.update)].push(e);
                 } else {
                     self.pending.push(e.idx);
                 }
@@ -797,8 +872,7 @@ impl AlpsScheduler {
                 // the future.
                 slot.wheel_key = slot.wheel_key.wrapping_add(1);
                 let key = slot.wheel_key;
-                let clamped = s.update.min(count + WHEEL_BUCKETS);
-                wheel[(clamped % WHEEL_BUCKETS) as usize].push(WheelEntry { idx: i as u32, key });
+                wheel[Self::wheel_bucket(count, s.update)].push(WheelEntry { idx: i as u32, key });
             }
         }
     }

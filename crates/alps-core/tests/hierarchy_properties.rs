@@ -112,4 +112,97 @@ proptest! {
             }
         }
     }
+
+    /// The live tree's incremental aggregate propagation: after an
+    /// arbitrary interleaving of group/leaf adds, reshares, and leaf
+    /// removals, the cached `entitlement` path must be *bit-identical* to
+    /// the from-scratch `entitlement_naive` walk for every live leaf, and
+    /// `flatten` must still quantize those exact fractions.
+    #[test]
+    fn incremental_propagation_matches_from_scratch_after_churn(
+        ops in proptest::collection::vec((any::<u8>(), 1u64..16, any::<u16>()), 1..50),
+    ) {
+        let mut t = ShareTree::new();
+        let mut groups: Vec<NodeId> = Vec::new();
+        let mut live: Vec<(NodeId, u64)> = Vec::new();
+        let mut next_tag = 0u64;
+        for (kind, share, pick) in ops {
+            let pick = pick as usize;
+            match kind % 4 {
+                0 => {
+                    // New group, sometimes nested under an existing one.
+                    let parent = if groups.is_empty() || pick.is_multiple_of(3) {
+                        None
+                    } else {
+                        Some(groups[pick % groups.len()])
+                    };
+                    groups.push(t.add_group(parent, share));
+                }
+                1 => {
+                    // New leaf under a random group (or the root).
+                    let parent = if groups.is_empty() {
+                        None
+                    } else {
+                        Some(groups[pick % groups.len()])
+                    };
+                    live.push((t.add_leaf(parent, share, next_tag), next_tag));
+                    next_tag += 1;
+                }
+                2 => {
+                    // Reshare a random live node — leaf or interior group.
+                    let total = groups.len() + live.len();
+                    if total > 0 {
+                        let i = pick % total;
+                        let id = if i < groups.len() {
+                            groups[i]
+                        } else {
+                            live[i - groups.len()].0
+                        };
+                        prop_assert!(t.set_share(id, share));
+                    }
+                }
+                _ => {
+                    // Remove a random leaf; its id must then be dead to
+                    // every mutator and both entitlement paths.
+                    if !live.is_empty() {
+                        let (id, _) = live.remove(pick % live.len());
+                        prop_assert!(t.remove_leaf(id));
+                        prop_assert!(!t.set_share(id, share), "removed leaf took a share");
+                        prop_assert!(!t.remove_leaf(id), "double removal succeeded");
+                        prop_assert_eq!(t.entitlement_naive(id), None);
+                        prop_assert_eq!(t.entitlement(id), None);
+                    }
+                }
+            }
+            // After *every* op: the O(depth)-maintained caches agree with a
+            // full recomputation, bit for bit.
+            for &(leaf, tag) in &live {
+                let naive = t.entitlement_naive(leaf);
+                let cached = t.entitlement(leaf);
+                prop_assert_eq!(
+                    cached.map(f64::to_bits),
+                    naive.map(f64::to_bits),
+                    "leaf tag {}: cached {:?} vs naive {:?}",
+                    tag, cached, naive
+                );
+            }
+            // And the flattened integer shares quantize those fractions.
+            let flat = t.flatten();
+            prop_assert_eq!(flat.len(), live.len());
+            let share_total: u64 = flat.iter().map(|&(_, s)| s).sum();
+            for &(leaf, tag) in &live {
+                let frac = t.entitlement_naive(leaf).expect("live leaf has a fraction");
+                let (_, s) = flat
+                    .iter()
+                    .find(|&&(tg, _)| tg == tag)
+                    .expect("live leaf survives flatten");
+                let got = *s as f64 / share_total as f64;
+                prop_assert!(
+                    (got - frac).abs() < 1e-9,
+                    "tag {}: flattened {:.9} vs walked {:.9}",
+                    tag, got, frac
+                );
+            }
+        }
+    }
 }

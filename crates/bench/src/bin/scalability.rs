@@ -12,17 +12,30 @@
 //! executor; the simulation-derived results are identical at any thread
 //! count. Run with `--release`; see EXPERIMENTS.md.
 //!
-//! Usage: `bench-scalability [--fast] [--threads N] [--cpus M] [--out <path>]`
-//!   --fast      N ≤ 100 only, 5 simulated seconds per point (CI smoke)
-//!   --threads   sweep worker threads (1 = serial; default ALPS_THREADS
-//!               or all host cores)
-//!   --cpus      sweep the full configuration grid on an M-CPU simulated
-//!               machine instead of the default 1-CPU grid + SMP series
-//!   --out       output path (default `BENCH_kernsim.json`)
+//! A sparse-activity series closes the report: N ∈ {10⁴, 10⁵, 10⁶}
+//! members on the bare scheduler (no simulator), ~10³ of them due on the
+//! §3.2 cadence and the rest parked on far §2.3 deadlines — the
+//! million-member regime the deadline wheel and member arena target.
+//!
+//! Usage: `bench-scalability [--fast] [--sparse-only] [--sparse-n N]
+//!                           [--threads N] [--cpus M] [--out <path>]`
+//!   --fast         N ≤ 100 only, 5 simulated seconds per point (CI smoke)
+//!   --sparse-only  skip the simulator grids; run only the sparse-activity
+//!                  series (quick iteration on the scheduler hot path)
+//!   --sparse-n     pin the sparse series to one explicit population
+//!                  instead of the default N sweep (CI's scale smoke runs
+//!                  `--sparse-only --sparse-n 100000` on the PR path and
+//!                  `--sparse-only --sparse-n 1000000` nightly)
+//!   --threads      sweep worker threads (1 = serial; default ALPS_THREADS
+//!                  or all host cores)
+//!   --cpus         sweep the full configuration grid on an M-CPU simulated
+//!                  machine instead of the default 1-CPU grid + SMP series
+//!   --out          output path (default `BENCH_kernsim.json`)
 
 use alps_bench::scalability::{
-    event_core_ns, event_core_sim_secs, run_event_core_best_of, run_point, run_sweep, sweep_specs,
-    sweep_specs_at, BenchReport, QUANTUM_MS, SHARE,
+    event_core_ns, event_core_sim_secs, run_event_core_best_of, run_point, run_sparse_best_of,
+    run_sweep, sparse_quanta, sparse_specs, sparse_specs_at, sweep_specs, sweep_specs_at,
+    BenchReport, QUANTUM_MS, SHARE, SPARSE_ACTIVE,
 };
 use alps_core::DueIndex;
 use kernsim::{EventQueueKind, RunQueueKind};
@@ -35,6 +48,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     args.retain(|a| a != "--fast");
+    let sparse_only = args.iter().any(|a| a == "--sparse-only");
+    args.retain(|a| a != "--sparse-only");
     let mut take_value = |flag: &str| -> Option<String> {
         let i = args.iter().position(|a| a == flag)?;
         if i + 1 >= args.len() {
@@ -61,9 +76,19 @@ fn main() {
             std::process::exit(2);
         }
     });
+    let sparse_n = take_value("--sparse-n").map(|v| match v.parse::<usize>() {
+        Ok(n) if n >= 10 => n,
+        _ => {
+            eprintln!("error: --sparse-n wants an integer >= 10, got {v:?}");
+            std::process::exit(2);
+        }
+    });
     let out = take_value("--out").unwrap_or_else(|| "BENCH_kernsim.json".to_string());
     if !args.is_empty() {
-        eprintln!("usage: bench-scalability [--fast] [--threads N] [--cpus M] [--out <path>]");
+        eprintln!(
+            "usage: bench-scalability [--fast] [--sparse-only] [--sparse-n N] \
+             [--threads N] [--cpus M] [--out <path>]"
+        );
         std::process::exit(2);
     }
 
@@ -88,19 +113,25 @@ fn main() {
     }
     // Discarded warmup so the first measured points don't pay for page
     // faults and CPU frequency ramp-up.
-    let _ = run_point(
-        100,
-        true,
-        RunQueueKind::Indexed,
-        EventQueueKind::Wheel,
-        DueIndex::Wheel,
-        2,
-        1,
-    );
+    if !sparse_only {
+        let _ = run_point(
+            100,
+            true,
+            RunQueueKind::Indexed,
+            EventQueueKind::Wheel,
+            DueIndex::Wheel,
+            2,
+            1,
+        );
+    }
 
-    let specs = match cpus {
-        Some(m) => sweep_specs_at(fast, m),
-        None => sweep_specs(fast),
+    let specs = if sparse_only {
+        Vec::new()
+    } else {
+        match cpus {
+            Some(m) => sweep_specs_at(fast, m),
+            None => sweep_specs(fast),
+        }
     };
     let outcome = run_sweep(&specs, REPS);
     for p in &outcome.points {
@@ -129,16 +160,45 @@ fn main() {
     // only a handful of pending events at any N).
     let ec_secs = event_core_sim_secs(fast);
     let mut event_core = Vec::new();
-    for n in event_core_ns(fast) {
-        for eq in [EventQueueKind::Wheel, EventQueueKind::Heap] {
-            let p = run_event_core_best_of(n, eq, ec_secs, REPS);
-            eprintln!(
-                "event-core N={:6} eq={:5}: {:9} events in {:8.5}s wall ({:10.0} events/s, {:6} pending)",
-                p.n, p.event_queue, p.events, p.wall_seconds, p.events_per_wall_second,
-                p.pending_events
-            );
-            event_core.push(p);
+    if !sparse_only {
+        for n in event_core_ns(fast) {
+            for eq in [EventQueueKind::Wheel, EventQueueKind::Heap] {
+                let p = run_event_core_best_of(n, eq, ec_secs, REPS);
+                eprintln!(
+                    "event-core N={:6} eq={:5}: {:9} events in {:8.5}s wall ({:10.0} events/s, {:6} pending)",
+                    p.n, p.event_queue, p.events, p.wall_seconds, p.events_per_wall_second,
+                    p.pending_events
+                );
+                event_core.push(p);
+            }
         }
+    }
+
+    // The sparse-activity series: the bare scheduler at N registered /
+    // ~10³ due members. Points run serially (each fans its repetitions
+    // across the executor) — the 10⁶-member points are memory-bound and
+    // co-running them would perturb the timings.
+    let sq = sparse_quanta(fast);
+    let sparse_grid = match sparse_n {
+        Some(n) => sparse_specs_at(n),
+        None => sparse_specs(fast),
+    };
+    let mut sparse = Vec::new();
+    for (n, due, store) in sparse_grid {
+        let p = run_sparse_best_of(n, SPARSE_ACTIVE.min(n / 10), due, store, sq, REPS);
+        eprintln!(
+            "sparse N={:8} due={:5} store={:10}: reg {:8.5}s drive {:8.5}s teardown {:8.5}s | {:10.1} ns/q, {:7.1} due/q, {:8.1} ns/due",
+            p.n,
+            p.due_index,
+            p.member_store,
+            p.register_seconds,
+            p.drive_seconds,
+            p.teardown_seconds,
+            p.ns_per_quantum,
+            p.due_per_quantum,
+            p.ns_per_due_member
+        );
+        sparse.push(p);
     }
 
     let report = BenchReport {
@@ -154,6 +214,7 @@ fn main() {
             / outcome.sweep_wall_seconds.max(1e-9),
         points: outcome.points,
         event_core,
+        sparse,
     };
     let mut ns: Vec<usize> = report.points.iter().map(|p| p.n).collect();
     ns.dedup();
@@ -187,6 +248,13 @@ fn main() {
     for n in &ec_ns {
         if let Some(s) = report.event_core_speedup(*n) {
             eprintln!("event-core N={n:6} wheel speedup over heap (events/s): {s:.2}x");
+        }
+    }
+    let mut sp_ns: Vec<usize> = report.sparse.iter().map(|p| p.n).collect();
+    sp_ns.dedup();
+    for n in &sp_ns {
+        if let Some(r) = report.sparse_scan_ratio(*n) {
+            eprintln!("sparse N={n:8} scan/wheel per-quantum cost: {r:.2}x");
         }
     }
     eprintln!(

@@ -23,7 +23,9 @@
 //! ALPS quantum per controlled member — the per-quantum control-path
 //! cost the deadline wheel exists to flatten.
 
-use alps_core::{AlpsConfig, DueIndex, Nanos};
+use alps_core::{
+    AlpsConfig, AlpsScheduler, DueIndex, MemberStore, Nanos, Observation, ProcId, QuantumOutcome,
+};
 use alps_sim::{spawn_alps, CostModel};
 use kernsim::{ComputeBound, ComputeThenSleep, EventQueueKind, Pid, RunQueueKind, Sim, SimConfig};
 use serde::{Deserialize, Serialize};
@@ -102,6 +104,94 @@ impl EventCorePoint {
             self.sim_seconds,
             self.events,
             self.pending_events,
+        )
+    }
+}
+
+/// Active members of a sparse-activity point ([`run_sparse_point`]).
+pub const SPARSE_ACTIVE: usize = 1000;
+
+/// Share of each active member of a sparse-activity point — due every
+/// five quanta, like the §3.2 grid's members.
+pub const SPARSE_ACTIVE_SHARE: u64 = 5;
+
+/// Smallest idle share of a sparse-activity point. Idle member `i` gets
+/// share `SPARSE_IDLE_BASE + i`, so their §2.3 re-measure deadlines
+/// stagger from ~10 simulated seconds out to ~`n` quanta out — parked
+/// members spread across every level of the deadline wheel instead of
+/// thundering in one slot.
+pub const SPARSE_IDLE_BASE: u64 = 1000;
+
+/// Largest population the O(N)-per-quantum scan due index is driven at;
+/// beyond this only the wheel series runs (the scan would dominate the
+/// sweep's wall clock while measuring nothing new).
+pub const SPARSE_SCAN_MAX_N: usize = 100_000;
+
+/// Population sizes of the sparse-activity series.
+pub fn sparse_ns(fast: bool) -> Vec<usize> {
+    if fast {
+        vec![10_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+/// Quanta driven per sparse-activity point (after the warm-up quantum).
+pub fn sparse_quanta(fast: bool) -> u64 {
+    if fast {
+        300
+    } else {
+        2000
+    }
+}
+
+/// One measured point of the sparse-activity series: N registered
+/// members, ~[`SPARSE_ACTIVE`] of them due on the §3.2 cadence and the
+/// rest parked on far §2.3 deadlines, driving [`AlpsScheduler`] directly
+/// (no simulator) with zero-consumption observations. The population is
+/// stationary — no cycle boundary, no transitions after warm-up — so
+/// the point isolates the per-quantum control path the deadline wheel
+/// flattens: its cost must track the *due* population, not N.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsePoint {
+    /// Registered members.
+    pub n: usize,
+    /// Members on the active (share-[`SPARSE_ACTIVE_SHARE`]) cadence.
+    pub active: usize,
+    /// ALPS due-index implementation: `"wheel"` or `"scan"`.
+    pub due_index: String,
+    /// Member-storage implementation: `"chunked"` or `"contiguous"`.
+    pub member_store: String,
+    /// Quanta driven (excluding the warm-up quantum).
+    pub quanta: u64,
+    /// Due members measured over the drive.
+    pub total_due: u64,
+    /// Wall-clock seconds to register all N members.
+    pub register_seconds: f64,
+    /// Wall-clock seconds for the drive.
+    pub drive_seconds: f64,
+    /// Wall-clock seconds to remove all N members.
+    pub teardown_seconds: f64,
+    /// Drive nanoseconds per quantum — the headline: flat in N under
+    /// the wheel, linear in N under the scan.
+    pub ns_per_quantum: f64,
+    /// Due members per quantum (~[`SPARSE_ACTIVE`]/5, independent of N).
+    pub due_per_quantum: f64,
+    /// Drive nanoseconds per due member measured.
+    pub ns_per_due_member: f64,
+}
+
+impl SparsePoint {
+    /// The deterministic fields — a pure function of the point's
+    /// parameters, identical at any sweep thread count.
+    pub fn sim_key(&self) -> (usize, usize, &str, &str, u64, u64) {
+        (
+            self.n,
+            self.active,
+            self.due_index.as_str(),
+            self.member_store.as_str(),
+            self.quanta,
+            self.total_due,
         )
     }
 }
@@ -211,6 +301,11 @@ pub struct BenchReport {
     /// events, the population the §3.2 supervised grid never builds.
     #[serde(default)]
     pub event_core: Vec<EventCorePoint>,
+    /// The sparse-activity series: N registered / ~10³ due members on
+    /// the bare scheduler, the regime the deadline wheel and member
+    /// arena target.
+    #[serde(default)]
+    pub sparse: Vec<SparsePoint>,
 }
 
 impl BenchReport {
@@ -283,6 +378,24 @@ impl BenchReport {
         Some(wheel.events_per_wall_second / heap.events_per_wall_second.max(1e-12))
     }
 
+    /// The sparse-activity point for `(n, due, store)` (`"wheel"` /
+    /// `"scan"` × `"chunked"` / `"contiguous"`), if present.
+    pub fn sparse_point(&self, n: usize, due: &str, store: &str) -> Option<&SparsePoint> {
+        self.sparse
+            .iter()
+            .find(|p| p.n == n && p.due_index == due && p.member_store == store)
+    }
+
+    /// Per-quantum cost ratio of the scan due index over the wheel at
+    /// `n` registered members (chunked store):
+    /// `ns_per_quantum(scan) / ns_per_quantum(wheel)` — the linear-in-N
+    /// factor the wheel removes from the sparse regime.
+    pub fn sparse_scan_ratio(&self, n: usize) -> Option<f64> {
+        let wheel = self.sparse_point(n, "wheel", "chunked")?;
+        let scan = self.sparse_point(n, "scan", "chunked")?;
+        Some(scan.ns_per_quantum / wheel.ns_per_quantum.max(1e-12))
+    }
+
     /// Wall-clock speedup of the indexed queue over the linear one for
     /// `(n, lazy, due)`: `wall(linear) / wall(indexed)` over the whole
     /// point.
@@ -343,6 +456,17 @@ impl BenchReport {
             out.push_str("    ");
             out.push_str(&serde_json::to_string(p).expect("event-core point"));
             out.push_str(if i + 1 < self.event_core.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sparse\": [\n");
+        for (i, p) in self.sparse.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&serde_json::to_string(p).expect("sparse point"));
+            out.push_str(if i + 1 < self.sparse.len() {
                 ",\n"
             } else {
                 "\n"
@@ -557,6 +681,153 @@ pub fn run_event_core_best_of(
     .expect("reps >= 1")
 }
 
+/// Measure one sparse-activity point. Three phases are timed:
+/// registration of all N members (the arena's chunked-allocation path),
+/// a `quanta`-quantum stationary drive (the wheel's O(due) control
+/// path), and removal of all N members (the arena's free-list path).
+///
+/// Idle members never come due inside a short drive *en masse*: their
+/// staggered shares ([`SPARSE_IDLE_BASE`]` + i`) park them across the
+/// wheel's upper levels, so the drive pays exactly the cascade touches
+/// the wheel's design promises — O(1) amortized per parked member per
+/// level-window crossing — while the active members due every
+/// [`SPARSE_ACTIVE_SHARE`] quanta dominate `total_due`.
+pub fn run_sparse_point(
+    n: usize,
+    active: usize,
+    due: DueIndex,
+    store: MemberStore,
+    quanta: u64,
+) -> SparsePoint {
+    assert!(active <= n, "active members are a subset of the population");
+    let cfg = AlpsConfig::new(Nanos::from_millis(QUANTUM_MS))
+        .with_due_index(due)
+        .with_member_store(store);
+    let mut alps = AlpsScheduler::new(cfg);
+
+    let t_register = std::time::Instant::now();
+    let idle = n - active;
+    for i in 0..idle {
+        alps.add_process(SPARSE_IDLE_BASE + i as u64, Nanos::ZERO);
+    }
+    for _ in 0..active {
+        alps.add_process(SPARSE_ACTIVE_SHARE, Nanos::ZERO);
+    }
+    let register_seconds = t_register.elapsed().as_secs_f64();
+
+    // Warm-up quantum: every member starts ineligible with a forced
+    // measurement, so the first invocation resumes all N and parks them
+    // on their §2.3 deadlines. Excluded from the drive timing.
+    let quantum = Nanos::from_millis(QUANTUM_MS);
+    let mut now = Nanos::ZERO;
+    let mut due_buf: Vec<ProcId> = Vec::new();
+    let mut obs: Vec<(ProcId, Observation)> = Vec::new();
+    let mut out = QuantumOutcome::default();
+    alps.begin_quantum_into(&mut due_buf);
+    alps.complete_quantum_into(&[], now, &mut out);
+    debug_assert_eq!(out.transitions.len(), n, "warm-up resumes everyone");
+
+    // Stationary drive: due members report unchanged cumulative CPU, so
+    // allowances never drain, the cycle never completes, and no
+    // transitions fire — the loop body is the bare control path.
+    let t_drive = std::time::Instant::now();
+    let mut total_due = 0u64;
+    for _ in 0..quanta {
+        now += quantum;
+        alps.begin_quantum_into(&mut due_buf);
+        total_due += due_buf.len() as u64;
+        obs.clear();
+        obs.extend(due_buf.iter().map(|&id| {
+            (
+                id,
+                Observation {
+                    total_cpu: Nanos::ZERO,
+                    blocked: false,
+                },
+            )
+        }));
+        alps.complete_quantum_into(&obs, now, &mut out);
+        debug_assert!(out.transitions.is_empty(), "stationary drive");
+        debug_assert!(!out.cycle_completed, "zero consumption: no boundary");
+    }
+    let drive_seconds = t_drive.elapsed().as_secs_f64();
+
+    let t_teardown = std::time::Instant::now();
+    let ids: Vec<ProcId> = alps.proc_ids().collect();
+    for id in ids {
+        alps.remove_process(id);
+    }
+    let teardown_seconds = t_teardown.elapsed().as_secs_f64();
+    debug_assert!(alps.is_empty(), "teardown removes everyone");
+
+    let drive_ns = drive_seconds * 1e9;
+    SparsePoint {
+        n,
+        active,
+        due_index: match due {
+            DueIndex::Wheel => "wheel".to_string(),
+            DueIndex::Scan => "scan".to_string(),
+        },
+        member_store: match store {
+            MemberStore::Chunked => "chunked".to_string(),
+            MemberStore::Contiguous => "contiguous".to_string(),
+        },
+        quanta,
+        total_due,
+        register_seconds,
+        drive_seconds,
+        teardown_seconds,
+        ns_per_quantum: drive_ns / quanta.max(1) as f64,
+        due_per_quantum: total_due as f64 / quanta.max(1) as f64,
+        ns_per_due_member: drive_ns / total_due.max(1) as f64,
+    }
+}
+
+/// Measure [`run_sparse_point`] `reps` times and keep the repetition
+/// with the fastest drive (the headline phase), fanned across the sweep
+/// executor like [`run_point_best_of`].
+pub fn run_sparse_best_of(
+    n: usize,
+    active: usize,
+    due: DueIndex,
+    store: MemberStore,
+    quanta: u64,
+    reps: usize,
+) -> SparsePoint {
+    alps_sweep::sweep_map((0..reps.max(1)).collect(), |_rep: usize| {
+        run_sparse_point(n, active, due, store, quanta)
+    })
+    .into_iter()
+    .min_by(|a, b| a.drive_seconds.total_cmp(&b.drive_seconds))
+    .expect("reps >= 1")
+}
+
+/// The sparse-activity grid in report order. Per N: the wheel due index
+/// on both member stores, then the scan baseline (chunked store) up to
+/// [`SPARSE_SCAN_MAX_N`] — the scan exists to show the linear-in-N cost
+/// the wheel removes, and needs only one storage flavor to do it.
+pub fn sparse_specs(fast: bool) -> Vec<(usize, DueIndex, MemberStore)> {
+    let mut specs = Vec::new();
+    for n in sparse_ns(fast) {
+        specs.extend(sparse_specs_at(n));
+    }
+    specs
+}
+
+/// The sparse-activity specs for one explicit population — the
+/// `--sparse-n` path (CI's scale smoke pins N = 10⁵ on the PR path,
+/// N = 10⁶ nightly).
+pub fn sparse_specs_at(n: usize) -> Vec<(usize, DueIndex, MemberStore)> {
+    let mut specs = vec![
+        (n, DueIndex::Wheel, MemberStore::Chunked),
+        (n, DueIndex::Wheel, MemberStore::Contiguous),
+    ];
+    if n <= SPARSE_SCAN_MAX_N {
+        specs.push((n, DueIndex::Scan, MemberStore::Chunked));
+    }
+    specs
+}
+
 /// One cell of the bench grid: the parameters of a [`run_point`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepSpec {
@@ -743,6 +1014,10 @@ mod tests {
                 run_event_core_point(8, EventQueueKind::Wheel, 1),
                 run_event_core_point(8, EventQueueKind::Heap, 1),
             ],
+            sparse: vec![
+                run_sparse_point(64, 8, DueIndex::Wheel, MemberStore::Chunked, 20),
+                run_sparse_point(64, 8, DueIndex::Scan, MemberStore::Chunked, 20),
+            ],
         };
         let back = BenchReport::parse(&report.to_pretty_json()).expect("parse");
         assert_eq!(report, back);
@@ -776,8 +1051,13 @@ mod tests {
         assert!(report.event_core_point(9, "wheel").is_none());
         assert!(report.event_core_speedup(8).unwrap() > 0.0);
         assert!(report.event_core_speedup(9).is_none());
-        // Reports written before the series existed (no "event_core"
-        // key) still parse, to an empty series.
+        // The sparse series has its own lookup and scan-vs-wheel ratio.
+        assert_eq!(report.sparse_point(64, "wheel", "chunked").unwrap().n, 64);
+        assert!(report.sparse_point(64, "wheel", "contiguous").is_none());
+        assert!(report.sparse_scan_ratio(64).unwrap() > 0.0);
+        assert!(report.sparse_scan_ratio(65).is_none());
+        // Reports written before the series existed (no "event_core" /
+        // "sparse" keys) still parse, to empty series.
         let rendered = report.to_pretty_json();
         let (head, _tail) = rendered
             .split_once("  \"event_core\": [")
@@ -785,7 +1065,41 @@ mod tests {
         let legacy = format!("{}\n}}\n", head.trim_end().trim_end_matches(','));
         let back = BenchReport::parse(&legacy).expect("legacy parse");
         assert!(back.event_core.is_empty());
+        assert!(back.sparse.is_empty());
         assert_eq!(back.points, report.points);
+    }
+
+    #[test]
+    fn sparse_point_is_stationary_and_store_invariant() {
+        let chunked = run_sparse_point(256, 16, DueIndex::Wheel, MemberStore::Chunked, 40);
+        let contig = run_sparse_point(256, 16, DueIndex::Wheel, MemberStore::Contiguous, 40);
+        let scan = run_sparse_point(256, 16, DueIndex::Scan, MemberStore::Chunked, 40);
+        // All three implementations measure the identical due schedule.
+        assert_eq!(chunked.sim_key().5, contig.sim_key().5);
+        assert_eq!(chunked.total_due, scan.total_due);
+        // The 16 active members are due every 5 quanta: 8 spikes of 16
+        // over 40 quanta, plus idle members whose staggered deadlines
+        // fall inside the window (shares 1000+i: none within 40 quanta).
+        assert_eq!(chunked.total_due, 8 * 16, "active cadence only");
+        assert!(chunked.due_per_quantum > 0.0);
+        assert!(chunked.ns_per_quantum > 0.0);
+        assert!(chunked.ns_per_due_member > 0.0);
+        assert_eq!(chunked.quanta, 40);
+    }
+
+    #[test]
+    fn sparse_specs_cap_the_scan_series() {
+        let specs = sparse_specs(false);
+        // Per N: wheel × {chunked, contiguous}, plus the scan baseline
+        // up to SPARSE_SCAN_MAX_N.
+        assert_eq!(specs.len(), 3 * 2 + 2);
+        assert!(specs
+            .iter()
+            .all(|&(n, due, _)| due != DueIndex::Scan || n <= SPARSE_SCAN_MAX_N));
+        assert!(specs.iter().any(|&(n, _, _)| n == 1_000_000));
+        let fast = sparse_specs(true);
+        assert!(fast.iter().all(|&(n, _, _)| n == 10_000));
+        assert_eq!(fast.len(), 3);
     }
 
     #[test]

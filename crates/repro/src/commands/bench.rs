@@ -4,10 +4,16 @@
 //! EXPERIMENTS.md) and prints the sweep as a table: per-point lifecycle
 //! timings, the indexed-over-linear wall-clock speedup for each
 //! `(N, lazy)` pair, the timing-wheel event queue's throughput speedup
-//! over the seed binary heap per N, and the event-core series (the
-//! event-dense kernel-only workload where the wheel's advantage shows).
+//! over the seed binary heap per N, the event-core series (the
+//! event-dense kernel-only workload where the wheel's advantage shows),
+//! and the sparse-activity series (up to 10⁶ registered members, ~10³
+//! active — the hierarchical deadline wheel's flat-in-N regime, reported
+//! as ns per quantum and ns per due member).
 
-use alps_bench::scalability::{run_sweep, sweep_specs, BenchPoint, BenchReport};
+use alps_bench::scalability::{
+    run_sparse_best_of, run_sweep, sparse_quanta, sparse_specs, sweep_specs, BenchPoint,
+    BenchReport, SparsePoint, SPARSE_ACTIVE,
+};
 use alps_metrics::regression::linear_fit;
 use alps_metrics::Summary;
 
@@ -203,6 +209,53 @@ pub fn bench(check: bool, strict: bool) {
         }
     }
 
+    if !report.sparse.is_empty() {
+        println!(
+            "\nsparse-activity series (N registered, {} active; pure alps-core control path):",
+            SPARSE_ACTIVE
+        );
+        let sp = Table::new(&[8, 7, -5, -11, 7, 8, 9, 10, 10, 11, 13]);
+        sp.header(&[
+            "N",
+            "active",
+            "due",
+            "store",
+            "quanta",
+            "due/qtm",
+            "reg(ms)",
+            "drive(ms)",
+            "tear(ms)",
+            "ns/qtm",
+            "ns/due-membr",
+        ]);
+        for p in &report.sparse {
+            sp.row(&[
+                p.n.to_string(),
+                p.active.to_string(),
+                p.due_index.clone(),
+                p.member_store.clone(),
+                p.quanta.to_string(),
+                fmt(p.due_per_quantum, 1),
+                fmt(p.register_seconds * 1e3, 3),
+                fmt(p.drive_seconds * 1e3, 3),
+                fmt(p.teardown_seconds * 1e3, 3),
+                fmt(p.ns_per_quantum, 0),
+                fmt(p.ns_per_due_member, 1),
+            ]);
+        }
+        let mut sp_ns: Vec<usize> = report.sparse.iter().map(|p| p.n).collect();
+        sp_ns.dedup();
+        println!(
+            "\nsparse scan/wheel per-quantum overhead ratio (chunked store; \
+             the wheel is flat in N, the scan linear):"
+        );
+        for n in &sp_ns {
+            if let Some(r) = report.sparse_scan_ratio(*n) {
+                println!("  N={n:<8} {r:.2}x");
+            }
+        }
+    }
+
     if check {
         let warnings = check_against_trend(&report, &path);
         if strict && warnings > 0 {
@@ -278,9 +331,74 @@ fn check_against_trend(committed: &BenchReport, path: &str) -> usize {
             }
         }
     }
+    for fresh in &fresh_sparse(2) {
+        for (metric, get) in SPARSE_CHECKED_METRICS {
+            // Direct same-N comparison when the committed report carries
+            // the point (both normalized metrics are quanta-count
+            // independent); otherwise fall back to a fit over N.
+            let predicted =
+                match committed.sparse_point(fresh.n, &fresh.due_index, &fresh.member_store) {
+                    Some(p) => get(p),
+                    None => {
+                        let series: Vec<(f64, f64)> = committed
+                            .sparse
+                            .iter()
+                            .filter(|p| {
+                                p.due_index == fresh.due_index
+                                    && p.member_store == fresh.member_store
+                            })
+                            .map(|p| (p.n as f64, get(p)))
+                            .collect();
+                        match linear_fit(&series) {
+                            Some(fit) => fit.at(fresh.n as f64),
+                            None => continue,
+                        }
+                    }
+                };
+            if predicted <= 0.0 {
+                continue;
+            }
+            let measured = get(fresh);
+            let ratio = measured / predicted;
+            compared += 1;
+            let label = format!(
+                "sparse N={} {} {}: {metric} measured {measured:.1} vs committed {predicted:.1} ({ratio:.2}x)",
+                fresh.n, fresh.due_index, fresh.member_store
+            );
+            if !(1.0 / RATIO_TOLERANCE..=RATIO_TOLERANCE).contains(&ratio) {
+                warnings += 1;
+                println!("::warning file={path}::{label}");
+            } else {
+                println!("  ok {label}");
+            }
+        }
+    }
     println!(
         "\nbench --check: {compared} comparisons, {warnings} outside {RATIO_TOLERANCE}x \
          of the committed trend (soft gate unless --strict)"
     );
     warnings
+}
+
+/// A checked metric of a [`SparsePoint`]: a name and an extractor.
+type SparseCheckedMetric = (&'static str, fn(&SparsePoint) -> f64);
+
+/// The sparse-series metrics `--check` gates on: both normalized per
+/// drive work, so a fast fresh point (short drive) compares cleanly
+/// against the committed long-drive numbers.
+const SPARSE_CHECKED_METRICS: [SparseCheckedMetric; 2] = [
+    ("ns_per_quantum", |p| p.ns_per_quantum),
+    ("ns_per_due_member", |p| p.ns_per_due_member),
+];
+
+/// Run the fast sparse series fresh (N = 10⁴, short drive) for
+/// `--check`'s comparison against the committed report.
+fn fresh_sparse(reps: usize) -> Vec<SparsePoint> {
+    let quanta = sparse_quanta(true);
+    sparse_specs(true)
+        .into_iter()
+        .map(|(n, due, store)| {
+            run_sparse_best_of(n, SPARSE_ACTIVE.min(n / 10), due, store, quanta, reps)
+        })
+        .collect()
 }

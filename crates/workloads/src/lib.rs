@@ -41,6 +41,4 @@ pub use replay::{parse_trace, OnEnd, Replay, Segment, TraceReplay};
 pub use shares::ShareModel;
 pub use traffic::{Arrivals, BestEffort, OpenLoop, STREAM_ARRIVAL, STREAM_CPU, STREAM_DB};
 pub use webserver::Site;
-#[allow(deprecated)]
-pub use webserver::{spawn_site, SiteSpec};
 pub use workload::{jitter_factor, splitmix64, stream, unit_f64, LatencyProbe, Tenant, Workload};

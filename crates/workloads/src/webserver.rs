@@ -103,63 +103,6 @@ impl Workload for Site {
     }
 }
 
-/// Deprecated alias for the nameless spec form; convert with
-/// [`SiteSpec::named`] or spawn via [`spawn_site`].
-#[deprecated(note = "use `Site` (a named spec implementing `Workload`) instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct SiteSpec {
-    /// See [`Site::workers`].
-    pub workers: usize,
-    /// See [`Site::active`].
-    pub active: usize,
-    /// See [`Site::cpu_per_request`].
-    pub cpu_per_request: Nanos,
-    /// See [`Site::db_wait`].
-    pub db_wait: Nanos,
-    /// See [`Site::jitter`].
-    pub jitter: f64,
-    /// See [`Site::seed`].
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for SiteSpec {
-    fn default() -> Self {
-        let s = Site::default();
-        SiteSpec {
-            workers: s.workers,
-            active: s.active,
-            cpu_per_request: s.cpu_per_request,
-            db_wait: s.db_wait,
-            jitter: s.jitter,
-            seed: s.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl SiteSpec {
-    /// Attach a name, producing the [`Workload`]-implementing [`Site`].
-    pub fn named(&self, name: &str) -> Site {
-        Site {
-            name: name.to_string(),
-            workers: self.workers,
-            active: self.active,
-            cpu_per_request: self.cpu_per_request,
-            db_wait: self.db_wait,
-            jitter: self.jitter,
-            seed: self.seed,
-        }
-    }
-}
-
-/// Deprecated shim: spawn one site's worker pool into the simulation.
-#[deprecated(note = "use `Site { name, .. }.spawn(sim)` via the `Workload` trait")]
-#[allow(deprecated)]
-pub fn spawn_site(sim: &mut Sim, name: &str, spec: &SiteSpec) -> Tenant {
-    spec.named(name).spawn(sim)
-}
-
 #[derive(Debug, Clone, Copy)]
 enum WorkerPhase {
     /// About to execute the request's CPU part.
@@ -320,28 +263,6 @@ mod tests {
         let rps = site.completed() as f64 / 10.0;
         assert!((rps - 10.0).abs() < 1.0, "got {rps}");
         assert!(sim.idle_time() > Nanos::from_secs(9));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_spawn_site_shim_matches_new_api() {
-        let run = |via_shim: bool| {
-            let mut sim = Sim::new(SimConfig::default());
-            let spec = SiteSpec {
-                workers: 8,
-                active: 6,
-                seed: 9,
-                ..SiteSpec::default()
-            };
-            let t = if via_shim {
-                spawn_site(&mut sim, "compat", &spec)
-            } else {
-                spec.named("compat").spawn(&mut sim)
-            };
-            sim.run_until(Nanos::from_secs(5));
-            (t.completed(), t.latencies_ns())
-        };
-        assert_eq!(run(true), run(false));
     }
 
     #[test]
