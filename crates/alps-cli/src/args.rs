@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use alps_os::ActuatorMode;
+
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
 alps — user-level proportional-share CPU scheduler (ALPS, HPDC 2006)
@@ -21,6 +23,12 @@ OPTIONS:
                            algorithm itself enforces shares on *merged*
                            per-member CPU totals, so it needs no per-CPU
                            arithmetic on any machine size
+    -a, --actuator <mode>  how duty-cycle intents reach processes
+                           [default: signals]: `signals` (SIGSTOP/SIGCONT),
+                           `weights` (cgroup-v2 cpu.weight writes), or
+                           `caps` (cgroup-v2 cpu.max hard caps); weights
+                           and caps need a delegated cgroup-v2 subtree
+                           (run/attach modes only)
     -v, --verbose          print a status line at each completed cycle
     -t, --trace            trace every engine event to stderr
     -h, --help             show this help
@@ -70,6 +78,8 @@ pub struct Opts {
     pub verbose: bool,
     /// Per-event engine trace on stderr.
     pub trace: bool,
+    /// How duty-cycle intents are enforced (signals or cgroup writes).
+    pub actuator: ActuatorMode,
     /// The share specs.
     pub specs: Vec<ShareSpec>,
 }
@@ -126,6 +136,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
         cpus: 1,
         verbose: false,
         trace: false,
+        actuator: ActuatorMode::default(),
         specs: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -169,6 +180,12 @@ pub fn parse(argv: &[String]) -> Result<Cmd, ParseError> {
                 if opts.cpus == 0 {
                     return err("cpu count must be positive");
                 }
+            }
+            "-a" | "--actuator" => {
+                let v = it
+                    .next()
+                    .ok_or(ParseError("--actuator needs a mode".into()))?;
+                opts.actuator = v.parse().map_err(|e: String| ParseError(e))?;
             }
             "-v" | "--verbose" => opts.verbose = true,
             "-t" | "--trace" => opts.trace = true,
@@ -249,6 +266,25 @@ mod tests {
         };
         assert_eq!(o.cpus, 1, "the paper's one-CPU machine is the default");
         assert!(parse(&v(&["run", "-c", "0", "1:a", "1:b"])).is_err());
+    }
+
+    #[test]
+    fn parses_actuator_flag() {
+        let Cmd::Run(o) = parse(&v(&["run", "--actuator", "weights", "1:a", "1:b"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(o.actuator, ActuatorMode::Weights);
+        let Cmd::Run(o) = parse(&v(&["run", "-a", "caps", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.actuator, ActuatorMode::Caps);
+        let Cmd::Run(o) = parse(&v(&["run", "1:a", "1:b"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.actuator, ActuatorMode::Signals, "signals is the default");
+        assert!(parse(&v(&["run", "-a", "fpga", "1:a", "1:b"])).is_err());
+        assert!(parse(&v(&["run", "-a"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use alps_core::{AlpsConfig, Nanos, TraceSink};
-use alps_os::{Membership, PrincipalSupervisor, Supervisor};
+use alps_os::{ActuatorMode, Membership, PrincipalSupervisor, Supervisor};
 
 use crate::args::{Cmd, Opts, ShareSpec, USAGE};
 
@@ -76,6 +76,25 @@ fn should_stop(deadline: Option<std::time::Instant>) -> bool {
     interrupted() || deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
+/// Build the supervisor for the requested actuator, with a pointed error
+/// when the host cannot offer cgroup actuation.
+fn supervisor(opts: &Opts) -> Result<Supervisor, Box<dyn std::error::Error>> {
+    let sup = Supervisor::with_actuator(config(opts), opts.actuator)
+        .map_err(|e| format!("cannot actuate via {}: {e}", opts.actuator))?;
+    if opts.actuator != ActuatorMode::Signals {
+        eprintln!(
+            "alps: actuating via cgroup {} ({})",
+            opts.actuator,
+            if sup.event_driven() {
+                "pidfd exit notification"
+            } else {
+                "clock polling"
+            }
+        );
+    }
+    Ok(sup)
+}
+
 fn run_commands(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
     install_signal_handlers();
     let mut children: Vec<Child> = Vec::new();
@@ -87,7 +106,7 @@ fn run_commands(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
             .spawn()?;
         children.push(child);
     }
-    let mut sup = Supervisor::new(config(&opts));
+    let mut sup = supervisor(&opts)?;
     for (child, spec) in children.iter().zip(&opts.specs) {
         let pid = child.id() as i32;
         sup.add_process(pid, spec.share)?;
@@ -113,7 +132,7 @@ fn run_commands(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
 
 fn attach_pids(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
     install_signal_handlers();
-    let mut sup = Supervisor::new(config(&opts));
+    let mut sup = supervisor(&opts)?;
     for spec in &opts.specs {
         let pid: i32 = spec
             .target
@@ -169,6 +188,13 @@ fn drive(sup: &mut Supervisor, opts: &Opts) -> Result<(), Box<dyn std::error::Er
 
 fn supervise_users(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
     install_signal_handlers();
+    if opts.actuator != ActuatorMode::Signals {
+        return Err(format!(
+            "user mode actuates per-process groups via signals only (got --actuator {})",
+            opts.actuator
+        )
+        .into());
+    }
     let mut sup = PrincipalSupervisor::new(config(&opts), Duration::from_secs(opts.refresh_s));
     for spec in &opts.specs {
         let uid: u32 = spec

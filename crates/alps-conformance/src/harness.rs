@@ -41,7 +41,7 @@ pub struct DriveReport {
 }
 
 /// Fold one word into a [`DriveReport::fingerprint`].
-fn fold(fp: &mut u64, word: u64) {
+pub(crate) fn fold(fp: &mut u64, word: u64) {
     *fp = fp.wrapping_mul(0x0000_0100_0000_01B3) ^ word;
 }
 
@@ -226,23 +226,37 @@ pub struct MockProc {
 }
 
 /// A deterministic in-memory [`Substrate`] driven by the harness.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct MockSubstrate {
+///
+/// Generic in the member key (default `u32`, the historical pid type of
+/// the engine suites) so the actuator differential suite can key it by
+/// `i32` kernel pids and compare against the cgroup substrate with no
+/// type adaptation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MockSubstrate<M: Copy + Ord + core::hash::Hash + core::fmt::Debug = u32> {
     /// The substrate clock.
     pub now: Nanos,
     /// Member state by pid.
-    pub procs: BTreeMap<u32, MockProc>,
+    pub procs: BTreeMap<M, MockProc>,
 }
 
-impl Substrate for MockSubstrate {
-    type Member = u32;
+impl<M: Copy + Ord + core::hash::Hash + core::fmt::Debug> Default for MockSubstrate<M> {
+    fn default() -> Self {
+        MockSubstrate {
+            now: Nanos::ZERO,
+            procs: BTreeMap::new(),
+        }
+    }
+}
+
+impl<M: Copy + Ord + core::hash::Hash + core::fmt::Debug> Substrate for MockSubstrate<M> {
+    type Member = M;
     type Error = Infallible;
 
     fn now(&mut self) -> Nanos {
         self.now
     }
 
-    fn read(&mut self, member: u32) -> Result<Option<Observation>, Infallible> {
+    fn read(&mut self, member: M) -> Result<Option<Observation>, Infallible> {
         Ok(self.procs.get(&member).and_then(|p| {
             (!p.gone).then_some(Observation {
                 total_cpu: p.cpu,
@@ -251,7 +265,7 @@ impl Substrate for MockSubstrate {
         }))
     }
 
-    fn deliver(&mut self, member: u32, signal: Signal) -> Result<bool, Infallible> {
+    fn deliver(&mut self, member: M, signal: Signal) -> Result<bool, Infallible> {
         match self.procs.get_mut(&member) {
             Some(p) if !p.gone => {
                 p.stopped = signal == Signal::Stop;

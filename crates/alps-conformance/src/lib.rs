@@ -42,6 +42,7 @@
 mod engine;
 mod oracle;
 
+pub mod actuator;
 pub mod harness;
 pub mod schedule;
 

@@ -28,6 +28,9 @@ pub enum OsError {
     /// A scheduler handle that no longer refers to a live registration
     /// (the process was removed or reaped earlier).
     Stale(ProcId),
+    /// The host lacks a required facility (cgroup v2 delegation, pidfd)
+    /// — callers fall back or skip.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for OsError {
@@ -40,6 +43,7 @@ impl fmt::Display for OsError {
             OsError::Sys { op, errno } => write!(f, "{op} failed: errno {errno}"),
             OsError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
             OsError::Stale(id) => write!(f, "stale scheduler handle: {id:?}"),
+            OsError::Unsupported(what) => write!(f, "unsupported on this host: {what}"),
         }
     }
 }

@@ -39,9 +39,11 @@
 // This crate is the syscall boundary; unsafe is confined to small,
 // commented blocks around libc calls.
 
+pub mod cgroup;
 pub mod children;
 pub mod clock;
 pub mod error;
+pub mod pidfd;
 pub mod principal;
 pub mod probe;
 pub mod proc;
@@ -49,8 +51,10 @@ pub mod signal;
 pub mod substrate;
 pub mod supervisor;
 
+pub use cgroup::{ActuatorMode, CgroupFs, CgroupSubstrate, CpuMax, FakeCgroupFs, RealCgroupFs};
 pub use children::SpinnerPool;
 pub use error::{OsError, Result};
+pub use pidfd::{ExitWatcher, PidFd};
 pub use principal::{Membership, PrincipalSupervisor};
 pub use probe::{probe_table1, Table1Probe};
 pub use proc::{pids_of_uid, read_stat, ProcStat};

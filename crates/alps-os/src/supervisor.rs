@@ -3,11 +3,21 @@
 //! [`Supervisor`] is the paper's ALPS process: an unprivileged loop that
 //! wakes once per quantum, reads the progress of the controlled processes
 //! that are due for measurement (§2.3), runs the Figure-3 algorithm, and
-//! moves processes between the eligible and ineligible groups with
-//! `SIGCONT`/`SIGSTOP`. No special priority, no kernel support. The
-//! per-quantum loop itself is the generic [`alps_core::Engine`] driven
-//! over an [`OsSubstrate`]; this module adds the
-//! drift-free sleep cadence and the process registration surface.
+//! moves processes between the eligible and ineligible groups. No special
+//! priority, no kernel support. The per-quantum loop itself is the generic
+//! [`alps_core::Engine`] driven over a substrate; this module adds the
+//! sleep cadence, the process registration surface, and two things the
+//! paper's FreeBSD box could not offer:
+//!
+//! * **event-driven exits** — the quantum sleep parks inside an
+//!   [`ExitWatcher`] (`pidfd_open` + epoll), so a member death is known
+//!   the moment it happens and its reap costs zero `/proc` syscalls (the
+//!   substrate short-circuits the read). On kernels without pidfd the
+//!   loop degrades to the original pure clock sleep;
+//! * **a choice of actuator** ([`ActuatorMode`]) — classic
+//!   `SIGSTOP`/`SIGCONT`, or cgroup-v2 `cpu.weight` / `cpu.max` writes
+//!   through [`CgroupSubstrate`] when the host delegates a subtree
+//!   ([`Supervisor::with_actuator`]).
 //!
 //! ```no_run
 //! use alps_core::{AlpsConfig, Nanos};
@@ -26,18 +36,162 @@
 //! # }
 //! ```
 
+use std::collections::HashSet;
 use std::time::Duration;
 
 use alps_core::{
     AlpsConfig, AlpsScheduler, CycleRecord, Engine, EngineStats, EventSink, FaultPolicy,
-    HardenConfig, Instrumentation, Nanos, NullSink, ProcId, Transition,
+    HardenConfig, Instrumentation, Nanos, NullSink, Observation, ProcId, Signal, Substrate,
+    Transition,
 };
 
+use crate::cgroup::{ActuatorMode, CgroupSubstrate, RealCgroupFs};
 use crate::clock;
 use crate::error::{OsError, Result};
+use crate::pidfd::ExitWatcher;
 use crate::proc;
-use crate::signal;
 use crate::substrate::OsSubstrate;
+
+/// The concrete backend behind the chosen actuator.
+#[derive(Debug)]
+enum Inner {
+    Signals(OsSubstrate),
+    Cgroup(CgroupSubstrate<RealCgroupFs>),
+}
+
+/// The supervisor's substrate: the chosen actuator backend plus the set
+/// of pids the exit watcher has already seen die. Reads of a known-dead
+/// pid short-circuit to "gone" without touching `/proc`, deliveries to it
+/// bounce — and the engine's ordinary reap path (with its counters and
+/// events) does the rest.
+#[derive(Debug)]
+struct ActuatorSubstrate {
+    inner: Inner,
+    dead: HashSet<i32>,
+}
+
+impl ActuatorSubstrate {
+    fn mode(&self) -> ActuatorMode {
+        match &self.inner {
+            Inner::Signals(_) => ActuatorMode::Signals,
+            Inner::Cgroup(c) => c.mode(),
+        }
+    }
+
+    /// Backend-specific registration. A no-op for signals; creates and
+    /// populates the member's leaf group for cgroups.
+    fn enroll(&mut self, pid: i32, share: u64) -> Result<()> {
+        match &mut self.inner {
+            Inner::Signals(_) => Ok(()),
+            Inner::Cgroup(c) => c.enroll(pid, share),
+        }
+    }
+
+    /// Intentional release on removal/shutdown: resume the member
+    /// (`SIGCONT` / thaw + uncap), and for cgroups park it back in the
+    /// subtree root and remove its leaf.
+    fn release(&mut self, pid: i32) -> Result<()> {
+        self.dead.remove(&pid);
+        match &mut self.inner {
+            Inner::Signals(_) => match crate::signal::sigcont(pid) {
+                Ok(()) | Err(OsError::NoSuchProcess(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+            Inner::Cgroup(c) => c.release(pid),
+        }
+    }
+
+    /// Cleanup after the engine reaped an *exited* member: nothing to do
+    /// for signals (never signal a reaped — possibly recycled — pid); for
+    /// cgroups the empty leaf is torn down.
+    fn cleanup_reaped(&mut self, pid: i32) {
+        self.dead.remove(&pid);
+        if let Inner::Cgroup(c) = &mut self.inner {
+            let _ = c.release(pid);
+        }
+    }
+
+    fn set_share(&mut self, pid: i32, share: u64) {
+        if let Inner::Cgroup(c) = &mut self.inner {
+            let _ = c.set_share(pid, share);
+        }
+    }
+
+    /// Record an exit reported by the watcher.
+    fn note_exited(&mut self, pid: i32) {
+        self.dead.insert(pid);
+    }
+
+    /// Final teardown (the per-member leaves are already released).
+    fn shutdown(&mut self) {
+        if let Inner::Cgroup(c) = &mut self.inner {
+            let _ = c.fs_mut().remove_root();
+        }
+    }
+}
+
+impl Substrate for ActuatorSubstrate {
+    type Member = i32;
+    type Error = OsError;
+
+    fn now(&mut self) -> Nanos {
+        match &mut self.inner {
+            Inner::Signals(s) => s.now(),
+            Inner::Cgroup(c) => c.now(),
+        }
+    }
+
+    fn read(&mut self, pid: i32) -> Result<Option<Observation>> {
+        if self.dead.contains(&pid) {
+            return Ok(None);
+        }
+        match &mut self.inner {
+            Inner::Signals(s) => s.read(pid),
+            Inner::Cgroup(c) => c.read(pid),
+        }
+    }
+
+    fn read_batch(&mut self, members: &[i32], out: &mut Vec<Option<Observation>>) -> Result<()> {
+        if self.dead.is_empty() {
+            // Forward whole batches so the backend's buffer reuse applies.
+            return match &mut self.inner {
+                Inner::Signals(s) => s.read_batch(members, out),
+                Inner::Cgroup(c) => c.read_batch(members, out),
+            };
+        }
+        for &m in members {
+            let o = self.read(m)?;
+            out.push(o);
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, pid: i32, sig: Signal) -> Result<bool> {
+        if self.dead.contains(&pid) {
+            return Ok(false);
+        }
+        match &mut self.inner {
+            Inner::Signals(s) => s.deliver(pid, sig),
+            Inner::Cgroup(c) => c.deliver(pid, sig),
+        }
+    }
+
+    fn apply_batch(&mut self, batch: &[(i32, Signal)], delivered: &mut Vec<bool>) -> Result<()> {
+        if self.dead.is_empty() {
+            // Forward so OsSubstrate's grouped stop-before-continue
+            // delivery applies.
+            return match &mut self.inner {
+                Inner::Signals(s) => s.apply_batch(batch, delivered),
+                Inner::Cgroup(c) => c.apply_batch(batch, delivered),
+            };
+        }
+        for &(m, sig) in batch {
+            let d = self.deliver(m, sig)?;
+            delivered.push(d);
+        }
+        Ok(())
+    }
+}
 
 /// A user-level proportional-share scheduler for real processes.
 #[derive(Debug)]
@@ -45,20 +199,40 @@ pub struct Supervisor {
     engine: Engine<i32>,
     /// core id ↔ kernel pid, in registration order.
     procs: Vec<(ProcId, i32)>,
-    sub: OsSubstrate,
+    sub: ActuatorSubstrate,
+    /// pidfd exit notification; `None` degrades to pure clock sleeps.
+    watcher: Option<ExitWatcher>,
+    /// Reusable buffers for the per-quantum exit drain and reap sync.
+    exited_buf: Vec<i32>,
+    removed_buf: Vec<i32>,
     next_deadline: Option<Nanos>,
 }
 
 impl Supervisor {
-    /// Create a supervisor with no controlled processes.
-    pub fn new(cfg: AlpsConfig) -> Self {
+    fn build(cfg: AlpsConfig, policy: Option<HardenConfig>, inner: Inner) -> Self {
+        // §3.1 instrumentation re-reads the substrate at cycle boundaries.
+        let mut engine = Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true);
+        if let Some(harden) = policy {
+            engine = engine.with_fault_policy(FaultPolicy::Harden(harden));
+        }
         Supervisor {
-            // §3.1 instrumentation re-reads /proc at cycle boundaries.
-            engine: Engine::new(cfg, Instrumentation::Exact).with_auto_reap(true),
+            engine,
             procs: Vec::new(),
-            sub: OsSubstrate::new(),
+            sub: ActuatorSubstrate {
+                inner,
+                dead: HashSet::new(),
+            },
+            watcher: ExitWatcher::new().ok(),
+            exited_buf: Vec::new(),
+            removed_buf: Vec::new(),
             next_deadline: None,
         }
+    }
+
+    /// Create a supervisor with no controlled processes, actuating with
+    /// classic job-control signals.
+    pub fn new(cfg: AlpsConfig) -> Self {
+        Supervisor::build(cfg, None, Inner::Signals(OsSubstrate::new()))
     }
 
     /// Like [`Supervisor::new`], but the per-quantum loop tolerates
@@ -69,14 +243,51 @@ impl Supervisor {
     /// of scheduling. Recovery activity is visible in
     /// [`EngineStats`](Supervisor::stats) and on the event sink.
     pub fn hardened(cfg: AlpsConfig, harden: HardenConfig) -> Self {
-        Supervisor {
-            engine: Engine::new(cfg, Instrumentation::Exact)
-                .with_auto_reap(true)
-                .with_fault_policy(FaultPolicy::Harden(harden)),
-            procs: Vec::new(),
-            sub: OsSubstrate::new(),
-            next_deadline: None,
-        }
+        Supervisor::build(cfg, Some(harden), Inner::Signals(OsSubstrate::new()))
+    }
+
+    /// Create a supervisor actuating in the given [`ActuatorMode`].
+    /// `Signals` uses `kill(2)` (never fails to construct); `Weights` and
+    /// `Caps` discover a delegated cgroup-v2 subtree and actuate through
+    /// `cpu.weight` / `cpu.max` writes, failing with
+    /// [`OsError::Unsupported`] when the host offers none.
+    pub fn with_actuator(cfg: AlpsConfig, mode: ActuatorMode) -> Result<Self> {
+        Supervisor::with_actuator_policy(cfg, None, mode)
+    }
+
+    /// [`Supervisor::with_actuator`] with the fault-tolerant loop of
+    /// [`Supervisor::hardened`].
+    pub fn hardened_with_actuator(
+        cfg: AlpsConfig,
+        harden: HardenConfig,
+        mode: ActuatorMode,
+    ) -> Result<Self> {
+        Supervisor::with_actuator_policy(cfg, Some(harden), mode)
+    }
+
+    fn with_actuator_policy(
+        cfg: AlpsConfig,
+        policy: Option<HardenConfig>,
+        mode: ActuatorMode,
+    ) -> Result<Self> {
+        let inner = match mode {
+            ActuatorMode::Signals => Inner::Signals(OsSubstrate::new()),
+            ActuatorMode::Weights | ActuatorMode::Caps => {
+                Inner::Cgroup(CgroupSubstrate::new(RealCgroupFs::discover()?, mode))
+            }
+        };
+        Ok(Supervisor::build(cfg, policy, inner))
+    }
+
+    /// The actuator this supervisor enforces with.
+    pub fn actuator(&self) -> ActuatorMode {
+        self.sub.mode()
+    }
+
+    /// Whether member exits arrive event-driven (pidfd + epoll) rather
+    /// than by `/proc` polling.
+    pub fn event_driven(&self) -> bool {
+        self.watcher.is_some()
     }
 
     /// Take control of `pid` with the given share. The process is suspended
@@ -87,9 +298,42 @@ impl Supervisor {
         if stat.dead() {
             return Err(OsError::NoSuchProcess(pid));
         }
-        signal::sigstop(pid)?;
-        let id = self.engine.add_member(pid, share, stat.cpu_time);
+        self.sub.enroll(pid, share)?;
+        // The initial reading comes from the substrate itself, so each
+        // backend charges from its own zero: /proc cumulative CPU for
+        // signals, the fresh leaf's cpu.stat (zero) for cgroups.
+        let obs = match self.sub.read(pid) {
+            Ok(Some(o)) => o,
+            Ok(None) => {
+                let _ = self.sub.release(pid);
+                return Err(OsError::NoSuchProcess(pid));
+            }
+            Err(e) => {
+                let _ = self.sub.release(pid);
+                return Err(e);
+            }
+        };
+        match self.sub.deliver(pid, Signal::Stop) {
+            Ok(true) => {}
+            Ok(false) => {
+                let _ = self.sub.release(pid);
+                return Err(OsError::NoSuchProcess(pid));
+            }
+            Err(e) => {
+                let _ = self.sub.release(pid);
+                return Err(e);
+            }
+        }
+        let id = self.engine.add_member(pid, share, obs.total_cpu);
         self.procs.push((id, pid));
+        if let Some(w) = &mut self.watcher {
+            // A watch failure is not worth failing registration over:
+            // degrade the whole loop back to clock polling, which the
+            // read path handles anyway.
+            if w.watch(pid).is_err() {
+                self.watcher = None;
+            }
+        }
         Ok(id)
     }
 
@@ -101,10 +345,10 @@ impl Supervisor {
         };
         self.procs.retain(|&(i, _)| i != id);
         for pid in members {
-            match signal::sigcont(pid) {
-                Ok(()) | Err(OsError::NoSuchProcess(_)) => {}
-                Err(e) => return Err(e),
+            if let Some(w) = &mut self.watcher {
+                w.unwatch(pid);
             }
+            self.sub.release(pid)?;
         }
         Ok(())
     }
@@ -114,7 +358,14 @@ impl Supervisor {
     /// adaptive-mesh scenario of the paper's introduction).
     pub fn set_share(&mut self, id: ProcId, share: u64) -> Result<()> {
         match self.engine.set_share(id, share) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let Some(pid) = self.pid_of(id) {
+                    // Keep the weight the cgroup backend restores on
+                    // `continue` in step with the share.
+                    self.sub.set_share(pid, share);
+                }
+                Ok(())
+            }
             // If the pid table still knows the process, report the real
             // pid; otherwise the handle itself is stale — never a made-up
             // pid like the old `unwrap_or(-1)`.
@@ -172,7 +423,20 @@ impl Supervisor {
             Some(d) => d,
             None => clock::now() + q,
         };
-        clock::sleep_until(deadline);
+        // The quantum sleep doubles as the exit listener: epoll over the
+        // members' pidfds until the deadline. Deaths don't cut the sleep
+        // short (the cadence stays drift-free) — they are simply already
+        // known, and cost zero /proc reads, when the quantum runs.
+        match &mut self.watcher {
+            Some(w) => {
+                self.exited_buf.clear();
+                w.wait_until(deadline, &mut self.exited_buf);
+                for &pid in &self.exited_buf {
+                    self.sub.note_exited(pid);
+                }
+            }
+            None => clock::sleep_until(deadline),
+        }
         let now = clock::now();
         // Drift-free cadence with coalescing: if we overslept past one or
         // more whole quanta (we were starved, exactly as in §4.2), skip the
@@ -186,9 +450,25 @@ impl Supervisor {
         }
         self.next_deadline = Some(next);
         self.engine.run_quantum(&mut self.sub, sink)?;
-        // Keep the pid table in sync with what the engine auto-reaped.
+        // Keep the pid table, the watcher, and the backend in sync with
+        // what the engine auto-reaped.
         let engine = &self.engine;
-        self.procs.retain(|&(id, _)| engine.share(id).is_some());
+        let removed = &mut self.removed_buf;
+        removed.clear();
+        self.procs.retain(|&(id, pid)| {
+            let live = engine.share(id).is_some();
+            if !live {
+                removed.push(pid);
+            }
+            live
+        });
+        for i in 0..self.removed_buf.len() {
+            let pid = self.removed_buf[i];
+            if let Some(w) = &mut self.watcher {
+                w.unwatch(pid);
+            }
+            self.sub.cleanup_reaped(pid);
+        }
         Ok(self.engine.last_transitions())
     }
 
@@ -213,10 +493,11 @@ impl Supervisor {
     }
 
     /// Resume every controlled process (used on shutdown so nothing is
-    /// left frozen).
+    /// left frozen or capped).
     pub fn release_all(&mut self) {
-        for &(_, pid) in &self.procs {
-            let _ = signal::sigcont(pid);
+        for i in 0..self.procs.len() {
+            let pid = self.procs[i].1;
+            let _ = self.sub.release(pid);
         }
     }
 }
@@ -224,6 +505,7 @@ impl Supervisor {
 impl Drop for Supervisor {
     fn drop(&mut self) {
         self.release_all();
+        self.sub.shutdown();
     }
 }
 
@@ -231,6 +513,7 @@ impl Drop for Supervisor {
 mod tests {
     use super::*;
     use crate::children::SpinnerPool;
+    use crate::signal;
 
     fn cpu_of(pid: i32) -> Nanos {
         proc::read_stat(pid, proc::ns_per_tick())
@@ -274,6 +557,20 @@ mod tests {
         sup.run_for(Duration::from_millis(500)).unwrap();
         assert_eq!(sup.processes().len(), 1);
         assert!(sup.stats().reaped >= 1);
+    }
+
+    #[test]
+    fn exits_arrive_event_driven_on_this_host() {
+        let pool = SpinnerPool::spawn(1).expect("spawn spinner");
+        let mut sup = Supervisor::new(AlpsConfig::new(Nanos::from_millis(10)));
+        assert!(sup.event_driven(), "pidfd watcher active on Linux >= 5.3");
+        sup.add_process(pool.pids()[0], 1).unwrap();
+        signal::sigkill(pool.pids()[0]).unwrap();
+        // One quantum's epoll wait is enough to both observe the death and
+        // reap it through the engine — no /proc polling loop required.
+        sup.run_for(Duration::from_millis(100)).unwrap();
+        assert!(sup.processes().is_empty());
+        assert_eq!(sup.stats().reaped, 1);
     }
 
     #[test]
@@ -368,5 +665,24 @@ mod tests {
         let rec = &sup.cycles()[0];
         assert_eq!(rec.total_shares, 4);
         assert_eq!(rec.entries.len(), 2);
+    }
+
+    #[test]
+    fn with_actuator_signals_always_constructs() {
+        let sup = Supervisor::with_actuator(AlpsConfig::default(), ActuatorMode::Signals).unwrap();
+        assert_eq!(sup.actuator(), ActuatorMode::Signals);
+    }
+
+    #[test]
+    fn with_actuator_cgroup_is_supported_or_reports_why() {
+        // Unprivileged boxes without a delegated subtree must get a clean
+        // Unsupported, not a panic or a half-built supervisor.
+        for mode in [ActuatorMode::Weights, ActuatorMode::Caps] {
+            match Supervisor::with_actuator(AlpsConfig::default(), mode) {
+                Ok(sup) => assert_eq!(sup.actuator(), mode),
+                Err(OsError::Unsupported(_)) => {}
+                Err(e) => panic!("expected Ok or Unsupported, got {e}"),
+            }
+        }
     }
 }

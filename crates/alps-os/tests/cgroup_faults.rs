@@ -1,0 +1,238 @@
+//! Deterministic cgroupfs fault injection against the hardened engine.
+//!
+//! The real failure modes of a cgroup-v2 actuator are filesystem errors:
+//! a read-only delegated subtree (`EROFS`), a leaf directory racing with
+//! removal (`ENOENT`), a `cgroup.procs` entry gone stale because its sole
+//! member exited. These tests script each of them through
+//! [`FakeCgroupFs::fail_next`] and prove the engine's hardening machinery
+//! — fault tallies, backed-off retries, periodic re-assertion, and
+//! quarantine after repeated strikes — behaves over a [`CgroupSubstrate`]
+//! exactly as it does over signals, while the default `Propagate` policy
+//! still surfaces every error to the caller.
+
+use std::fmt::Write as _;
+
+use alps_core::{
+    AlpsConfig, Engine, EngineStats, FaultPolicy, HardenConfig, Instrumentation, Nanos, NullSink,
+    ProcId,
+};
+use alps_os::cgroup::{ActuatorMode, CgroupFs, CgroupSubstrate, FakeCgroupFs, FakeOp};
+use alps_os::OsError;
+
+const Q: Nanos = Nanos(10_000_000);
+
+struct Rig {
+    engine: Engine<i32>,
+    sub: CgroupSubstrate<FakeCgroupFs>,
+    ids: Vec<(ProcId, i32)>,
+}
+
+/// A hardened (or propagating) engine over six enrolled members with 1:2:3
+/// shares on a single-CPU fake, ready to drive quanta.
+fn rig(mode: ActuatorMode, policy: FaultPolicy) -> Rig {
+    let cfg = AlpsConfig::default().with_quantum(Q);
+    let mut engine: Engine<i32> = Engine::new(cfg, Instrumentation::Measured)
+        .with_auto_reap(true)
+        .with_fault_policy(policy);
+    let mut sub = CgroupSubstrate::new(FakeCgroupFs::new(1), mode);
+    let mut ids = Vec::new();
+    for pid in 100..106 {
+        sub.enroll(pid, u64::from(pid as u32 % 3) + 1)
+            .expect("fault-free enroll");
+        let id = engine.add_member(pid, u64::from(pid as u32 % 3) + 1, Nanos::ZERO);
+        ids.push((id, pid));
+    }
+    Rig { engine, sub, ids }
+}
+
+/// Advance one quantum: tick the fake clock, burn CPU on every leaf that
+/// is allowed to run, and run the engine loop.
+fn quantum(r: &mut Rig, group: &mut String) -> Result<(), OsError> {
+    r.sub.fs_mut().tick(Q);
+    for &(_, pid) in &r.ids {
+        group.clear();
+        let _ = write!(group, "m{pid}");
+        let _ = r.sub.fs_mut().charge(group, Nanos(Q.0 / 2));
+    }
+    r.engine.run_quantum(&mut r.sub, &mut NullSink).map(|_| ())
+}
+
+fn drive(r: &mut Rig, quanta: u64) -> EngineStats {
+    let mut group = String::new();
+    for _ in 0..quanta {
+        quantum(r, &mut group).expect("hardened loop must not propagate");
+    }
+    r.engine.stats()
+}
+
+#[test]
+fn erofs_on_weight_writes_is_tolerated_and_retried() {
+    let mut r = rig(
+        ActuatorMode::Weights,
+        FaultPolicy::Harden(HardenConfig {
+            max_strikes: 10,
+            reassert_every: 4,
+        }),
+    );
+    // A burst of read-only-filesystem failures on `cpu.weight` writes:
+    // wide enough to hit several deliveries, short enough that no member
+    // strikes out.
+    r.sub.fs_mut().fail_next(FakeOp::Weight, libc::EROFS, 6);
+    let stats = drive(&mut r, 200);
+    assert_eq!(stats.quanta, 200, "loop died: {stats:?}");
+    assert!(stats.signal_faults > 0, "no faults tallied: {stats:?}");
+    assert!(stats.retries > 0, "no retries: {stats:?}");
+    assert_eq!(
+        stats.quarantined, 0,
+        "transient fault quarantined: {stats:?}"
+    );
+    // All six members are still scheduled.
+    assert_eq!(
+        r.ids
+            .iter()
+            .filter(|&&(id, _)| r.engine.share(id).is_some())
+            .count(),
+        6
+    );
+}
+
+#[test]
+fn persistent_weight_write_failure_quarantines_the_member() {
+    let mut r = rig(
+        ActuatorMode::Weights,
+        FaultPolicy::Harden(HardenConfig {
+            max_strikes: 3,
+            reassert_every: 8,
+        }),
+    );
+    // The subtree stays read-only forever: every weight write fails, so
+    // members strike out and must be quarantined rather than wedging the
+    // loop.
+    r.sub
+        .fs_mut()
+        .fail_next(FakeOp::Weight, libc::EROFS, u32::MAX);
+    let stats = drive(&mut r, 300);
+    assert_eq!(stats.quanta, 300, "loop died: {stats:?}");
+    assert!(stats.quarantined > 0, "nobody quarantined: {stats:?}");
+    assert!(
+        r.ids
+            .iter()
+            .filter(|&&(id, _)| r.engine.share(id).is_some())
+            .count()
+            < 6,
+        "quarantine removed nobody from scheduling"
+    );
+}
+
+#[test]
+fn enoent_on_freeze_writes_is_tolerated_in_signals_mode() {
+    let mut r = rig(
+        ActuatorMode::Signals,
+        FaultPolicy::Harden(HardenConfig::default()),
+    );
+    // A leaf racing with removal: freezer writes bounce with ENOENT for a
+    // while, then recover.
+    r.sub.fs_mut().fail_next(FakeOp::Freeze, libc::ENOENT, 4);
+    let stats = drive(&mut r, 200);
+    assert_eq!(stats.quanta, 200, "loop died: {stats:?}");
+    assert!(stats.signal_faults > 0, "no faults tallied: {stats:?}");
+}
+
+#[test]
+fn cap_write_failures_are_tolerated_in_caps_mode() {
+    let mut r = rig(
+        ActuatorMode::Caps,
+        FaultPolicy::Harden(HardenConfig::default()),
+    );
+    r.sub.fs_mut().fail_next(FakeOp::Max, libc::EACCES, 4);
+    let stats = drive(&mut r, 200);
+    assert_eq!(stats.quanta, 200, "loop died: {stats:?}");
+    assert!(stats.signal_faults > 0, "no faults tallied: {stats:?}");
+}
+
+#[test]
+fn observe_failures_count_as_read_faults() {
+    let mut r = rig(
+        ActuatorMode::Weights,
+        FaultPolicy::Harden(HardenConfig::default()),
+    );
+    // Two failures stay under the default strike limit even if both land
+    // on the same member, so nobody is quarantined.
+    r.sub.fs_mut().fail_next(FakeOp::Observe, libc::EACCES, 2);
+    let stats = drive(&mut r, 200);
+    assert_eq!(stats.quanta, 200, "loop died: {stats:?}");
+    assert!(stats.read_faults > 0, "no read faults tallied: {stats:?}");
+    assert_eq!(
+        stats.quarantined, 0,
+        "transient reads quarantined: {stats:?}"
+    );
+}
+
+#[test]
+fn stale_cgroup_procs_reaps_like_a_dead_pid() {
+    // A leaf whose sole member exited bounces actuation with
+    // `NoSuchProcess` and reads as gone — the engine's ordinary reap path
+    // must retire the principal exactly as it does when kill(2) races an
+    // exit, with no hardening required.
+    let mut r = rig(ActuatorMode::Weights, FaultPolicy::Propagate);
+    let (id, pid) = r.ids[2];
+    r.sub.fs_mut().kill_pid(pid);
+    let stats = drive(&mut r, 20);
+    assert_eq!(stats.quanta, 20);
+    assert_eq!(stats.reaped, 1, "stale leaf not reaped: {stats:?}");
+    assert!(
+        r.engine.share(id).is_none(),
+        "reaped principal still scheduled"
+    );
+    // The direct substrate view of the same fact:
+    assert!(matches!(
+        r.sub.fs_mut().write_weight(&format!("m{pid}"), 50),
+        Err(OsError::NoSuchProcess(p)) if p == pid
+    ));
+}
+
+#[test]
+fn propagating_engine_surfaces_cgroupfs_errors() {
+    let mut r = rig(ActuatorMode::Weights, FaultPolicy::Propagate);
+    let mut group = String::new();
+    quantum(&mut r, &mut group).expect("fault-free quantum succeeds");
+    r.sub
+        .fs_mut()
+        .fail_next(FakeOp::Weight, libc::EROFS, u32::MAX);
+    let mut saw_err = false;
+    for _ in 0..20 {
+        if let Err(e) = quantum(&mut r, &mut group) {
+            assert!(
+                matches!(e, OsError::Sys { errno, .. } if errno == libc::EROFS),
+                "wrong error: {e}"
+            );
+            saw_err = true;
+            break;
+        }
+    }
+    assert!(
+        saw_err,
+        "EROFS never propagated under FaultPolicy::Propagate"
+    );
+}
+
+#[test]
+fn faulty_cgroup_runs_replay_exactly() {
+    let run = |seed_faults: bool| {
+        let mut r = rig(
+            ActuatorMode::Weights,
+            FaultPolicy::Harden(HardenConfig::default()),
+        );
+        if seed_faults {
+            r.sub.fs_mut().fail_next(FakeOp::Weight, libc::EROFS, 5);
+            r.sub.fs_mut().fail_next(FakeOp::Observe, libc::EACCES, 3);
+        }
+        drive(&mut r, 150)
+    };
+    assert_eq!(run(true), run(true), "faulty runs are not deterministic");
+    assert_ne!(
+        run(true).signal_faults,
+        run(false).signal_faults,
+        "fault injection left no trace"
+    );
+}

@@ -1,0 +1,196 @@
+//! Property tests for [`FakeCgroupFs`] usage accounting.
+//!
+//! The fake's `advance()` is an exact integer water-filling of CPU
+//! capacity across runnable leaves, and its books must balance to the
+//! nanosecond no matter what the control plane does in between: weight
+//! rewrites, cap rewrites, freezes, kills, attaches, leaf removal. The
+//! conservation identity is
+//!
+//! ```text
+//! Σ live-leaf usage + retired + idle == horizon × cpus + charged
+//! ```
+//!
+//! where `retired` is usage carried by removed leaves, `idle` is capacity
+//! no runnable leaf could absorb, and `charged` is scripted accrual
+//! injected outside `advance()` (the differential harness's mechanism).
+
+use alps_core::Nanos;
+use alps_os::cgroup::{CgroupFs, CpuMax, FakeCgroupFs, CPU_MAX_PERIOD};
+use proptest::prelude::*;
+
+/// One control-plane action against the fake, generated arbitrarily.
+#[derive(Debug, Clone)]
+enum Action {
+    Advance(u64),
+    Charge(u8, u64),
+    Weight(u8, u64),
+    Cap(u8, u64),
+    Uncap(u8),
+    Freeze(u8, bool),
+    Kill(u8),
+    Remove(u8),
+    Spawn,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u64..3_000_000_000).prop_map(Action::Advance),
+        (any::<u8>(), 0u64..500_000_000).prop_map(|(g, n)| Action::Charge(g, n)),
+        (any::<u8>(), 0u64..20_000).prop_map(|(g, w)| Action::Weight(g, w)),
+        (any::<u8>(), 0u64..200_000_000).prop_map(|(g, q)| Action::Cap(g, q)),
+        any::<u8>().prop_map(Action::Uncap),
+        (any::<u8>(), any::<bool>()).prop_map(|(g, f)| Action::Freeze(g, f)),
+        any::<u8>().prop_map(Action::Kill),
+        any::<u8>().prop_map(Action::Remove),
+        Just(Action::Spawn),
+    ]
+}
+
+/// Apply `actions` to a fresh fake with `groups` initial leaves on `cpus`
+/// CPUs, checking conservation after every step.
+fn check(cpus: u32, groups: u8, actions: Vec<Action>) {
+    let mut fs = FakeCgroupFs::new(cpus);
+    let mut names: Vec<String> = Vec::new();
+    let mut next_pid = 1_000_i32;
+    let mut spawn = |fs: &mut FakeCgroupFs, names: &mut Vec<String>| {
+        let pid = next_pid;
+        next_pid += 1;
+        let name = format!("m{pid}");
+        fs.create(&name).expect("mkdir on the fake");
+        fs.attach(&name, pid).expect("attach fresh pid");
+        names.push(name);
+    };
+    for _ in 0..groups.clamp(1, 8) {
+        spawn(&mut fs, &mut names);
+    }
+    let pick = |names: &[String], g: u8| -> Option<String> {
+        (!names.is_empty()).then(|| names[g as usize % names.len()].clone())
+    };
+    for a in actions {
+        match a {
+            Action::Advance(dt) => fs.advance(Nanos(dt)),
+            Action::Charge(g, n) => {
+                if let Some(name) = pick(&names, g) {
+                    let _ = fs.charge(&name, Nanos(n));
+                }
+            }
+            Action::Weight(g, w) => {
+                if let Some(name) = pick(&names, g) {
+                    let _ = fs.write_weight(&name, w.max(1));
+                }
+            }
+            Action::Cap(g, quota) => {
+                if let Some(name) = pick(&names, g) {
+                    let _ = fs.write_max(
+                        &name,
+                        CpuMax {
+                            quota: Some(Nanos(quota)),
+                            period: CPU_MAX_PERIOD,
+                        },
+                    );
+                }
+            }
+            Action::Uncap(g) => {
+                if let Some(name) = pick(&names, g) {
+                    let _ = fs.write_max(&name, CpuMax::open());
+                }
+            }
+            Action::Freeze(g, frozen) => {
+                if let Some(name) = pick(&names, g) {
+                    let _ = fs.write_freeze(&name, frozen);
+                }
+            }
+            Action::Kill(g) => {
+                if let Some(name) = pick(&names, g) {
+                    if let Some(pid) = fs.group(&name).and_then(|gr| gr.pid) {
+                        fs.kill_pid(pid);
+                    }
+                }
+            }
+            Action::Remove(g) => {
+                if names.len() > 1 {
+                    if let Some(name) = pick(&names, g) {
+                        fs.remove(&name).expect("rmdir on the fake");
+                        names.retain(|n| *n != name);
+                    }
+                }
+            }
+            Action::Spawn => {
+                if names.len() < 16 {
+                    spawn(&mut fs, &mut names);
+                }
+            }
+        }
+        let books = fs
+            .total_usage()
+            .saturating_add(fs.retired())
+            .saturating_add(fs.idle());
+        let capacity = Nanos(fs.horizon().0 * u64::from(fs.cpus())).saturating_add(fs.charged());
+        assert_eq!(
+            books, capacity,
+            "conservation broken after {a:?}: usage+retired+idle = {books:?}, \
+             horizon×cpus+charged = {capacity:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Uniprocessor accounting conserves time under arbitrary churn.
+    #[test]
+    fn conservation_on_one_cpu(groups in 1u8..8, actions in prop::collection::vec(action(), 1..60)) {
+        check(1, groups, actions);
+    }
+
+    /// SMP accounting conserves time: idle capacity appears whenever
+    /// runnable leaves cannot absorb all CPUs.
+    #[test]
+    fn conservation_on_smp(cpus in 2u32..8, groups in 1u8..8, actions in prop::collection::vec(action(), 1..60)) {
+        check(cpus, groups, actions);
+    }
+
+    /// Hard caps bound what a leaf can absorb: a capped leaf never accrues
+    /// more than quota × (horizon / period) via `advance`, regardless of
+    /// competition.
+    #[test]
+    fn caps_bound_accrual(quota in 1_000_000u64..50_000_000, steps in 1usize..30) {
+        let mut fs = FakeCgroupFs::new(1);
+        fs.create("capped").unwrap();
+        fs.attach("capped", 1).unwrap();
+        fs.write_max("capped", CpuMax { quota: Some(Nanos(quota)), period: CPU_MAX_PERIOD }).unwrap();
+        for _ in 0..steps {
+            fs.advance(Nanos(CPU_MAX_PERIOD.0));
+        }
+        let ceiling = Nanos(quota * steps as u64);
+        prop_assert!(
+            fs.group("capped").unwrap().usage <= ceiling,
+            "capped leaf exceeded its quota: {:?} > {:?}",
+            fs.group("capped").unwrap().usage,
+            ceiling
+        );
+    }
+
+    /// Weighted competition between two always-runnable leaves splits CPU
+    /// in weight proportion, exactly (integer water-filling has no
+    /// rounding drift beyond the final nanosecond remainder).
+    #[test]
+    fn weights_split_proportionally(wa in 1u64..10_000, wb in 1u64..10_000) {
+        let mut fs = FakeCgroupFs::new(1);
+        for (name, pid, w) in [("a", 1, wa), ("b", 2, wb)] {
+            fs.create(name).unwrap();
+            fs.attach(name, pid).unwrap();
+            fs.write_weight(name, w).unwrap();
+        }
+        let horizon = Nanos(1_000_000_000);
+        fs.advance(horizon);
+        let ua = fs.group("a").unwrap().usage.0 as i128;
+        let ub = fs.group("b").unwrap().usage.0 as i128;
+        prop_assert_eq!(ua + ub, horizon.0 as i128, "busy CPU left idle time");
+        // |ua·wb − ub·wa| ≤ (wa+wb): the remainder nanoseconds are the
+        // only deviation from the exact ratio.
+        let skew = (ua * wb as i128 - ub * wa as i128).abs();
+        let bound = (wa + wb) as i128 * (wa + wb) as i128;
+        prop_assert!(skew <= bound, "split off-ratio: skew {} > bound {}", skew, bound);
+    }
+}

@@ -6,12 +6,14 @@
 //! (Figs. 8–9, §4.2, the stride baseline), [`web`] (§5), plus the
 //! [`batch`], [`bench`] (the committed kernsim scalability report),
 //! [`conformance`] (the spec-oracle differential, SMP-aware), [`smp`],
-//! [`slo`] (SLO-driven share feedback under open-loop overload), and
+//! [`slo`] (SLO-driven share feedback under open-loop overload),
+//! [`actuators`] (per-actuation-backend Figure-4 accuracy), and
 //! [`verify`] extensions. All commands keep their
 //! `commands::<name>()` paths via the re-exports below, so `main.rs` is
 //! oblivious to the file layout. Column alignment is shared in
 //! [`table::Table`].
 
+mod actuators;
 mod batch;
 mod bench;
 mod conformance;
@@ -26,6 +28,7 @@ mod verify;
 mod web;
 mod workload;
 
+pub use actuators::actuators;
 pub use batch::batch;
 pub use bench::bench;
 pub use conformance::conformance;

@@ -16,7 +16,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--threads N] <experiment>...\n\
          experiments: table1 table2 fig4 fig5 ablation accounting fig6 io-policy\n\
                       fig7 table3 fig8 fig9 thresholds websrv smp baseline batch bench\n\
-                      conformance latency slo overload verify all\n\
+                      conformance latency slo overload actuators verify all\n\
          --quick: shorter runs (fewer cycles/seeds) for smoke testing\n\
          --threads N: sweep worker threads (1 = serial; default ALPS_THREADS or all cores)\n\
          --cpus M: with `conformance`, drive the differential on an M-CPU\n\
@@ -115,6 +115,7 @@ fn main() {
         "latency",
         "slo",
         "overload",
+        "actuators",
         "verify",
     ];
     let selected: Vec<String> = if args.iter().any(|a| a == "all") {
@@ -147,6 +148,7 @@ fn main() {
             "latency" => commands::latency(&scale),
             "slo" => commands::slo(&scale),
             "overload" => commands::overload(&scale),
+            "actuators" => commands::actuators(&scale),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();

@@ -4,6 +4,7 @@
 //! mocks. Only Linux is supported, matching the alps-os backend.
 
 #![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)] // SYS_* constants match the real libc crate's names
 
 pub type c_int = i32;
 pub type c_long = i64;
@@ -30,6 +31,10 @@ pub const SIGCONT: c_int = 18;
 
 pub const EINTR: c_int = 4;
 pub const ESRCH: c_int = 3;
+pub const ENOENT: c_int = 2;
+pub const EACCES: c_int = 13;
+pub const EROFS: c_int = 30;
+pub const ENOSYS: c_int = 38;
 
 pub const CLOCK_MONOTONIC: clockid_t = 1;
 pub const TIMER_ABSTIME: c_int = 1;
@@ -39,6 +44,25 @@ pub const _SC_CLK_TCK: c_int = 2;
 pub const SIG_DFL: sighandler_t = 0;
 pub const SIG_IGN: sighandler_t = 1;
 pub const SIG_ERR: sighandler_t = !0;
+
+/// `pidfd_open(2)` syscall number (uniform across Linux architectures;
+/// new syscalls share numbers since 5.1).
+pub const SYS_pidfd_open: c_long = 434;
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLLIN: u32 = 0x001;
+
+/// `struct epoll_event`. Packed on x86-64 (the kernel ABI packs it there
+/// so 32-bit and 64-bit layouts match); natural alignment elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
 
 extern "C" {
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
@@ -51,5 +75,15 @@ extern "C" {
         flags: c_int,
         request: *const timespec,
         remain: *mut timespec,
+    ) -> c_int;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
     ) -> c_int;
 }
