@@ -97,23 +97,34 @@ fn supervisor(opts: &Opts) -> Result<Supervisor, Box<dyn std::error::Error>> {
 
 fn run_commands(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
     install_signal_handlers();
-    let mut children: Vec<Child> = Vec::new();
-    for ShareSpec { target, .. } in &opts.specs {
-        let child = Command::new("/bin/sh")
-            .arg("-c")
-            .arg(target)
-            .stdin(Stdio::null())
-            .spawn()?;
-        children.push(child);
-    }
+    // Build the supervisor before spawning anything: an unavailable
+    // actuator (e.g. no delegated cgroup subtree) must fail with zero
+    // commands left behind.
     let mut sup = supervisor(&opts)?;
-    for (child, spec) in children.iter().zip(&opts.specs) {
-        let pid = child.id() as i32;
-        sup.add_process(pid, spec.share)?;
-        eprintln!(
-            "alps: pid {pid} <- {} share(s): {}",
-            spec.share, spec.target
-        );
+    let mut children: Vec<Child> = Vec::new();
+    let mut enroll = || -> Result<(), Box<dyn std::error::Error>> {
+        for ShareSpec { target, share } in &opts.specs {
+            let child = Command::new("/bin/sh")
+                .arg("-c")
+                .arg(target)
+                .stdin(Stdio::null())
+                .spawn()?;
+            let pid = child.id() as i32;
+            children.push(child);
+            sup.add_process(pid, *share)?;
+            eprintln!("alps: pid {pid} <- {share} share(s): {target}");
+        }
+        Ok(())
+    };
+    if let Err(e) = enroll() {
+        // A mid-list spawn or enrollment failure must not leave the
+        // earlier commands running unmanaged (possibly suspended).
+        for child in &mut children {
+            let _ = alps_os::signal::sigcont(child.id() as i32);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        return Err(e);
     }
     let result = drive(&mut sup, &opts);
     sup.release_all();

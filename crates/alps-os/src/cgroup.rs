@@ -156,11 +156,14 @@ pub fn weight_of_share(share: u64) -> u64 {
 /// testable unprivileged ([`FakeCgroupFs`]) and runnable against a real
 /// delegated subtree ([`RealCgroupFs`]).
 ///
-/// Group names are paths relative to the backend's subtree root; `""` is
-/// the root itself (used to park released pids). A member that no longer
-/// exists surfaces as `Ok(None)` from [`CgroupFs::observe`] and
-/// [`OsError::NoSuchProcess`] from actuation writes against its leaf, the
-/// same contract `kill(2)` gives the signal substrate.
+/// Group names are paths relative to the backend's subtree root; `""`
+/// parks the pid outside every member leaf (the dedicated [`PARKED`]
+/// leaf on the real backend — the root itself must stay process-free to
+/// distribute controllers — and a plain detach in the fake). A member
+/// that no longer exists surfaces as `Ok(None)` from
+/// [`CgroupFs::observe`] and [`OsError::NoSuchProcess`] from actuation
+/// writes against its leaf, the same contract `kill(2)` gives the signal
+/// substrate.
 pub trait CgroupFs {
     /// The backend clock (monotonic on the real backend, scripted in the
     /// fake).
@@ -194,12 +197,131 @@ pub trait CgroupFs {
 // RealCgroupFs
 // ----------------------------------------------------------------------
 
+/// The leaf under the ALPS root that holds processes ALPS knows about
+/// but does not currently schedule: pids evacuated out of the base
+/// cgroup so the `cpu` controller could be enabled there, and members
+/// released from control. It lives beside the `m<pid>` member leaves;
+/// the ALPS root itself stays process-free, because cgroup v2's
+/// no-internal-process rule forbids a populated cgroup from
+/// distributing domain controllers to its children.
+pub const PARKED: &str = "parked";
+
+fn has_controller(list: &str, ctrl: &str) -> bool {
+    list.split_ascii_whitespace().any(|c| c == ctrl)
+}
+
+fn create_dir_ok(path: &Path) -> std::io::Result<()> {
+    match fs::create_dir(path) {
+        Err(e) if e.kind() != std::io::ErrorKind::AlreadyExists => Err(e),
+        _ => Ok(()),
+    }
+}
+
+/// Move every pid listed in `from/cgroup.procs` into `to/cgroup.procs`.
+fn drain_procs(from: &Path, to: &Path) -> std::io::Result<()> {
+    let procs = fs::read_to_string(from.join("cgroup.procs"))?;
+    let dst = to.join("cgroup.procs");
+    for pid in procs.split_ascii_whitespace() {
+        // A pid that exits mid-move is fine; any other failure leaves
+        // the source populated, which the caller's next rmdir or
+        // subtree_control write reports.
+        let _ = fs::write(&dst, pid);
+    }
+    Ok(())
+}
+
+/// Enable the cpu controller for `dir`'s children. Controller files
+/// (`cpu.weight`, `cpu.max`) only exist in a cgroup when its *parent*
+/// lists `cpu` in `cgroup.subtree_control`, and that write bounces off
+/// the no-internal-process rule while `dir` holds processes — so when
+/// `evacuate_to` is given, the populated case moves the occupants there
+/// and retries.
+fn enable_cpu(dir: &Path, evacuate_to: Option<&Path>) -> Result<()> {
+    let ctl = dir.join("cgroup.subtree_control");
+    if has_controller(&fs::read_to_string(&ctl).unwrap_or_default(), "cpu") {
+        return Ok(());
+    }
+    if fs::write(&ctl, "+cpu").is_ok() {
+        return Ok(());
+    }
+    if let Some(to) = evacuate_to {
+        if drain_procs(dir, to).is_ok() && fs::write(&ctl, "+cpu").is_ok() {
+            return Ok(());
+        }
+    }
+    Err(OsError::Unsupported(
+        "cannot enable the cpu controller for children (subtree not delegated)",
+    ))
+}
+
+/// Thaw, uncap, and empty every member leaf under `root` (pids move to
+/// the parked leaf), then remove it — the recovery sweep for a subtree
+/// left behind by a crashed run, and the defensive pass before teardown.
+fn clean_leaves(root: &Path, parked: &Path) -> std::io::Result<()> {
+    for entry in fs::read_dir(root)? {
+        let path = entry?.path();
+        if !path.is_dir() || path == parked {
+            continue;
+        }
+        let _ = fs::write(path.join("cgroup.freeze"), "0");
+        let _ = fs::write(path.join("cpu.max"), "max");
+        let _ = drain_procs(&path, parked);
+        fs::remove_dir(&path)?;
+    }
+    Ok(())
+}
+
+/// Undo discovery: give the controllers back and return the parked pids
+/// to the base cgroup, in the only order the kernel permits — the base
+/// cannot take processes while its subtree distributes `cpu`, and `cpu`
+/// cannot be withdrawn from the base while the root still distributes
+/// it.
+fn restore(base: &Path, root: &Path, parked: &Path) -> std::io::Result<()> {
+    let _ = fs::write(root.join("cgroup.subtree_control"), "-cpu");
+    let _ = fs::write(base.join("cgroup.subtree_control"), "-cpu");
+    let _ = drain_procs(parked, base);
+    match fs::remove_dir(parked) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    fs::remove_dir(root)
+}
+
+/// Detect the crash-recovery layout: this process was evacuated into
+/// `<base>/alps.<old>/parked` by a previous run that never tore down.
+/// Returns `(base, root)` when so.
+fn recover_root(own: &Path) -> Option<(PathBuf, PathBuf)> {
+    if own.file_name()? != PARKED {
+        return None;
+    }
+    let root = own.parent()?;
+    if !root.file_name()?.to_str()?.starts_with("alps.") {
+        return None;
+    }
+    Some((root.parent()?.to_path_buf(), root.to_path_buf()))
+}
+
 /// [`CgroupFs`] over a real mounted cgroup2 hierarchy, rooted at a
 /// delegated subtree directory. Path and content buffers are reused so a
 /// steady-state measurement pass allocates nothing.
+///
+/// The on-disk layout [`RealCgroupFs::discover`] builds:
+///
+/// ```text
+/// <base>                  the caller's own cgroup, evacuated and
+/// │                       process-free; subtree_control: +cpu
+/// └── alps.<pid>          the ALPS root — never holds processes;
+///     │                   subtree_control: +cpu
+///     ├── parked          leaf: evacuated + released pids
+///     └── m<pid> …        member leaves (cpu.weight / cpu.max)
+/// ```
 #[derive(Debug)]
 pub struct RealCgroupFs {
     root: PathBuf,
+    /// The cgroup the subtree was carved out of (set by `discover`);
+    /// teardown returns parked pids here and hands `cpu` back.
+    base: Option<PathBuf>,
     /// Reusable path buffer (truncated back to `root` per call).
     path_buf: PathBuf,
     /// Reusable file-content buffer.
@@ -212,10 +334,14 @@ pub struct RealCgroupFs {
 
 impl RealCgroupFs {
     /// A backend rooted at an existing cgroup2 directory the caller may
-    /// write (a delegated subtree).
+    /// write (a delegated subtree). The caller is responsible for the
+    /// root's `cgroup.subtree_control` listing `cpu`, or member leaves
+    /// will have no `cpu.weight`/`cpu.max` files; [`RealCgroupFs::discover`]
+    /// arranges all of that itself.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         RealCgroupFs {
             root: root.into(),
+            base: None,
             path_buf: PathBuf::new(),
             buf: String::new(),
             ns_tick: crate::proc::ns_per_tick(),
@@ -231,10 +357,17 @@ impl RealCgroupFs {
 
     /// Locate the calling process's own cgroup and carve a writable ALPS
     /// subtree under it: read `/proc/self/cgroup`, resolve the v2 path
-    /// under `/sys/fs/cgroup`, enable the `cpu` controller for children,
-    /// and create `alps.<pid>`. Fails with [`OsError::Unsupported`] when
-    /// the hierarchy is absent or not delegated to us — callers (and the
-    /// gated live test) skip cleanly on that.
+    /// under the cgroup2 mount, create `alps.<pid>` with its [`PARKED`]
+    /// leaf, evacuate the base cgroup's occupants (ourselves included)
+    /// into that leaf so the no-internal-process rule permits `+cpu` in
+    /// the base's `cgroup.subtree_control`, and enable `+cpu` in the
+    /// ALPS root's own `subtree_control` so member leaves get their
+    /// `cpu.weight`/`cpu.max` files. A stale `alps.<pid>` from a crashed
+    /// run is recovered: leftover leaves are thawed, uncapped, emptied
+    /// into `parked`, and removed before the subtree is trusted. Fails
+    /// with [`OsError::Unsupported`] when the hierarchy is absent or not
+    /// delegated to us — callers (and the gated live test) skip cleanly
+    /// on that.
     pub fn discover() -> Result<Self> {
         let own = fs::read_to_string("/proc/self/cgroup")
             .map_err(|_| OsError::Unsupported("no /proc/self/cgroup (cgroup v2 unavailable)"))?;
@@ -244,40 +377,84 @@ impl RealCgroupFs {
             .find_map(|l| l.strip_prefix("0::"))
             .ok_or(OsError::Unsupported("no cgroup v2 membership line"))?
             .trim();
-        let mut base = PathBuf::from("/sys/fs/cgroup");
-        base.push(rel.trim_start_matches('/'));
-        if !base.is_dir() {
+        // Pure-v2 hosts mount cgroup2 at /sys/fs/cgroup; hybrid hosts at
+        // /sys/fs/cgroup/unified.
+        let mount = ["/sys/fs/cgroup", "/sys/fs/cgroup/unified"]
+            .into_iter()
+            .map(Path::new)
+            .find(|m| m.join("cgroup.controllers").is_file())
+            .ok_or(OsError::Unsupported("no cgroup2 mount visible"))?;
+        let mut own_dir = mount.to_path_buf();
+        own_dir.push(rel.trim_start_matches('/'));
+        if !own_dir.is_dir() {
             return Err(OsError::Unsupported("own cgroup directory not visible"));
         }
-        let controllers = fs::read_to_string(base.join("cgroup.controllers")).unwrap_or_default();
-        if !controllers.split_ascii_whitespace().any(|c| c == "cpu") {
-            return Err(OsError::Unsupported("cpu controller not available here"));
-        }
-        // Enable cpu for children. On a non-root cgroup that still has
-        // member processes this violates the no-internal-process rule and
-        // fails — that means the subtree was not delegated to us.
-        if fs::write(base.join("cgroup.subtree_control"), "+cpu").is_err() {
-            let enabled =
-                fs::read_to_string(base.join("cgroup.subtree_control")).unwrap_or_default();
-            if !enabled.split_ascii_whitespace().any(|c| c == "cpu") {
-                return Err(OsError::Unsupported(
-                    "cannot enable the cpu controller for children (subtree not delegated)",
-                ));
+        // A crashed previous run leaves this process sitting in
+        // <base>/alps.<old>/parked; resume ownership of that subtree
+        // rather than nesting a fresh one inside its parked leaf.
+        let (base, root, reused) = match recover_root(&own_dir) {
+            Some((base, root)) => (base, root, true),
+            None => {
+                let root = own_dir.join(format!("alps.{}", std::process::id()));
+                let reused = match fs::create_dir(&root) {
+                    Ok(()) => false,
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => true,
+                    Err(_) => {
+                        return Err(OsError::Unsupported("cannot create the ALPS subtree root"))
+                    }
+                };
+                (own_dir, root, reused)
             }
+        };
+        let fail = |root: &Path, reused: bool, why: &'static str| {
+            if !reused {
+                let _ = fs::remove_dir(root.join(PARKED));
+                let _ = fs::remove_dir(root);
+            }
+            Err(OsError::Unsupported(why))
+        };
+        let controllers = fs::read_to_string(base.join("cgroup.controllers")).unwrap_or_default();
+        if !has_controller(&controllers, "cpu") {
+            return fail(&root, reused, "cpu controller not available here");
         }
-        let root = base.join(format!("alps.{}", std::process::id()));
-        match fs::create_dir(&root) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
-            Err(_) => return Err(OsError::Unsupported("cannot create the ALPS subtree root")),
+        let parked = root.join(PARKED);
+        if create_dir_ok(&parked).is_err() {
+            return fail(&root, reused, "cannot create the parked leaf");
         }
-        Ok(RealCgroupFs::new(root))
+        if reused && clean_leaves(&root, &parked).is_err() {
+            return fail(&root, reused, "stale ALPS subtree cannot be cleaned");
+        }
+        if let Err(e) = enable_cpu(&base, Some(&parked)).and_then(|()| enable_cpu(&root, None)) {
+            let _ = restore(&base, &root, &parked);
+            return Err(e);
+        }
+        let mut backend = RealCgroupFs::new(root);
+        backend.base = Some(base);
+        Ok(backend)
     }
 
-    /// Remove the subtree root directory itself (shutdown cleanup; leaves
-    /// must already be gone).
+    /// Tear the subtree down (shutdown cleanup): any leaf a caller
+    /// forgot to release is thawed, uncapped, and emptied; parked pids
+    /// return to the base cgroup, which gets its `cpu` distribution
+    /// back. Without a recorded base (plain [`RealCgroupFs::new`]) only
+    /// an empty subtree can be removed — there is nowhere to send parked
+    /// pids.
     pub fn remove_root(&mut self) -> Result<()> {
-        fs::remove_dir(&self.root)?;
+        let parked = self.root.join(PARKED);
+        match &self.base {
+            Some(base) => {
+                let _ = clean_leaves(&self.root, &parked);
+                restore(base, &self.root, &parked)?;
+            }
+            None => {
+                match fs::remove_dir(&parked) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                fs::remove_dir(&self.root)?;
+            }
+        }
         Ok(())
     }
 
@@ -331,6 +508,16 @@ impl CgroupFs for RealCgroupFs {
     }
 
     fn attach(&mut self, group: &str, pid: i32) -> Result<()> {
+        // Parking (`group == ""`) lands in the dedicated parked leaf,
+        // never the root: once the root distributes the cpu controller,
+        // the no-internal-process rule forbids it from holding
+        // processes.
+        let group = if group.is_empty() {
+            create_dir_ok(&self.root.join(PARKED))?;
+            PARKED
+        } else {
+            group
+        };
         self.buf.clear();
         let _ = write!(self.buf, "{pid}");
         let contents = std::mem::take(&mut self.buf);
@@ -908,9 +1095,9 @@ impl<F: CgroupFs> CgroupSubstrate<F> {
         Ok(())
     }
 
-    /// Release `pid` from control: thaw/uncap its leaf, park the pid back
-    /// in the subtree root, and remove the leaf. Gone members release
-    /// trivially.
+    /// Release `pid` from control: thaw/uncap its leaf, park the pid in
+    /// the backend's park location (the [`PARKED`] leaf on the real
+    /// backend), and remove the leaf. Gone members release trivially.
     pub fn release(&mut self, pid: i32) -> Result<()> {
         let Some(ctl) = self.members.remove(&pid) else {
             return Ok(());

@@ -194,6 +194,11 @@ impl ExitWatcher {
             // lands at-or-after the deadline, like clock_nanosleep.
             let ms = (left.0.div_ceil(1_000_000)).min(i32::MAX as u64) as i32;
             if !self.poll_once(ms, exited) {
+                // epoll is persistently failing: sleep out the remaining
+                // quantum on the clock instead, so one broken fd can
+                // degrade exit latency but never turn the supervisor
+                // loop into a busy spin.
+                clock::sleep_until(deadline);
                 return;
             }
         }
@@ -291,6 +296,24 @@ mod tests {
         let mut exited = Vec::new();
         w.wait_until(deadline, &mut exited);
         assert!(clock::now() >= deadline, "slept to the deadline");
+        assert!(exited.is_empty());
+    }
+
+    #[test]
+    fn broken_epoll_degrades_to_a_clock_sleep() {
+        let mut w = watcher();
+        // Sabotage the epoll fd so every wait fails EBADF.
+        // SAFETY: we own epfd; Drop's later close(-1) is a harmless
+        // EBADF.
+        unsafe { libc::close(w.epfd) };
+        w.epfd = -1;
+        let deadline = clock::now() + Nanos::from_millis(30);
+        let mut exited = Vec::new();
+        w.wait_until(deadline, &mut exited);
+        assert!(
+            clock::now() >= deadline,
+            "a persistent epoll error must sleep out the quantum, not return early"
+        );
         assert!(exited.is_empty());
     }
 

@@ -88,8 +88,8 @@ impl ActuatorSubstrate {
     }
 
     /// Intentional release on removal/shutdown: resume the member
-    /// (`SIGCONT` / thaw + uncap), and for cgroups park it back in the
-    /// subtree root and remove its leaf.
+    /// (`SIGCONT` / thaw + uncap), and for cgroups park it in the
+    /// subtree's parked leaf and remove its member leaf.
     fn release(&mut self, pid: i32) -> Result<()> {
         self.dead.remove(&pid);
         match &mut self.inner {
@@ -338,18 +338,22 @@ impl Supervisor {
     }
 
     /// Release a process from control (and resume it if suspended).
+    ///
+    /// On failure (e.g. a transient cgroupfs write error) nothing is
+    /// torn down: the process stays fully managed — engine state, pid
+    /// table, and exit watch intact — so the call can simply be retried.
     pub fn remove_process(&mut self, id: ProcId) -> Result<()> {
-        let Some(members) = self.engine.remove_principal(id) else {
-            self.procs.retain(|&(i, _)| i != id);
+        let Some(pid) = self.pid_of(id) else {
+            // Stale handle: nothing is enrolled under it.
+            self.engine.remove_principal(id);
             return Ok(());
         };
-        self.procs.retain(|&(i, _)| i != id);
-        for pid in members {
-            if let Some(w) = &mut self.watcher {
-                w.unwatch(pid);
-            }
-            self.sub.release(pid)?;
+        self.sub.release(pid)?;
+        if let Some(w) = &mut self.watcher {
+            w.unwatch(pid);
         }
+        self.engine.remove_principal(id);
+        self.procs.retain(|&(i, _)| i != id);
         Ok(())
     }
 

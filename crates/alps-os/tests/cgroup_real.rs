@@ -30,7 +30,33 @@ fn discovery_succeeds_or_reports_unsupported() {
         return;
     }
     match RealCgroupFs::discover() {
-        Ok(mut fs) => fs.remove_root().expect("fresh subtree removes cleanly"),
+        Ok(mut fs) => {
+            let root = fs.root().to_path_buf();
+            // The layout contract: a process-free ALPS root that
+            // distributes cpu to its children, with the caller
+            // evacuated into the parked leaf.
+            assert!(root.join("parked").is_dir(), "parked leaf missing");
+            let ctl = std::fs::read_to_string(root.join("cgroup.subtree_control"))
+                .expect("root subtree_control readable");
+            assert!(
+                ctl.split_ascii_whitespace().any(|c| c == "cpu"),
+                "ALPS root must distribute cpu to member leaves, got {ctl:?}"
+            );
+            let procs = std::fs::read_to_string(root.join("cgroup.procs"))
+                .expect("root cgroup.procs readable");
+            assert!(
+                procs.trim().is_empty(),
+                "ALPS root must stay process-free, got {procs:?}"
+            );
+            let own = std::fs::read_to_string("/proc/self/cgroup").expect("own cgroup readable");
+            assert!(
+                own.lines()
+                    .any(|l| l.starts_with("0::") && l.trim_end().ends_with("/parked")),
+                "discovery must evacuate the caller into parked, got {own:?}"
+            );
+            fs.remove_root().expect("fresh subtree removes cleanly");
+            assert!(!root.exists(), "remove_root left the subtree behind");
+        }
         Err(OsError::Unsupported(why)) => {
             panic!("ALPS_REAL_CGROUP=1 but the host offers no delegated subtree: {why}")
         }
@@ -56,6 +82,8 @@ fn weight_writes_land_and_pidfd_observes_the_exit() {
 
     sub.enroll(pid, 300).expect("enroll into a fresh leaf");
     let leaf = root.join(format!("m{pid}"));
+    // cpu.weight only exists because the root's subtree_control
+    // distributes the cpu controller to its leaves.
     let weight = std::fs::read_to_string(leaf.join("cpu.weight")).expect("cpu.weight readable");
     assert_eq!(weight.trim(), "300", "share did not land in cpu.weight");
     let procs = std::fs::read_to_string(leaf.join("cgroup.procs")).expect("cgroup.procs readable");
